@@ -1,0 +1,479 @@
+// Benchmarks: one per table and figure of the paper's evaluation, plus the
+// ablations called out in DESIGN.md §5 and micro-benchmarks of the hot
+// primitives. Experiment benches run at test scale so `go test -bench=.`
+// finishes in minutes; `cmd/pcexperiments` runs the paper-scale versions.
+package probablecause_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/experiment"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/minhash"
+	"probablecause/internal/osmodel"
+	"probablecause/internal/prng"
+	"probablecause/internal/puf"
+	"probablecause/internal/stitch"
+	"probablecause/internal/workload"
+)
+
+// --- per-figure / per-table benches -----------------------------------------
+
+func BenchmarkFig5ErrorImages(b *testing.B) {
+	p := experiment.SmallFig5Params()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig5(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.DistA1B < 0.5 {
+			b.Fatal("cross-chip distance collapsed")
+		}
+	}
+}
+
+var (
+	benchCorpusOnce sync.Once
+	benchCorpus     *experiment.Corpus
+	benchCorpusErr  error
+)
+
+func corpusForBench(b *testing.B) *experiment.Corpus {
+	b.Helper()
+	benchCorpusOnce.Do(func() {
+		benchCorpus, benchCorpusErr = experiment.BuildCorpus(experiment.SmallCorpusParams())
+	})
+	if benchCorpusErr != nil {
+		b.Fatal(benchCorpusErr)
+	}
+	return benchCorpus
+}
+
+func BenchmarkFig7Uniqueness(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig7(c)
+		if r.IdentifyCorrect != r.IdentifyTotal {
+			b.Fatalf("identification %d/%d", r.IdentifyCorrect, r.IdentifyTotal)
+		}
+		b.ReportMetric(r.Separation, "separation")
+	}
+}
+
+func BenchmarkFig8Consistency(b *testing.B) {
+	p := experiment.SmallFig8Params()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Repeatability, "repeatability")
+	}
+}
+
+func BenchmarkFig9Thermal(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig9(c)
+		b.ReportMetric(r.MeanSpread, "mean-spread")
+	}
+}
+
+func BenchmarkFig10FailureOrder(b *testing.B) {
+	p := experiment.SmallFig10Params()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SubsetFraction[0], "subset-fraction")
+	}
+}
+
+func BenchmarkFig11AccuracyPrivacy(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig11(c)
+		b.ReportMetric(r.MinBetween, "min-between")
+	}
+}
+
+func BenchmarkFig13Stitching(b *testing.B) {
+	p := experiment.SmallFig13Params()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunFig13(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Peak), "peak-clusters")
+		b.ReportMetric(float64(r.Final), "final-clusters")
+	}
+}
+
+func BenchmarkTable1FingerprintSpace(b *testing.B) {
+	p := experiment.DefaultTable1Params()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTable1(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2MismatchChance(b *testing.B) {
+	p := experiment.DefaultTable2Params()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTable2(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDDR2Skew(b *testing.B) {
+	p := experiment.SmallDDR2Params()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunDDR2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BowleySkew, "bowley-skew")
+	}
+}
+
+func BenchmarkDefenses(b *testing.B) {
+	p := experiment.SmallDefensesParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunDefenses(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations ---------------------------------------------------------------
+
+func BenchmarkAblationHammingVsJaccard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunAblationHamming(6, 32768, 0xAB1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.JaccardBetweenMin-r.JaccardWithinMax, "jaccard-margin")
+		b.ReportMetric(r.HammingBetweenMin-r.HammingWithinMax, "hamming-margin")
+	}
+}
+
+func BenchmarkAblationIntersectVsUnion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunAblationIntersect(21, 32768, 0xAB2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.NoiseBitsIntersect), "noise-intersect")
+		b.ReportMetric(float64(r.NoiseBitsUnion), "noise-union")
+	}
+}
+
+func benchStitch(b *testing.B, brute bool) {
+	const memoryPages, samplePages, samples = 512, 8, 120
+	for i := 0; i < b.N; i++ {
+		model := drammodel.New(0xB17E)
+		mem, err := osmodel.NewMemory(memoryPages, 0x9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := workload.NewSampleSource(model, mem, 0.01, samplePages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := stitch.New(stitch.Config{Brute: brute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < samples; s++ {
+			sample, _, err := src.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Add(sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationLSHVsBrute(b *testing.B) {
+	b.Run("lsh", func(b *testing.B) { benchStitch(b, false) })
+	b.Run("brute", func(b *testing.B) { benchStitch(b, true) })
+}
+
+func BenchmarkAblationSparseVsDense(b *testing.B) {
+	m := drammodel.New(0x5D)
+	s1, err := m.PageErrors(0, 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, err := m.PageErrors(0, 0.01, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d1, d2 := s1.Dense(dram.PageBits), s2.Dense(dram.PageBits)
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if fingerprint.SparseDistance(s1, s2) > 0.5 {
+				b.Fatal("same-page distance collapsed")
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if fingerprint.Distance(d1, d2) > 0.5 {
+				b.Fatal("same-page distance collapsed")
+			}
+		}
+	})
+}
+
+// --- micro-benchmarks of the hot primitives ----------------------------------
+
+func BenchmarkDistance32KPage(b *testing.B) {
+	rng := prng.New(1)
+	mk := func() *bitset.Set {
+		s := bitset.New(dram.PageBits)
+		for i := 0; i < 328; i++ {
+			s.Set(rng.Intn(dram.PageBits))
+		}
+		return s
+	}
+	x, y := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fingerprint.Distance(x, y)
+	}
+}
+
+func BenchmarkCharacterize(b *testing.B) {
+	rng := prng.New(2)
+	exact := make([]byte, dram.PageBytes)
+	outs := make([][]byte, 3)
+	for i := range outs {
+		out := make([]byte, dram.PageBytes)
+		rng.Fill(out)
+		outs[i] = out
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fingerprint.Characterize(exact, outs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinhashSign(b *testing.B) {
+	m := drammodel.New(0x51)
+	fp, err := m.PageErrors(0, 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minhash.DefaultScheme.Sign(fp)
+	}
+}
+
+func BenchmarkChipRoundtrip(b *testing.B) {
+	cfg := dram.KM41464A(0xBEEF)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := chip.WorstCaseData()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chip.Write(0, data); err != nil {
+			b.Fatal(err)
+		}
+		chip.Elapse(5)
+		if _, err := chip.Read(0, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPageErrors(b *testing.B) {
+	m := drammodel.New(0x7777)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PageErrors(uint64(i), 0.01, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErrLocalization(b *testing.B) {
+	p := experiment.SmallErrLocParams()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunErrLoc(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MedianRecall, "median-recall")
+	}
+}
+
+// --- extension benches ---------------------------------------------------
+
+func BenchmarkExtensionCrossMechanism(b *testing.B) {
+	p := experiment.SmallCrossMechParams()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunCrossMechanism(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.VoltOnRefreshFP)/float64(r.Total), "volt-on-refresh-acc")
+	}
+}
+
+func BenchmarkExtensionScrambling(b *testing.B) {
+	p := experiment.SmallScrambleParams()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunScrambling(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.ScrambledIdentified), "scrambled-identified")
+	}
+}
+
+func BenchmarkExtensionRefreshSchemes(b *testing.B) {
+	p := experiment.DefaultRefreshSchemesParams()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunRefreshSchemes(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RowAwareOverlap, "rowaware-overlap")
+	}
+}
+
+func BenchmarkPUFEnrollAuthenticate(b *testing.B) {
+	cfg := dram.KM41464A(0x9F)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := approx.New(chip, 0.97)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := puf.Enroll(mem, puf.Region{Addr: 0, Len: 4096}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, _, err := e.Authenticate(mem)
+		if err != nil || !ok {
+			b.Fatalf("authentication failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkEnergyPrivacy(b *testing.B) {
+	p := experiment.SmallEnergyParams()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunEnergyPrivacy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[len(r.Rows)-1].EnergyRatio, "energy-ratio-90pct")
+	}
+}
+
+func BenchmarkModelCheck(b *testing.B) {
+	p := experiment.DefaultModelCheckParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunModelCheck(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThresholdSweep(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunThresholdSweep(c, experiment.DefaultThresholdSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PlateauHi-r.PlateauLo, "plateau-width")
+	}
+}
+
+func BenchmarkCollisionMonteCarlo(b *testing.B) {
+	p := experiment.SmallCollisionParams()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunCollisions(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Collisions), "collisions")
+	}
+}
+
+func BenchmarkStitchPersistence(b *testing.B) {
+	m := drammodel.New(0x5A7E)
+	mem, err := osmodel.NewMemory(256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := workload.NewSampleSource(m, mem, 0.01, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := stitch.New(stitch.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s, _, err := src.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := st.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stitch.Load(&buf, stitch.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECCDefense(b *testing.B) {
+	p := experiment.SmallECCParams()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.RunECCDefense(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Identified)/float64(r.Total), "identified-through-ecc")
+	}
+}

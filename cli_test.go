@@ -1,0 +1,155 @@
+package probablecause_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLIs compiles both binaries once per test run.
+func buildCLIs(t *testing.T) (pcause, pcexperiments string) {
+	t.Helper()
+	dir := t.TempDir()
+	pcause = filepath.Join(dir, "pcause")
+	pcexperiments = filepath.Join(dir, "pcexperiments")
+	for bin, pkg := range map[string]string{pcause: "./cmd/pcause", pcexperiments: "./cmd/pcexperiments"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return pcause, pcexperiments
+}
+
+func runCLI(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIFullAttackWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pcause, _ := buildCLIs(t)
+	dir := t.TempDir()
+
+	// Craft exact data and three outputs: two from "device A" (shared error
+	// bytes), one from "device B".
+	exact := make([]byte, 4096)
+	write := func(name string, flips []int) string {
+		data := make([]byte, len(exact))
+		for _, p := range flips {
+			data[p] ^= 1
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	exactPath := filepath.Join(dir, "exact.bin")
+	if err := os.WriteFile(exactPath, exact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coreA := []int{10, 50, 100, 200, 300, 400, 500, 600, 700, 800}
+	coreB := []int{11, 51, 101, 201, 301, 401, 501, 601, 701, 801}
+	a1 := write("a1.bin", append(coreA, 900))
+	a2 := write("a2.bin", append(coreA, 901))
+	a3 := write("a3.bin", append(coreA, 902))
+	b1 := write("b1.bin", append(coreB, 903))
+
+	fp := filepath.Join(dir, "fpA.bin")
+	out := runCLI(t, pcause, "characterize", "-exact", exactPath, "-approx", a1+","+a2, "-o", fp)
+	if !strings.Contains(out, "10 volatile bits") {
+		t.Fatalf("characterize output: %s", out)
+	}
+
+	db := filepath.Join(dir, "fleet.pcdb")
+	runCLI(t, pcause, "mkdb", "-o", db, "deviceA="+fp)
+
+	if out := runCLI(t, pcause, "identify", "-exact", exactPath, "-approx", a3, "-db", db); !strings.Contains(out, "MATCH deviceA") {
+		t.Fatalf("identify (same device): %s", out)
+	}
+	if out := runCLI(t, pcause, "identify", "-exact", exactPath, "-approx", b1, "-db", db); !strings.Contains(out, "no match") {
+		t.Fatalf("identify (other device): %s", out)
+	}
+
+	out = runCLI(t, pcause, "cluster", "-exact", exactPath, "-approx", strings.Join([]string{a1, a2, a3, b1}, ","))
+	if !strings.Contains(out, "2 suspected device(s)") {
+		t.Fatalf("cluster output: %s", out)
+	}
+}
+
+func TestCLIStitchWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pcause, _ := buildCLIs(t)
+	dir := t.TempDir()
+	samples := filepath.Join(dir, "samples.jsonl")
+	dbPath := filepath.Join(dir, "db.pcst")
+
+	runCLI(t, pcause, "gensamples", "-o", samples, "-memory", "256", "-pages", "8", "-n", "300")
+	out := runCLI(t, pcause, "stitch", "-in", samples, "-progress", "0", "-save", dbPath)
+	if !strings.Contains(out, "1 suspected machine(s)") {
+		t.Fatalf("stitch did not converge: %s", out)
+	}
+	// Resume from the saved archive with fresh samples of the same machine.
+	more := filepath.Join(dir, "more.jsonl")
+	runCLI(t, pcause, "gensamples", "-o", more, "-memory", "256", "-pages", "8", "-n", "50")
+	out = runCLI(t, pcause, "stitch", "-in", more, "-progress", "0", "-load", dbPath)
+	if !strings.Contains(out, "resumed database") || !strings.Contains(out, "1 suspected machine(s)") {
+		t.Fatalf("resumed stitch: %s", out)
+	}
+}
+
+func TestCLIDemoAndExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pcause, pcexperiments := buildCLIs(t)
+	if out := runCLI(t, pcause, "demo"); !strings.Contains(out, "identified as chip0") {
+		t.Fatalf("demo: %s", out)
+	}
+	dir := t.TempDir()
+	out := runCLI(t, pcexperiments, "-run", "table1", "-out", dir)
+	if !strings.Contains(out, "8.69e+795") {
+		t.Fatalf("table1: %s", out)
+	}
+	out = runCLI(t, pcexperiments, "-run", "fig10", "-scale", "small", "-out", dir)
+	if !strings.Contains(out, "Figure 10") {
+		t.Fatalf("fig10: %s", out)
+	}
+}
+
+func TestCLIProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pcprofile")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pcprofile").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	outDir := t.TempDir()
+	out := runCLI(t, bin, "-small", "-out", outDir, "-trials", "4")
+	if !strings.Contains(out, "done") {
+		t.Fatalf("pcprofile output: %s", out)
+	}
+	for _, f := range []string{"decay_curve.csv", "row_lifetimes.csv", "stability.csv"} {
+		data, err := os.ReadFile(filepath.Join(outDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(string(data), "\n")) < 3 {
+			t.Fatalf("%s too short", f)
+		}
+	}
+}

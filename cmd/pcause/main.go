@@ -1,0 +1,450 @@
+// Command pcause is the attacker's toolbox: it characterizes approximate
+// memories from captured outputs, identifies which known device produced an
+// output, and clusters outputs from unknown devices.
+//
+// Subcommands:
+//
+//	pcause characterize -exact FILE -approx FILE[,FILE...] -o FP
+//	    Build a device fingerprint (Algorithm 1) and write it to FP.
+//	pcause identify -exact FILE -approx FILE -db FP[,FP...]
+//	    Match one approximate output against a fingerprint database
+//	    (Algorithms 2 and 3).
+//	pcause cluster -exact FILE -approx FILE[,FILE...]
+//	    Group approximate outputs by originating device (Algorithm 4).
+//	pcause mkdb -o DB name=FP [name=FP...]
+//	    Bundle named fingerprints into one database file.
+//	pcause gensamples -o FILE [-buddy|-scattered]
+//	    Simulate a victim publishing outputs; write a JSON-lines sample file.
+//	pcause stitch -in FILE [-save DB] [-load DB]
+//	    Run the whole-memory stitching attack (§4) over a sample file.
+//	pcause demo
+//	    Run a self-contained demonstration on two simulated chips.
+//
+// Exact and approximate files are raw byte images of the same length; the
+// fingerprint file format is the bitset binary encoding.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/osmodel"
+	"probablecause/internal/samplefile"
+	"probablecause/internal/stitch"
+	"probablecause/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "characterize":
+		err = cmdCharacterize(os.Args[2:])
+	case "identify":
+		err = cmdIdentify(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "mkdb":
+		err = cmdMkdb(os.Args[2:])
+	case "gensamples":
+		err = cmdGensamples(os.Args[2:])
+	case "stitch":
+		err = cmdStitch(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcause:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pcause <characterize|identify|cluster|mkdb|gensamples|stitch|demo> [flags]")
+	os.Exit(2)
+}
+
+func readFiles(list string) ([][]byte, error) {
+	var out [][]byte
+	for _, name := range strings.Split(list, ",") {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	exactPath := fs.String("exact", "", "exact data file")
+	approxList := fs.String("approx", "", "comma-separated approximate output files")
+	outPath := fs.String("o", "fingerprint.bin", "output fingerprint file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exactPath == "" || *approxList == "" {
+		return fmt.Errorf("characterize requires -exact and -approx")
+	}
+	exact, err := os.ReadFile(*exactPath)
+	if err != nil {
+		return err
+	}
+	approxes, err := readFiles(*approxList)
+	if err != nil {
+		return err
+	}
+	fp, err := fingerprint.Characterize(exact, approxes...)
+	if err != nil {
+		return err
+	}
+	data, err := fp.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fingerprint: %d volatile bits from %d outputs → %s\n",
+		fp.Count(), len(approxes), *outPath)
+	return nil
+}
+
+func cmdIdentify(args []string) error {
+	fs := flag.NewFlagSet("identify", flag.ExitOnError)
+	exactPath := fs.String("exact", "", "exact data file")
+	approxPath := fs.String("approx", "", "approximate output file")
+	dbList := fs.String("db", "", "comma-separated fingerprint files")
+	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exactPath == "" || *approxPath == "" || *dbList == "" {
+		return fmt.Errorf("identify requires -exact, -approx and -db")
+	}
+	exact, err := os.ReadFile(*exactPath)
+	if err != nil {
+		return err
+	}
+	approxData, err := os.ReadFile(*approxPath)
+	if err != nil {
+		return err
+	}
+	es, err := fingerprint.ErrorString(approxData, exact)
+	if err != nil {
+		return err
+	}
+	db := fingerprint.NewDB(*threshold)
+	for _, name := range strings.Split(*dbList, ",") {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		// A file may be a whole fingerprint database (pcause mkdb) or a
+		// single raw fingerprint (pcause characterize); detect by magic.
+		if bytes.HasPrefix(data, []byte("PCDB01")) {
+			sub, err := fingerprint.ReadDB(bytes.NewReader(data))
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			for _, e := range sub.Entries() {
+				db.Add(e.Name, e.FP)
+			}
+			continue
+		}
+		var fp bitset.Set
+		if err := fp.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		db.Add(filepath.Base(name), &fp)
+	}
+	name, _, dist := db.IdentifyBest(es)
+	if dist < *threshold {
+		fmt.Printf("MATCH %s (distance %.4f, threshold %g)\n", name, dist, *threshold)
+		return nil
+	}
+	fmt.Printf("no match (best %s at distance %.4f, threshold %g)\n", name, dist, *threshold)
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	exactPath := fs.String("exact", "", "exact data file")
+	approxList := fs.String("approx", "", "comma-separated approximate output files")
+	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exactPath == "" || *approxList == "" {
+		return fmt.Errorf("cluster requires -exact and -approx")
+	}
+	exact, err := os.ReadFile(*exactPath)
+	if err != nil {
+		return err
+	}
+	approxes, err := readFiles(*approxList)
+	if err != nil {
+		return err
+	}
+	cl := fingerprint.NewClusterer(*threshold)
+	names := strings.Split(*approxList, ",")
+	for i, a := range approxes {
+		es, err := fingerprint.ErrorString(a, exact)
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		fmt.Printf("%s → cluster %d\n", names[i], cl.Add(es))
+	}
+	fmt.Printf("%d outputs, %d suspected device(s)\n", len(approxes), cl.Count())
+	return nil
+}
+
+// cmdMkdb bundles named fingerprints into one database file:
+//
+//	pcause mkdb -o fleet.pcdb chipA=fpA.bin chipB=fpB.bin
+func cmdMkdb(args []string) error {
+	fs := flag.NewFlagSet("mkdb", flag.ExitOnError)
+	outPath := fs.String("o", "fingerprints.pcdb", "output database file")
+	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold stored in the database")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("mkdb requires name=fingerprint.bin arguments")
+	}
+	db := fingerprint.NewDB(*threshold)
+	for _, arg := range fs.Args() {
+		name, file, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("argument %q is not name=file", arg)
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var fp bitset.Set
+		if err := fp.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		db.Add(name, &fp)
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if _, err := db.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d fingerprints to %s\n", db.Len(), *outPath)
+	return nil
+}
+
+// cmdGensamples simulates a victim system publishing approximate outputs
+// and writes them as a JSON-lines sample file for the stitch subcommand.
+func cmdGensamples(args []string) error {
+	fs := flag.NewFlagSet("gensamples", flag.ExitOnError)
+	outPath := fs.String("o", "samples.jsonl", "output sample file")
+	memPages := fs.Int("memory", 4096, "victim physical memory in pages (power of two for -buddy)")
+	samplePages := fs.Int("pages", 40, "pages per published output")
+	count := fs.Int("n", 500, "number of outputs to publish")
+	errRate := fs.Float64("err", 0.01, "approximation error rate")
+	seed := fs.Uint64("seed", 0x6E5A, "victim system seed")
+	buddy := fs.Bool("buddy", false, "use the buddy-allocator placement model")
+	scattered := fs.Bool("scattered", false, "use page-level-ASLR placement (defense)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model := drammodel.New(*seed)
+	var placer osmodel.Placer
+	switch {
+	case *buddy:
+		sys, err := osmodel.NewSystem(*memPages, *seed^0xB0DD)
+		if err != nil {
+			return err
+		}
+		placer = sys
+	case *scattered:
+		mem, err := osmodel.NewMemory(*memPages, *seed^0xA5)
+		if err != nil {
+			return err
+		}
+		placer = osmodel.Scattered{Memory: mem}
+	default:
+		mem, err := osmodel.NewMemory(*memPages, *seed^0xA5)
+		if err != nil {
+			return err
+		}
+		placer = mem
+	}
+	src, err := workload.NewSampleSource(model, placer, *errRate, *samplePages)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	samples := make([]stitch.Sample, 0, *count)
+	for i := 0; i < *count; i++ {
+		s, _, err := src.Next()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		samples = append(samples, s)
+	}
+	if err := samplefile.Write(f, samples); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples (%d pages each) to %s\n", *count, *samplePages, *outPath)
+	return nil
+}
+
+// cmdStitch runs the whole-memory fingerprint-stitching attack over a sample
+// file, reporting the suspected-machine count as samples accumulate.
+func cmdStitch(args []string) error {
+	fs := flag.NewFlagSet("stitch", flag.ExitOnError)
+	inPath := fs.String("in", "samples.jsonl", "sample file (JSON lines)")
+	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "page match threshold")
+	minOverlap := fs.Int("overlap", 1, "pages that must align to merge")
+	every := fs.Int("progress", 100, "print progress every N samples")
+	loadPath := fs.String("load", "", "resume from a previously saved database")
+	savePath := fs.String("save", "", "save the database when done")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg := stitch.Config{Threshold: *threshold, MinOverlap: *minOverlap}
+	var st *stitch.Stitcher
+	if *loadPath != "" {
+		db, err := os.Open(*loadPath)
+		if err != nil {
+			return err
+		}
+		st, err = stitch.Load(db, cfg)
+		db.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *loadPath, err)
+		}
+		fmt.Printf("resumed database: %d cluster(s), %d pages\n", st.Count(), st.CoveredPages())
+	} else if st, err = stitch.New(cfg); err != nil {
+		return err
+	}
+	r := samplefile.NewReader(f)
+	n := 0
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := st.Add(s); err != nil {
+			return err
+		}
+		n++
+		if *every > 0 && n%*every == 0 {
+			fmt.Printf("%6d samples → %d suspected machine(s), %d pages fingerprinted\n",
+				n, st.Count(), st.CoveredPages())
+		}
+	}
+	fmt.Printf("final: %d samples → %d suspected machine(s); largest fingerprint %d pages\n",
+		n, st.Count(), st.LargestCluster())
+	if *savePath != "" {
+		out, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if _, err := st.WriteTo(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("database saved to %s\n", *savePath)
+	}
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	accuracy := fs.Float64("accuracy", 0.99, "approximate-memory accuracy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Probable Cause demo: two simulated 32 KB KM41464A chips")
+	fmt.Printf("approximate memory at %.0f%% accuracy\n\n", *accuracy*100)
+
+	mems := make([]*approx.Memory, 2)
+	for i := range mems {
+		chip, err := dram.NewChip(dram.KM41464A(uint64(0xD301 + i)))
+		if err != nil {
+			return err
+		}
+		if mems[i], err = approx.New(chip, *accuracy); err != nil {
+			return err
+		}
+	}
+
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	for i, mem := range mems {
+		a1, exact, err := mem.WorstCaseOutput()
+		if err != nil {
+			return err
+		}
+		a2, _, err := mem.WorstCaseOutput()
+		if err != nil {
+			return err
+		}
+		fp, err := fingerprint.Characterize(exact, a1, a2)
+		if err != nil {
+			return err
+		}
+		db.Add(fmt.Sprintf("chip%d", i), fp)
+		fmt.Printf("characterized chip%d: %d volatile bits\n", i, fp.Count())
+	}
+
+	fmt.Println("\nvictim publishes fresh outputs; attacker identifies them:")
+	for i, mem := range mems {
+		a, exact, err := mem.WorstCaseOutput()
+		if err != nil {
+			return err
+		}
+		es, err := fingerprint.ErrorString(a, exact)
+		if err != nil {
+			return err
+		}
+		name, _, dist := db.IdentifyBest(es)
+		fmt.Printf("output from chip%d → identified as %s (distance %.4f)\n", i, name, dist)
+	}
+	return nil
+}

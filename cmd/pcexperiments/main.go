@@ -1,0 +1,310 @@
+// Command pcexperiments regenerates every table and figure of the paper's
+// evaluation on the simulated platform.
+//
+// Usage:
+//
+//	pcexperiments [-run all|fig5|fig7|fig8|fig9|fig10|fig11|fig13|table1|table2|ddr2|defenses|
+//	               errloc|crossmech|scramble|refreshschemes|allocator|collisions|threshold|
+//	               modelcheck|energy|apps|eccdefense|ablations]
+//	              [-scale small|default|paper] [-out DIR] [-scattered]
+//
+// Results are printed to stdout; CSV series and PGM images are written to
+// the output directory (default ./results).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"probablecause/internal/experiment"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (all, fig5, fig7, fig8, fig9, fig10, fig11, fig13, table1, table2, ddr2, defenses, errloc, crossmech, scramble, refreshschemes, allocator, collisions, threshold, modelcheck, energy, apps, eccdefense, coldboot, ablations)")
+	scale := flag.String("scale", "default", "experiment scale: small, default, or paper")
+	out := flag.String("out", "results", "output directory for CSV/PGM artifacts")
+	scattered := flag.Bool("scattered", false, "fig13: use page-level-ASLR (scattered) placement")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	want := func(name string) bool { return *run == "all" || *run == name }
+	start := time.Now()
+
+	var corpus *experiment.Corpus
+	needCorpus := want("fig7") || want("fig9") || want("fig11") || want("threshold")
+	if needCorpus {
+		params := experiment.DefaultCorpusParams()
+		if *scale == "small" {
+			params = experiment.SmallCorpusParams()
+		}
+		fmt.Printf("building %d-chip corpus (%d KB each)...\n",
+			params.Chips, params.Geometry.Bytes()/1024)
+		var err error
+		corpus, err = experiment.BuildCorpus(params)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if want("fig5") {
+		p := experiment.DefaultFig5Params()
+		if *scale == "small" {
+			p = experiment.SmallFig5Params()
+		}
+		r, err := experiment.RunFig5(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+		for name, data := range r.PGMs() {
+			writeFile(*out, name, data)
+		}
+	}
+	if want("fig7") {
+		r := experiment.RunFig7(corpus)
+		section(r.Render())
+		writeFile(*out, "fig7.csv", []byte(r.CSV()))
+	}
+	if want("fig8") {
+		p := experiment.DefaultFig8Params()
+		if *scale == "small" {
+			p = experiment.SmallFig8Params()
+		}
+		r, err := experiment.RunFig8(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+		writeFile(*out, "fig8.csv", []byte(r.CSV()))
+	}
+	if want("fig9") {
+		r := experiment.RunFig9(corpus)
+		section(r.Render())
+		writeFile(*out, "fig9.csv", []byte(r.GroupedDistances.CSV()))
+	}
+	if want("fig10") {
+		p := experiment.DefaultFig10Params()
+		if *scale == "small" {
+			p = experiment.SmallFig10Params()
+		}
+		r, err := experiment.RunFig10(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("fig11") {
+		r := experiment.RunFig11(corpus)
+		section(r.Render())
+		writeFile(*out, "fig11.csv", []byte(r.GroupedDistances.CSV()))
+	}
+	if want("threshold") {
+		r, err := experiment.RunThresholdSweep(corpus, experiment.DefaultThresholdSweep())
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("fig13") {
+		p := experiment.DefaultFig13Params()
+		switch *scale {
+		case "small":
+			p = experiment.SmallFig13Params()
+		case "paper":
+			p = experiment.PaperScaleFig13Params()
+		}
+		p.Scattered = *scattered
+		if *scattered {
+			p.MinOverlap = 2
+		}
+		r, err := experiment.RunFig13(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+		writeFile(*out, "fig13.csv", []byte(r.CSV()))
+	}
+	if want("table1") {
+		r, err := experiment.RunTable1(experiment.DefaultTable1Params())
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("table2") {
+		r, err := experiment.RunTable2(experiment.DefaultTable2Params())
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("ddr2") {
+		p := experiment.DefaultDDR2Params()
+		if *scale == "small" {
+			p = experiment.SmallDDR2Params()
+		}
+		r, err := experiment.RunDDR2(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("defenses") {
+		p := experiment.DefaultDefensesParams()
+		if *scale == "small" {
+			p = experiment.SmallDefensesParams()
+		}
+		r, err := experiment.RunDefenses(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("errloc") {
+		p := experiment.DefaultErrLocParams()
+		if *scale == "small" {
+			p = experiment.SmallErrLocParams()
+		}
+		r, err := experiment.RunErrLoc(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("crossmech") {
+		p := experiment.DefaultCrossMechParams()
+		if *scale == "small" {
+			p = experiment.SmallCrossMechParams()
+		}
+		r, err := experiment.RunCrossMechanism(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("scramble") {
+		p := experiment.DefaultScrambleParams()
+		if *scale == "small" {
+			p = experiment.SmallScrambleParams()
+		}
+		r, err := experiment.RunScrambling(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("refreshschemes") {
+		r, err := experiment.RunRefreshSchemes(experiment.DefaultRefreshSchemesParams())
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("allocator") {
+		p := experiment.DefaultAllocatorParams()
+		if *scale == "small" {
+			p = experiment.SmallAllocatorParams()
+		}
+		r, err := experiment.RunAllocatorComparison(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("collisions") {
+		p := experiment.DefaultCollisionParams()
+		if *scale == "small" {
+			p = experiment.SmallCollisionParams()
+		}
+		r, err := experiment.RunCollisions(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("modelcheck") {
+		r, err := experiment.RunModelCheck(experiment.DefaultModelCheckParams())
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("energy") {
+		p := experiment.DefaultEnergyParams()
+		if *scale == "small" {
+			p = experiment.SmallEnergyParams()
+		}
+		r, err := experiment.RunEnergyPrivacy(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("apps") {
+		p := experiment.DefaultAppsParams()
+		if *scale == "small" {
+			p = experiment.SmallAppsParams()
+		}
+		r, err := experiment.RunApps(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("eccdefense") {
+		p := experiment.DefaultECCParams()
+		if *scale == "small" {
+			p = experiment.SmallECCParams()
+		}
+		r, err := experiment.RunECCDefense(p)
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("coldboot") {
+		r, err := experiment.RunColdBoot(experiment.DefaultColdBootParams())
+		if err != nil {
+			fatal(err)
+		}
+		section(r.Render())
+	}
+	if want("ablations") {
+		r1, err := experiment.RunAblationHamming(10, 32768, 0xAB1)
+		if err != nil {
+			fatal(err)
+		}
+		section(r1.Render())
+		r2, err := experiment.RunAblationIntersect(21, 32768, 0xAB2)
+		if err != nil {
+			fatal(err)
+		}
+		section(r2.Render())
+	}
+
+	fmt.Printf("done in %v; artifacts in %s\n", time.Since(start).Round(time.Millisecond), *out)
+}
+
+func section(s string) {
+	fmt.Println(strings.Repeat("=", 78))
+	fmt.Println(s)
+}
+
+func writeFile(dir, name string, data []byte) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcexperiments:", err)
+	os.Exit(1)
+}

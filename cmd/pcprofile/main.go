@@ -1,0 +1,136 @@
+// Command pcprofile is the platform-characterization rig (§6): it profiles a
+// simulated DRAM chip the way the paper's MSP430 harness profiles real
+// silicon, and emits the measurements as CSV.
+//
+//	pcprofile -seed 0xC0FFEE -out results
+//
+// Outputs:
+//
+//	decay_curve.csv    worst-case error rate vs refresh interval per temperature
+//	row_lifetimes.csv  per-row time of first worst-case failure (RAIDR's input)
+//	stability.csv      per-trial error count and pairwise stability at 99 %
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0xC0FFEE, "chip seed (the silicon identity)")
+	out := flag.String("out", "results", "output directory")
+	small := flag.Bool("small", false, "profile an 8 KB window instead of the full 32 KB chip")
+	ddr2 := flag.Bool("ddr2", false, "profile the DDR2 preset instead of the KM41464A")
+	trials := flag.Int("trials", 10, "stability trials at 99% accuracy")
+	flag.Parse()
+
+	cfg := dram.KM41464A(*seed)
+	if *ddr2 {
+		cfg = dram.DDR2(*seed)
+	}
+	if *small {
+		cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+		if *ddr2 {
+			cfg.Geometry = dram.Geometry{Rows: 128, Cols: 512, BitsPerWord: 1, DefaultStripe: 4}
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	bits := cfg.Geometry.Bits()
+	fmt.Printf("profiling %d-byte chip (seed %#x)\n", cfg.Geometry.Bytes(), *seed)
+
+	// Decay curve: worst-case error rate vs interval, per temperature.
+	var curve strings.Builder
+	curve.WriteString("temp_c,interval_s,error_rate\n")
+	for _, temp := range []float64{40, 50, 60} {
+		chip.SetTemperature(temp)
+		if err := chip.Write(0, chip.WorstCaseData()); err != nil {
+			fatal(err)
+		}
+		for f := 0.5; f <= 20; f *= 1.25 {
+			// Scale the interval with temperature so each curve spans the
+			// same error range.
+			iv := f * chipScale(temp)
+			rate := float64(chip.DecayCountWithin(iv)) / float64(bits)
+			fmt.Fprintf(&curve, "%.0f,%.4f,%.6f\n", temp, iv, rate)
+		}
+	}
+	writeFile(*out, "decay_curve.csv", curve.String())
+
+	// Row lifetimes.
+	chip.SetTemperature(cfg.RefTempC)
+	ra, err := approx.NewRowAware(chip, 1.0)
+	if err != nil {
+		fatal(err)
+	}
+	var rows strings.Builder
+	rows.WriteString("row,first_failure_s\n")
+	for r := 0; r < cfg.Geometry.Rows; r++ {
+		fmt.Fprintf(&rows, "%d,%.4f\n", r, ra.RowInterval(r))
+	}
+	writeFile(*out, "row_lifetimes.csv", rows.String())
+
+	// Stability at 99%.
+	mem, err := approx.New(chip, 0.99)
+	if err != nil {
+		fatal(err)
+	}
+	var stab strings.Builder
+	stab.WriteString("trial,errors,stable_vs_first\n")
+	var first *bitset.Set
+	for t := 0; t < *trials; t++ {
+		a, e, err := mem.WorstCaseOutput()
+		if err != nil {
+			fatal(err)
+		}
+		es, err := fingerprint.ErrorString(a, e)
+		if err != nil {
+			fatal(err)
+		}
+		overlap := 1.0
+		if first == nil {
+			first = es
+		} else {
+			overlap = float64(first.AndCount(es)) / float64(first.Count())
+		}
+		fmt.Fprintf(&stab, "%d,%d,%.4f\n", t, es.Count(), overlap)
+	}
+	writeFile(*out, "stability.csv", stab.String())
+	fmt.Println("done")
+}
+
+// chipScale approximates the retention scaling at a temperature so the decay
+// sweep covers comparable error ranges per curve.
+func chipScale(tempC float64) float64 {
+	scale := 1.0
+	for t := 40.0; t < tempC; t += 10 {
+		scale /= 2
+	}
+	return scale
+}
+
+func writeFile(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcprofile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+// Package probablecause is a from-scratch reproduction of "Probable Cause:
+// The Deanonymizing Effects of Approximate DRAM" (Rahmati, Hicks, Holcomb,
+// Fu — ISCA 2015).
+//
+// The paper shows that the error pattern an approximate DRAM imprints on its
+// outputs is a device fingerprint: cell decay order is fixed by
+// manufacturing variation and survives changes in temperature and level of
+// approximation. This repository rebuilds the entire system in Go with no
+// external dependencies:
+//
+//   - a cell-level DRAM decay simulator standing in for the paper's hardware
+//     platform (internal/dram, internal/dist),
+//   - the approximate-memory controller (internal/approx),
+//   - the fingerprinting algorithms of §5 (internal/fingerprint),
+//   - the fingerprint-stitching attack of §4 at scale
+//     (internal/stitch, internal/minhash, internal/drammodel,
+//     internal/osmodel),
+//   - the analytical model of §7.1 (internal/analysis),
+//   - the defenses of §8.2 and error localization of §8.3
+//     (internal/defense, internal/errloc),
+//   - and one experiment driver per table and figure
+//     (internal/experiment, cmd/pcexperiments).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each experiment under `go test -bench`.
+package probablecause

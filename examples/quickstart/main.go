@@ -1,0 +1,87 @@
+// Quickstart: store an image in an approximate DRAM, watch the error
+// pattern appear, fingerprint the chip, and identify a later output.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/workload"
+)
+
+func main() {
+	// 1. "Manufacture" a chip. The seed is the silicon: same seed, same
+	// process variation, same fingerprint.
+	chip, err := dram.NewChip(dram.KM41464A(0xC0FFEE))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run it as approximate memory at 99% accuracy: the controller
+	// calibrates a refresh interval at which 1% of worst-case bits decay.
+	mem, err := approx.New(chip, 0.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated refresh interval: %.2fs at %.0f°C\n",
+		mem.RefreshInterval(), chip.Temperature())
+
+	// 3. The victim's program: edge-detect a photo, output buffer in
+	// approximate memory.
+	job := workload.NewBinaryImageJob(160, 120, 42, 64)
+	out, err := job.RunApprox(mem, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pixErrs, err := out.DiffCount(job.Exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published image has %d corrupted pixels of %d\n", pixErrs, len(out.Pix))
+
+	// 4. The attacker characterizes the chip from two captured outputs
+	// (Algorithm 1: intersect the error strings).
+	a1, exact, err := mem.WorstCaseOutput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a2, _, err := mem.WorstCaseOutput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp, err := fingerprint.Characterize(exact, a1, a2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fingerprint: %d reliably volatile cells\n", fp.Count())
+
+	// 5. A year later the victim publishes another output — different
+	// temperature, different approximation level. Identify it (Algorithms
+	// 2-3).
+	if err := mem.SetTemperature(55); err != nil {
+		log.Fatal(err)
+	}
+	if err := mem.SetAccuracy(0.95); err != nil {
+		log.Fatal(err)
+	}
+	a3, exact3, err := mem.WorstCaseOutput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	es, err := fingerprint.ErrorString(a3, exact3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := fingerprint.Distance(es, fp)
+	fmt.Printf("distance of new output (55°C, 95%%) to fingerprint: %.4f\n", d)
+	if d < fingerprint.DefaultThreshold {
+		fmt.Println("→ identified: the output came from this machine")
+	} else {
+		fmt.Println("→ not identified")
+	}
+}

@@ -1,0 +1,3 @@
+module probablecause
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package analysis implements the paper's analytical model of fingerprint
+// uniqueness (§7.1, Equations 1–4, Tables 1–2) and the descriptive statistics
+// used to render the evaluation figures.
+//
+// All combinatorial quantities are computed exactly with math/big — the
+// numbers involved (e.g. C(32768, 328) ≈ 8.7·10⁷⁹⁵) are far outside float64
+// range, and the point of Tables 1–2 is their astronomically small mismatch
+// probabilities.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Binomial returns C(n, k) exactly. k outside [0, n] yields 0, matching the
+// combinatorial convention.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	if k > n-k {
+		k = n - k
+	}
+	// Multiplicative formula with exact division at every step:
+	// C(n, i) = C(n, i-1) * (n - i + 1) / i.
+	r := big.NewInt(1)
+	for i := 1; i <= k; i++ {
+		r.Mul(r, big.NewInt(int64(n-i+1)))
+		r.Div(r, big.NewInt(int64(i)))
+	}
+	return r
+}
+
+// BinomialSum returns Σ_{i=lo}^{hi} C(n, i) exactly.
+func BinomialSum(n, lo, hi int) *big.Int {
+	sum := big.NewInt(0)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		return sum
+	}
+	// Walk the row incrementally: far cheaper than independent binomials.
+	term := Binomial(n, lo)
+	sum.Add(sum, term)
+	for i := lo + 1; i <= hi; i++ {
+		term = new(big.Int).Set(term)
+		term.Mul(term, big.NewInt(int64(n-i+1)))
+		term.Div(term, big.NewInt(int64(i)))
+		sum.Add(sum, term)
+	}
+	return sum
+}
+
+// Log2 returns log₂(x) for a positive big integer as a float64.
+func Log2(x *big.Int) float64 {
+	if x.Sign() <= 0 {
+		panic("analysis: Log2 of non-positive value")
+	}
+	// x = mantissa * 2^(bitlen - 53) approximately.
+	bits := x.BitLen()
+	if bits <= 53 {
+		return math.Log2(float64(x.Int64()))
+	}
+	shifted := new(big.Int).Rsh(x, uint(bits-53))
+	return math.Log2(float64(shifted.Int64())) + float64(bits-53)
+}
+
+// Log10Big returns log₁₀(x) for a positive big integer.
+func Log10Big(x *big.Int) float64 {
+	return Log2(x) * math.Log10(2)
+}
+
+// Log10Float returns log₁₀(x) for a positive big float.
+func Log10Float(x *big.Float) float64 {
+	if x.Sign() <= 0 {
+		panic("analysis: Log10Float of non-positive value")
+	}
+	mant := new(big.Float)
+	exp2 := x.MantExp(mant) // x = mant · 2^exp2, mant in [0.5, 1)
+	mf, _ := mant.Float64()
+	return (math.Log2(mf) + float64(exp2)) * math.Log10(2)
+}
+
+// Sci formats a positive big integer in scientific notation with the given
+// number of mantissa decimals, e.g. Sci(C(32768,328), 2) = "8.70e+795".
+func Sci(x *big.Int, decimals int) string {
+	f := new(big.Float).SetPrec(uint(x.BitLen()) + 64).SetInt(x)
+	return f.Text('e', decimals)
+}
+
+// SciRatio formats num/den in scientific notation, handling magnitudes far
+// outside float64 range (Table 1 reports probabilities near 10⁻⁵⁹¹).
+func SciRatio(num, den *big.Int, decimals int) string {
+	if den.Sign() == 0 {
+		return "NaN"
+	}
+	prec := uint(num.BitLen()+den.BitLen()) + 64
+	fn := new(big.Float).SetPrec(prec).SetInt(num)
+	fd := new(big.Float).SetPrec(prec).SetInt(den)
+	q := new(big.Float).SetPrec(prec).Quo(fn, fd)
+	return q.Text('e', decimals)
+}
+
+// FingerprintSpace captures the paper's analytical model of one fingerprinted
+// memory region (§7.1): M bits of memory, A tolerated error bits, and a
+// matching threshold of T bits of noise.
+type FingerprintSpace struct {
+	M int // memory size in bits (a page: 32768)
+	A int // error bits tolerated (1% of M at 99% accuracy)
+	T int // noise threshold in bits (10% of A in the paper)
+}
+
+// NewFingerprintSpace validates and returns the model for a region of m bits
+// with error fraction errRate and threshold fraction thresholdOfA (fraction
+// of A, the paper uses 0.10).
+func NewFingerprintSpace(m int, errRate, thresholdOfA float64) (FingerprintSpace, error) {
+	if m <= 0 || errRate <= 0 || errRate >= 1 || thresholdOfA < 0 || thresholdOfA >= 1 {
+		return FingerprintSpace{}, fmt.Errorf("analysis: bad parameters m=%d err=%v t=%v", m, errRate, thresholdOfA)
+	}
+	a := int(float64(m)*errRate + 0.5)
+	t := int(float64(a)*thresholdOfA + 0.5)
+	if a <= t {
+		return FingerprintSpace{}, fmt.Errorf("analysis: A=%d must exceed T=%d", a, t)
+	}
+	return FingerprintSpace{M: m, A: a, T: t}, nil
+}
+
+// MaxUnique returns the total number of unique fingerprints, Equation 1:
+// C(M, A).
+func (s FingerprintSpace) MaxUnique() *big.Int {
+	return Binomial(s.M, s.A)
+}
+
+// DistinguishableBounds returns the Hamming-bound range for the number of
+// distinguishable fingerprints, Equation 2:
+//
+//	C(M,A) / Σ_{i=0}^{2T} C(M,i)  ≤  distinguishable  ≤  C(M,A) / Σ_{i=0}^{T} C(M,i)
+//
+// Both bounds are returned as arbitrary-precision floats.
+func (s FingerprintSpace) DistinguishableBounds() (lower, upper *big.Float) {
+	num := s.MaxUnique()
+	denLo := BinomialSum(s.M, 0, 2*s.T)
+	denHi := BinomialSum(s.M, 0, s.T)
+	prec := uint(num.BitLen()) + 64
+	mk := func(den *big.Int) *big.Float {
+		fn := new(big.Float).SetPrec(prec).SetInt(num)
+		fd := new(big.Float).SetPrec(prec).SetInt(den)
+		return new(big.Float).SetPrec(prec).Quo(fn, fd)
+	}
+	return mk(denLo), mk(denHi)
+}
+
+// MismatchBounds returns the probability range for two fingerprints being
+// mistakenly matched, Equation 3:
+//
+//	Σ_{i=1}^{T} C(M,i) / C(M,A)  ≤  P(mismatch)  ≤  Σ_{i=1}^{2T} C(M,i) / C(M,A)
+func (s FingerprintSpace) MismatchBounds() (lower, upper *big.Float) {
+	den := s.MaxUnique()
+	numLo := BinomialSum(s.M, 1, s.T)
+	numHi := BinomialSum(s.M, 1, 2*s.T)
+	prec := uint(den.BitLen()) + 64
+	mk := func(num *big.Int) *big.Float {
+		fn := new(big.Float).SetPrec(prec).SetInt(num)
+		fd := new(big.Float).SetPrec(prec).SetInt(den)
+		return new(big.Float).SetPrec(prec).Quo(fn, fd)
+	}
+	return mk(numLo), mk(numHi)
+}
+
+// TotalEntropyBits returns the entropy of the fingerprint in bits, the
+// numerator of Equation 4's final bound: log₂ C(M, A−T).
+func (s FingerprintSpace) TotalEntropyBits() float64 {
+	return Log2(Binomial(s.M, s.A-s.T))
+}
+
+// EntropyPerBit returns Equation 4's per-memory-bit entropy bound:
+// log₂(C(M, A−T)) / M.
+func (s FingerprintSpace) EntropyPerBit() float64 {
+	return s.TotalEntropyBits() / float64(s.M)
+}

@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/analysis"
+)
+
+// ExampleFingerprintSpace evaluates the paper's Table 1 parameters exactly.
+func ExampleFingerprintSpace() {
+	s := analysis.FingerprintSpace{M: 32768, A: 328, T: 32}
+	fmt.Println("max unique fingerprints:", analysis.Sci(s.MaxUnique(), 2))
+	_, mismatch := s.MismatchBounds()
+	fmt.Println("chance of mismatching ≤", mismatch.Text('e', 2))
+	fmt.Printf("total entropy: %.1f bits\n", s.TotalEntropyBits())
+	// Output:
+	// max unique fingerprints: 8.69e+795
+	// chance of mismatching ≤ 8.32e-597
+	// total entropy: 2429.7 bits
+}
+
+// ExampleBinomial computes an exact binomial coefficient far beyond float64
+// range.
+func ExampleBinomial() {
+	fmt.Println(analysis.Binomial(52, 5))
+	fmt.Println(analysis.Sci(analysis.Binomial(32768, 64), 3))
+	// Output:
+	// 2598960
+	// 7.222e+199
+}
+
+// ExampleHistogram renders the distance histogram the uniqueness experiment
+// reports.
+func ExampleHistogram() {
+	h := analysis.NewHistogram(0, 1, 4)
+	h.AddAll([]float64{0.1, 0.15, 0.9, 0.95, 0.92})
+	fmt.Print(h.CSV())
+	// Output:
+	// bucket_center,count
+	// 0.125,2
+	// 0.375,0
+	// 0.625,0
+	// 0.875,3
+}

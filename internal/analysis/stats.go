@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Mean, Stddev float64
+	Median       float64
+}
+
+// Summarize computes descriptive statistics. It panics on an empty sample —
+// every caller controls its own sample sizes.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("analysis: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g max=%.4g mean=%.4g median=%.4g stddev=%.4g",
+		s.N, s.Min, s.Max, s.Mean, s.Median, s.Stddev)
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi); values outside the
+// range clamp to the first/last bucket, matching how the paper's histograms
+// render tail mass.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	samples int
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi). It panics
+// on a degenerate range or bucket count, which indicate caller bugs.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("analysis: bad histogram [%v,%v)/%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.samples++
+}
+
+// AddAll records every value of xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() int { return h.samples }
+
+// BucketCenter returns the midpoint of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// CSV renders the histogram as "bucket_center,count" lines.
+func (h *Histogram) CSV() string {
+	var b strings.Builder
+	b.WriteString("bucket_center,count\n")
+	for i, c := range h.Counts {
+		fmt.Fprintf(&b, "%.6g,%d\n", h.BucketCenter(i), c)
+	}
+	return b.String()
+}
+
+// Render draws an ASCII bar chart of the histogram, width chars wide,
+// skipping empty leading/trailing buckets for readability.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0
+	first, last := -1, -1
+	for i, c := range h.Counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if first < 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i := first; i <= last; i++ {
+		n := h.Counts[i] * width / max
+		fmt.Fprintf(&b, "%10.4g | %-*s %d\n", h.BucketCenter(i), width, strings.Repeat("#", n), h.Counts[i])
+	}
+	return b.String()
+}

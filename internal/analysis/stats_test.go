@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Stddev != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := Summarize([]float64{1, 2}).String(); !strings.Contains(got, "n=2") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.AddAll([]float64{0.05, 0.05, 0.95, 0.5})
+	if h.Counts[0] != 2 || h.Counts[9] != 1 || h.Counts[5] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.N() != 4 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	h.Add(1.0) // exactly Hi clamps to last bucket
+	if h.Counts[0] != 1 || h.Counts[3] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramBucketCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if c := h.BucketCenter(0); c != 0.5 {
+		t.Fatalf("center(0) = %v", c)
+	}
+	if c := h.BucketCenter(9); c != 9.5 {
+		t.Fatalf("center(9) = %v", c)
+	}
+}
+
+func TestHistogramCSV(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.3)
+	got := h.CSV()
+	if !strings.HasPrefix(got, "bucket_center,count\n") || !strings.Contains(got, "0.5,1") {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	if got := h.Render(40); got != "(empty histogram)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+	h.AddAll([]float64{0.15, 0.15, 0.85})
+	got := h.Render(40)
+	if !strings.Contains(got, "#") {
+		t.Fatalf("render lacks bars: %q", got)
+	}
+	// Leading empty buckets skipped: first rendered line is bucket 1.
+	if strings.Contains(strings.SplitN(got, "\n", 2)[0], "0.05") {
+		t.Fatalf("render did not skip empty leading bucket: %q", got)
+	}
+}
+
+func TestHistogramBadParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad histogram params")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}

@@ -1,0 +1,192 @@
+// Package approx implements the approximate-memory controller that sits on
+// top of the DRAM simulator — the role the MSP430 firmware plays on the
+// paper's platform (§6).
+//
+// Approximate DRAM saves energy by refreshing less often than the worst-case
+// JEDEC rate, accepting that the most volatile cells lose their value between
+// refreshes. The controller here exposes the level of approximation as a
+// target *accuracy*: an accuracy of 0.99 means the refresh interval is tuned
+// so that 1 % of cells decay with worst-case data (the paper's convention,
+// §5: "refreshed at a rate that yields 1% error with worst-case data").
+//
+// Like the paper's platform (§7.3), the controller re-calibrates its refresh
+// interval whenever the temperature changes, maintaining the desired accuracy
+// rather than a fixed interval — this is what makes the fingerprint robust to
+// temperature: the *set* of failing cells is pinned to a quantile of the
+// decay ordering, not to a wall-clock interval.
+package approx
+
+import (
+	"fmt"
+
+	"probablecause/internal/dram"
+)
+
+// Memory is an approximate memory: a DRAM chip plus a refresh policy
+// calibrated to a target accuracy.
+type Memory struct {
+	chip     *dram.Chip
+	accuracy float64
+	interval float64 // calibrated refresh interval, seconds
+}
+
+// New wraps chip as an approximate memory with the given target accuracy
+// (fraction of worst-case bits that survive a refresh interval, in (0.5, 1)).
+// The controller calibrates immediately.
+func New(chip *dram.Chip, accuracy float64) (*Memory, error) {
+	m := &Memory{chip: chip}
+	if err := m.SetAccuracy(accuracy); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Chip returns the underlying device.
+func (m *Memory) Chip() *dram.Chip { return m.chip }
+
+// Accuracy returns the calibrated target accuracy.
+func (m *Memory) Accuracy() float64 { return m.accuracy }
+
+// RefreshInterval returns the calibrated refresh interval in seconds.
+func (m *Memory) RefreshInterval() float64 { return m.interval }
+
+// SetAccuracy changes the target accuracy and re-calibrates.
+func (m *Memory) SetAccuracy(accuracy float64) error {
+	if accuracy <= 0.5 || accuracy >= 1 {
+		return fmt.Errorf("approx: accuracy %v outside (0.5, 1)", accuracy)
+	}
+	m.accuracy = accuracy
+	return m.Calibrate()
+}
+
+// SetTemperature moves the chip to a new operating temperature and
+// re-calibrates the refresh interval to keep the same accuracy, mirroring
+// the adaptive refresh of the paper's platform.
+func (m *Memory) SetTemperature(tempC float64) error {
+	m.chip.SetTemperature(tempC)
+	return m.Calibrate()
+}
+
+// Calibrate measures the chip's decay curve with a worst-case pattern and
+// sets the refresh interval so that the expected worst-case error rate is
+// 1 − accuracy. It leaves the chip filled with the worst-case pattern.
+func (m *Memory) Calibrate() error {
+	bits := m.chip.Geometry().Bits()
+	target := int(float64(bits)*(1-m.accuracy) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if err := m.chip.Write(0, m.chip.WorstCaseData()); err != nil {
+		return fmt.Errorf("approx: calibration write: %w", err)
+	}
+
+	// Bracket: grow hi until at least target cells decay within hi.
+	lo, hi := 0.0, 1.0
+	for m.chip.DecayCountWithin(hi) < target {
+		hi *= 2
+		if hi > 1e9 {
+			return fmt.Errorf("approx: decay target %d unreachable", target)
+		}
+	}
+	// Bisect to the smallest interval reaching the target count.
+	for i := 0; i < 60 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if m.chip.DecayCountWithin(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	m.interval = hi
+	return nil
+}
+
+// Store writes exact data into the approximate memory at byte address addr.
+func (m *Memory) Store(addr int, data []byte) error {
+	return m.chip.Write(addr, data)
+}
+
+// ReadApprox reads n bytes at addr after letting one full refresh interval
+// elapse — the approximate output the application observes.
+func (m *Memory) ReadApprox(addr, n int) ([]byte, error) {
+	m.chip.Elapse(m.interval)
+	return m.chip.Read(addr, n)
+}
+
+// Roundtrip stores data at addr, waits one refresh interval, and returns the
+// approximate result. This is the basic unit of every experiment: one
+// approximate output of the system.
+func (m *Memory) Roundtrip(addr int, data []byte) ([]byte, error) {
+	if err := m.Store(addr, data); err != nil {
+		return nil, err
+	}
+	return m.ReadApprox(addr, len(data))
+}
+
+// WorstCaseOutput produces one whole-chip approximate output of the
+// worst-case pattern together with the exact pattern. Characterization in
+// the supply-chain attack uses this (§5.1, path 1: the attacker controls the
+// inputs).
+func (m *Memory) WorstCaseOutput() (approx, exact []byte, err error) {
+	exact = m.chip.WorstCaseData()
+	approx, err = m.Roundtrip(0, exact)
+	return approx, exact, err
+}
+
+// CalibrateVoltage switches the controller to voltage-scaling approximation
+// (§2's other knob): the refresh interval is pinned to fixedInterval and the
+// supply voltage is lowered until the worst-case error rate reaches
+// 1 − accuracy. Because voltage scaling and refresh-rate scaling both expose
+// the same per-cell decay ordering, fingerprints transfer between the two
+// mechanisms — see the cross-mechanism experiment.
+func (m *Memory) CalibrateVoltage(fixedInterval float64) error {
+	if fixedInterval <= 0 {
+		return fmt.Errorf("approx: non-positive refresh interval %v", fixedInterval)
+	}
+	cfg := m.chip.Config()
+	if cfg.NominalVolts == 0 {
+		return fmt.Errorf("approx: chip does not model supply voltage")
+	}
+	bits := m.chip.Geometry().Bits()
+	target := int(float64(bits)*(1-m.accuracy) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if err := m.chip.Write(0, m.chip.WorstCaseData()); err != nil {
+		return fmt.Errorf("approx: voltage calibration write: %w", err)
+	}
+	// Lower voltage monotonically shortens retention, so the decay count at
+	// the fixed interval grows as volts drop: bisect on voltage.
+	lo, hi := cfg.MinVolts+1e-6, cfg.NominalVolts
+	countAt := func(v float64) (int, error) {
+		if err := m.chip.SetVolts(v); err != nil {
+			return 0, err
+		}
+		return m.chip.DecayCountWithin(fixedInterval), nil
+	}
+	n, err := countAt(lo)
+	if err != nil {
+		return err
+	}
+	if n < target {
+		return fmt.Errorf("approx: error target %d unreachable even at %.3gV", target, lo)
+	}
+	for i := 0; i < 60 && hi-lo > 1e-9; i++ {
+		mid := (lo + hi) / 2
+		n, err := countAt(mid)
+		if err != nil {
+			return err
+		}
+		if n >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Land on the highest voltage still reaching the target (lo side).
+	if err := m.chip.SetVolts(lo); err != nil {
+		return err
+	}
+	m.interval = fixedInterval
+	return nil
+}

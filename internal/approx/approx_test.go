@@ -1,0 +1,245 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+)
+
+// testChip builds a moderately sized chip: 64 rows × 256 cols × 4 bits =
+// 65536 bits = 8 KB (2 pages), fast but statistically meaningful.
+func testChip(t *testing.T, seed uint64) *dram.Chip {
+	t.Helper()
+	cfg := dram.KM41464A(seed)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	c, err := dram.NewChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func errorRate(t *testing.T, m *Memory) float64 {
+	t.Helper()
+	approx, exact, err := m.WorstCaseOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := bitset.FromBytes(approx).Xor(bitset.FromBytes(exact)).Count()
+	return float64(errs) / float64(m.Chip().Geometry().Bits())
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	c := testChip(t, 1)
+	for _, a := range []float64{0, 0.5, 1, 1.5, -1} {
+		if _, err := New(c, a); err == nil {
+			t.Errorf("accuracy %v accepted", a)
+		}
+	}
+	if _, err := New(c, 0.99); err != nil {
+		t.Errorf("accuracy 0.99 rejected: %v", err)
+	}
+}
+
+func TestCalibrationHitsTargetErrorRate(t *testing.T) {
+	for _, acc := range []float64{0.99, 0.95, 0.90} {
+		m, err := New(testChip(t, 2), acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := errorRate(t, m)
+		want := 1 - acc
+		// Per-trial noise moves the measured rate slightly around the target.
+		if math.Abs(got-want) > 0.2*want+0.001 {
+			t.Errorf("accuracy %v: error rate %v, want ~%v", acc, got, want)
+		}
+	}
+}
+
+func TestCalibrationTracksTemperature(t *testing.T) {
+	m, err := New(testChip(t, 3), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i40 := m.RefreshInterval()
+	if err := m.SetTemperature(60); err != nil {
+		t.Fatal(err)
+	}
+	i60 := m.RefreshInterval()
+	// Retention quarters from 40→60 °C, so the calibrated interval must too.
+	if ratio := i60 / i40; math.Abs(ratio-0.25) > 0.05 {
+		t.Fatalf("interval ratio 60C/40C = %v, want ~0.25", ratio)
+	}
+	// And the error rate is still on target after the move.
+	if got := errorRate(t, m); math.Abs(got-0.01) > 0.005 {
+		t.Fatalf("error rate at 60C = %v, want ~0.01", got)
+	}
+}
+
+func TestLowerAccuracyLongerInterval(t *testing.T) {
+	m, err := New(testChip(t, 4), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i99 := m.RefreshInterval()
+	if err := m.SetAccuracy(0.90); err != nil {
+		t.Fatal(err)
+	}
+	i90 := m.RefreshInterval()
+	if i90 <= i99 {
+		t.Fatalf("interval at 90%% (%v) not longer than at 99%% (%v)", i90, i99)
+	}
+}
+
+func TestRoundtripPreservesMostData(t *testing.T) {
+	m, err := New(testChip(t, 5), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := m.Chip().WorstCaseData()[:dram.PageBytes]
+	approx, err := m.Roundtrip(0, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := bitset.FromBytes(approx).Xor(bitset.FromBytes(exact)).Count()
+	rate := float64(errs) / float64(dram.PageBits)
+	if rate == 0 {
+		t.Fatal("no errors at all — approximation not happening")
+	}
+	if rate > 0.05 {
+		t.Fatalf("error rate %v too high for 99%% accuracy", rate)
+	}
+}
+
+func TestRepeatabilityOfErrorLocations(t *testing.T) {
+	m, err := New(testChip(t, 6), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := m.Chip().WorstCaseData()
+	var sets []*bitset.Set
+	for i := 0; i < 5; i++ {
+		approx, err := m.Roundtrip(0, exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, bitset.FromBytes(approx).Xor(bitset.FromBytes(exact)))
+	}
+	inter := sets[0].Clone()
+	union := sets[0].Clone()
+	for _, s := range sets[1:] {
+		inter.And(s)
+		union.Or(s)
+	}
+	stability := float64(inter.Count()) / float64(union.Count())
+	// §7.2: 98% of failing bits repeat across 21 trials. Across 5 trials the
+	// intersection/union ratio should be at least 90%.
+	if stability < 0.90 {
+		t.Fatalf("error-location stability = %v, want ≥ 0.90", stability)
+	}
+}
+
+func TestStoreReadApproxSeparateCalls(t *testing.T) {
+	m, err := New(testChip(t, 7), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if err := m.Store(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadApprox(100, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestStoreErrorPropagates(t *testing.T) {
+	m, err := New(testChip(t, 8), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(-1, []byte{0}); err == nil {
+		t.Fatal("negative address accepted")
+	}
+	if _, err := m.Roundtrip(1<<30, []byte{0}); err == nil {
+		t.Fatal("out-of-range roundtrip accepted")
+	}
+}
+
+func TestCalibrateVoltageHitsTarget(t *testing.T) {
+	m, err := New(testChip(t, 20), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const interval = 1.0 // far below any cell's nominal-voltage retention
+	if err := m.CalibrateVoltage(interval); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Chip().Volts(); v >= 5.0 || v <= 2.0 {
+		t.Fatalf("calibrated voltage %v outside the scaling range", v)
+	}
+	got := errorRate(t, m)
+	if math.Abs(got-0.01) > 0.005 {
+		t.Fatalf("voltage-mode error rate %v, want ~0.01", got)
+	}
+}
+
+func TestCalibrateVoltageValidation(t *testing.T) {
+	m, err := New(testChip(t, 21), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CalibrateVoltage(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := m.CalibrateVoltage(-1); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestVoltageAndRefreshModesShareFingerprint(t *testing.T) {
+	// The deanonymization transfers across approximation mechanisms: both
+	// knobs expose the same decay ordering, so an output produced under
+	// voltage scaling matches a fingerprint characterized under
+	// refresh-rate scaling.
+	m, err := New(testChip(t, 22), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA, exact, err := m.WorstCaseOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esRef := bitset.FromBytes(refA).Xor(bitset.FromBytes(exact))
+
+	if err := m.CalibrateVoltage(1.0); err != nil {
+		t.Fatal(err)
+	}
+	voltA, _, err := m.WorstCaseOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esVolt := bitset.FromBytes(voltA).Xor(bitset.FromBytes(exact))
+
+	inter := esRef.AndCount(esVolt)
+	if esRef.Count() == 0 || esVolt.Count() == 0 {
+		t.Fatal("premise broken: no errors in one mode")
+	}
+	overlap := float64(inter) / float64(min(esRef.Count(), esVolt.Count()))
+	if overlap < 0.9 {
+		t.Fatalf("cross-mechanism error overlap = %v, want ≥0.9", overlap)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,36 @@
+package approx_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+)
+
+// Example shows the basic approximate-memory flow: calibrate to a target
+// accuracy, store data, read back the approximate result.
+func Example() {
+	cfg := dram.KM41464A(0xE6)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		panic(err)
+	}
+	mem, err := approx.New(chip, 0.99)
+	if err != nil {
+		panic(err)
+	}
+
+	approxOut, exact, err := mem.WorstCaseOutput()
+	if err != nil {
+		panic(err)
+	}
+	errs := bitset.FromBytes(approxOut).XorCount(bitset.FromBytes(exact))
+	rate := float64(errs) / float64(chip.Geometry().Bits())
+	fmt.Printf("error rate within [0.005, 0.02]: %v\n", rate > 0.005 && rate < 0.02)
+	fmt.Printf("interval positive: %v\n", mem.RefreshInterval() > 0)
+	// Output:
+	// error rate within [0.005, 0.02]: true
+	// interval positive: true
+}

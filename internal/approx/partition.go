@@ -1,0 +1,199 @@
+package approx
+
+import (
+	"fmt"
+
+	"probablecause/internal/dram"
+)
+
+// Partitioned is a Flikker-style split memory (§9.2, [18]): a leading exact
+// zone refreshed fast enough that no cell ever decays, and a trailing
+// approximate zone run at the controller's target accuracy. It is the
+// controller-level realization of the data-segregation defense (§8.2.1):
+// outputs placed in the exact zone carry no fingerprint at all.
+type Partitioned struct {
+	mem        *Memory
+	exactBytes int
+	// safeInterval is the refresh period of the exact zone: comfortably
+	// shorter than the chip's fastest-decaying cell.
+	safeInterval float64
+	exactRows    int
+}
+
+// NewPartitioned wraps chip with the first exactBytes bytes operated
+// exactly and the remainder at the target accuracy. exactBytes is rounded up
+// to a whole number of rows (refresh granularity).
+func NewPartitioned(chip *dram.Chip, accuracy float64, exactBytes int) (*Partitioned, error) {
+	if exactBytes < 0 || exactBytes >= chip.Geometry().Bytes() {
+		return nil, fmt.Errorf("approx: exact zone of %d bytes outside chip of %d bytes",
+			exactBytes, chip.Geometry().Bytes())
+	}
+	mem, err := New(chip, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	p := &Partitioned{mem: mem, exactBytes: exactBytes}
+	rowBytes := chip.Geometry().RowBits() / 8
+	p.exactRows = (exactBytes + rowBytes - 1) / rowBytes
+
+	// Safe refresh period: half the time to the very first worst-case
+	// failure anywhere on the chip (measured, like everything the
+	// controller does).
+	if err := chip.Write(0, chip.WorstCaseData()); err != nil {
+		return nil, err
+	}
+	lo, hi := 0.0, 1.0
+	for chip.DecayCountWithin(hi) < 1 {
+		hi *= 2
+		if hi > 1e9 {
+			return nil, fmt.Errorf("approx: chip never decays; cannot size safe interval")
+		}
+	}
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		if chip.DecayCountWithin(mid) >= 1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	p.safeInterval = hi / 2
+	return p, nil
+}
+
+// Memory returns the underlying approximate controller (for the approximate
+// zone's calibration state).
+func (p *Partitioned) Memory() *Memory { return p.mem }
+
+// ExactBytes returns the size of the exact zone.
+func (p *Partitioned) ExactBytes() int { return p.exactBytes }
+
+// SafeInterval returns the exact zone's refresh period.
+func (p *Partitioned) SafeInterval() float64 { return p.safeInterval }
+
+// Roundtrip stores data at addr and reads it back after one approximate
+// refresh interval, refreshing the exact zone's rows every safe interval in
+// between. Data in the exact zone therefore survives unchanged while the
+// approximate zone accumulates its usual error pattern.
+func (p *Partitioned) Roundtrip(addr int, data []byte) ([]byte, error) {
+	if err := p.mem.Store(addr, data); err != nil {
+		return nil, err
+	}
+	chip := p.mem.Chip()
+	remaining := p.mem.RefreshInterval()
+	for remaining > 0 {
+		step := p.safeInterval
+		if step > remaining {
+			step = remaining
+		}
+		chip.Elapse(step)
+		remaining -= step
+		for r := 0; r < p.exactRows; r++ {
+			if err := chip.RefreshRow(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return chip.Read(addr, len(data))
+}
+
+// RowAware is a RAIDR-style retention-aware refresher (§9.2, [17]): rows are
+// profiled and each row gets its own refresh interval — a multiple of its
+// weakest cell's measured lifetime. With slack ≤ 1 operation is exact at a
+// fraction of the worst-case refresh power; with slack > 1 each row
+// contributes errors from its relatively weakest cells.
+//
+// The privacy consequence this package exists to demonstrate: however the
+// refresh budget is distributed, the residual error positions are still
+// decided by the chip's decay ordering — retention-aware refresh changes
+// *which* quantile band of cells errs, not *whose* cells they are.
+type RowAware struct {
+	chip        *dram.Chip
+	rowLifetime []float64 // measured time of first worst-case failure per row
+	slack       float64
+}
+
+// NewRowAware profiles every row of the chip (worst-case pattern, bisected
+// first-failure time) and returns a refresher with the given slack factor.
+func NewRowAware(chip *dram.Chip, slack float64) (*RowAware, error) {
+	if slack <= 0 {
+		return nil, fmt.Errorf("approx: non-positive slack %v", slack)
+	}
+	if err := chip.Write(0, chip.WorstCaseData()); err != nil {
+		return nil, err
+	}
+	ra := &RowAware{chip: chip, slack: slack}
+	rows := chip.Geometry().Rows
+	ra.rowLifetime = make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		lo, hi := 0.0, 1.0
+		for {
+			n, err := chip.RowDecayCountWithin(r, hi)
+			if err != nil {
+				return nil, err
+			}
+			if n >= 1 {
+				break
+			}
+			hi *= 2
+			if hi > 1e9 {
+				return nil, fmt.Errorf("approx: row %d never decays", r)
+			}
+		}
+		for i := 0; i < 40; i++ {
+			mid := (lo + hi) / 2
+			n, err := chip.RowDecayCountWithin(r, mid)
+			if err != nil {
+				return nil, err
+			}
+			if n >= 1 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		ra.rowLifetime[r] = hi
+	}
+	return ra, nil
+}
+
+// RowInterval returns row r's refresh interval (lifetime × slack).
+func (ra *RowAware) RowInterval(r int) float64 { return ra.rowLifetime[r] * ra.slack }
+
+// Roundtrip stores data, runs the per-row refresh schedule for the given
+// observation window, and reads the result.
+func (ra *RowAware) Roundtrip(addr int, data []byte, window float64) ([]byte, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("approx: non-positive window %v", window)
+	}
+	if err := ra.chip.Write(addr, data); err != nil {
+		return nil, err
+	}
+	rows := ra.chip.Geometry().Rows
+	next := make([]float64, rows)
+	start := ra.chip.Now()
+	for r := range next {
+		next[r] = start + ra.RowInterval(r)
+	}
+	for {
+		// Advance to the earliest refresh due within the window.
+		earliest, row := start+window, -1
+		for r, t := range next {
+			if t < earliest {
+				earliest, row = t, r
+			}
+		}
+		if row < 0 {
+			break
+		}
+		ra.chip.Elapse(earliest - ra.chip.Now())
+		if err := ra.chip.RefreshRow(row); err != nil {
+			return nil, err
+		}
+		next[row] = earliest + ra.RowInterval(row)
+	}
+	if end := start + window; end > ra.chip.Now() {
+		ra.chip.Elapse(end - ra.chip.Now())
+	}
+	return ra.chip.Read(addr, len(data))
+}

@@ -1,0 +1,164 @@
+package approx
+
+import (
+	"testing"
+
+	"probablecause/internal/bitset"
+)
+
+func TestPartitionedValidation(t *testing.T) {
+	chip := testChip(t, 40)
+	if _, err := NewPartitioned(chip, 0.99, -1); err == nil {
+		t.Error("negative exact zone accepted")
+	}
+	if _, err := NewPartitioned(chip, 0.99, chip.Geometry().Bytes()); err == nil {
+		t.Error("whole-chip exact zone accepted")
+	}
+	if _, err := NewPartitioned(chip, 0, 0); err == nil {
+		t.Error("bad accuracy accepted")
+	}
+}
+
+func TestPartitionedExactZoneIsExact(t *testing.T) {
+	chip := testChip(t, 41)
+	const exactBytes = 2048
+	p, err := NewPartitioned(chip, 0.95, exactBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SafeInterval() <= 0 {
+		t.Fatalf("safe interval = %v", p.SafeInterval())
+	}
+
+	// Sensitive data in the exact zone: must come back bit-perfect even
+	// though a full approximate interval elapses.
+	sensitive := chip.WorstCaseData()[:exactBytes]
+	got, err := p.Roundtrip(0, sensitive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bitset.FromBytes(got).XorCount(bitset.FromBytes(sensitive)); n != 0 {
+		t.Fatalf("%d errors in the exact zone", n)
+	}
+}
+
+func TestPartitionedApproxZoneStillErrs(t *testing.T) {
+	chip := testChip(t, 42)
+	const exactBytes = 2048
+	p, err := NewPartitioned(chip, 0.95, exactBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxZone := chip.Geometry().Bytes() - exactBytes
+	data := chip.WorstCaseData()[exactBytes:]
+	got, err := p.Roundtrip(exactBytes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := bitset.FromBytes(got).XorCount(bitset.FromBytes(data))
+	rate := float64(errs) / float64(approxZone*8)
+	if rate < 0.01 || rate > 0.15 {
+		t.Fatalf("approximate-zone error rate = %v, want ~0.05", rate)
+	}
+	if p.ExactBytes() != exactBytes {
+		t.Fatalf("ExactBytes = %d", p.ExactBytes())
+	}
+	if p.Memory().Accuracy() != 0.95 {
+		t.Fatalf("Accuracy = %v", p.Memory().Accuracy())
+	}
+}
+
+func TestRowAwareValidation(t *testing.T) {
+	chip := testChip(t, 43)
+	if _, err := NewRowAware(chip, 0); err == nil {
+		t.Error("zero slack accepted")
+	}
+	ra, err := NewRowAware(chip, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ra.Roundtrip(0, []byte{1}, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestRowAwareProfilesRows(t *testing.T) {
+	chip := testChip(t, 44)
+	ra, err := NewRowAware(chip, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := chip.Geometry().Rows
+	distinct := map[float64]bool{}
+	for r := 0; r < rows; r++ {
+		iv := ra.RowInterval(r)
+		if iv <= 0 {
+			t.Fatalf("row %d interval %v", r, iv)
+		}
+		distinct[iv] = true
+	}
+	// Process variation makes row lifetimes differ (RAIDR's premise).
+	if len(distinct) < rows/2 {
+		t.Fatalf("only %d distinct row lifetimes across %d rows", len(distinct), rows)
+	}
+}
+
+func TestRowAwareExactWhenSlackBelowOne(t *testing.T) {
+	chip := testChip(t, 45)
+	ra, err := NewRowAware(chip, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := chip.WorstCaseData()
+	got, err := ra.Roundtrip(0, data, 20.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bitset.FromBytes(got).XorCount(bitset.FromBytes(data)); n != 0 {
+		t.Fatalf("%d errors under conservative row-aware refresh", n)
+	}
+}
+
+func TestRowAwareErrorsRemainChipSpecificUnderSlack(t *testing.T) {
+	// With slack > 1 every row errs in its relatively weakest cells; the
+	// resulting pattern is still repeatable and chip-specific — the privacy
+	// point of the RAIDR ablation.
+	run := func(seed uint64) (*bitset.Set, *bitset.Set) {
+		chip := testChip(t, seed)
+		ra, err := NewRowAware(chip, 1.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := chip.WorstCaseData()
+		out := func() *bitset.Set {
+			got, err := ra.Roundtrip(0, data, 25.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return bitset.FromBytes(got).Xor(bitset.FromBytes(data))
+		}
+		return out(), out()
+	}
+	a1, a2 := run(46)
+	b1, _ := run(47)
+	if a1.Count() == 0 || b1.Count() == 0 {
+		t.Fatal("premise broken: no errors under slack 1.6")
+	}
+	// Repeatable within a chip...
+	selfOverlap := float64(a1.AndCount(a2)) / float64(minInt(a1.Count(), a2.Count()))
+	if selfOverlap < 0.9 {
+		t.Fatalf("same-chip RAIDR overlap = %v", selfOverlap)
+	}
+	// ...and distinct across chips.
+	crossOverlap := float64(a1.AndCount(b1)) / float64(minInt(a1.Count(), b1.Count()))
+	if crossOverlap > 0.3 {
+		t.Fatalf("cross-chip RAIDR overlap = %v", crossOverlap)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

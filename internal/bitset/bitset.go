@@ -1,0 +1,340 @@
+// Package bitset provides the dense and sparse bit-set representations that
+// underlie error strings and fingerprints throughout Probable Cause.
+//
+// A fingerprint is fundamentally a set of bit positions (the positions of the
+// most volatile DRAM cells). Two representations are provided:
+//
+//   - Set: a dense bitmap backed by uint64 words. Used for whole-page error
+//     strings where roughly 1% of bits are set and positions are compared,
+//     intersected, and counted constantly.
+//   - Sparse (sparse.go): a sorted slice of uint32 positions. Used by the
+//     stitching attack where millions of page fingerprints must be held at
+//     once and density is low.
+//
+// Both representations are deliberately allocation-conscious: the identify
+// and cluster hot loops call Distance millions of times in the large
+// experiments.
+package bitset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-size dense bit set. The zero value is an empty set of
+// length zero; use New to create a set of a given length.
+type Set struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// New returns a Set holding n bits, all zero.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromPositions returns a Set of length n with the given bit positions set.
+// Positions outside [0, n) cause a panic, mirroring slice indexing.
+func FromPositions(n int, positions []uint32) *Set {
+	s := New(n)
+	for _, p := range positions {
+		s.Set(int(p))
+	}
+	return s
+}
+
+// Len returns the number of bits the set holds (set or unset).
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i to 1.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits (the Hamming weight).
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Reset clears every bit without reallocating.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+func (s *Set) sameShape(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// And sets s = s ∩ o and returns s.
+func (s *Set) And(o *Set) *Set {
+	s.sameShape(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+	return s
+}
+
+// Or sets s = s ∪ o and returns s.
+func (s *Set) Or(o *Set) *Set {
+	s.sameShape(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+	return s
+}
+
+// Xor sets s = s ⊕ o and returns s. XOR of an approximate output against the
+// exact data yields the error string (Algorithm 1, line 2).
+func (s *Set) Xor(o *Set) *Set {
+	s.sameShape(o)
+	for i := range s.words {
+		s.words[i] ^= o.words[i]
+	}
+	return s
+}
+
+// AndNot sets s = s \ o and returns s.
+func (s *Set) AndNot(o *Set) *Set {
+	s.sameShape(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+	return s
+}
+
+// AndCount returns |s ∩ o| without modifying either set.
+func (s *Set) AndCount(o *Set) int {
+	s.sameShape(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// AndNotCount returns |s \ o| without modifying either set. This is the
+// numerator of the modified Jaccard distance (Algorithm 3): the number of
+// fingerprint bits absent from the error string.
+func (s *Set) AndNotCount(o *Set) int {
+	s.sameShape(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ o.words[i])
+	}
+	return c
+}
+
+// XorCount returns the Hamming distance |s ⊕ o| without modifying either set.
+func (s *Set) XorCount(o *Set) int {
+	s.sameShape(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w ^ o.words[i])
+	}
+	return c
+}
+
+// OrCount returns |s ∪ o| without modifying either set.
+func (s *Set) OrCount(o *Set) int {
+	s.sameShape(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | o.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and o have identical length and contents.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubset reports whether every set bit of s is also set in o.
+func (s *Set) IsSubset(o *Set) bool {
+	s.sameShape(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn with the index of every set bit in ascending order. If fn
+// returns false iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Positions returns the indices of all set bits in ascending order.
+func (s *Set) Positions() []uint32 {
+	out := make([]uint32, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, uint32(i))
+		return true
+	})
+	return out
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// MarshalBinary encodes the set as an 8-byte little-endian length followed by
+// the packed words. It implements encoding.BinaryMarshaler.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+8*len(s.words))
+	binary.LittleEndian.PutUint64(out, uint64(s.n))
+	for i, w := range s.words {
+		binary.LittleEndian.PutUint64(out[8+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes data produced by MarshalBinary. It implements
+// encoding.BinaryUnmarshaler.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bitset: truncated header (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if n < 0 {
+		return fmt.Errorf("bitset: negative length %d", n)
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if len(data) != 8+8*nw {
+		return fmt.Errorf("bitset: want %d payload bytes, have %d", 8*nw, len(data)-8)
+	}
+	s.n = n
+	s.words = make([]uint64, nw)
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	// Defensive: clear any bits past n so invariants hold on crafted input.
+	s.trim()
+	return nil
+}
+
+// trim zeroes the bits of the final word beyond n.
+func (s *Set) trim() {
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// FromBytes interprets data as a little-endian bit string of len(data)*8
+// bits: bit i of the set is bit (i%8) of data[i/8]. This is how memory
+// contents become bit sets.
+func FromBytes(data []byte) *Set {
+	s := New(len(data) * 8)
+	for i := 0; i+8 <= len(data); i += 8 {
+		s.words[i/8] = binary.LittleEndian.Uint64(data[i:])
+	}
+	for i := len(data) &^ 7; i < len(data); i++ {
+		s.words[i/8] |= uint64(data[i]) << uint(8*(i%8))
+	}
+	return s
+}
+
+// Bytes returns the set packed as a little-endian byte string. It panics if
+// the length is not a multiple of 8 bits.
+func (s *Set) Bytes() []byte {
+	if s.n%8 != 0 {
+		panic("bitset: Bytes requires a byte-aligned length")
+	}
+	out := make([]byte, s.n/8)
+	for i := 0; i < len(out); i++ {
+		out[i] = byte(s.words[i/8] >> uint(8*(i%8)))
+	}
+	return out
+}
+
+// String renders small sets as a 0/1 string and large sets as a summary.
+func (s *Set) String() string {
+	if s.n <= 128 {
+		buf := make([]byte, s.n)
+		for i := 0; i < s.n; i++ {
+			if s.Get(i) {
+				buf[i] = '1'
+			} else {
+				buf[i] = '0'
+			}
+		}
+		return string(buf)
+	}
+	return fmt.Sprintf("bitset(len=%d, count=%d)", s.n, s.Count())
+}

@@ -1,0 +1,341 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count of fresh set = %d, want 0", s.Count())
+	}
+	for i := 0; i < 100; i++ {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			s.Get(i)
+		}()
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromPositions(200, []uint32{1, 5, 70, 130, 199})
+	b := FromPositions(200, []uint32{5, 6, 70, 131})
+
+	and := a.Clone().And(b)
+	if got := and.Positions(); len(got) != 2 || got[0] != 5 || got[1] != 70 {
+		t.Fatalf("And positions = %v, want [5 70]", got)
+	}
+	or := a.Clone().Or(b)
+	if or.Count() != 7 {
+		t.Fatalf("Or count = %d, want 7", or.Count())
+	}
+	xor := a.Clone().Xor(b)
+	if xor.Count() != 5 {
+		t.Fatalf("Xor count = %d, want 5", xor.Count())
+	}
+	diff := a.Clone().AndNot(b)
+	if got := diff.Positions(); len(got) != 3 {
+		t.Fatalf("AndNot positions = %v, want 3 entries", got)
+	}
+}
+
+func TestCountingOpsMatchMutatingOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		a, b := New(n), New(n)
+		for i := 0; i < n/3; i++ {
+			a.Set(rng.Intn(n))
+			b.Set(rng.Intn(n))
+		}
+		if got, want := a.AndCount(b), a.Clone().And(b).Count(); got != want {
+			t.Fatalf("AndCount = %d, want %d", got, want)
+		}
+		if got, want := a.AndNotCount(b), a.Clone().AndNot(b).Count(); got != want {
+			t.Fatalf("AndNotCount = %d, want %d", got, want)
+		}
+		if got, want := a.XorCount(b), a.Clone().Xor(b).Count(); got != want {
+			t.Fatalf("XorCount = %d, want %d", got, want)
+		}
+		if got, want := a.OrCount(b), a.Clone().Or(b).Count(); got != want {
+			t.Fatalf("OrCount = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestIsSubset(t *testing.T) {
+	a := FromPositions(100, []uint32{3, 50})
+	b := FromPositions(100, []uint32{3, 50, 99})
+	if !a.IsSubset(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.IsSubset(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.IsSubset(a) {
+		t.Fatal("a should be subset of itself")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := FromPositions(300, []uint32{2, 64, 65, 200, 299})
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []int{2, 64, 65, 200, 299}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d bits, want 2", count)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromPositions(300, []uint32{2, 64, 299})
+	cases := []struct{ from, want int }{
+		{0, 2}, {2, 2}, {3, 64}, {65, 299}, {299, 299}, {300, -1}, {-5, 2},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(10).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		s := New(n)
+		for i := 0; i < n; i += 7 {
+			s.Set(i)
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary: %v", err)
+		}
+		var got Set
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("UnmarshalBinary: %v", err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("round trip mismatch for n=%d", n)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadData(t *testing.T) {
+	var s Set
+	if err := s.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if err := s.UnmarshalBinary([]byte{200, 0, 0, 0, 0, 0, 0, 0, 1}); err == nil {
+		t.Fatal("bad payload length accepted")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0x5A, 0x01, 0x80, 0x33, 0x7E, 0xAA, 0x55, 0x12, 0x34}
+	s := FromBytes(data)
+	if s.Len() != len(data)*8 {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(data)*8)
+	}
+	// bit 0 of byte 1 (0xFF) is position 8.
+	if !s.Get(8) || s.Get(0) {
+		t.Fatal("bit layout wrong")
+	}
+	got := s.Bytes()
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("Bytes()[%d] = %#x, want %#x", i, got[i], data[i])
+		}
+	}
+}
+
+func TestBytesUnalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes on unaligned length did not panic")
+		}
+	}()
+	New(9).Bytes()
+}
+
+func TestXorIsErrorString(t *testing.T) {
+	exact := []byte{0xAB, 0xCD, 0x00, 0xFF}
+	approx := []byte{0xAB, 0xCD, 0x01, 0x7F}
+	es := FromBytes(approx).Xor(FromBytes(exact))
+	pos := es.Positions()
+	if len(pos) != 2 || pos[0] != 16 || pos[1] != 31 {
+		t.Fatalf("error string positions = %v, want [16 31]", pos)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromPositions(4, []uint32{1, 3})
+	if got := s.String(); got != "0101" {
+		t.Fatalf("String = %q, want 0101", got)
+	}
+	big := New(1000)
+	big.Set(3)
+	if got := big.String(); got != "bitset(len=1000, count=1)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: And is intersection — a bit is set in the result iff set in both.
+func TestQuickAndSemantics(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		r := a.Clone().And(b)
+		for _, x := range xs {
+			if r.Get(int(x)) != (a.Get(int(x)) && b.Get(int(x))) {
+				return false
+			}
+		}
+		return r.Count() == a.AndCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Xor with self is empty; Xor is involutive.
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		if a.Clone().Xor(a).Count() != 0 {
+			return false
+		}
+		return a.Clone().Xor(b).Xor(b).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inclusion–exclusion |a|+|b| = |a∪b|+|a∩b|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		return a.Count()+b.Count() == a.OrCount(b)+a.AndCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(xs []uint16) bool {
+		const n = 1 << 16
+		a := New(n)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		data, err := a.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Set
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package bitset_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/bitset"
+)
+
+// ExampleSet_Xor derives an error string: XOR of an approximate output
+// against the exact data.
+func ExampleSet_Xor() {
+	exact := bitset.FromBytes([]byte{0xFF, 0x00})
+	approx := bitset.FromBytes([]byte{0xFD, 0x04})
+	errors := approx.Xor(exact)
+	fmt.Println(errors.Positions())
+	// Output:
+	// [1 10]
+}
+
+// ExampleSparse shows the compact fingerprint representation used by the
+// stitching attack.
+func ExampleSparse() {
+	a := bitset.NewSparse([]uint32{9, 3, 3, 1})
+	b := bitset.NewSparse([]uint32{3, 9, 20})
+	fmt.Println("a:", a)
+	fmt.Println("a∩b:", a.Intersect(b))
+	fmt.Println("|a\\b|:", a.DiffCount(b))
+	// Output:
+	// a: [1 3 9]
+	// a∩b: [3 9]
+	// |a\b|: 1
+}

@@ -1,0 +1,57 @@
+package bitset
+
+import "testing"
+
+// FuzzUnmarshalBinary: the dense-set decoder must never panic and anything
+// it accepts must survive a marshal round trip.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := FromPositions(100, []uint32{1, 50, 99}).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Set
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted set failed: %v", err)
+		}
+		var again Set
+		if err := again.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if !again.Equal(&s) {
+			t.Fatal("round trip changed the set")
+		}
+	})
+}
+
+// FuzzUnmarshalSparse: same contract for the sparse decoder, which must
+// also enforce strictly increasing positions.
+func FuzzUnmarshalSparse(f *testing.F) {
+	good, _ := NewSparse([]uint32{3, 7, 1000}).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0, 5, 0, 0, 0, 5, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSparse(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatal("accepted non-increasing positions")
+			}
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		again, err := UnmarshalSparse(out)
+		if err != nil || !again.Equal(s) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

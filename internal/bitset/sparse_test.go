@@ -1,0 +1,160 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSparseSortsAndDedups(t *testing.T) {
+	s := NewSparse([]uint32{9, 3, 3, 1, 9, 9})
+	want := Sparse{1, 3, 9}
+	if !s.Equal(want) {
+		t.Fatalf("NewSparse = %v, want %v", s, want)
+	}
+	if s.Card() != 3 {
+		t.Fatalf("Card = %d, want 3", s.Card())
+	}
+}
+
+func TestSparseContains(t *testing.T) {
+	s := NewSparse([]uint32{2, 4, 8})
+	for _, p := range []uint32{2, 4, 8} {
+		if !s.Contains(p) {
+			t.Errorf("Contains(%d) = false", p)
+		}
+	}
+	for _, p := range []uint32{0, 3, 9} {
+		if s.Contains(p) {
+			t.Errorf("Contains(%d) = true", p)
+		}
+	}
+	if Sparse(nil).Contains(1) {
+		t.Error("empty set contains 1")
+	}
+}
+
+func TestSparseSetOps(t *testing.T) {
+	a := NewSparse([]uint32{1, 3, 5, 7})
+	b := NewSparse([]uint32{3, 4, 7, 10})
+	if got := a.Intersect(b); !got.Equal(Sparse{3, 7}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(Sparse{1, 3, 4, 5, 7, 10}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.IntersectCount(b); got != 2 {
+		t.Fatalf("IntersectCount = %d, want 2", got)
+	}
+	if got := a.DiffCount(b); got != 2 {
+		t.Fatalf("DiffCount = %d, want 2", got)
+	}
+	if !(Sparse{3, 7}).IsSubset(a) {
+		t.Fatal("subset check failed")
+	}
+	if a.IsSubset(b) {
+		t.Fatal("a is not a subset of b")
+	}
+}
+
+func TestSparseEmptyOps(t *testing.T) {
+	var e Sparse
+	a := NewSparse([]uint32{1, 2})
+	if got := e.Intersect(a); got.Card() != 0 {
+		t.Fatalf("empty Intersect = %v", got)
+	}
+	if got := e.Union(a); !got.Equal(a) {
+		t.Fatalf("empty Union = %v", got)
+	}
+	if !e.IsSubset(a) || !e.IsSubset(e) {
+		t.Fatal("empty set must be subset of everything")
+	}
+}
+
+func TestSparseDense(t *testing.T) {
+	s := NewSparse([]uint32{0, 64, 100})
+	d := s.Dense(128)
+	if d.Count() != 3 || !d.Get(64) {
+		t.Fatalf("Dense conversion wrong: %v", d)
+	}
+}
+
+func TestSparseMarshalRoundTrip(t *testing.T) {
+	s := NewSparse([]uint32{5, 10, 4000000000})
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSparse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip = %v, want %v", got, s)
+	}
+}
+
+func TestUnmarshalSparseRejectsBadData(t *testing.T) {
+	if _, err := UnmarshalSparse([]byte{1}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := UnmarshalSparse([]byte{2, 0, 0, 0, 1, 0, 0, 0}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	// Count 2, positions [5,5]: not strictly increasing.
+	bad := []byte{2, 0, 0, 0, 5, 0, 0, 0, 5, 0, 0, 0}
+	if _, err := UnmarshalSparse(bad); err == nil {
+		t.Fatal("non-increasing positions accepted")
+	}
+}
+
+// Property: sparse ops agree with dense ops.
+func TestQuickSparseMatchesDense(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		xp := make([]uint32, len(xs))
+		for i, x := range xs {
+			xp[i] = uint32(x)
+		}
+		yp := make([]uint32, len(ys))
+		for i, y := range ys {
+			yp[i] = uint32(y)
+		}
+		sa, sb := NewSparse(xp), NewSparse(yp)
+		da, db := sa.Dense(n), sb.Dense(n)
+		if sa.IntersectCount(sb) != da.AndCount(db) {
+			return false
+		}
+		if sa.Union(sb).Card() != da.OrCount(db) {
+			return false
+		}
+		return sa.DiffCount(sb) == da.AndNotCount(db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Union is commutative and Intersect distributes size-wise.
+func TestQuickSparseAlgebra(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		xp := make([]uint32, len(xs))
+		for i, x := range xs {
+			xp[i] = uint32(x)
+		}
+		yp := make([]uint32, len(ys))
+		for i, y := range ys {
+			yp[i] = uint32(y)
+		}
+		a, b := NewSparse(xp), NewSparse(yp)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		return a.Card()+b.Card() == a.Union(b).Card()+a.IntersectCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

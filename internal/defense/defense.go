@@ -1,0 +1,114 @@
+// Package defense implements the countermeasures discussed in §8.2 and the
+// primitives used to evaluate them:
+//
+//   - noise addition (§8.2.2): flip random output bits to drown the
+//     fingerprint, paying output quality for privacy — the paper argues this
+//     only slows the attacker down;
+//   - data segregation (§8.2.1): route sensitive outputs through exact
+//     memory so they carry no fingerprint at all, at the cost of user
+//     intervention and resource partitioning;
+//   - data scrambling (§8.2.3): page-level ASLR is implemented by
+//     osmodel.PlaceScattered; this package only measures its effect.
+package defense
+
+import (
+	"fmt"
+	"math"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/prng"
+)
+
+// FlipNoise returns a copy of data with each bit independently flipped with
+// probability rate — the noise-addition defense applied to one output.
+func FlipNoise(data []byte, rate float64, rng *prng.Source) ([]byte, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("defense: flip rate %v outside [0,1]", rate)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	if rate == 0 {
+		return out, nil
+	}
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			if rng.Float64() < rate {
+				out[i] ^= 1 << uint(b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FlipNoiseSparse applies the same defense directly to an observed error-
+// position set over a universe of n bits: true error bits are dropped from
+// the attacker's view with probability rate (the noise flipped them back)
+// and non-error bits appear as spurious errors with probability rate.
+func FlipNoiseSparse(errors bitset.Sparse, n int, rate float64, rng *prng.Source) (bitset.Sparse, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("defense: flip rate %v outside [0,1]", rate)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("defense: non-positive universe %d", n)
+	}
+	out := make([]uint32, 0, len(errors))
+	for _, p := range errors {
+		if rng.Float64() >= rate {
+			out = append(out, p)
+		}
+	}
+	// Spurious errors: expected rate·(n−|errors|) of them; sample the count
+	// then positions, to stay O(added) rather than O(n).
+	expected := rate * float64(n-len(errors))
+	added := poissonish(expected, rng)
+	for i := 0; i < added; i++ {
+		out = append(out, uint32(rng.Intn(n)))
+	}
+	return bitset.NewSparse(out), nil
+}
+
+// poissonish draws an approximately Poisson-distributed count with the given
+// mean using a normal approximation for large means and Knuth's method for
+// small ones.
+func poissonish(mean float64, rng *prng.Source) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := int(rng.Normal(mean, math.Sqrt(mean)) + 0.5)
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Segregation models the data-segregation defense: a fraction of the
+// victim's outputs are declared sensitive and computed in exact memory.
+type Segregation struct {
+	// SensitiveFraction is the probability a given output is protected.
+	SensitiveFraction float64
+}
+
+// Exposed reports whether one output goes through approximate memory (and
+// is therefore fingerprintable).
+func (s Segregation) Exposed(rng *prng.Source) bool {
+	return rng.Float64() >= s.SensitiveFraction
+}
+
+// Validate checks the policy parameters.
+func (s Segregation) Validate() error {
+	if s.SensitiveFraction < 0 || s.SensitiveFraction > 1 {
+		return fmt.Errorf("defense: sensitive fraction %v outside [0,1]", s.SensitiveFraction)
+	}
+	return nil
+}

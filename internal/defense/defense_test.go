@@ -1,0 +1,146 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/prng"
+)
+
+func TestFlipNoiseValidation(t *testing.T) {
+	rng := prng.New(1)
+	if _, err := FlipNoise([]byte{1}, -0.1, rng); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := FlipNoise([]byte{1}, 1.1, rng); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}
+
+func TestFlipNoiseZeroRateIsCopy(t *testing.T) {
+	rng := prng.New(2)
+	in := []byte{1, 2, 3}
+	out, err := FlipNoise(in, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[0] = 99
+	if in[0] != 1 {
+		t.Fatal("FlipNoise aliased its input")
+	}
+}
+
+func TestFlipNoiseRate(t *testing.T) {
+	rng := prng.New(3)
+	in := make([]byte, 10000)
+	out, err := FlipNoise(in, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for i := range out {
+		b := out[i] ^ in[i]
+		for ; b != 0; b &= b - 1 {
+			flips++
+		}
+	}
+	got := float64(flips) / float64(len(in)*8)
+	if math.Abs(got-0.05) > 0.005 {
+		t.Fatalf("flip rate = %v, want ~0.05", got)
+	}
+}
+
+func TestFlipNoiseSparseValidation(t *testing.T) {
+	rng := prng.New(4)
+	if _, err := FlipNoiseSparse(nil, 0, 0.1, rng); err == nil {
+		t.Error("universe 0 accepted")
+	}
+	if _, err := FlipNoiseSparse(nil, 10, 2, rng); err == nil {
+		t.Error("rate 2 accepted")
+	}
+}
+
+func TestFlipNoiseSparseDropsAndAdds(t *testing.T) {
+	rng := prng.New(5)
+	truth := make([]uint32, 1000)
+	for i := range truth {
+		truth[i] = uint32(i)
+	}
+	errors := bitset.NewSparse(truth)
+	const n = 1 << 20
+	out, err := FlipNoiseSparse(errors, n, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := out.IntersectCount(errors)
+	if math.Abs(float64(kept)-900) > 60 {
+		t.Fatalf("kept %d of 1000 true errors, want ~900", kept)
+	}
+	added := out.Card() - kept
+	// Expected spurious draws: 0.1 · (2^20 − 1000) ≈ 104757; as a *set* the
+	// expected distinct count is M(1−(1−1/M)^n) ≈ 99500 after collisions.
+	if math.Abs(float64(added)-99500) > 4000 {
+		t.Fatalf("added %d distinct spurious errors, want ~99500", added)
+	}
+}
+
+func TestFlipNoiseSparseZeroRate(t *testing.T) {
+	rng := prng.New(6)
+	errors := bitset.NewSparse([]uint32{5, 10, 20})
+	out, err := FlipNoiseSparse(errors, 100, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(errors) {
+		t.Fatalf("zero-rate output %v != input %v", out, errors)
+	}
+}
+
+func TestSegregation(t *testing.T) {
+	if err := (Segregation{SensitiveFraction: -0.5}).Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := (Segregation{SensitiveFraction: 0.3}).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	rng := prng.New(7)
+	s := Segregation{SensitiveFraction: 0.3}
+	exposed := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if s.Exposed(rng) {
+			exposed++
+		}
+	}
+	if got := float64(exposed) / trials; math.Abs(got-0.7) > 0.02 {
+		t.Fatalf("exposed fraction = %v, want ~0.7", got)
+	}
+	// Degenerate policies.
+	all := Segregation{SensitiveFraction: 0}
+	if !all.Exposed(rng) {
+		t.Fatal("fraction 0 must always expose")
+	}
+	none := Segregation{SensitiveFraction: 1}
+	if none.Exposed(rng) {
+		t.Fatal("fraction 1 must never expose")
+	}
+}
+
+func TestPoissonishMoments(t *testing.T) {
+	rng := prng.New(8)
+	for _, mean := range []float64{0.5, 5, 100} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(poissonish(mean, rng))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("poissonish mean %v: got %v", mean, got)
+		}
+	}
+	if poissonish(0, rng) != 0 || poissonish(-1, rng) != 0 {
+		t.Error("non-positive mean must return 0")
+	}
+}

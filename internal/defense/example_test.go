@@ -1,0 +1,35 @@
+package defense_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/defense"
+	"probablecause/internal/prng"
+)
+
+// ExampleFlipNoiseSparse shows the noise-addition defense (§8.2.2) applied
+// to an attacker-observed error set: true errors drop out and spurious ones
+// appear, both at the configured rate.
+func ExampleFlipNoiseSparse() {
+	rng := prng.New(1)
+	truth := bitset.NewSparse([]uint32{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	noisy, err := defense.FlipNoiseSparse(truth, 1<<15, 0.2, rng)
+	if err != nil {
+		panic(err)
+	}
+	kept := noisy.IntersectCount(truth)
+	fmt.Printf("true errors kept: %d of %d\n", kept, truth.Card())
+	fmt.Printf("spurious errors added: %v\n", noisy.Card()-kept > 0)
+	// Output:
+	// true errors kept: 9 of 10
+	// spurious errors added: true
+}
+
+// ExampleSegregation shows the data-segregation policy (§8.2.1).
+func ExampleSegregation() {
+	pol := defense.Segregation{SensitiveFraction: 1}
+	fmt.Println("fully segregated output exposed:", pol.Exposed(prng.New(2)))
+	// Output:
+	// fully segregated output exposed: false
+}

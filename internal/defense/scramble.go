@@ -1,0 +1,80 @@
+package defense
+
+import (
+	"fmt"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/prng"
+)
+
+// Scrambler implements the anonymity-preserving approximation technique the
+// paper's conclusion calls for ("future research must design anonymity
+// preserving hardware approximation techniques").
+//
+// The controller draws a fresh secret permutation of bit positions for every
+// output, stores the permuted data, and inverts the permutation on read.
+// Decay still happens at fixed physical cells, but after inversion each
+// physical error lands at a different *logical* position in every output, so
+// error patterns no longer correlate across outputs:
+//
+//   - the user's data semantics are unchanged — the output has exactly the
+//     usual number of errors, just at unlinkable positions;
+//   - characterization (Algorithm 1) intersects to nothing, identification
+//     (Algorithm 2) finds nothing, and stitching never aligns;
+//   - unlike noise addition (§8.2.2) there is no accuracy cost, and unlike
+//     page-level ASLR (§8.2.3) no memory-management overhead — the cost is a
+//     per-output key and two bit-permutation passes in the controller.
+type Scrambler struct {
+	seed    uint64
+	counter uint64
+}
+
+// NewScrambler returns a scrambling controller with the given secret seed.
+func NewScrambler(seed uint64) *Scrambler {
+	return &Scrambler{seed: seed}
+}
+
+// permutation returns the bit permutation for output k over n bits.
+func (s *Scrambler) permutation(k uint64, n int) []int {
+	return prng.New(prng.Hash(s.seed, k, 0x5C4A)).Perm(n)
+}
+
+// permuteBits maps bit i of data to bit perm[i] of the result.
+func permuteBits(data []byte, perm []int) []byte {
+	in := bitset.FromBytes(data)
+	out := bitset.New(in.Len())
+	in.ForEach(func(i int) bool {
+		out.Set(perm[i])
+		return true
+	})
+	return out.Bytes()
+}
+
+// invertPerm returns the inverse permutation.
+func invertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// Roundtrip stores data through the approximate memory under a fresh
+// per-output permutation and returns the de-scrambled approximate output.
+func (s *Scrambler) Roundtrip(mem *approx.Memory, addr int, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("defense: empty output")
+	}
+	s.counter++
+	perm := s.permutation(s.counter, len(data)*8)
+	scrambled := permuteBits(data, perm)
+	out, err := mem.Roundtrip(addr, scrambled)
+	if err != nil {
+		return nil, err
+	}
+	return permuteBits(out, invertPerm(perm)), nil
+}
+
+// Outputs returns how many outputs have been produced (the key counter).
+func (s *Scrambler) Outputs() uint64 { return s.counter }

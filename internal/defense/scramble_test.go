@@ -1,0 +1,156 @@
+package defense
+
+import (
+	"testing"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+)
+
+func scrambleMem(t *testing.T, seed uint64) *approx.Memory {
+	t.Helper()
+	cfg := dram.KM41464A(seed)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := approx.New(chip, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+func TestScramblerRejectsEmptyOutput(t *testing.T) {
+	mem := scrambleMem(t, 1)
+	if _, err := NewScrambler(1).Roundtrip(mem, 0, nil); err == nil {
+		t.Fatal("empty output accepted")
+	}
+}
+
+func TestScramblerPreservesDataSemantics(t *testing.T) {
+	// The output must be the stored data with the usual error budget — the
+	// scrambling is transparent to the application.
+	mem := scrambleMem(t, 2)
+	sc := NewScrambler(0xABCD)
+	data := mem.Chip().WorstCaseData()[:4096]
+	out, err := sc.Roundtrip(mem, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := bitset.FromBytes(out).XorCount(bitset.FromBytes(data))
+	rate := float64(errs) / float64(len(data)*8)
+	if rate == 0 {
+		t.Fatal("no approximation errors at all")
+	}
+	if rate > 0.09 {
+		t.Fatalf("error rate %v far above the 3%% target", rate)
+	}
+	if sc.Outputs() != 1 {
+		t.Fatalf("Outputs = %d", sc.Outputs())
+	}
+}
+
+func TestScramblerUnlinksOutputs(t *testing.T) {
+	// Without scrambling, two outputs share ≥90% of their error positions.
+	// With scrambling, the shared fraction collapses to chance level.
+	mem := scrambleMem(t, 3)
+	data := mem.Chip().WorstCaseData()[:4096]
+
+	plainES := func() *bitset.Set {
+		out, err := mem.Roundtrip(0, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitset.FromBytes(out).Xor(bitset.FromBytes(data))
+	}
+	p1, p2 := plainES(), plainES()
+	plainOverlap := float64(p1.AndCount(p2)) / float64(min(p1.Count(), p2.Count()))
+	if plainOverlap < 0.9 {
+		t.Fatalf("premise broken: plain overlap %v", plainOverlap)
+	}
+
+	sc := NewScrambler(0x5EC4E7)
+	scrambledES := func() *bitset.Set {
+		out, err := sc.Roundtrip(mem, 0, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitset.FromBytes(out).Xor(bitset.FromBytes(data))
+	}
+	s1, s2 := scrambledES(), scrambledES()
+	if s1.Count() == 0 || s2.Count() == 0 {
+		t.Fatal("premise broken: no errors under scrambling")
+	}
+	scrambledOverlap := float64(s1.AndCount(s2)) / float64(min(s1.Count(), s2.Count()))
+	if scrambledOverlap > 0.1 {
+		t.Fatalf("scrambled outputs still share %v of error positions", scrambledOverlap)
+	}
+}
+
+func TestScramblerDefeatsIdentification(t *testing.T) {
+	// Attacker characterized the chip before the defense was deployed; the
+	// scrambled outputs must no longer match.
+	mem := scrambleMem(t, 4)
+	data := mem.Chip().WorstCaseData()[:4096]
+	o1, err := mem.Roundtrip(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := mem.Roundtrip(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := fingerprint.Characterize(data, o1, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	db.Add("victim", fp)
+
+	sc := NewScrambler(0xD3F3)
+	out, err := sc.Roundtrip(mem, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := fingerprint.ErrorString(out, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := db.Identify(es); ok {
+		t.Fatal("scrambled output identified — defense failed")
+	}
+}
+
+func TestPermuteBitsRoundTrip(t *testing.T) {
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x80}
+	sc := NewScrambler(9)
+	perm := sc.permutation(7, len(data)*8)
+	scrambled := permuteBits(data, perm)
+	back := permuteBits(scrambled, invertPerm(perm))
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("byte %d: %#x != %#x", i, back[i], data[i])
+		}
+	}
+	// The permutation must actually move bits.
+	same := true
+	for i := range data {
+		if scrambled[i] != data[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("permutation left the data unchanged")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+// Package dist models the DRAM retention-time distributions used by the
+// cell-level simulator.
+//
+// Section 2 of the paper: "The distribution of how quickly DRAM cells decay
+// follows a Gaussian distribution [27]" — variation comes from cell
+// capacitance (partly mask-dependent) and access-transistor leakage
+// (mask-independent, dominant). Section 8.1 adds that on the DDR2 platform
+// "the probability distribution of cell volatilities ... is skewed toward
+// higher volatility where the older DRAM had no skew"; we model that with a
+// two-piece Gaussian.
+//
+// Temperature scaling: DRAM retention roughly halves per +10 °C (Hamamoto et
+// al. [10], the reference the paper cites for thermal sensitivity). The
+// simulator uses RetentionScale to convert a cell's reference retention to
+// the operating temperature.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution describes a continuous probability distribution over
+// retention times (seconds) at the reference temperature.
+type Distribution interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the x with CDF(x) = p, for p in (0, 1).
+	Quantile(p float64) float64
+	// String describes the distribution for logs and reports.
+	String() string
+}
+
+// Normal is the Gaussian retention distribution of the paper's KM41464A
+// platform.
+type Normal struct {
+	Mean   float64
+	Stddev float64
+}
+
+// NewNormal returns a Gaussian distribution. It panics if stddev <= 0.
+func NewNormal(mean, stddev float64) Normal {
+	if stddev <= 0 {
+		panic("dist: non-positive stddev")
+	}
+	return Normal{Mean: mean, Stddev: stddev}
+}
+
+// CDF returns the Gaussian CDF at x.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-n.Mean)/(n.Stddev*math.Sqrt2))
+}
+
+// Quantile returns the inverse CDF at p via the erfinv-free bisection-refined
+// rational approximation (Acklam), accurate to ~1e-9 over (0,1).
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mean + n.Stddev*StdNormalQuantile(p)
+}
+
+func (n Normal) String() string {
+	return fmt.Sprintf("Normal(mean=%.3gs, stddev=%.3gs)", n.Mean, n.Stddev)
+}
+
+// TwoPieceNormal is a split-normal distribution: Gaussian with standard
+// deviation SigmaLeft below the mode and SigmaRight above it. With
+// SigmaLeft > SigmaRight the mass is skewed toward low retention (high
+// volatility), matching the DDR2 observation in §8.1.
+type TwoPieceNormal struct {
+	Mode       float64
+	SigmaLeft  float64
+	SigmaRight float64
+}
+
+// NewTwoPieceNormal returns a split-normal distribution. It panics if either
+// sigma is non-positive.
+func NewTwoPieceNormal(mode, sigmaLeft, sigmaRight float64) TwoPieceNormal {
+	if sigmaLeft <= 0 || sigmaRight <= 0 {
+		panic("dist: non-positive sigma")
+	}
+	return TwoPieceNormal{Mode: mode, SigmaLeft: sigmaLeft, SigmaRight: sigmaRight}
+}
+
+// CDF returns the split-normal CDF at x.
+func (t TwoPieceNormal) CDF(x float64) float64 {
+	wl := t.SigmaLeft / (t.SigmaLeft + t.SigmaRight)
+	if x <= t.Mode {
+		// Left half scaled to total mass wl.
+		phi := 0.5 * math.Erfc(-(x-t.Mode)/(t.SigmaLeft*math.Sqrt2)) // in [0, 0.5]
+		return 2 * wl * phi
+	}
+	wr := 1 - wl
+	phi := 0.5 * math.Erfc(-(x-t.Mode)/(t.SigmaRight*math.Sqrt2)) // in [0.5, 1]
+	return wl + 2*wr*(phi-0.5)
+}
+
+// Quantile returns the inverse CDF at p.
+func (t TwoPieceNormal) Quantile(p float64) float64 {
+	wl := t.SigmaLeft / (t.SigmaLeft + t.SigmaRight)
+	if p <= wl {
+		// Solve 2*wl*Phi((x-mode)/sl) = p  =>  Phi = p/(2wl) in (0, 0.5].
+		return t.Mode + t.SigmaLeft*StdNormalQuantile(p/(2*wl))
+	}
+	wr := 1 - wl
+	// Solve wl + 2*wr*(Phi-0.5) = p  =>  Phi = 0.5 + (p-wl)/(2wr).
+	return t.Mode + t.SigmaRight*StdNormalQuantile(0.5+(p-wl)/(2*wr))
+}
+
+func (t TwoPieceNormal) String() string {
+	return fmt.Sprintf("TwoPieceNormal(mode=%.3gs, σl=%.3gs, σr=%.3gs)", t.Mode, t.SigmaLeft, t.SigmaRight)
+}
+
+// StdNormalQuantile returns the standard normal inverse CDF at p using Peter
+// Acklam's rational approximation with one Halley refinement step. It panics
+// for p outside (0, 1).
+func StdNormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("dist: quantile probability %v outside (0,1)", p))
+	}
+	// Coefficients for Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement against the true CDF.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// RetentionScale returns the multiplicative retention scaling at temperature
+// tempC relative to refC: retention halves for every +10 °C (the standard
+// first-order thermal model for DRAM charge leakage).
+func RetentionScale(tempC, refC float64) float64 {
+	return math.Exp2(-(tempC - refC) / 10)
+}

@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	n := NewNormal(0, 1)
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{2, 0.9772498680518208},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := n.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	n := NewNormal(10, 3)
+	for _, p := range []float64{1e-6, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1 - 1e-6} {
+		x := n.Quantile(p)
+		if got := n.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNormal with stddev=0 did not panic")
+		}
+	}()
+	NewNormal(1, 0)
+}
+
+func TestQuantilePanicsOutsideOpenInterval(t *testing.T) {
+	n := NewNormal(0, 1)
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", p)
+				}
+			}()
+			n.Quantile(p)
+		}()
+	}
+}
+
+func TestTwoPieceNormalReducesToNormal(t *testing.T) {
+	tp := NewTwoPieceNormal(5, 2, 2)
+	n := NewNormal(5, 2)
+	for _, x := range []float64{-3, 0, 3, 5, 7, 12} {
+		if got, want := tp.CDF(x), n.CDF(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("symmetric TwoPiece CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestTwoPieceNormalSkew(t *testing.T) {
+	// SigmaLeft > SigmaRight: more mass below the mode (skewed toward high
+	// volatility / short retention, the DDR2 case).
+	tp := NewTwoPieceNormal(10, 4, 1)
+	if got := tp.CDF(10); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("mass below mode = %v, want 0.8", got)
+	}
+	// Median must be below the mode.
+	if m := tp.Quantile(0.5); m >= 10 {
+		t.Errorf("median = %v, want < mode 10", m)
+	}
+}
+
+func TestTwoPieceQuantileInvertsCDF(t *testing.T) {
+	tp := NewTwoPieceNormal(8, 3, 1.5)
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.3, 0.6, 0.75, 0.9, 0.999} {
+		x := tp.Quantile(p)
+		if got := tp.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	dists := []Distribution{NewNormal(5, 2), NewTwoPieceNormal(5, 3, 1)}
+	for _, d := range dists {
+		prev := -1.0
+		for x := -10.0; x <= 20; x += 0.25 {
+			v := d.CDF(x)
+			if v < prev-1e-15 {
+				t.Fatalf("%s: CDF not monotone at %v", d, x)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: CDF(%v) = %v outside [0,1]", d, x, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestRetentionScale(t *testing.T) {
+	if got := RetentionScale(40, 40); got != 1 {
+		t.Fatalf("scale at reference = %v, want 1", got)
+	}
+	if got := RetentionScale(50, 40); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("scale +10C = %v, want 0.5", got)
+	}
+	if got := RetentionScale(30, 40); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("scale -10C = %v, want 2", got)
+	}
+	// 60C vs 40C: quarter retention.
+	if got := RetentionScale(60, 40); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("scale +20C = %v, want 0.25", got)
+	}
+}
+
+// Property: quantile is monotone in p for both distribution families.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p1 := (float64(a) + 1) / 65538
+		p2 := (float64(b) + 1) / 65538
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		n := NewNormal(3, 1.5)
+		tp := NewTwoPieceNormal(3, 2, 0.7)
+		return n.Quantile(p1) <= n.Quantile(p2)+1e-12 && tp.Quantile(p1) <= tp.Quantile(p2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdNormalQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.45} {
+		if got := StdNormalQuantile(p) + StdNormalQuantile(1-p); math.Abs(got) > 1e-9 {
+			t.Errorf("quantile asymmetry at p=%v: %v", p, got)
+		}
+	}
+	if got := StdNormalQuantile(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("median quantile = %v, want 0", got)
+	}
+}

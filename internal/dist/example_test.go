@@ -1,0 +1,18 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/dist"
+)
+
+// Example shows the retention model: a Gaussian distribution at the
+// reference temperature, scaled by the halve-per-10°C thermal law.
+func Example() {
+	d := dist.NewNormal(10, 2) // seconds at 40 °C
+	fmt.Printf("1%% of cells decay within %.2fs at 40°C\n", d.Quantile(0.01))
+	fmt.Printf("retention scale at 60°C: %.2f\n", dist.RetentionScale(60, 40))
+	// Output:
+	// 1% of cells decay within 5.35s at 40°C
+	// retention scale at 60°C: 0.25
+}

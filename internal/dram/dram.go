@@ -1,0 +1,511 @@
+// Package dram implements a cell-level simulator of DRAM charge decay — the
+// stand-in for the paper's hardware platform (a KM41464A DRAM driven by an
+// MSP430 with automatic refresh disabled, inside a thermal chamber; §6).
+//
+// # Physical model
+//
+// Each cell stores a logical value. Every cell has a default value — the
+// value it reads as when its storage capacitor is fully discharged. All cells
+// in a row share a default value, and the default alternates every few rows
+// (§2, Figure 2). Writing the opposite of the default charges the capacitor;
+// the capacitor then leaks, and once its voltage falls below the detection
+// threshold the cell reads as its default value again.
+//
+// Cell i's retention time is
+//
+//	τᵢ(T) = Q(Φ(√w·zmask(i) + √(1−w)·zchip(i))) · scale(T) · (1 + εᵢ)
+//
+// where Q is the quantile function of the configured retention distribution
+// (Gaussian for the paper's main platform, skewed for DDR2, §8.1), zmask is a
+// mask-dependent standard normal shared by chips from the same fabrication
+// mask (capacitance variation), zchip is a per-chip standard normal (leakage
+// variation through random dopant fluctuation — the dominant term, so w is
+// small), scale(T) halves retention per +10 °C, and εᵢ is a small zero-mean
+// per-charge-epoch noise redrawn whenever the cell is recharged. The noise
+// term produces the ~2 % trial-to-trial variation the paper measures (§7.2);
+// everything else is locked in at "manufacturing" (construction) time.
+//
+// # Timing model
+//
+// The chip carries a clock advanced with Elapse. Writes and refreshes charge
+// cells at the current instant; reads evaluate decay lazily: a charged cell
+// has decayed iff now − chargeTime exceeds its effective retention. Because
+// effective retention is fixed within a charge epoch, the decayed predicate
+// is monotone in time and lazy evaluation is exact.
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/dist"
+	"probablecause/internal/prng"
+)
+
+// PageBytes is the smallest unit of contiguous memory the analysis manages,
+// matching the operating-system page the paper fingerprints (§4, fn. 1).
+const PageBytes = 4096
+
+// PageBits is the number of bits per page (M in Table 1).
+const PageBits = PageBytes * 8
+
+// Geometry describes the physical arrangement of a chip.
+type Geometry struct {
+	Rows        int // number of rows (refresh granularity)
+	Cols        int // words per row
+	BitsPerWord int // bits per word (KM41464A stores 4-bit words)
+	// DefaultStripe is the number of consecutive rows sharing a default
+	// value before it flips ("the default value alternates every few rows").
+	DefaultStripe int
+}
+
+// Bits returns the total number of cells.
+func (g Geometry) Bits() int { return g.Rows * g.Cols * g.BitsPerWord }
+
+// Bytes returns the chip capacity in bytes.
+func (g Geometry) Bytes() int { return g.Bits() / 8 }
+
+// Pages returns the number of whole OS pages the chip holds.
+func (g Geometry) Pages() int { return g.Bytes() / PageBytes }
+
+// RowBits returns the number of cells in one row.
+func (g Geometry) RowBits() int { return g.Cols * g.BitsPerWord }
+
+func (g Geometry) validate() error {
+	if g.Rows <= 0 || g.Cols <= 0 || g.BitsPerWord <= 0 {
+		return fmt.Errorf("dram: non-positive geometry %+v", g)
+	}
+	if g.DefaultStripe <= 0 {
+		return fmt.Errorf("dram: non-positive default stripe %d", g.DefaultStripe)
+	}
+	if g.Bits()%8 != 0 {
+		return fmt.Errorf("dram: capacity %d bits is not byte aligned", g.Bits())
+	}
+	return nil
+}
+
+// Config parameterizes a simulated chip.
+type Config struct {
+	Geometry  Geometry
+	Retention dist.Distribution // retention distribution at RefTempC
+	RefTempC  float64           // temperature the distribution is specified at
+	// NoiseSigma is the standard deviation of the multiplicative per-epoch
+	// retention noise ε. The default reproduces the ≥98 % repeatability of
+	// §7.2.
+	NoiseSigma float64
+	// VRTFraction is the fraction of cells exhibiting variable retention
+	// time (random telegraph noise): on every recharge such a cell picks
+	// between its base retention and VRTFactor times it. VRT cells are the
+	// physical source of the rare order-of-failure exceptions in §7.4 (a
+	// cell failing at 99 % accuracy but holding at 95 %).
+	VRTFraction float64
+	// VRTFactor is the high-state retention multiplier of VRT cells.
+	VRTFactor float64
+	// NominalVolts and MinVolts bound the supply-voltage knob (§2 cites
+	// voltage scaling as the other approximation mechanism besides refresh
+	// rate). At NominalVolts retention is unscaled; as the supply drops
+	// toward MinVolts the storage capacitor holds quadratically less usable
+	// charge and retention shrinks accordingly.
+	NominalVolts float64
+	MinVolts     float64
+	// MaskWeight w ∈ [0,1) is the fraction of retention variance shared
+	// across chips built from the same mask. The paper expects leakage (the
+	// chip-unique term) to dominate, so this is small.
+	MaskWeight float64
+	MaskSeed   uint64 // seed of the mask-shared variation
+	ChipSeed   uint64 // seed of the chip-unique variation (the identity!)
+}
+
+// KM41464A returns the configuration of the paper's primary platform: a
+// Samsung KM41464A 32 KB DRAM organized as 64K 4-bit words in 256 rows ×
+// 256 columns (§6), with a Gaussian retention distribution.
+func KM41464A(chipSeed uint64) Config {
+	return Config{
+		Geometry:     Geometry{Rows: 256, Cols: 256, BitsPerWord: 4, DefaultStripe: 2},
+		Retention:    dist.NewNormal(10, 2), // seconds at 40 °C
+		RefTempC:     40,
+		NoiseSigma:   0.0005,
+		VRTFraction:  0.004,
+		VRTFactor:    2.5,
+		NominalVolts: 5.0, // the KM41464A is a 5 V part
+		MinVolts:     2.0,
+		MaskWeight:   0.05,
+		MaskSeed:     0xA11CE,
+		ChipSeed:     chipSeed,
+	}
+}
+
+// DDR2 returns the configuration of the replication platform (§8.1): a
+// window of a Micron MT4HTF3264HY 256 MB DDR2 device. The volatility
+// distribution is skewed toward higher volatility (shorter retention), which
+// the paper reports as the only observable difference. The window covers 64
+// pages rather than the whole device; all experiments operate on page-sized
+// regions, so a window preserves behaviour at a tractable cost.
+func DDR2(chipSeed uint64) Config {
+	return Config{
+		Geometry: Geometry{Rows: 2048, Cols: 1024, BitsPerWord: 1, DefaultStripe: 4},
+		// Left-heavy split normal: skewed toward high volatility while the
+		// 1 % quantile (where fingerprints live) stays comfortably positive.
+		Retention:    dist.NewTwoPieceNormal(12, 3.5, 1.5),
+		RefTempC:     40,
+		NoiseSigma:   0.0005,
+		VRTFraction:  0.004,
+		VRTFactor:    2.5,
+		NominalVolts: 1.8, // DDR2 supply
+		MinVolts:     0.9,
+		MaskWeight:   0.05,
+		MaskSeed:     0xDD72,
+		ChipSeed:     chipSeed,
+	}
+}
+
+func (c Config) validate() error {
+	if err := c.Geometry.validate(); err != nil {
+		return err
+	}
+	if c.Retention == nil {
+		return fmt.Errorf("dram: nil retention distribution")
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("dram: negative noise sigma %v", c.NoiseSigma)
+	}
+	if c.VRTFraction < 0 || c.VRTFraction > 1 {
+		return fmt.Errorf("dram: VRT fraction %v outside [0,1]", c.VRTFraction)
+	}
+	if c.VRTFraction > 0 && c.VRTFactor < 1 {
+		return fmt.Errorf("dram: VRT factor %v must be ≥ 1", c.VRTFactor)
+	}
+	if c.NominalVolts != 0 || c.MinVolts != 0 {
+		if c.MinVolts <= 0 || c.NominalVolts <= c.MinVolts {
+			return fmt.Errorf("dram: voltage range [%v, %v] invalid", c.MinVolts, c.NominalVolts)
+		}
+	}
+	if c.MaskWeight < 0 || c.MaskWeight >= 1 {
+		return fmt.Errorf("dram: mask weight %v outside [0,1)", c.MaskWeight)
+	}
+	return nil
+}
+
+// Chip is one simulated DRAM device.
+type Chip struct {
+	cfg       Config
+	rng       *prng.Source
+	tempC     float64
+	tempScale float64 // retention multiplier at current temperature
+	volts     float64
+	voltScale float64 // retention multiplier at current supply voltage
+	now       float64 // clock, seconds
+
+	retention  []float32 // per-cell retention at reference temperature
+	epochNoise []float32 // per-cell (1+ε) for the current charge epoch
+	chargeTime []float64 // per-cell time of last charge (valid when charged)
+
+	stored   *bitset.Set // logical value most recently written
+	charged  *bitset.Set // capacitor currently charged (stored != default)
+	defaults *bitset.Set // per-cell default value
+	vrt      *bitset.Set // cells with variable retention time
+}
+
+// NewChip builds a chip. The retention map is derived deterministically from
+// the seeds, so the same Config always yields the same device identity.
+func NewChip(cfg Config) (*Chip, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Geometry.Bits()
+	c := &Chip{
+		cfg:        cfg,
+		rng:        prng.New(prng.Hash(cfg.ChipSeed, 0x0C1B)),
+		retention:  make([]float32, n),
+		epochNoise: make([]float32, n),
+		chargeTime: make([]float64, n),
+		stored:     bitset.New(n),
+		charged:    bitset.New(n),
+		defaults:   bitset.New(n),
+		vrt:        bitset.New(n),
+	}
+	c.SetTemperature(cfg.RefTempC)
+	c.volts, c.voltScale = cfg.NominalVolts, 1
+
+	// Default values: alternate every DefaultStripe rows.
+	rowBits := cfg.Geometry.RowBits()
+	for r := 0; r < cfg.Geometry.Rows; r++ {
+		if (r/cfg.Geometry.DefaultStripe)%2 == 1 {
+			for b := r * rowBits; b < (r+1)*rowBits; b++ {
+				c.defaults.Set(b)
+			}
+		}
+	}
+	// stored starts equal to defaults (power-up, nothing charged).
+	copyDefaults(c.stored, c.defaults)
+
+	// Retention: correlated Gaussian copula over mask and chip components.
+	w := cfg.MaskWeight
+	sw, scw := math.Sqrt(w), math.Sqrt(1-w)
+	for i := 0; i < n; i++ {
+		zm := stdNormalFromHash(prng.Hash(cfg.MaskSeed, uint64(i), 0x3A5C))
+		zc := stdNormalFromHash(prng.Hash(cfg.ChipSeed, uint64(i), 0xC41B))
+		u := stdNormalCDF(sw*zm + scw*zc)
+		// Clamp away from {0,1} so Quantile stays finite.
+		u = math.Min(math.Max(u, 1e-12), 1-1e-12)
+		tau := cfg.Retention.Quantile(u)
+		if tau < 1e-4 {
+			tau = 1e-4 // even the leakiest cell holds charge briefly
+		}
+		c.retention[i] = float32(tau)
+		c.epochNoise[i] = 1
+		// VRT membership is chip-specific and locked in at manufacturing,
+		// like every other source of the fingerprint.
+		if cfg.VRTFraction > 0 &&
+			prng.Uniform01(prng.Hash(cfg.ChipSeed, uint64(i), 0x5247)) < cfg.VRTFraction {
+			c.vrt.Set(i)
+		}
+	}
+	return c, nil
+}
+
+// stdNormalFromHash maps a hash to a standard normal deviate.
+func stdNormalFromHash(h uint64) float64 {
+	u := prng.Uniform01(h)
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	if u > 1-1e-12 {
+		u = 1 - 1e-12
+	}
+	return dist.StdNormalQuantile(u)
+}
+
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+func copyDefaults(dst, src *bitset.Set) {
+	dst.Reset()
+	dst.Or(src)
+}
+
+// Config returns the chip's configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Geometry returns the chip's geometry.
+func (c *Chip) Geometry() Geometry { return c.cfg.Geometry }
+
+// Now returns the chip clock in seconds.
+func (c *Chip) Now() float64 { return c.now }
+
+// Temperature returns the current operating temperature in °C.
+func (c *Chip) Temperature() float64 { return c.tempC }
+
+// SetTemperature changes the operating temperature (the thermal chamber
+// knob). Retention of every cell scales by 2^-((T−Tref)/10). The new scale
+// applies to charge already in flight, so raising retention mid-epoch can
+// resurrect a not-yet-read decayed cell; controllers rewrite or refresh
+// after changing operating conditions, as the paper's platform does.
+func (c *Chip) SetTemperature(tempC float64) {
+	c.tempC = tempC
+	c.tempScale = dist.RetentionScale(tempC, c.cfg.RefTempC)
+}
+
+// Volts returns the current supply voltage (NominalVolts if the config does
+// not model voltage).
+func (c *Chip) Volts() float64 { return c.volts }
+
+// SetVolts changes the supply voltage (the voltage-scaling approximation
+// knob). Retention scales with the square of the charge margin above the
+// sensing minimum: at nominal voltage the scale is 1, approaching 0 at
+// MinVolts. Returns an error outside (MinVolts, NominalVolts].
+func (c *Chip) SetVolts(v float64) error {
+	if c.cfg.NominalVolts == 0 {
+		return fmt.Errorf("dram: chip does not model supply voltage")
+	}
+	if v <= c.cfg.MinVolts || v > c.cfg.NominalVolts {
+		return fmt.Errorf("dram: voltage %v outside (%v, %v]", v, c.cfg.MinVolts, c.cfg.NominalVolts)
+	}
+	c.volts = v
+	margin := (v - c.cfg.MinVolts) / (c.cfg.NominalVolts - c.cfg.MinVolts)
+	c.voltScale = margin * margin
+	return nil
+}
+
+// Elapse advances the chip clock by dt seconds. It panics on negative dt:
+// the decay model is monotone in time.
+func (c *Chip) Elapse(dt float64) {
+	if dt < 0 {
+		panic("dram: negative time step")
+	}
+	c.now += dt
+}
+
+// effectiveRetention returns cell i's retention for the current epoch at the
+// current temperature.
+func (c *Chip) effectiveRetention(i int) float64 {
+	return float64(c.retention[i]) * c.tempScale * c.voltScale * float64(c.epochNoise[i])
+}
+
+// decayed reports whether charged cell i has lost its charge by time t.
+func (c *Chip) decayed(i int, t float64) bool {
+	return t-c.chargeTime[i] > c.effectiveRetention(i)
+}
+
+// charge puts cell i into the charged state at the current instant, drawing
+// fresh epoch noise. VRT cells additionally flip a coin between their base
+// and high retention state (random telegraph noise re-rolls per charge).
+func (c *Chip) charge(i int) {
+	c.charged.Set(i)
+	c.chargeTime[i] = c.now
+	noise := 1 + c.rng.Normal(0, c.cfg.NoiseSigma)
+	if c.vrt.Get(i) && c.rng.Float64() < 0.5 {
+		noise *= c.cfg.VRTFactor
+	}
+	c.epochNoise[i] = float32(noise)
+}
+
+// Write stores data starting at byte address addr. Cells written with their
+// default value are discharged; cells written with the opposite value are
+// charged now.
+func (c *Chip) Write(addr int, data []byte) error {
+	if err := c.checkRange(addr, len(data)); err != nil {
+		return err
+	}
+	for bi, b := range data {
+		base := (addr + bi) * 8
+		for k := 0; k < 8; k++ {
+			i := base + k
+			v := b&(1<<uint(k)) != 0
+			if v {
+				c.stored.Set(i)
+			} else {
+				c.stored.Clear(i)
+			}
+			if v != c.defaults.Get(i) {
+				c.charge(i)
+			} else {
+				c.charged.Clear(i)
+			}
+		}
+	}
+	return nil
+}
+
+// Read returns n bytes starting at byte address addr, evaluating decay at
+// the current clock. A charged cell that has outlived its retention reads as
+// its default value — the approximate output.
+func (c *Chip) Read(addr, n int) ([]byte, error) {
+	if err := c.checkRange(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for bi := 0; bi < n; bi++ {
+		base := (addr + bi) * 8
+		var b byte
+		for k := 0; k < 8; k++ {
+			i := base + k
+			v := c.stored.Get(i)
+			if c.charged.Get(i) && c.decayed(i, c.now) {
+				v = c.defaults.Get(i)
+			}
+			if v {
+				b |= 1 << uint(k)
+			}
+		}
+		out[bi] = b
+	}
+	return out, nil
+}
+
+// RefreshRow performs a hardware refresh of row r: a read followed by a
+// write-back (§2). Cells that have already decayed are written back at their
+// default value — refresh cannot resurrect lost data — while surviving
+// charged cells are topped up and start a new epoch.
+func (c *Chip) RefreshRow(r int) error {
+	if r < 0 || r >= c.cfg.Geometry.Rows {
+		return fmt.Errorf("dram: row %d out of range [0,%d)", r, c.cfg.Geometry.Rows)
+	}
+	rowBits := c.cfg.Geometry.RowBits()
+	for i := r * rowBits; i < (r+1)*rowBits; i++ {
+		if !c.charged.Get(i) {
+			continue
+		}
+		if c.decayed(i, c.now) {
+			// Value already reverted: persist the loss.
+			c.charged.Clear(i)
+			if c.defaults.Get(i) {
+				c.stored.Set(i)
+			} else {
+				c.stored.Clear(i)
+			}
+		} else {
+			c.charge(i)
+		}
+	}
+	return nil
+}
+
+// RefreshAll refreshes every row.
+func (c *Chip) RefreshAll() {
+	for r := 0; r < c.cfg.Geometry.Rows; r++ {
+		if err := c.RefreshRow(r); err != nil {
+			panic(err) // unreachable: r is always in range
+		}
+	}
+}
+
+// WorstCaseData returns the data pattern that charges every cell — the
+// complement of the default values (§6: "we load data that charges every
+// memory cell"). The pattern gives every cell the possibility of losing
+// state, the fingerprinting worst case.
+func (c *Chip) WorstCaseData() []byte {
+	inv := c.defaults.Clone()
+	all := bitset.New(inv.Len())
+	for i := 0; i < all.Len(); i++ {
+		all.Set(i)
+	}
+	return all.Xor(inv).Bytes()
+}
+
+// DecayCountWithin returns how many currently-charged cells will have
+// decayed dt seconds from now. The adaptive-refresh controller uses this the
+// way real controllers use retention measurement sweeps: write a worst-case
+// pattern once, then probe the decay curve.
+func (c *Chip) DecayCountWithin(dt float64) int {
+	t := c.now + dt
+	count := 0
+	c.charged.ForEach(func(i int) bool {
+		if c.decayed(i, t) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// RowDecayCountWithin returns how many currently-charged cells of row r
+// will have decayed dt seconds from now. Retention-aware refresh schemes
+// (RAIDR-style, §9.2) use this to profile per-row retention.
+func (c *Chip) RowDecayCountWithin(r int, dt float64) (int, error) {
+	if r < 0 || r >= c.cfg.Geometry.Rows {
+		return 0, fmt.Errorf("dram: row %d out of range [0,%d)", r, c.cfg.Geometry.Rows)
+	}
+	t := c.now + dt
+	rowBits := c.cfg.Geometry.RowBits()
+	count := 0
+	for i := r * rowBits; i < (r+1)*rowBits; i++ {
+		if c.charged.Get(i) && c.decayed(i, t) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// ChargedCount returns the number of currently charged cells.
+func (c *Chip) ChargedCount() int { return c.charged.Count() }
+
+func (c *Chip) checkRange(addr, n int) error {
+	if addr < 0 || n < 0 || addr+n > c.cfg.Geometry.Bytes() {
+		return fmt.Errorf("dram: range [%d,%d) outside chip of %d bytes",
+			addr, addr+n, c.cfg.Geometry.Bytes())
+	}
+	return nil
+}

@@ -1,0 +1,553 @@
+package dram
+
+import (
+	"testing"
+
+	"probablecause/internal/bitset"
+)
+
+// tinyConfig returns a small chip for fast unit tests: 16 rows × 32 cols ×
+// 4 bits = 2048 bits = 256 bytes.
+func tinyConfig(seed uint64) Config {
+	cfg := KM41464A(seed)
+	cfg.Geometry = Geometry{Rows: 16, Cols: 32, BitsPerWord: 4, DefaultStripe: 2}
+	return cfg
+}
+
+func mustChip(t *testing.T, cfg Config) *Chip {
+	t.Helper()
+	c, err := NewChip(cfg)
+	if err != nil {
+		t.Fatalf("NewChip: %v", err)
+	}
+	return c
+}
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{Rows: 256, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	if g.Bits() != 262144 {
+		t.Fatalf("Bits = %d, want 262144 (KM41464A)", g.Bits())
+	}
+	if g.Bytes() != 32768 {
+		t.Fatalf("Bytes = %d, want 32768", g.Bytes())
+	}
+	if g.Pages() != 8 {
+		t.Fatalf("Pages = %d, want 8", g.Pages())
+	}
+	if g.RowBits() != 1024 {
+		t.Fatalf("RowBits = %d, want 1024", g.RowBits())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Geometry: Geometry{Rows: 1, Cols: 1, BitsPerWord: 1, DefaultStripe: 1}}, // nil retention; 1 bit unaligned too
+		func() Config { c := tinyConfig(1); c.NoiseSigma = -1; return c }(),
+		func() Config { c := tinyConfig(1); c.MaskWeight = 1.5; return c }(),
+		func() Config { c := tinyConfig(1); c.Geometry.DefaultStripe = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := NewChip(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+	if _, err := NewChip(tinyConfig(1)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestWriteReadImmediate(t *testing.T) {
+	c := mustChip(t, tinyConfig(1))
+	data := []byte{0x00, 0xFF, 0xA5, 0x3C, 0x01}
+	if err := c.Write(10, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(10, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("immediate read byte %d = %#x, want %#x", i, got[i], data[i])
+		}
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	c := mustChip(t, tinyConfig(1))
+	if err := c.Write(-1, []byte{0}); err == nil {
+		t.Error("negative address accepted")
+	}
+	if err := c.Write(c.Geometry().Bytes(), []byte{0}); err == nil {
+		t.Error("address past end accepted")
+	}
+	if _, err := c.Read(c.Geometry().Bytes()-1, 2); err == nil {
+		t.Error("read past end accepted")
+	}
+}
+
+func TestNoDecayBeforeRetention(t *testing.T) {
+	c := mustChip(t, tinyConfig(2))
+	data := c.WorstCaseData()
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Minimum retention is well above 1 ms for the default distribution.
+	c.Elapse(0.001)
+	got, err := c.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("decay within 1ms at byte %d", i)
+		}
+	}
+}
+
+func TestFullDecayRevertsToDefaults(t *testing.T) {
+	c := mustChip(t, tinyConfig(3))
+	data := c.WorstCaseData()
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	c.Elapse(1e6) // far beyond every retention time
+	got, err := c.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := bitset.FromBytes(got).Xor(bitset.FromBytes(data))
+	if es.Count() != c.Geometry().Bits() {
+		t.Fatalf("only %d/%d cells decayed after forever", es.Count(), c.Geometry().Bits())
+	}
+}
+
+func TestWorstCaseDataChargesEveryCell(t *testing.T) {
+	c := mustChip(t, tinyConfig(4))
+	if err := c.Write(0, c.WorstCaseData()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ChargedCount(); got != c.Geometry().Bits() {
+		t.Fatalf("ChargedCount = %d, want %d", got, c.Geometry().Bits())
+	}
+}
+
+func TestDefaultDataChargesNothing(t *testing.T) {
+	c := mustChip(t, tinyConfig(5))
+	wc := c.WorstCaseData()
+	inv := make([]byte, len(wc))
+	for i := range wc {
+		inv[i] = ^wc[i] // the default pattern itself
+	}
+	if err := c.Write(0, inv); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ChargedCount(); got != 0 {
+		t.Fatalf("ChargedCount = %d, want 0 for default pattern", got)
+	}
+	// With nothing charged, nothing can decay.
+	c.Elapse(1e6)
+	got, err := c.Read(0, len(inv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inv {
+		if got[i] != inv[i] {
+			t.Fatal("uncharged data corrupted by decay")
+		}
+	}
+}
+
+func TestDefaultStripeAlternates(t *testing.T) {
+	c := mustChip(t, tinyConfig(6))
+	wc := c.WorstCaseData()
+	rowBytes := c.Geometry().RowBits() / 8
+	stripe := c.Geometry().DefaultStripe
+	// Worst case data = complement of defaults, so it must alternate between
+	// 0x00-rows and 0xFF-rows every stripe rows.
+	for r := 0; r < c.Geometry().Rows; r++ {
+		want := byte(0xFF)
+		if (r/stripe)%2 == 1 {
+			want = 0x00
+		}
+		for b := 0; b < rowBytes; b++ {
+			if wc[r*rowBytes+b] != want {
+				t.Fatalf("row %d byte %d = %#x, want %#x", r, b, wc[r*rowBytes+b], want)
+			}
+		}
+	}
+}
+
+func TestRefreshPreventsDecay(t *testing.T) {
+	c := mustChip(t, tinyConfig(7))
+	data := c.WorstCaseData()
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh every second for 30 seconds: even cells with ~5s retention
+	// survive because each refresh restarts the clock.
+	for i := 0; i < 30; i++ {
+		c.Elapse(1.0)
+		c.RefreshAll()
+	}
+	got, err := c.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := bitset.FromBytes(got).Xor(bitset.FromBytes(data)).Count()
+	if errs != 0 {
+		t.Fatalf("%d errors despite 1s refresh", errs)
+	}
+}
+
+func TestRefreshDoesNotResurrect(t *testing.T) {
+	c := mustChip(t, tinyConfig(8))
+	data := c.WorstCaseData()
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	c.Elapse(8.0) // long enough that some cells decayed
+	before, err := c.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := bitset.FromBytes(before).Xor(bitset.FromBytes(data))
+	if lost.Count() == 0 {
+		t.Fatal("test premise broken: no decay after 8s")
+	}
+	c.RefreshAll()
+	c.Elapse(0.1)
+	after, err := c.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostAfter := bitset.FromBytes(after).Xor(bitset.FromBytes(data))
+	if !lost.Equal(lostAfter) {
+		t.Fatal("refresh changed the set of lost cells (resurrected or lost more instantly)")
+	}
+}
+
+func TestDecayIsMonotoneInTime(t *testing.T) {
+	c := mustChip(t, tinyConfig(9))
+	data := c.WorstCaseData()
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	var prev *bitset.Set
+	for _, dt := range []float64{2, 2, 2, 2, 2} {
+		c.Elapse(dt)
+		got, err := c.Read(0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		es := bitset.FromBytes(got).Xor(bitset.FromBytes(data))
+		if prev != nil && !prev.IsSubset(es) {
+			t.Fatal("a decayed cell came back without refresh")
+		}
+		prev = es
+	}
+}
+
+func TestTemperatureAcceleratesDecay(t *testing.T) {
+	errorsAt := func(temp float64) int {
+		c := mustChip(t, tinyConfig(10))
+		c.SetTemperature(temp)
+		data := c.WorstCaseData()
+		if err := c.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		c.Elapse(5.0)
+		got, err := c.Read(0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitset.FromBytes(got).Xor(bitset.FromBytes(data)).Count()
+	}
+	e40, e50, e60 := errorsAt(40), errorsAt(50), errorsAt(60)
+	if !(e40 < e50 && e50 < e60) {
+		t.Fatalf("errors not increasing with temperature: %d, %d, %d", e40, e50, e60)
+	}
+}
+
+func TestChipIdentityIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		c := mustChip(t, tinyConfig(77))
+		data := c.WorstCaseData()
+		if err := c.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		c.Elapse(6)
+		got, err := c.Read(0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different decay pattern")
+		}
+	}
+}
+
+func TestDifferentChipsDiffer(t *testing.T) {
+	read := func(seed uint64) *bitset.Set {
+		c := mustChip(t, tinyConfig(seed))
+		data := c.WorstCaseData()
+		if err := c.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		c.Elapse(6)
+		got, err := c.Read(0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitset.FromBytes(got).Xor(bitset.FromBytes(data))
+	}
+	a, b := read(100), read(200)
+	if a.Count() == 0 || b.Count() == 0 {
+		t.Fatal("premise broken: no decay at 6s")
+	}
+	inter := a.AndCount(b)
+	// With mask weight 0.05 the shared fraction is small: the overlap should
+	// be far below either error count.
+	if inter*2 > a.Count() {
+		t.Fatalf("chips too similar: |a∩b|=%d |a|=%d |b|=%d", inter, a.Count(), b.Count())
+	}
+}
+
+func TestDecayCountWithinMatchesRead(t *testing.T) {
+	c := mustChip(t, tinyConfig(11))
+	data := c.WorstCaseData()
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []float64{1, 4, 7, 10, 20} {
+		want := func() int {
+			// Count by actually elapsing on a scratch clone via re-read.
+			cc := mustChip(t, tinyConfig(11))
+			if err := cc.Write(0, data); err != nil {
+				t.Fatal(err)
+			}
+			cc.Elapse(dt)
+			got, err := cc.Read(0, len(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return bitset.FromBytes(got).Xor(bitset.FromBytes(data)).Count()
+		}()
+		if got := c.DecayCountWithin(dt); got != want {
+			t.Fatalf("DecayCountWithin(%v) = %d, want %d", dt, got, want)
+		}
+	}
+}
+
+func TestElapseNegativePanics(t *testing.T) {
+	c := mustChip(t, tinyConfig(12))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Elapse(-1) did not panic")
+		}
+	}()
+	c.Elapse(-1)
+}
+
+func TestRefreshRowRange(t *testing.T) {
+	c := mustChip(t, tinyConfig(13))
+	if err := c.RefreshRow(-1); err == nil {
+		t.Error("row -1 accepted")
+	}
+	if err := c.RefreshRow(c.Geometry().Rows); err == nil {
+		t.Error("row past end accepted")
+	}
+	if err := c.RefreshRow(0); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+}
+
+func TestDDR2Preset(t *testing.T) {
+	cfg := DDR2(5)
+	cfg.Geometry = Geometry{Rows: 64, Cols: 256, BitsPerWord: 1, DefaultStripe: 4}
+	c := mustChip(t, cfg)
+	data := c.WorstCaseData()
+	if err := c.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	c.Elapse(6)
+	got, err := c.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitset.FromBytes(got).Xor(bitset.FromBytes(data)).Count() == 0 {
+		t.Fatal("DDR2 window shows no decay at 6s")
+	}
+}
+
+func TestVRTValidation(t *testing.T) {
+	cfg := tinyConfig(20)
+	cfg.VRTFraction = -0.1
+	if _, err := NewChip(cfg); err == nil {
+		t.Error("negative VRT fraction accepted")
+	}
+	cfg = tinyConfig(20)
+	cfg.VRTFraction = 0.5
+	cfg.VRTFactor = 0.5
+	if _, err := NewChip(cfg); err == nil {
+		t.Error("VRT factor < 1 accepted")
+	}
+}
+
+func TestVRTCellsToggleAcrossEpochs(t *testing.T) {
+	// With an extreme VRT population the set of failing cells at a fixed
+	// interval must vary across recharges — the telegraph-noise signature.
+	cfg := tinyConfig(21)
+	cfg.VRTFraction = 1.0
+	cfg.VRTFactor = 3
+	cfg.NoiseSigma = 0
+	c := mustChip(t, cfg)
+	data := c.WorstCaseData()
+	read := func() *bitset.Set {
+		if err := c.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		c.Elapse(15) // between base (~10s) and high (~30s) retention
+		got, err := c.Read(0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitset.FromBytes(got).Xor(bitset.FromBytes(data))
+	}
+	a, b := read(), read()
+	if a.Equal(b) {
+		t.Fatal("VRT cells produced identical error sets across epochs")
+	}
+	// Roughly half the straddling cells should flip between runs.
+	if a.XorCount(b) == 0 {
+		t.Fatal("no toggling cells")
+	}
+}
+
+func TestVRTProducesFailureOrderExceptions(t *testing.T) {
+	// §7.4's exceptions: a cell failing at the short interval in one epoch
+	// but holding at a longer interval in a later epoch requires VRT.
+	cfg := KM41464A(22)
+	cfg.Geometry = Geometry{Rows: 128, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	errorsAt := func(c *Chip, dt float64) *bitset.Set {
+		data := c.WorstCaseData()
+		if err := c.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		c.Elapse(dt)
+		got, err := c.Read(0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitset.FromBytes(got).Xor(bitset.FromBytes(data))
+	}
+	// Without VRT: perfect subset relation.
+	noVRT := cfg
+	noVRT.VRTFraction = 0
+	c1 := mustChip(t, noVRT)
+	short := errorsAt(c1, 5.3)
+	long := errorsAt(c1, 6.7)
+	if ex := short.AndNotCount(long); ex != 0 {
+		t.Fatalf("noise-only model produced %d exceptions; expected 0", ex)
+	}
+	// With a strong VRT population: some exceptions appear.
+	withVRT := cfg
+	withVRT.VRTFraction = 0.05
+	c2 := mustChip(t, withVRT)
+	short2 := errorsAt(c2, 5.3)
+	long2 := errorsAt(c2, 6.7)
+	if ex := short2.AndNotCount(long2); ex == 0 {
+		t.Fatal("VRT model produced no order-of-failure exceptions")
+	}
+}
+
+func TestSetVoltsValidation(t *testing.T) {
+	c := mustChip(t, tinyConfig(30))
+	for _, v := range []float64{0, 2.0, 5.1, -1} {
+		if err := c.SetVolts(v); err == nil {
+			t.Errorf("voltage %v accepted", v)
+		}
+	}
+	if err := c.SetVolts(3.5); err != nil {
+		t.Errorf("valid voltage rejected: %v", err)
+	}
+	if c.Volts() != 3.5 {
+		t.Fatalf("Volts = %v", c.Volts())
+	}
+	// Chips without a voltage model reject the knob entirely.
+	cfg := tinyConfig(30)
+	cfg.NominalVolts, cfg.MinVolts = 0, 0
+	c2 := mustChip(t, cfg)
+	if err := c2.SetVolts(3); err == nil {
+		t.Error("voltage accepted on chip without voltage model")
+	}
+}
+
+func TestVoltageRangeValidation(t *testing.T) {
+	cfg := tinyConfig(31)
+	cfg.NominalVolts, cfg.MinVolts = 2, 3 // inverted
+	if _, err := NewChip(cfg); err == nil {
+		t.Error("inverted voltage range accepted")
+	}
+	cfg = tinyConfig(31)
+	cfg.NominalVolts, cfg.MinVolts = 5, -1
+	if _, err := NewChip(cfg); err == nil {
+		t.Error("negative min voltage accepted")
+	}
+}
+
+func TestLowerVoltageAcceleratesDecay(t *testing.T) {
+	errorsAt := func(v float64) int {
+		c := mustChip(t, tinyConfig(32))
+		if err := c.SetVolts(v); err != nil {
+			t.Fatal(err)
+		}
+		data := c.WorstCaseData()
+		if err := c.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		c.Elapse(2.0)
+		got, err := c.Read(0, len(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitset.FromBytes(got).Xor(bitset.FromBytes(data)).Count()
+	}
+	e50, e35, e25 := errorsAt(5.0), errorsAt(3.5), errorsAt(2.5)
+	if !(e50 < e35 && e35 < e25) {
+		t.Fatalf("errors not increasing as voltage drops: %d, %d, %d", e50, e35, e25)
+	}
+}
+
+func TestNominalVoltageIsNeutral(t *testing.T) {
+	a := mustChip(t, tinyConfig(33))
+	b := mustChip(t, tinyConfig(33))
+	if err := b.SetVolts(b.Config().NominalVolts); err != nil {
+		t.Fatal(err)
+	}
+	data := a.WorstCaseData()
+	for _, c := range []*Chip{a, b} {
+		if err := c.Write(0, data); err != nil {
+			t.Fatal(err)
+		}
+		c.Elapse(6)
+	}
+	ra, err := a.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Read(0, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatal("explicit nominal voltage changed behaviour")
+		}
+	}
+}

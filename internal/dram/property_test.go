@@ -1,0 +1,122 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"probablecause/internal/bitset"
+)
+
+// Property: refreshing twice in a row is the same as refreshing once — the
+// second refresh sees every surviving cell freshly charged and every decayed
+// cell already reverted.
+func TestQuickRefreshIdempotent(t *testing.T) {
+	f := func(seed uint64, dtRaw uint8) bool {
+		cfg := tinyConfig(seed)
+		cfg.NoiseSigma = 0 // idempotence is exact only without per-epoch noise
+		cfg.VRTFraction = 0
+		dt := float64(dtRaw%12) + 0.5
+
+		run := func(doubleRefresh bool) []byte {
+			c, err := NewChip(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := c.WorstCaseData()
+			if err := c.Write(0, data); err != nil {
+				t.Fatal(err)
+			}
+			c.Elapse(dt)
+			c.RefreshAll()
+			if doubleRefresh {
+				c.RefreshAll()
+			}
+			c.Elapse(dt)
+			got, err := c.Read(0, len(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return got
+		}
+		a, b := run(false), run(true)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: errors accumulated over two intervals with a refresh in between
+// are a subset of errors over the same total time without refresh (refresh
+// can only help), and a superset of a single interval's errors.
+func TestQuickRefreshHelps(t *testing.T) {
+	f := func(seed uint64, dtRaw uint8) bool {
+		cfg := tinyConfig(seed ^ 0xBEE)
+		cfg.NoiseSigma = 0
+		cfg.VRTFraction = 0
+		dt := float64(dtRaw%10) + 1
+
+		errorsOf := func(refreshBetween bool) *bitset.Set {
+			c, err := NewChip(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := c.WorstCaseData()
+			if err := c.Write(0, data); err != nil {
+				t.Fatal(err)
+			}
+			c.Elapse(dt)
+			if refreshBetween {
+				c.RefreshAll()
+			}
+			c.Elapse(dt)
+			got, err := c.Read(0, len(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return bitset.FromBytes(got).Xor(bitset.FromBytes(data))
+		}
+		with := errorsOf(true)
+		without := errorsOf(false)
+		return with.IsSubset(without)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: error count grows monotonically with temperature at a fixed
+// interval (noise-free).
+func TestQuickTemperatureMonotone(t *testing.T) {
+	f := func(seed uint64, t1Raw, t2Raw uint8) bool {
+		cfg := tinyConfig(seed ^ 0x7E39)
+		cfg.NoiseSigma = 0
+		cfg.VRTFraction = 0
+		t1 := 20 + float64(t1Raw%60)
+		t2 := 20 + float64(t2Raw%60)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		count := func(temp float64) int {
+			c, err := NewChip(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetTemperature(temp)
+			data := c.WorstCaseData()
+			if err := c.Write(0, data); err != nil {
+				t.Fatal(err)
+			}
+			return c.DecayCountWithin(5)
+		}
+		return count(t1) <= count(t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

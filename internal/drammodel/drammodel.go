@@ -1,0 +1,170 @@
+// Package drammodel implements the paper's mathematical model of approximate
+// DRAM (§7.6).
+//
+// The end-to-end experiment needs the error behaviour of a 1 GB memory —
+// eight billion cells, far beyond what the cell-level simulator (and the
+// paper's 32 KB platform) can hold. The paper solves this exactly the way we
+// do: it distills the platform measurements into a mathematical model and
+// drives the commodity-system emulation from the model. Here the model is a
+// stateless pseudo-random function: every quantity is a pure function of
+// (chip seed, page, bit, trial), so a terabyte-scale memory costs nothing
+// until a page is actually observed.
+//
+// # Model
+//
+// Cells of a page are ranked by volatility. The ranking is realized as a
+// deterministic pseudo-random sequence of distinct bit positions keyed by
+// (seed, page): position seq[0] is the page's most volatile cell, seq[1] the
+// next, and so on. At an error rate e the noise-free volatile set is the
+// first k = round(e·PageBits) sequence entries. This construction builds in
+// the two empirical properties of §7.2 and §7.4 by design:
+//
+//   - consistency: the sequence is fixed per (seed, page), so error
+//     locations repeat across trials up to the noise band;
+//   - order of failure: the volatile set at 99 % accuracy is a subset of the
+//     one at 95 %, which is a subset of the one at 90 % (Figure 10).
+//
+// Per-trial noise perturbs only ranks near the threshold k: rank r is
+// observed failing iff r < k + σ·z(seed, page, r, trial) with z a standard
+// normal PRF. σ defaults to reproduce the ~2 % unstable-bit fraction the
+// platform measures at 1 % error.
+package drammodel
+
+import (
+	"fmt"
+	"math"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/dist"
+	"probablecause/internal/dram"
+	"probablecause/internal/prng"
+)
+
+// Model is the mathematical model of one approximate-DRAM system.
+type Model struct {
+	// Seed identifies the chip: two models with different seeds are
+	// different physical devices.
+	Seed uint64
+	// PageBits is the page size in bits; defaults to dram.PageBits.
+	PageBits int
+	// BandSigma is the rank-jitter standard deviation (in ranks) of the
+	// per-trial noise band. Zero disables noise.
+	BandSigma float64
+	// ChargedFraction is the probability that a volatile cell holds
+	// non-default data in a given output and therefore can expose its error
+	// (a cell storing its default value cannot decay visibly). 1.0 models
+	// the worst-case patterns used for characterization; ~0.5 models
+	// arbitrary application data. Defaults to 1.0.
+	ChargedFraction float64
+}
+
+// New returns a model with the paper-calibrated defaults.
+func New(seed uint64) *Model {
+	return &Model{Seed: seed, PageBits: dram.PageBits, BandSigma: 1.5, ChargedFraction: 1}
+}
+
+func (m *Model) pageBits() int {
+	if m.PageBits > 0 {
+		return m.PageBits
+	}
+	return dram.PageBits
+}
+
+func (m *Model) chargedFraction() float64 {
+	if m.ChargedFraction == 0 {
+		return 1
+	}
+	return m.ChargedFraction
+}
+
+// volatilityOrder returns the first n entries of the page's volatility
+// sequence: distinct bit positions, most volatile first.
+func (m *Model) volatilityOrder(page uint64, n int) []uint32 {
+	bits := m.pageBits()
+	if n > bits {
+		n = bits
+	}
+	rng := prng.New(prng.Hash(m.Seed, page, 0x5E90))
+	seq := make([]uint32, 0, n)
+	seen := make(map[uint32]struct{}, n)
+	for len(seq) < n {
+		p := uint32(rng.Intn(bits))
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		seq = append(seq, p)
+	}
+	return seq
+}
+
+// VolatileSet returns the noise-free volatile set of a page at the given
+// error rate: the bit positions that fail every trial (the page's true
+// fingerprint). errRate must be in (0, 1].
+func (m *Model) VolatileSet(page uint64, errRate float64) (bitset.Sparse, error) {
+	k, err := m.threshold(errRate)
+	if err != nil {
+		return nil, err
+	}
+	return bitset.NewSparse(m.volatilityOrder(page, k)), nil
+}
+
+func (m *Model) threshold(errRate float64) (int, error) {
+	if errRate <= 0 || errRate > 1 {
+		return 0, fmt.Errorf("drammodel: error rate %v outside (0, 1]", errRate)
+	}
+	k := int(float64(m.pageBits())*errRate + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return k, nil
+}
+
+// PageErrors returns the observed error positions of one page in one
+// approximate output ("trial"). Distinct trials re-roll the noise band and
+// the charged mask but share the underlying volatility order.
+func (m *Model) PageErrors(page uint64, errRate float64, trial uint64) (bitset.Sparse, error) {
+	k, err := m.threshold(errRate)
+	if err != nil {
+		return nil, err
+	}
+	// Ranks within ±6σ of the threshold are undecided until the per-trial
+	// jitter is drawn; everything below always fails, everything above never
+	// does.
+	band := int(math.Ceil(6 * m.BandSigma))
+	seq := m.volatilityOrder(page, k+band)
+	cf := m.chargedFraction()
+	out := make([]uint32, 0, k)
+	for r, pos := range seq {
+		fails := false
+		switch {
+		case r < k-band:
+			fails = true
+		default:
+			z := stdNormalPRF(prng.Hash(m.Seed, page, uint64(pos), trial, 0x0153))
+			fails = float64(r) < float64(k)+m.BandSigma*z
+		}
+		if !fails {
+			continue
+		}
+		if cf < 1 {
+			u := prng.Uniform01(prng.Hash(m.Seed, page, uint64(pos), trial, 0xC4A6))
+			if u >= cf {
+				continue
+			}
+		}
+		out = append(out, pos)
+	}
+	return bitset.NewSparse(out), nil
+}
+
+func stdNormalPRF(h uint64) float64 {
+	u := prng.Uniform01(h)
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	if u > 1-1e-12 {
+		u = 1 - 1e-12
+	}
+	return dist.StdNormalQuantile(u)
+}

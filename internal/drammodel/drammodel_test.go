@@ -1,0 +1,199 @@
+package drammodel
+
+import (
+	"testing"
+
+	"probablecause/internal/bitset"
+)
+
+func TestVolatileSetSizeTracksErrorRate(t *testing.T) {
+	m := New(1)
+	for _, e := range []float64{0.01, 0.05, 0.10} {
+		vs, err := m.VolatileSet(0, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(float64(m.PageBits)*e + 0.5)
+		if vs.Card() != want {
+			t.Fatalf("volatile set at e=%v has %d bits, want %d", e, vs.Card(), want)
+		}
+	}
+}
+
+func TestVolatileSetRejectsBadRate(t *testing.T) {
+	m := New(1)
+	for _, e := range []float64{0, -0.1, 1.5} {
+		if _, err := m.VolatileSet(0, e); err == nil {
+			t.Errorf("error rate %v accepted", e)
+		}
+		if _, err := m.PageErrors(0, e, 0); err == nil {
+			t.Errorf("PageErrors with rate %v accepted", e)
+		}
+	}
+}
+
+func TestOrderOfFailureSubsetProperty(t *testing.T) {
+	// Figure 10's property holds by construction in the model: the volatile
+	// set at higher accuracy is a subset of the one at lower accuracy.
+	m := New(2)
+	v99, err := m.VolatileSet(7, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v95, err := m.VolatileSet(7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v90, err := m.VolatileSet(7, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v99.IsSubset(v95) || !v95.IsSubset(v90) {
+		t.Fatal("subset ordering 99% ⊂ 95% ⊂ 90% violated")
+	}
+}
+
+func TestPageErrorsDeterministicPerTrial(t *testing.T) {
+	m := New(3)
+	a, err := m.PageErrors(5, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.PageErrors(5, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same (page, rate, trial) produced different errors")
+	}
+}
+
+func TestTrialNoiseIsSmall(t *testing.T) {
+	m := New(4)
+	var sets []bitset.Sparse
+	for trial := uint64(0); trial < 10; trial++ {
+		s, err := m.PageErrors(0, 0.01, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, s)
+	}
+	inter := sets[0]
+	union := sets[0]
+	for _, s := range sets[1:] {
+		inter = inter.Intersect(s)
+		union = union.Union(s)
+	}
+	stability := float64(inter.Card()) / float64(union.Card())
+	// §7.2: ≥98% of failing bits repeat; across 10 trials demand ≥90%.
+	if stability < 0.90 {
+		t.Fatalf("stability = %v, want ≥0.90", stability)
+	}
+	if inter.Card() == union.Card() {
+		t.Fatal("no trial noise at all — BandSigma not taking effect")
+	}
+}
+
+func TestDifferentPagesDiffer(t *testing.T) {
+	m := New(5)
+	a, err := m.VolatileSet(0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.VolatileSet(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected overlap of two random 328-bit subsets of 32768: ~3 bits.
+	if ic := a.IntersectCount(b); ic > a.Card()/4 {
+		t.Fatalf("pages too similar: overlap %d of %d", ic, a.Card())
+	}
+}
+
+func TestDifferentChipsDiffer(t *testing.T) {
+	a, err := New(6).VolatileSet(0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(7).VolatileSet(0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic := a.IntersectCount(b); ic > a.Card()/4 {
+		t.Fatalf("chips too similar: overlap %d of %d", ic, a.Card())
+	}
+}
+
+func TestChargedFractionThinsErrors(t *testing.T) {
+	full := New(8)
+	half := New(8)
+	half.ChargedFraction = 0.5
+	f, err := full.PageErrors(0, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := half.PageErrors(0, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSubset(f) {
+		t.Fatal("half-charged errors must be a subset of fully-charged errors")
+	}
+	ratio := float64(h.Card()) / float64(f.Card())
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Fatalf("half-charged retained %v of errors, want ~0.5", ratio)
+	}
+}
+
+func TestNoiseFreeModel(t *testing.T) {
+	m := New(9)
+	m.BandSigma = 0
+	a, err := m.PageErrors(3, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.PageErrors(3, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("BandSigma=0 must make trials identical")
+	}
+	vs, err := m.VolatileSet(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(vs) {
+		t.Fatal("noise-free trial must equal the volatile set")
+	}
+}
+
+func TestSmallPageBits(t *testing.T) {
+	m := New(10)
+	m.PageBits = 256
+	vs, err := m.VolatileSet(0, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Card() != 26 {
+		t.Fatalf("Card = %d, want 26", vs.Card())
+	}
+	for _, p := range vs {
+		if p >= 256 {
+			t.Fatalf("position %d out of page", p)
+		}
+	}
+}
+
+func TestVolatileSetCapsAtPageSize(t *testing.T) {
+	m := New(11)
+	m.PageBits = 64
+	m.BandSigma = 0
+	vs, err := m.VolatileSet(0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Card() != 64 {
+		t.Fatalf("full-rate volatile set = %d bits, want 64", vs.Card())
+	}
+}

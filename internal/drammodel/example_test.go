@@ -1,0 +1,28 @@
+package drammodel_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/drammodel"
+)
+
+// Example shows the mathematical model's key invariant: the volatile set at
+// higher accuracy is a strict subset of the one at lower accuracy (§7.4).
+func Example() {
+	m := drammodel.New(0xCAFE)
+	v99, err := m.VolatileSet(0, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	v90, err := m.VolatileSet(0, 0.10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bits at 99% accuracy:", v99.Card())
+	fmt.Println("bits at 90% accuracy:", v90.Card())
+	fmt.Println("99% ⊂ 90%:", v99.IsSubset(v90))
+	// Output:
+	// bits at 99% accuracy: 328
+	// bits at 90% accuracy: 3277
+	// 99% ⊂ 90%: true
+}

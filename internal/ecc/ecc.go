@@ -1,0 +1,157 @@
+// Package ecc implements the SEC-DED Hamming(72,64) code used on ECC DIMMs:
+// 64 data bits protected by 8 check bits, correcting single-bit errors and
+// detecting double-bit errors per word.
+//
+// ECC is the obvious "what about..." response to Probable Cause: real
+// servers scrub single-bit errors before software ever sees them. The
+// accompanying experiment answers it: ECC masks the *most common* error
+// pattern (one volatile cell per word) but approximate refresh rates put
+// multiple volatile cells in many words, and those uncorrectable pairs are
+// just as manufacturing-determined as the single-bit errors were — the
+// fingerprint survives, merely attenuated.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Word is a 64-bit data word plus its 8 check bits.
+type Word struct {
+	Data  uint64
+	Check uint8
+}
+
+// Encode computes the check bits for a 64-bit data word using an extended
+// Hamming code: check bit p covers the data bits whose (position+1) has bit
+// p set in the codeword numbering, and the final check bit is overall
+// parity.
+func Encode(data uint64) Word {
+	return Word{Data: data, Check: checkBits(data)}
+}
+
+// codewordBit returns bit i (1-indexed Hamming position, powers of two are
+// check positions) of the expanded codeword for the given data.
+//
+// The layout places data bits at non-power-of-two positions 3,5,6,7,9,...
+// up to position 71 (64 data bits need positions up to 71 with 7 check
+// positions below plus the overall parity).
+func checkBits(data uint64) uint8 {
+	var c uint8
+	// Compute the 7 Hamming parity bits.
+	dataIdx := 0
+	var parityAcc [7]uint
+	for pos := 1; pos <= 71 && dataIdx < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check position
+			continue
+		}
+		bit := uint((data >> uint(dataIdx)) & 1)
+		for p := 0; p < 7; p++ {
+			if pos&(1<<p) != 0 {
+				parityAcc[p] ^= bit
+			}
+		}
+		dataIdx++
+	}
+	for p := 0; p < 7; p++ {
+		c |= uint8(parityAcc[p]) << uint(p)
+	}
+	// Overall parity bit: chosen so the parity of the full 72-bit codeword
+	// (data + all 8 check bits) is even.
+	overall := (bits.OnesCount64(data) + bits.OnesCount8(c&0x7F)) & 1
+	c |= uint8(overall) << 7
+	return c
+}
+
+// Result classifies a decode.
+type Result int
+
+const (
+	// OK means the word was clean.
+	OK Result = iota
+	// Corrected means a single-bit error was repaired.
+	Corrected
+	// Uncorrectable means a double-bit (or worse even-weight) error was
+	// detected; Data is returned as stored.
+	Uncorrectable
+)
+
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Decode checks a stored word, correcting a single-bit data or check error
+// in place when possible.
+func Decode(w Word) (uint64, Result) {
+	expect := checkBits(w.Data)
+	// Syndrome: recomputed Hamming parities vs the stored ones.
+	syndrome := (w.Check ^ expect) & 0x7F
+	// Overall parity of the *received* 72-bit codeword. Encode sets the top
+	// check bit so this is zero for a clean word; any single flip anywhere
+	// (data, Hamming check, or the parity bit itself) makes it one.
+	total := (bits.OnesCount64(w.Data) + bits.OnesCount8(w.Check)) & 1
+
+	switch {
+	case syndrome == 0 && total == 0:
+		return w.Data, OK
+	case syndrome == 0 && total == 1:
+		// The overall parity bit itself flipped.
+		return w.Data, Corrected
+	case total == 1:
+		// Odd number of errors with a syndrome: a single-bit error at the
+		// Hamming position named by the syndrome.
+		pos := int(syndrome)
+		if pos&(pos-1) == 0 {
+			// A Hamming check bit flipped; data is intact.
+			return w.Data, Corrected
+		}
+		dataIdx := hammingPosToDataIdx(pos)
+		if dataIdx < 0 {
+			return w.Data, Uncorrectable
+		}
+		return w.Data ^ (1 << uint(dataIdx)), Corrected
+	default:
+		// Syndrome set but overall parity even: double-bit error.
+		return w.Data, Uncorrectable
+	}
+}
+
+// hammingPosToDataIdx converts a 1-indexed Hamming codeword position to the
+// index of the data bit stored there, or -1 for invalid positions.
+func hammingPosToDataIdx(pos int) int {
+	if pos < 3 || pos > 71 || pos&(pos-1) == 0 {
+		return -1
+	}
+	idx := 0
+	for p := 3; p < pos; p++ {
+		if p&(p-1) != 0 {
+			idx++
+		}
+	}
+	return idx
+}
+
+// Scrub runs a whole buffer through encode-at-write / decode-at-read
+// semantics: words holds the data as stored (possibly corrupted), checks the
+// check bits as stored (possibly corrupted). It returns the software-visible
+// data plus per-word results.
+func Scrub(words []uint64, checks []uint8) ([]uint64, []Result, error) {
+	if len(words) != len(checks) {
+		return nil, nil, fmt.Errorf("ecc: %d words but %d check bytes", len(words), len(checks))
+	}
+	out := make([]uint64, len(words))
+	res := make([]Result, len(words))
+	for i := range words {
+		out[i], res[i] = Decode(Word{Data: words[i], Check: checks[i]})
+	}
+	return out, res, nil
+}

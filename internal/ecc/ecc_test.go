@@ -1,0 +1,124 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"probablecause/internal/prng"
+)
+
+func TestCleanWordDecodesOK(t *testing.T) {
+	for _, d := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEBABE} {
+		w := Encode(d)
+		got, res := Decode(w)
+		if res != OK || got != d {
+			t.Fatalf("clean decode of %#x = (%#x, %v)", d, got, res)
+		}
+	}
+}
+
+func TestSingleDataBitErrorCorrected(t *testing.T) {
+	d := uint64(0x0123456789ABCDEF)
+	w := Encode(d)
+	for bit := 0; bit < 64; bit++ {
+		corrupt := w
+		corrupt.Data ^= 1 << uint(bit)
+		got, res := Decode(corrupt)
+		if res != Corrected || got != d {
+			t.Fatalf("bit %d: decode = (%#x, %v), want corrected %#x", bit, got, res, d)
+		}
+	}
+}
+
+func TestSingleCheckBitErrorCorrected(t *testing.T) {
+	d := uint64(0xA5A5A5A5A5A5A5A5)
+	w := Encode(d)
+	for bit := 0; bit < 8; bit++ {
+		corrupt := w
+		corrupt.Check ^= 1 << uint(bit)
+		got, res := Decode(corrupt)
+		if res != Corrected || got != d {
+			t.Fatalf("check bit %d: decode = (%#x, %v)", bit, got, res)
+		}
+	}
+}
+
+func TestDoubleBitErrorDetected(t *testing.T) {
+	d := uint64(0x1122334455667788)
+	w := Encode(d)
+	rng := prng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		corrupt := w
+		corrupt.Data ^= 1 << uint(b1)
+		corrupt.Data ^= 1 << uint(b2)
+		if _, res := Decode(corrupt); res != Uncorrectable {
+			t.Fatalf("double error (%d, %d) decoded as %v", b1, b2, res)
+		}
+	}
+}
+
+func TestScrub(t *testing.T) {
+	data := []uint64{1, 2, 3}
+	checks := make([]uint8, 3)
+	for i, d := range data {
+		checks[i] = Encode(d).Check
+	}
+	data[1] ^= 1 << 7 // single-bit error in word 1
+	out, res, err := Scrub(data, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != OK || res[1] != Corrected || res[2] != OK {
+		t.Fatalf("results = %v", res)
+	}
+	if out[1] != 2 {
+		t.Fatalf("word 1 = %d, want 2", out[1])
+	}
+	if _, _, err := Scrub(data, checks[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Uncorrectable.String() != "uncorrectable" {
+		t.Fatal("Result strings wrong")
+	}
+	if Result(9).String() == "" {
+		t.Fatal("unknown result empty")
+	}
+}
+
+// Property: every single-bit corruption of (data, check) decodes back to the
+// original data.
+func TestQuickSingleErrorAlwaysCorrected(t *testing.T) {
+	f := func(d uint64, bit8 uint8) bool {
+		w := Encode(d)
+		bit := int(bit8) % 72
+		if bit < 64 {
+			w.Data ^= 1 << uint(bit)
+		} else {
+			w.Check ^= 1 << uint(bit-64)
+		}
+		got, res := Decode(w)
+		return res == Corrected && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode is the identity on clean words.
+func TestQuickCleanIdentity(t *testing.T) {
+	f := func(d uint64) bool {
+		got, res := Decode(Encode(d))
+		return res == OK && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/ecc"
+)
+
+// Example shows SEC-DED behaviour: single-bit errors are silently repaired,
+// double-bit errors are detected but not correctable — and it is exactly
+// those uncorrectable words that keep leaking the fingerprint.
+func Example() {
+	w := ecc.Encode(0xDEADBEEF)
+
+	single := w
+	single.Data ^= 1 << 7
+	got, res := ecc.Decode(single)
+	fmt.Printf("single flip: %v, data intact: %v\n", res, got == 0xDEADBEEF)
+
+	double := w
+	double.Data ^= 1<<7 | 1<<40
+	_, res = ecc.Decode(double)
+	fmt.Println("double flip:", res)
+	// Output:
+	// single flip: corrected, data intact: true
+	// double flip: uncorrectable
+}

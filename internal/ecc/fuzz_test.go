@@ -1,0 +1,19 @@
+package ecc
+
+import "testing"
+
+// FuzzDecode: Decode must never panic, and correcting a reported single-bit
+// error must yield a word whose re-encoding is self-consistent.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xDEADBEEFCAFEBABE), uint8(0xFF))
+	f.Fuzz(func(t *testing.T, data uint64, check uint8) {
+		got, res := Decode(Word{Data: data, Check: check})
+		if res == Corrected || res == OK {
+			// The decoded output must be a valid codeword.
+			if _, r2 := Decode(Encode(got)); r2 != OK {
+				t.Fatalf("decode output %#x is not a clean codeword", got)
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+// Package errloc implements the error-localization techniques of §8.3: how
+// an attacker estimates the *exact* output — and therefore the error
+// positions — from an approximate output alone.
+//
+// Three approaches, mirroring the paper:
+//
+//  1. Known-input recomputation: when the output is a deterministic function
+//     of public inputs (the edge-detection case), recompute it.
+//  2. Noise detection: approximate-DRAM errors look like white noise on the
+//     output (§8.3); a median filter estimates the noise-free image, and
+//     pixels disagreeing with the estimate mark suspected error locations.
+//  3. Speculative matching: try candidate error strings against a
+//     fingerprint database and keep whichever lands under the threshold.
+package errloc
+
+import (
+	"fmt"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/imaging"
+)
+
+// RecomputeExact implements approach (1) for the edge-detection workload:
+// given the public input image, reproduce the exact output.
+func RecomputeExact(input *imaging.Image) *imaging.Image {
+	return imaging.SobelEdges(input)
+}
+
+// MedianEstimate implements approach (2): it returns the 3×3 median-filtered
+// image, the best noise-free estimate of the exact output.
+func MedianEstimate(approx *imaging.Image) *imaging.Image {
+	out := imaging.New(approx.W, approx.H)
+	var window [9]uint8
+	for y := 0; y < approx.H; y++ {
+		for x := 0; x < approx.W; x++ {
+			k := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					window[k] = approx.At(x+dx, y+dy)
+					k++
+				}
+			}
+			out.Set(x, y, median9(window))
+		}
+	}
+	return out
+}
+
+// median9 returns the median of 9 values by insertion sort — fixed-size and
+// allocation free, this is the hot loop of the estimator.
+func median9(w [9]uint8) uint8 {
+	for i := 1; i < 9; i++ {
+		v := w[i]
+		j := i - 1
+		for j >= 0 && w[j] > v {
+			w[j+1] = w[j]
+			j--
+		}
+		w[j+1] = v
+	}
+	return w[4]
+}
+
+// EstimateErrors derives a suspected error string by diffing the approximate
+// output against an estimated exact output (from either approach).
+func EstimateErrors(approx, estimatedExact *imaging.Image) (*bitset.Set, error) {
+	if approx.W != estimatedExact.W || approx.H != estimatedExact.H {
+		return nil, fmt.Errorf("errloc: size mismatch %dx%d vs %dx%d",
+			approx.W, approx.H, estimatedExact.W, estimatedExact.H)
+	}
+	return fingerprint.ErrorString(approx.Bytes(), estimatedExact.Bytes())
+}
+
+// Quality measures an estimated error string against ground truth.
+type Quality struct {
+	TruePos, FalsePos, FalseNeg int
+	Precision, Recall           float64
+}
+
+// Evaluate compares an estimated error string with the true one.
+func Evaluate(estimated, truth *bitset.Set) Quality {
+	q := Quality{
+		TruePos:  estimated.AndCount(truth),
+		FalsePos: estimated.AndNotCount(truth),
+		FalseNeg: truth.AndNotCount(estimated),
+	}
+	if q.TruePos+q.FalsePos > 0 {
+		q.Precision = float64(q.TruePos) / float64(q.TruePos+q.FalsePos)
+	}
+	if q.TruePos+q.FalseNeg > 0 {
+		q.Recall = float64(q.TruePos) / float64(q.TruePos+q.FalseNeg)
+	}
+	return q
+}
+
+// SpeculativeIdentify implements approach (3): each candidate error string
+// (from different exact-output hypotheses) is tried against the fingerprint
+// database; the first hit wins.
+func SpeculativeIdentify(db *fingerprint.DB, candidates []*bitset.Set) (name string, index int, ok bool) {
+	for _, c := range candidates {
+		if n, i, hit := db.Identify(c); hit {
+			return n, i, true
+		}
+	}
+	return "", -1, false
+}

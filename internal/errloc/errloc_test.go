@@ -1,0 +1,157 @@
+package errloc
+
+import (
+	"testing"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/imaging"
+	"probablecause/internal/prng"
+)
+
+func TestRecomputeExactMatchesPipeline(t *testing.T) {
+	in := imaging.Synthetic(64, 48, 1)
+	want := imaging.SobelEdges(in)
+	got := RecomputeExact(in)
+	if d, _ := got.DiffCount(want); d != 0 {
+		t.Fatal("RecomputeExact differs from the victim pipeline")
+	}
+}
+
+func TestMedian9(t *testing.T) {
+	if m := median9([9]uint8{9, 1, 8, 2, 7, 3, 6, 4, 5}); m != 5 {
+		t.Fatalf("median = %d, want 5", m)
+	}
+	if m := median9([9]uint8{0, 0, 0, 0, 0, 0, 0, 0, 255}); m != 0 {
+		t.Fatalf("median = %d, want 0", m)
+	}
+}
+
+func TestMedianEstimateRemovesSaltPepper(t *testing.T) {
+	// Flat image with isolated corrupted pixels: the median estimate must
+	// recover the flat value everywhere.
+	im := imaging.New(32, 32)
+	for i := range im.Pix {
+		im.Pix[i] = 128
+	}
+	corrupted := im.Clone()
+	rng := prng.New(2)
+	for i := 0; i < 20; i++ {
+		corrupted.Set(rng.Intn(32), rng.Intn(32), uint8(rng.Intn(256)))
+	}
+	est := MedianEstimate(corrupted)
+	wrong := 0
+	for _, p := range est.Pix {
+		if p != 128 {
+			wrong++
+		}
+	}
+	// A couple of adjacent corruptions can survive; isolated ones cannot.
+	if wrong > 4 {
+		t.Fatalf("%d pixels wrong after median filtering", wrong)
+	}
+}
+
+func TestEstimateErrorsSizeMismatch(t *testing.T) {
+	if _, err := EstimateErrors(imaging.New(4, 4), imaging.New(5, 4)); err != nil {
+		// expected
+	} else {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestEstimateErrorsFindsInjectedBits(t *testing.T) {
+	exact := imaging.Synthetic(32, 32, 3)
+	approx := exact.Clone()
+	// Flip bit 0 of pixel 100 and bit 7 of pixel 200.
+	approx.Pix[100] ^= 0x01
+	approx.Pix[200] ^= 0x80
+	es, err := EstimateErrors(approx, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := es.Positions()
+	if len(pos) != 2 || pos[0] != 100*8 || pos[1] != 200*8+7 {
+		t.Fatalf("positions = %v", pos)
+	}
+}
+
+func TestEvaluatePerfectEstimate(t *testing.T) {
+	truth := bitset.FromPositions(100, []uint32{1, 5, 9})
+	q := Evaluate(truth.Clone(), truth)
+	if q.Precision != 1 || q.Recall != 1 || q.TruePos != 3 || q.FalsePos != 0 || q.FalseNeg != 0 {
+		t.Fatalf("quality = %+v", q)
+	}
+}
+
+func TestEvaluatePartialEstimate(t *testing.T) {
+	truth := bitset.FromPositions(100, []uint32{1, 5, 9, 20})
+	est := bitset.FromPositions(100, []uint32{1, 5, 50})
+	q := Evaluate(est, truth)
+	if q.TruePos != 2 || q.FalsePos != 1 || q.FalseNeg != 2 {
+		t.Fatalf("quality = %+v", q)
+	}
+	if q.Precision != 2.0/3 || q.Recall != 0.5 {
+		t.Fatalf("precision/recall = %v/%v", q.Precision, q.Recall)
+	}
+}
+
+func TestEvaluateEmptyEstimate(t *testing.T) {
+	truth := bitset.FromPositions(100, []uint32{1})
+	q := Evaluate(bitset.New(100), truth)
+	if q.Precision != 0 || q.Recall != 0 {
+		t.Fatalf("quality = %+v", q)
+	}
+}
+
+func TestSpeculativeIdentify(t *testing.T) {
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	mk := func(lo uint32) *bitset.Set {
+		s := bitset.New(1000)
+		for i := lo; i < lo+20; i++ {
+			s.Set(int(i))
+		}
+		return s
+	}
+	db.Add("victim", mk(100))
+	// First candidate hypothesis is junk, second matches.
+	junk := mk(500)
+	good := mk(100)
+	good.Set(999) // a little estimation noise
+	name, idx, ok := SpeculativeIdentify(db, []*bitset.Set{junk, good})
+	if !ok || name != "victim" || idx != 0 {
+		t.Fatalf("SpeculativeIdentify = (%q, %d, %v)", name, idx, ok)
+	}
+	if _, _, ok := SpeculativeIdentify(db, []*bitset.Set{junk}); ok {
+		t.Fatal("junk candidate identified")
+	}
+	if _, _, ok := SpeculativeIdentify(db, nil); ok {
+		t.Fatal("no candidates identified")
+	}
+}
+
+// End-to-end: noise-detection localization on a black/white image recovers
+// most true error positions with high precision.
+func TestMedianLocalizationEndToEnd(t *testing.T) {
+	exact := imaging.Synthetic(64, 64, 7).Threshold(128)
+	approx := exact.Clone()
+	rng := prng.New(8)
+	truthPos := []uint32{}
+	for i := 0; i < 40; i++ {
+		p := rng.Intn(len(approx.Pix))
+		b := rng.Intn(8)
+		approx.Pix[p] ^= 1 << uint(b)
+		truthPos = append(truthPos, uint32(p*8+b))
+	}
+	truth := bitset.FromPositions(len(exact.Pix)*8, truthPos)
+
+	est := MedianEstimate(approx)
+	es, err := EstimateErrors(approx, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(es, truth)
+	if q.Recall < 0.5 {
+		t.Fatalf("recall = %v, want ≥ 0.5 (quality = %+v)", q.Recall, q)
+	}
+}

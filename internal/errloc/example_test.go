@@ -1,0 +1,27 @@
+package errloc_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/errloc"
+	"probablecause/internal/imaging"
+)
+
+// Example recovers error positions from an approximate image without the
+// exact copy, using the median-filter noise detector (§8.3 approach 2).
+func Example() {
+	exact := imaging.Synthetic(32, 32, 1).Threshold(128)
+	approx := exact.Clone()
+	approx.Pix[100] ^= 0x80 // one decayed bit
+
+	estimate := errloc.MedianEstimate(approx)
+	es, err := errloc.EstimateErrors(approx, estimate)
+	if err != nil {
+		panic(err)
+	}
+	truth, _ := errloc.EstimateErrors(approx, exact)
+	q := errloc.Evaluate(es, truth)
+	fmt.Println("true error recovered:", q.Recall == 1)
+	// Output:
+	// true error recovered: true
+}

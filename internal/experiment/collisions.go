@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/analysis"
+	"probablecause/internal/bitset"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/fingerprint"
+)
+
+// CollisionParams parameterizes the Monte-Carlo companion to §7.1: the
+// analytical model says two independent page fingerprints mismatch with
+// probability below 10⁻⁵⁹⁰; this experiment hammers the simulator for
+// empirical evidence that the simulated fingerprint space behaves like the
+// model (no collisions, and a pairwise-distance floor far above the
+// threshold).
+type CollisionParams struct {
+	Fingerprints int
+	PageBits     int
+	ErrRate      float64
+	Threshold    float64
+	Seed         uint64
+}
+
+// DefaultCollisionParams samples 1000 independent page fingerprints —
+// about half a million pairs.
+func DefaultCollisionParams() CollisionParams {
+	return CollisionParams{
+		Fingerprints: 1000,
+		PageBits:     32768,
+		ErrRate:      0.01,
+		Threshold:    fingerprint.DefaultThreshold,
+		Seed:         0xC011,
+	}
+}
+
+// SmallCollisionParams returns a faster configuration for tests.
+func SmallCollisionParams() CollisionParams {
+	p := DefaultCollisionParams()
+	p.Fingerprints = 200
+	return p
+}
+
+// CollisionResult reports the empirical fingerprint-space statistics.
+type CollisionResult struct {
+	Params CollisionParams
+	Pairs  int
+	// Collisions counts pairs under the matching threshold (expected: 0).
+	Collisions int
+	// MinDistance is the closest pair observed.
+	MinDistance float64
+	// MeanDistance across all pairs.
+	MeanDistance float64
+	// Clopper-style 95 % upper bound on the collision probability given the
+	// observed zero (or few) collisions: ~3/Pairs for zero collisions.
+	EmpiricalBound float64
+	// AnalyticLog10 is the model's log₁₀ upper bound for comparison.
+	AnalyticLog10 float64
+}
+
+// RunCollisions samples independent fingerprints and measures all pairwise
+// distances.
+func RunCollisions(p CollisionParams) (*CollisionResult, error) {
+	if p.Fingerprints < 2 {
+		return nil, fmt.Errorf("experiment: need ≥2 fingerprints")
+	}
+	fps := make([]bitset.Sparse, p.Fingerprints)
+	for i := range fps {
+		m := drammodel.New(p.Seed + uint64(i)*0x9E37 + 1)
+		m.PageBits = p.PageBits
+		vs, err := m.VolatileSet(uint64(i), p.ErrRate)
+		if err != nil {
+			return nil, err
+		}
+		fps[i] = vs
+	}
+	r := &CollisionResult{Params: p, MinDistance: 1}
+	var sum float64
+	for i := 0; i < len(fps); i++ {
+		for j := i + 1; j < len(fps); j++ {
+			d := fingerprint.SparseDistance(fps[i], fps[j])
+			r.Pairs++
+			sum += d
+			if d < r.MinDistance {
+				r.MinDistance = d
+			}
+			if d < p.Threshold {
+				r.Collisions++
+			}
+		}
+	}
+	r.MeanDistance = sum / float64(r.Pairs)
+	// Rule of three for zero observations; scaled for the general case.
+	r.EmpiricalBound = (3 + float64(r.Collisions)) / float64(r.Pairs)
+
+	a := int(float64(p.PageBits)*p.ErrRate + 0.5)
+	s := analysis.FingerprintSpace{M: p.PageBits, A: a, T: int(float64(a)*p.Threshold + 0.5)}
+	_, upper := s.MismatchBounds()
+	r.AnalyticLog10 = analysis.Log10Float(upper)
+	return r, nil
+}
+
+// Render prints the empirical-vs-analytical comparison.
+func (r *CollisionResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§7.1 companion — Monte-Carlo fingerprint collisions\n\n")
+	fmt.Fprintf(&b, "%d independent page fingerprints (%d pairs) at %.0f%% error\n\n",
+		r.Params.Fingerprints, r.Pairs, r.Params.ErrRate*100)
+	fmt.Fprintf(&b, "collisions under threshold %.2g: %d\n", r.Params.Threshold, r.Collisions)
+	fmt.Fprintf(&b, "minimum pairwise distance: %.4f (threshold %.2g)\n", r.MinDistance, r.Params.Threshold)
+	fmt.Fprintf(&b, "mean pairwise distance:    %.4f\n", r.MeanDistance)
+	fmt.Fprintf(&b, "empirical 95%% bound on P(mismatch): ≤ %.2g\n", r.EmpiricalBound)
+	fmt.Fprintf(&b, "analytical bound (Eq. 3):            ≤ 10^%.0f\n", r.AnalyticLog10)
+	b.WriteString("(the analytical bound is unfalsifiable by simulation — the point of this run is\n")
+	b.WriteString(" that the simulator shows the same qualitative picture: a wide, empty margin)\n")
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+)
+
+// Fig8Params parameterizes the consistency experiment (§7.2): repeated
+// worst-case outputs from one chip under fixed conditions.
+type Fig8Params struct {
+	Geometry dram.Geometry
+	Trials   int
+	Accuracy float64
+	TempC    float64
+	Seed     uint64
+}
+
+// DefaultFig8Params returns the paper's setup: 21 trials at 99 % accuracy
+// and 40 °C on a KM41464A.
+func DefaultFig8Params() Fig8Params {
+	return Fig8Params{
+		Geometry: dram.KM41464A(0).Geometry,
+		Trials:   21,
+		Accuracy: 0.99,
+		TempC:    40,
+		Seed:     0xC0451,
+	}
+}
+
+// SmallFig8Params returns a reduced setup for tests.
+func SmallFig8Params() Fig8Params {
+	p := DefaultFig8Params()
+	p.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	p.Trials = 9
+	return p
+}
+
+// Fig8Result reproduces Figure 8 (the unpredictability heatmap) and the
+// §7.2 repeatability number: the fraction of ever-failing bits that fail in
+// every trial (the paper reports ≥98 %).
+type Fig8Result struct {
+	Params Fig8Params
+	// FailCounts[i] is how many of the Trials runs bit i failed in, for
+	// bits that failed at least once.
+	FailCounts map[int]int
+	// EverFailed and AlwaysFailed count the union and intersection of the
+	// per-trial error sets.
+	EverFailed, AlwaysFailed int
+	// Repeatability = AlwaysFailed / EverFailed.
+	Repeatability float64
+}
+
+// RunFig8 performs the repeated-trial campaign.
+func RunFig8(p Fig8Params) (*Fig8Result, error) {
+	cfg := dram.KM41464A(p.Seed)
+	cfg.Geometry = p.Geometry
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		return nil, err
+	}
+	chip.SetTemperature(p.TempC)
+	mem, err := approx.New(chip, p.Accuracy)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
+	var inter, union *bitset.Set
+	for t := 0; t < p.Trials; t++ {
+		a, e, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		es, err := fingerprint.ErrorString(a, e)
+		if err != nil {
+			return nil, err
+		}
+		es.ForEach(func(i int) bool {
+			counts[i]++
+			return true
+		})
+		if inter == nil {
+			inter, union = es.Clone(), es.Clone()
+		} else {
+			inter.And(es)
+			union.Or(es)
+		}
+	}
+	r := &Fig8Result{
+		Params:       p,
+		FailCounts:   counts,
+		EverFailed:   union.Count(),
+		AlwaysFailed: inter.Count(),
+	}
+	if r.EverFailed > 0 {
+		r.Repeatability = float64(r.AlwaysFailed) / float64(r.EverFailed)
+	}
+	return r, nil
+}
+
+// Heatmap renders the Figure 8 grid: the chip's cells downsampled into a
+// rows×cols character matrix where darker characters mark cells whose
+// failure behaviour is unpredictable (failed in some trials but not all).
+func (r *Fig8Result) Heatmap(rows, cols int) string {
+	shades := []byte(" .:-=+*#%@")
+	bits := r.Params.Geometry.Bits()
+	grid := make([]int, rows*cols)
+	cell := func(i int) int {
+		return (i / (bits/(rows*cols) + 1))
+	}
+	for i, c := range r.FailCounts {
+		if c == r.Params.Trials {
+			continue // perfectly repeatable: not noise
+		}
+		g := cell(i)
+		if g < len(grid) {
+			grid[g]++
+		}
+	}
+	max := 1
+	for _, v := range grid {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			v := grid[y*cols+x]
+			b.WriteByte(shades[v*(len(shades)-1)/max])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render prints the repeatability statistics and heatmap.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — consistency of error locations across trials\n\n")
+	fmt.Fprintf(&b, "trials: %d @ accuracy %.0f%%, %.0f°C\n", r.Params.Trials, r.Params.Accuracy*100, r.Params.TempC)
+	fmt.Fprintf(&b, "bits failing at least once: %d\n", r.EverFailed)
+	fmt.Fprintf(&b, "bits failing in every trial: %d\n", r.AlwaysFailed)
+	fmt.Fprintf(&b, "repeatability = %.4f (paper: ≥0.98)\n\n", r.Repeatability)
+	b.WriteString("unpredictability heatmap (darker = noisier):\n")
+	b.WriteString(r.Heatmap(16, 64))
+	return b.String()
+}
+
+// Fig10Params parameterizes the order-of-failure experiment (§7.4).
+type Fig10Params struct {
+	Geometry   dram.Geometry
+	Accuracies []float64 // descending accuracy (ascending error)
+	TempC      float64
+	Seed       uint64
+}
+
+// DefaultFig10Params returns the paper's setup: one chip at 99/95/90 %.
+func DefaultFig10Params() Fig10Params {
+	return Fig10Params{
+		Geometry:   dram.KM41464A(0).Geometry,
+		Accuracies: []float64{0.99, 0.95, 0.90},
+		TempC:      40,
+		Seed:       0xFA11,
+	}
+}
+
+// SmallFig10Params returns a reduced setup for tests.
+func SmallFig10Params() Fig10Params {
+	p := DefaultFig10Params()
+	p.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	return p
+}
+
+// Fig10Result reproduces Figure 10's Venn-diagram counts: the error sets at
+// each accuracy and how far each is from being a subset of the next.
+type Fig10Result struct {
+	Params Fig10Params
+	// Counts[i] is the error count at Accuracies[i].
+	Counts []int
+	// Exceptions[i] is |errors(acc[i]) \ errors(acc[i+1])| — bits failing at
+	// the higher accuracy but not the lower one. The paper sees 1 then 32.
+	Exceptions []int
+	// SubsetFraction[i] = 1 − Exceptions[i]/Counts[i].
+	SubsetFraction []float64
+}
+
+// RunFig10 captures one output per accuracy level and measures the subset
+// relation.
+func RunFig10(p Fig10Params) (*Fig10Result, error) {
+	cfg := dram.KM41464A(p.Seed)
+	cfg.Geometry = p.Geometry
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		return nil, err
+	}
+	chip.SetTemperature(p.TempC)
+	var sets []*bitset.Set
+	for _, acc := range p.Accuracies {
+		mem, err := approx.New(chip, acc)
+		if err != nil {
+			return nil, err
+		}
+		a, e, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		es, err := fingerprint.ErrorString(a, e)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, es)
+	}
+	r := &Fig10Result{Params: p}
+	for _, s := range sets {
+		r.Counts = append(r.Counts, s.Count())
+	}
+	for i := 0; i+1 < len(sets); i++ {
+		ex := sets[i].AndNotCount(sets[i+1])
+		r.Exceptions = append(r.Exceptions, ex)
+		frac := 0.0
+		if r.Counts[i] > 0 {
+			frac = 1 - float64(ex)/float64(r.Counts[i])
+		}
+		r.SubsetFraction = append(r.SubsetFraction, frac)
+	}
+	return r, nil
+}
+
+// Render prints the Figure 10 subset-relation rows.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — order of failures across approximation levels\n\n")
+	for i, acc := range r.Params.Accuracies {
+		fmt.Fprintf(&b, "errors at %.0f%% accuracy: %d\n", acc*100, r.Counts[i])
+	}
+	b.WriteString("\n")
+	for i := range r.Exceptions {
+		fmt.Fprintf(&b, "bits failing at %.0f%% but not at %.0f%%: %d (subset fraction %.5f)\n",
+			r.Params.Accuracies[i]*100, r.Params.Accuracies[i+1]*100, r.Exceptions[i], r.SubsetFraction[i])
+	}
+	b.WriteString("(paper: 1 outlier for 99%→95%, 32 for 95%→90%)\n")
+	return b.String()
+}
+
+// CSV renders the per-bit failure counts as "bit,failures" rows (the data
+// behind the Figure 8 heatmap).
+func (r *Fig8Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("bit,failures\n")
+	// Deterministic order.
+	bits := make([]int, 0, len(r.FailCounts))
+	for i := range r.FailCounts {
+		bits = append(bits, i)
+	}
+	sort.Ints(bits)
+	for _, i := range bits {
+		fmt.Fprintf(&b, "%d,%d\n", i, r.FailCounts[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+// Package experiment contains one driver per table and figure of the paper's
+// evaluation (§7–§8). Each driver takes a Params struct (with paper-scale
+// defaults and scaled-down variants for tests), runs the experiment on the
+// simulated platform, and returns a Result that renders the same rows or
+// series the paper reports.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+)
+
+// CorpusParams describes the §7.1 measurement campaign: a population of
+// chips, a set of operating temperatures and accuracy levels, and the number
+// of outputs used to characterize each chip.
+type CorpusParams struct {
+	Chips      int
+	Geometry   dram.Geometry
+	Temps      []float64 // °C
+	Accuracies []float64 // fraction correct with worst-case data
+	// FPOutputs is the number of outputs intersected into each chip's
+	// fingerprint ("three outputs created at 1% error and different
+	// temperatures").
+	FPOutputs  int
+	FPAccuracy float64
+	Seed       uint64
+}
+
+// DefaultCorpusParams returns the paper's campaign: 10 KM41464A chips, 3
+// fingerprinting outputs at 99 % accuracy, and 9 test outputs per chip over
+// {40, 50, 60} °C × {99, 95, 90} %.
+func DefaultCorpusParams() CorpusParams {
+	return CorpusParams{
+		Chips:      10,
+		Geometry:   dram.KM41464A(0).Geometry,
+		Temps:      []float64{40, 50, 60},
+		Accuracies: []float64{0.99, 0.95, 0.90},
+		FPOutputs:  3,
+		FPAccuracy: 0.99,
+		Seed:       0xF00D,
+	}
+}
+
+// SmallCorpusParams returns a 16×-smaller campaign for tests: same structure,
+// 8 KB chips.
+func SmallCorpusParams() CorpusParams {
+	p := DefaultCorpusParams()
+	p.Chips = 4
+	p.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	return p
+}
+
+func (p CorpusParams) validate() error {
+	if p.Chips < 2 {
+		return fmt.Errorf("experiment: need ≥2 chips, have %d", p.Chips)
+	}
+	if len(p.Temps) == 0 || len(p.Accuracies) == 0 {
+		return fmt.Errorf("experiment: empty temperature or accuracy sweep")
+	}
+	if p.FPOutputs < 1 {
+		return fmt.Errorf("experiment: need ≥1 fingerprinting output")
+	}
+	return nil
+}
+
+// Output is one approximate result captured from a chip under one operating
+// condition, reduced to its error string.
+type Output struct {
+	Chip     int
+	TempC    float64
+	Accuracy float64
+	Errors   *bitset.Set
+}
+
+// Corpus is the full measurement campaign: per-chip fingerprints plus every
+// test output.
+type Corpus struct {
+	Params       CorpusParams
+	Fingerprints []*bitset.Set
+	Outputs      []Output
+}
+
+// BuildCorpus runs the campaign on freshly manufactured simulated chips.
+// Chips are measured concurrently — each chip is a fully independent
+// deterministic unit, so the corpus is identical regardless of scheduling.
+func BuildCorpus(p CorpusParams) (*Corpus, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		Params:       p,
+		Fingerprints: make([]*bitset.Set, p.Chips),
+	}
+	perChip := make([][]Output, p.Chips)
+	errs := make([]error, p.Chips)
+	var wg sync.WaitGroup
+	for i := 0; i < p.Chips; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Fingerprints[i], perChip[i], errs[i] = measureChip(p, i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: chip %d: %w", i, err)
+		}
+		c.Outputs = append(c.Outputs, perChip[i]...)
+	}
+	return c, nil
+}
+
+// measureChip characterizes one chip and collects its condition-grid
+// outputs.
+func measureChip(p CorpusParams, i int) (*bitset.Set, []Output, error) {
+	cfg := dram.KM41464A(p.Seed + uint64(i)*0x9E37)
+	cfg.Geometry = p.Geometry
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	mem, err := approx.New(chip, p.FPAccuracy)
+	if err != nil {
+		return nil, nil, fmt.Errorf("controller: %w", err)
+	}
+
+	// Characterization: FPOutputs worst-case outputs cycling through the
+	// temperature sweep, intersected per Algorithm 1.
+	var approxes [][]byte
+	var exact []byte
+	for k := 0; k < p.FPOutputs; k++ {
+		if err := mem.SetTemperature(p.Temps[k%len(p.Temps)]); err != nil {
+			return nil, nil, err
+		}
+		a, e, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, nil, err
+		}
+		approxes, exact = append(approxes, a), e
+	}
+	fp, err := fingerprint.Characterize(exact, approxes...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Test outputs: the full condition grid.
+	var outputs []Output
+	for _, temp := range p.Temps {
+		for _, acc := range p.Accuracies {
+			chip.SetTemperature(temp)
+			if err := mem.SetAccuracy(acc); err != nil {
+				return nil, nil, err
+			}
+			a, e, err := mem.WorstCaseOutput()
+			if err != nil {
+				return nil, nil, err
+			}
+			es, err := fingerprint.ErrorString(a, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			outputs = append(outputs, Output{Chip: i, TempC: temp, Accuracy: acc, Errors: es})
+		}
+	}
+	return fp, outputs, nil
+}

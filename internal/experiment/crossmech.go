@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+)
+
+// CrossMechParams parameterizes the cross-mechanism extension experiment:
+// does a fingerprint taken under refresh-rate approximation deanonymize
+// outputs produced under supply-voltage approximation?
+//
+// Both knobs (§2) expose the same manufacturing-time decay ordering, so the
+// fingerprint should transfer — meaning a user cannot escape Probable Cause
+// by switching approximation mechanisms.
+type CrossMechParams struct {
+	Chips    int
+	Geometry dram.Geometry
+	Accuracy float64
+	// FixedInterval is the refresh interval pinned during voltage-scaling
+	// operation.
+	FixedInterval float64
+	Seed          uint64
+}
+
+// DefaultCrossMechParams runs the extension at the platform's scale.
+func DefaultCrossMechParams() CrossMechParams {
+	return CrossMechParams{
+		Chips:         6,
+		Geometry:      dram.KM41464A(0).Geometry,
+		Accuracy:      0.99,
+		FixedInterval: 1.0,
+		Seed:          0xC505,
+	}
+}
+
+// SmallCrossMechParams returns a reduced setup for tests.
+func SmallCrossMechParams() CrossMechParams {
+	p := DefaultCrossMechParams()
+	p.Chips = 3
+	p.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	return p
+}
+
+// CrossMechResult reports fingerprint transfer between mechanisms.
+type CrossMechResult struct {
+	Params CrossMechParams
+	// Identification of voltage-mode outputs against refresh-mode
+	// fingerprints, and vice versa.
+	VoltOnRefreshFP, RefreshOnVoltFP, Total int
+	// MeanWithin distances for the two directions.
+	MeanWithinVR, MeanWithinRV float64
+}
+
+// RunCrossMechanism characterizes every chip under both mechanisms and
+// cross-identifies.
+func RunCrossMechanism(p CrossMechParams) (*CrossMechResult, error) {
+	if p.Chips < 2 {
+		return nil, fmt.Errorf("experiment: need ≥2 chips")
+	}
+	r := &CrossMechResult{Params: p}
+	dbRefresh := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	dbVolt := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	type outputs struct{ volt, refresh *outES }
+	var all []outputs
+
+	for i := 0; i < p.Chips; i++ {
+		cfg := dram.KM41464A(p.Seed + uint64(i)*0x101)
+		cfg.Geometry = p.Geometry
+		chip, err := dram.NewChip(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := approx.New(chip, p.Accuracy)
+		if err != nil {
+			return nil, err
+		}
+		// Refresh-mode characterization and a fresh test output.
+		a1, exact, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		a2, _, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		fpR, err := fingerprint.Characterize(exact, a1, a2)
+		if err != nil {
+			return nil, err
+		}
+		dbRefresh.Add(fmt.Sprintf("chip%02d", i), fpR)
+		ar, _, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		esR, err := fingerprint.ErrorString(ar, exact)
+		if err != nil {
+			return nil, err
+		}
+
+		// Voltage-mode characterization and test output.
+		if err := mem.CalibrateVoltage(p.FixedInterval); err != nil {
+			return nil, err
+		}
+		v1, _, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		v2, _, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		fpV, err := fingerprint.Characterize(exact, v1, v2)
+		if err != nil {
+			return nil, err
+		}
+		dbVolt.Add(fmt.Sprintf("chip%02d", i), fpV)
+		av, _, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		esV, err := fingerprint.ErrorString(av, exact)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, outputs{volt: &outES{chip: i, es: esV}, refresh: &outES{chip: i, es: esR}})
+	}
+
+	for _, o := range all {
+		r.Total++
+		if _, idx, ok := dbRefresh.Identify(o.volt.es); ok && idx == o.volt.chip {
+			r.VoltOnRefreshFP++
+		}
+		if _, idx, ok := dbVolt.Identify(o.refresh.es); ok && idx == o.refresh.chip {
+			r.RefreshOnVoltFP++
+		}
+		r.MeanWithinVR += fingerprint.Distance(o.volt.es, dbRefresh.Entries()[o.volt.chip].FP)
+		r.MeanWithinRV += fingerprint.Distance(o.refresh.es, dbVolt.Entries()[o.refresh.chip].FP)
+	}
+	r.MeanWithinVR /= float64(r.Total)
+	r.MeanWithinRV /= float64(r.Total)
+	return r, nil
+}
+
+type outES struct {
+	chip int
+	es   *bitset.Set
+}
+
+// Render prints the cross-mechanism transfer table.
+func (r *CrossMechResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension — fingerprint transfer across approximation mechanisms\n\n")
+	fmt.Fprintf(&b, "%d chips at %.0f%% accuracy; refresh-rate vs supply-voltage scaling\n\n",
+		r.Params.Chips, r.Params.Accuracy*100)
+	fmt.Fprintf(&b, "voltage-mode output vs refresh-mode fingerprint: %d/%d identified (mean distance %.4f)\n",
+		r.VoltOnRefreshFP, r.Total, r.MeanWithinVR)
+	fmt.Fprintf(&b, "refresh-mode output vs voltage-mode fingerprint: %d/%d identified (mean distance %.4f)\n",
+		r.RefreshOnVoltFP, r.Total, r.MeanWithinRV)
+	b.WriteString("(both knobs expose the same decay ordering: switching mechanisms does not restore anonymity)\n")
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/defense"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/prng"
+)
+
+// DefensesParams parameterizes the §8.2 defense evaluation.
+type DefensesParams struct {
+	Chips      int
+	ErrRate    float64
+	NoiseRates []float64 // noise-addition sweep
+	Outputs    int       // outputs per chip per noise rate
+	PageBits   int
+	Seed       uint64
+}
+
+// DefaultDefensesParams evaluates noise addition over a wide sweep.
+func DefaultDefensesParams() DefensesParams {
+	return DefensesParams{
+		Chips:      8,
+		ErrRate:    0.01,
+		NoiseRates: []float64{0, 0.0001, 0.001, 0.005, 0.01, 0.05},
+		Outputs:    10,
+		PageBits:   32768,
+		Seed:       0xDEF5,
+	}
+}
+
+// SmallDefensesParams returns a reduced sweep for tests.
+func SmallDefensesParams() DefensesParams {
+	p := DefaultDefensesParams()
+	p.Chips = 4
+	p.Outputs = 4
+	p.NoiseRates = []float64{0, 0.001, 0.05}
+	return p
+}
+
+// NoiseRow is the attack outcome at one noise level.
+type NoiseRow struct {
+	Rate            float64
+	IdentifyCorrect int
+	IdentifyTotal   int
+	MeanWithin      float64
+	// QualityLoss is the added error as a multiple of the approximation's
+	// own error rate — the price the defender pays.
+	QualityLoss float64
+}
+
+// DefensesResult evaluates the noise-addition defense (§8.2.2): how much
+// output quality must be sacrificed before identification starts failing.
+type DefensesResult struct {
+	Params DefensesParams
+	Noise  []NoiseRow
+}
+
+// RunDefenses characterizes chips cleanly, then identifies noisy outputs.
+func RunDefenses(p DefensesParams) (*DefensesResult, error) {
+	if p.Chips < 2 || p.Outputs < 1 {
+		return nil, fmt.Errorf("experiment: bad defense params %+v", p)
+	}
+	// Characterize each chip from clean observations (the attacker moved
+	// first; the defense protects only future outputs).
+	models := make([]*drammodel.Model, p.Chips)
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	for i := range models {
+		models[i] = drammodel.New(p.Seed + uint64(i)*0x77)
+		models[i].PageBits = p.PageBits
+		vs, err := models[i].VolatileSet(0, p.ErrRate)
+		if err != nil {
+			return nil, err
+		}
+		db.Add(fmt.Sprintf("chip%02d", i), vs.Dense(p.PageBits))
+	}
+	rng := prng.New(p.Seed ^ 0xA0A0)
+	r := &DefensesResult{Params: p}
+	for _, rate := range p.NoiseRates {
+		row := NoiseRow{Rate: rate}
+		var withinSum float64
+		for i, m := range models {
+			for o := 0; o < p.Outputs; o++ {
+				errs, err := m.PageErrors(0, p.ErrRate, uint64(1000+o))
+				if err != nil {
+					return nil, err
+				}
+				noisy, err := defense.FlipNoiseSparse(errs, p.PageBits, rate, rng)
+				if err != nil {
+					return nil, err
+				}
+				es := noisy.Dense(p.PageBits)
+				if _, idx, ok := db.Identify(es); ok && idx == i {
+					row.IdentifyCorrect++
+				}
+				row.IdentifyTotal++
+				withinSum += fingerprint.Distance(es, db.Entries()[i].FP)
+			}
+		}
+		row.MeanWithin = withinSum / float64(row.IdentifyTotal)
+		row.QualityLoss = rate / p.ErrRate
+		r.Noise = append(r.Noise, row)
+	}
+	return r, nil
+}
+
+// Render prints the defense sweep table.
+func (r *DefensesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§8.2 — defenses against Probable Cause\n\n")
+	b.WriteString("noise addition (§8.2.2): identification vs noise rate\n")
+	fmt.Fprintf(&b, "%-12s %-14s %-14s %-12s\n", "noise rate", "identified", "mean within-d", "quality loss")
+	for _, row := range r.Noise {
+		fmt.Fprintf(&b, "%-12g %3d/%-10d %-14.4f %.1f×\n",
+			row.Rate, row.IdentifyCorrect, row.IdentifyTotal, row.MeanWithin, row.QualityLoss)
+	}
+	b.WriteString("\n(paper: noise only slows the attacker; heavy noise destroys output quality first.\n")
+	b.WriteString(" data segregation (§8.2.1) removes outputs from the attacker entirely;\n")
+	b.WriteString(" page-level ASLR (§8.2.3) defeats stitching — see the fig13 --scattered run)\n")
+	return b.String()
+}
+
+// AblationHammingResult reproduces the §5.2 design argument. With outputs
+// at *mixed* approximation levels, Algorithm 2 needs one fixed threshold
+// that accepts every same-chip output and rejects every other-chip output.
+// Under the modified Jaccard metric such a threshold exists (within- and
+// between-class distances do not overlap); under Hamming distance a
+// same-chip output at a different error level is *farther* than an
+// other-chip output at the fingerprint's level, so the classes overlap and
+// no threshold works — exactly the failure §5.2 describes.
+type AblationHammingResult struct {
+	// Worst within-class and best between-class distance for each metric
+	// over the mixed-accuracy output set.
+	JaccardWithinMax, JaccardBetweenMin float64
+	HammingWithinMax, HammingBetweenMin float64
+	// Separable reports whether within < between holds (a threshold exists).
+	JaccardSeparable, HammingSeparable bool
+	Outputs                            int
+}
+
+// RunAblationHamming compares the two metrics under mismatched accuracy:
+// fingerprints at 99 % accuracy, outputs at both 99 % and 90 %.
+func RunAblationHamming(chips, pageBits int, seed uint64) (*AblationHammingResult, error) {
+	if chips < 2 {
+		return nil, fmt.Errorf("experiment: need ≥2 chips")
+	}
+	r := &AblationHammingResult{JaccardBetweenMin: 2, HammingBetweenMin: 2}
+	fps := make([]*bitset.Set, chips)
+	models := make([]*drammodel.Model, chips)
+	for i := range fps {
+		models[i] = drammodel.New(seed + uint64(i)*0x33)
+		models[i].PageBits = pageBits
+		vs, err := models[i].VolatileSet(0, 0.01) // characterized at 99 %
+		if err != nil {
+			return nil, err
+		}
+		fps[i] = vs.Dense(pageBits)
+	}
+	for i, m := range models {
+		for _, errRate := range []float64{0.01, 0.10} {
+			out, err := m.PageErrors(0, errRate, 7)
+			if err != nil {
+				return nil, err
+			}
+			es := out.Dense(pageBits)
+			r.Outputs++
+			for j, fp := range fps {
+				dj := fingerprint.Distance(es, fp)
+				dh := fingerprint.HammingDistance(es, fp)
+				if j == i {
+					if dj > r.JaccardWithinMax {
+						r.JaccardWithinMax = dj
+					}
+					if dh > r.HammingWithinMax {
+						r.HammingWithinMax = dh
+					}
+				} else {
+					if dj < r.JaccardBetweenMin {
+						r.JaccardBetweenMin = dj
+					}
+					if dh < r.HammingBetweenMin {
+						r.HammingBetweenMin = dh
+					}
+				}
+			}
+		}
+	}
+	r.JaccardSeparable = r.JaccardWithinMax < r.JaccardBetweenMin
+	r.HammingSeparable = r.HammingWithinMax < r.HammingBetweenMin
+	return r, nil
+}
+
+// Render prints the metric-ablation comparison.
+func (r *AblationHammingResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation — modified Jaccard vs Hamming under mismatched approximation\n\n")
+	fmt.Fprintf(&b, "fingerprints at 99%% accuracy; %d outputs at 99%% and 90%%\n\n", r.Outputs)
+	fmt.Fprintf(&b, "%-18s %-18s %-18s %-10s\n", "metric", "max within-class", "min between-class", "separable")
+	fmt.Fprintf(&b, "%-18s %-18.4f %-18.4f %-10v\n", "modified Jaccard", r.JaccardWithinMax, r.JaccardBetweenMin, r.JaccardSeparable)
+	fmt.Fprintf(&b, "%-18s %-18.4f %-18.4f %-10v\n", "Hamming", r.HammingWithinMax, r.HammingBetweenMin, r.HammingSeparable)
+	b.WriteString("(paper §5.2: under Hamming, a same-chip output at a different error level looks\n")
+	b.WriteString(" farther away than an other-chip output — no identification threshold exists)\n")
+	return b.String()
+}
+
+// AblationIntersectResult evaluates fingerprint construction: intersection
+// (Algorithm 1) vs union of error strings.
+type AblationIntersectResult struct {
+	Trials int
+	// NoiseBitsIntersect / NoiseBitsUnion count fingerprint bits outside the
+	// true volatile core under each construction.
+	NoiseBitsIntersect, NoiseBitsUnion int
+	CoreSize                           int
+}
+
+// RunAblationIntersect builds both fingerprints from the same observations.
+func RunAblationIntersect(trials, pageBits int, seed uint64) (*AblationIntersectResult, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("experiment: need ≥2 trials")
+	}
+	m := drammodel.New(seed)
+	m.PageBits = pageBits
+	truth, err := m.VolatileSet(0, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	var inter, union bitset.Sparse
+	for t := 0; t < trials; t++ {
+		es, err := m.PageErrors(0, 0.01, uint64(t))
+		if err != nil {
+			return nil, err
+		}
+		if t == 0 {
+			inter, union = es, es
+			continue
+		}
+		inter = inter.Intersect(es)
+		union = union.Union(es)
+	}
+	return &AblationIntersectResult{
+		Trials:             trials,
+		NoiseBitsIntersect: inter.DiffCount(truth),
+		NoiseBitsUnion:     union.DiffCount(truth),
+		CoreSize:           truth.Card(),
+	}, nil
+}
+
+// Render prints the construction-ablation comparison.
+func (r *AblationIntersectResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation — fingerprint = intersection vs union of error strings\n\n")
+	fmt.Fprintf(&b, "%d observations of a page with a %d-bit volatile core\n", r.Trials, r.CoreSize)
+	fmt.Fprintf(&b, "noise bits kept by intersection (Algorithm 1): %d\n", r.NoiseBitsIntersect)
+	fmt.Fprintf(&b, "noise bits kept by union:                      %d\n", r.NoiseBitsUnion)
+	b.WriteString("(intersection keeps only the most volatile bits, minimizing the effect of noise — §5.1)\n")
+	return b.String()
+}

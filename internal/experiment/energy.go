@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+)
+
+// EnergyParams parameterizes the motivation experiment: approximate DRAM
+// exists to save refresh energy (§1–§2); this run quantifies the refresh-
+// energy saving at each accuracy level *and* whether outputs at that level
+// are identifiable — the trade the paper says designers are making without
+// knowing it.
+type EnergyParams struct {
+	Geometry   dram.Geometry
+	Accuracies []float64
+	Chips      int
+	Seed       uint64
+}
+
+// DefaultEnergyParams sweeps the paper's accuracy levels plus a lighter one.
+func DefaultEnergyParams() EnergyParams {
+	return EnergyParams{
+		Geometry:   dram.KM41464A(0).Geometry,
+		Accuracies: []float64{0.999, 0.99, 0.95, 0.90},
+		Chips:      3,
+		Seed:       0xE4E6,
+	}
+}
+
+// SmallEnergyParams returns a reduced setup for tests.
+func SmallEnergyParams() EnergyParams {
+	p := DefaultEnergyParams()
+	p.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	p.Chips = 2
+	return p
+}
+
+// EnergyRow is one accuracy level's numbers.
+type EnergyRow struct {
+	Accuracy float64
+	// Interval is the calibrated refresh interval in seconds.
+	Interval float64
+	// EnergyRatio is refresh energy relative to exact operation (refresh
+	// power scales with refresh frequency, so the ratio is
+	// exactInterval / approxInterval).
+	EnergyRatio float64
+	// Identified reports whether every output at this level matched its
+	// chip's fingerprint.
+	Identified, Total int
+}
+
+// EnergyResult is the accuracy / energy / privacy table.
+type EnergyResult struct {
+	Params EnergyParams
+	// ExactInterval is the refresh period of exact operation: half the time
+	// to the first worst-case failure (the guard-banded rate approximate
+	// computing relaxes).
+	ExactInterval float64
+	Rows          []EnergyRow
+}
+
+// RunEnergyPrivacy sweeps accuracy levels, measuring refresh-energy savings
+// and identifiability together.
+func RunEnergyPrivacy(p EnergyParams) (*EnergyResult, error) {
+	if p.Chips < 2 || len(p.Accuracies) == 0 {
+		return nil, fmt.Errorf("experiment: bad energy params %+v", p)
+	}
+	r := &EnergyResult{Params: p}
+
+	// Build chips and their fingerprints at the tightest accuracy.
+	type victim struct {
+		mem *approx.Memory
+	}
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	var victims []victim
+	for i := 0; i < p.Chips; i++ {
+		cfg := dram.KM41464A(p.Seed + uint64(i)*0x45)
+		cfg.Geometry = p.Geometry
+		chip, err := dram.NewChip(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := approx.New(chip, p.Accuracies[len(p.Accuracies)-1])
+		if err != nil {
+			return nil, err
+		}
+		a1, exact, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		a2, _, err := mem.WorstCaseOutput()
+		if err != nil {
+			return nil, err
+		}
+		fp, err := fingerprint.Characterize(exact, a1, a2)
+		if err != nil {
+			return nil, err
+		}
+		db.Add(fmt.Sprintf("chip%02d", i), fp)
+		victims = append(victims, victim{mem: mem})
+		if i == 0 {
+			// Exact-operation refresh period: half the first failure time.
+			if err := chip.Write(0, chip.WorstCaseData()); err != nil {
+				return nil, err
+			}
+			r.ExactInterval = bisectTime(chip, 1) / 2
+		}
+	}
+
+	for _, acc := range p.Accuracies {
+		row := EnergyRow{Accuracy: acc}
+		var intervalSum float64
+		for i, v := range victims {
+			if err := v.mem.SetAccuracy(acc); err != nil {
+				return nil, err
+			}
+			intervalSum += v.mem.RefreshInterval()
+			a, exact, err := v.mem.WorstCaseOutput()
+			if err != nil {
+				return nil, err
+			}
+			es, err := fingerprint.ErrorString(a, exact)
+			if err != nil {
+				return nil, err
+			}
+			if _, idx, ok := db.Identify(es); ok && idx == i {
+				row.Identified++
+			}
+			row.Total++
+		}
+		row.Interval = intervalSum / float64(len(victims))
+		row.EnergyRatio = r.ExactInterval / row.Interval
+		r.Rows = append(r.Rows, row)
+	}
+	return r, nil
+}
+
+// Render prints the accuracy / energy / privacy table.
+func (r *EnergyResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Motivation — refresh energy vs accuracy vs privacy\n\n")
+	fmt.Fprintf(&b, "exact-operation refresh period: %.3fs (guard-banded to the weakest cell)\n\n", r.ExactInterval)
+	fmt.Fprintf(&b, "%-10s %-14s %-22s %-14s\n", "accuracy", "interval (s)", "refresh energy (×exact)", "identified")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-14.3f %-22.4f %d/%d\n",
+			fmt.Sprintf("%.1f%%", row.Accuracy*100), row.Interval, row.EnergyRatio, row.Identified, row.Total)
+	}
+	b.WriteString("\n(every row that saves energy is fully identifiable: the energy saving and the\n")
+	b.WriteString(" privacy loss are the same physical phenomenon — the paper's core trade-off)\n")
+	return b.String()
+}

@@ -1,0 +1,789 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+)
+
+// The corpus is expensive to build; share it across the figure tests.
+var sharedCorpus *Corpus
+
+func corpus(t *testing.T) *Corpus {
+	t.Helper()
+	if sharedCorpus == nil {
+		c, err := BuildCorpus(SmallCorpusParams())
+		if err != nil {
+			t.Fatalf("BuildCorpus: %v", err)
+		}
+		sharedCorpus = c
+	}
+	return sharedCorpus
+}
+
+func TestCorpusParamsValidation(t *testing.T) {
+	p := SmallCorpusParams()
+	p.Chips = 1
+	if _, err := BuildCorpus(p); err == nil {
+		t.Error("1-chip corpus accepted")
+	}
+	p = SmallCorpusParams()
+	p.Temps = nil
+	if _, err := BuildCorpus(p); err == nil {
+		t.Error("empty temperature sweep accepted")
+	}
+	p = SmallCorpusParams()
+	p.FPOutputs = 0
+	if _, err := BuildCorpus(p); err == nil {
+		t.Error("0 fingerprint outputs accepted")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	c := corpus(t)
+	p := c.Params
+	if len(c.Fingerprints) != p.Chips {
+		t.Fatalf("%d fingerprints for %d chips", len(c.Fingerprints), p.Chips)
+	}
+	want := p.Chips * len(p.Temps) * len(p.Accuracies)
+	if len(c.Outputs) != want {
+		t.Fatalf("%d outputs, want %d", len(c.Outputs), want)
+	}
+	for i, fp := range c.Fingerprints {
+		if fp.Count() == 0 {
+			t.Fatalf("chip %d has an empty fingerprint", i)
+		}
+	}
+}
+
+func TestFig7SeparationAndIdentification(t *testing.T) {
+	r := RunFig7(corpus(t))
+	// The paper's headline: within-class and between-class distances are
+	// separated by roughly two orders of magnitude, and identification is
+	// 100% correct.
+	if r.IdentifyCorrect != r.IdentifyTotal {
+		t.Fatalf("identification %d/%d, want all", r.IdentifyCorrect, r.IdentifyTotal)
+	}
+	if r.Separation < 50 {
+		t.Fatalf("separation = %v, want ≥50 (paper: ~100×)", r.Separation)
+	}
+	if r.BetweenSummary.Min < 0.5 {
+		t.Fatalf("min between-class distance = %v — chips too similar", r.BetweenSummary.Min)
+	}
+	if r.WithinSummary.Max > 0.2 {
+		t.Fatalf("max within-class distance = %v — outputs not matching their chip", r.WithinSummary.Max)
+	}
+	if !strings.Contains(r.Render(), "Figure 7") {
+		t.Fatal("Render missing title")
+	}
+}
+
+func TestFig9TemperatureInsensitive(t *testing.T) {
+	r := RunFig9(corpus(t))
+	if len(r.Keys) != len(corpus(t).Params.Temps) {
+		t.Fatalf("groups = %v", r.Keys)
+	}
+	if r.MeanSpread > 0.05 {
+		t.Fatalf("temperature spread of between-class means = %v, want < 0.05", r.MeanSpread)
+	}
+	if !strings.Contains(r.Render(), "Figure 9") {
+		t.Fatal("Render missing title")
+	}
+}
+
+func TestFig11DistanceShrinksWithError(t *testing.T) {
+	r := RunFig11(corpus(t))
+	if !r.MeansMonotone {
+		t.Fatal("between-class mean distance not increasing with accuracy")
+	}
+	if r.MinBetween < 0.5 {
+		t.Fatalf("min between-class distance = %v", r.MinBetween)
+	}
+	if !strings.Contains(r.Render(), "Figure 11") {
+		t.Fatal("Render missing title")
+	}
+}
+
+func TestFig8Repeatability(t *testing.T) {
+	r, err := RunFig8(SmallFig8Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Repeatability < 0.95 {
+		t.Fatalf("repeatability = %v, want ≥0.95 (paper: ≥0.98)", r.Repeatability)
+	}
+	if r.EverFailed == 0 {
+		t.Fatal("no failures at all")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "repeatability") {
+		t.Fatal("Render incomplete")
+	}
+	hm := r.Heatmap(8, 32)
+	if len(strings.Split(strings.TrimRight(hm, "\n"), "\n")) != 8 {
+		t.Fatalf("heatmap rows wrong:\n%s", hm)
+	}
+}
+
+func TestFig10SubsetOrdering(t *testing.T) {
+	r, err := RunFig10(SmallFig10Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Counts) != 3 || len(r.Exceptions) != 2 {
+		t.Fatalf("result shape: %+v", r)
+	}
+	if !(r.Counts[0] < r.Counts[1] && r.Counts[1] < r.Counts[2]) {
+		t.Fatalf("error counts not increasing: %v", r.Counts)
+	}
+	// The paper sees a near-perfect subset relation: 1 exception out of ~2.6k
+	// errors, then 32 out of ~13k. Demand ≥99% subset fraction.
+	for i, f := range r.SubsetFraction {
+		if f < 0.99 {
+			t.Fatalf("subset fraction %d = %v, want ≥0.99", i, f)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 10") {
+		t.Fatal("Render missing title")
+	}
+}
+
+func TestFig5VisualDistances(t *testing.T) {
+	r, err := RunFig5(SmallFig5Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range r.PixelErrs {
+		if e == 0 {
+			t.Fatalf("output %d has no errors", i)
+		}
+	}
+	if r.DistA1A2 > 0.2 {
+		t.Fatalf("same-chip distance = %v, want small", r.DistA1A2)
+	}
+	if r.DistA1B < 0.5 || r.DistA2B < 0.5 {
+		t.Fatalf("cross-chip distances = %v, %v, want large", r.DistA1B, r.DistA2B)
+	}
+	pgms := r.PGMs()
+	if len(pgms) != 4 {
+		t.Fatalf("%d PGMs", len(pgms))
+	}
+	for name, data := range pgms {
+		if !strings.HasPrefix(string(data), "P5\n") {
+			t.Fatalf("%s is not a PGM", name)
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 5") {
+		t.Fatal("Render missing title")
+	}
+}
+
+func TestFig5ImageTooLarge(t *testing.T) {
+	p := SmallFig5Params()
+	p.W, p.H = 4096, 4096
+	if _, err := RunFig5(p); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := RunTable1(DefaultTable1Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxUnique != "8.69e+795" {
+		t.Fatalf("MaxUnique = %s", r.MaxUnique)
+	}
+	if r.MismatchHigh != "8.32e-597" {
+		t.Fatalf("MismatchHigh = %s", r.MismatchHigh)
+	}
+	if r.AltEntropyBits < 2422 || r.AltEntropyBits > 2424 {
+		t.Fatalf("AltEntropyBits = %v, want ~2423 (paper)", r.AltEntropyBits)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "8.70e+795") {
+		t.Fatal("Render missing paper comparison")
+	}
+	if _, err := RunTable1(Table1Params{M: 0}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r, err := RunTable2(DefaultTable2Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Log10 >= r.Rows[i-1].Log10 {
+			t.Fatalf("mismatch bound not shrinking: %+v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.Render(), "Table 2") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunTable2(Table2Params{}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestFig13Convergence(t *testing.T) {
+	r, err := RunFig13(SmallFig13Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Final != 1 {
+		t.Fatalf("final clusters = %d, want 1", r.Final)
+	}
+	if r.Peak < 3 {
+		t.Fatalf("peak = %d — curve degenerate", r.Peak)
+	}
+	// Peak must occur in the first half (rise then converge).
+	if r.PeakAt > r.Params.Samples/2 {
+		t.Fatalf("peak at sample %d of %d — no convergence phase", r.PeakAt, r.Params.Samples)
+	}
+	if r.CoveredPages > r.Params.MemoryPages {
+		t.Fatalf("database %d pages exceeds memory %d", r.CoveredPages, r.Params.MemoryPages)
+	}
+	if got := r.Series(10); len(got) != 10 {
+		t.Fatalf("Series = %d points", len(got))
+	}
+	if !strings.HasPrefix(r.CSV(), "samples,suspected_chips\n") {
+		t.Fatal("CSV header wrong")
+	}
+	if !strings.Contains(r.Render(), "Figure 13") {
+		t.Fatal("Render missing title")
+	}
+}
+
+func TestFig13ScatteredPreventsConvergence(t *testing.T) {
+	p := SmallFig13Params()
+	p.Samples = 60
+	p.Scattered = true
+	p.MinOverlap = 2
+	r, err := RunFig13(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Final < p.Samples*9/10 {
+		t.Fatalf("final clusters = %d of %d samples — ASLR defense failed", r.Final, p.Samples)
+	}
+}
+
+func TestFig13Validation(t *testing.T) {
+	p := SmallFig13Params()
+	p.SamplePages = p.MemoryPages + 1
+	if _, err := RunFig13(p); err == nil {
+		t.Fatal("oversized sample accepted")
+	}
+	p = SmallFig13Params()
+	p.Samples = 0
+	if _, err := RunFig13(p); err == nil {
+		t.Fatal("0 samples accepted")
+	}
+}
+
+func TestDDR2(t *testing.T) {
+	r, err := RunDDR2(SmallDDR2Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IdentifyCorrect != r.IdentifyTotal {
+		t.Fatalf("identification %d/%d", r.IdentifyCorrect, r.IdentifyTotal)
+	}
+	if r.BowleySkew >= -0.05 {
+		t.Fatalf("DDR2 Bowley skew = %v, want clearly negative (volatile-heavy)", r.BowleySkew)
+	}
+	if r.KMBowleySkew < -0.05 || r.KMBowleySkew > 0.05 {
+		t.Fatalf("KM41464A Bowley skew = %v, want ~0 (no skew)", r.KMBowleySkew)
+	}
+	if !strings.Contains(r.Render(), "DDR2") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunDDR2(DDR2Params{Chips: 1}); err == nil {
+		t.Fatal("1-chip DDR2 accepted")
+	}
+}
+
+func TestDefensesNoiseSweep(t *testing.T) {
+	r, err := RunDefenses(SmallDefensesParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Noise) != 3 {
+		t.Fatalf("%d rows", len(r.Noise))
+	}
+	clean := r.Noise[0]
+	if clean.IdentifyCorrect != clean.IdentifyTotal {
+		t.Fatalf("clean identification %d/%d", clean.IdentifyCorrect, clean.IdentifyTotal)
+	}
+	// Mean within-class distance grows with noise.
+	for i := 1; i < len(r.Noise); i++ {
+		if r.Noise[i].MeanWithin < r.Noise[i-1].MeanWithin {
+			t.Fatalf("within distance not increasing with noise: %+v", r.Noise)
+		}
+	}
+	if !strings.Contains(r.Render(), "defenses") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunDefenses(DefensesParams{Chips: 1, Outputs: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestAblationHamming(t *testing.T) {
+	r, err := RunAblationHamming(6, 32768, 0xAB1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.JaccardSeparable {
+		t.Fatalf("modified Jaccard not separable: within %v vs between %v",
+			r.JaccardWithinMax, r.JaccardBetweenMin)
+	}
+	if r.HammingSeparable {
+		t.Fatalf("Hamming unexpectedly separable (within %v < between %v) — the §5.2 failure mode did not reproduce",
+			r.HammingWithinMax, r.HammingBetweenMin)
+	}
+	if !strings.Contains(r.Render(), "Jaccard") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunAblationHamming(1, 32768, 1); err == nil {
+		t.Fatal("1-chip ablation accepted")
+	}
+}
+
+func TestAblationIntersect(t *testing.T) {
+	r, err := RunAblationIntersect(8, 32768, 0xAB2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NoiseBitsIntersect > r.NoiseBitsUnion {
+		t.Fatalf("intersection kept more noise (%d) than union (%d)",
+			r.NoiseBitsIntersect, r.NoiseBitsUnion)
+	}
+	if r.NoiseBitsUnion == 0 {
+		t.Fatal("union kept no noise — noise model inert")
+	}
+	if !strings.Contains(r.Render(), "intersection") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunAblationIntersect(1, 32768, 1); err == nil {
+		t.Fatal("1-trial ablation accepted")
+	}
+}
+
+func TestErrLoc(t *testing.T) {
+	r, err := RunErrLoc(SmallErrLocParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RecomputeIdentified != r.Total {
+		t.Fatalf("recompute identified %d/%d", r.RecomputeIdentified, r.Total)
+	}
+	if r.SpeculativeIdentified != r.Total {
+		t.Fatalf("speculative identified %d/%d", r.SpeculativeIdentified, r.Total)
+	}
+	if r.MedianRecall < 0.3 {
+		t.Fatalf("median recall = %v — estimator useless", r.MedianRecall)
+	}
+	if !strings.Contains(r.Render(), "error localization") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunErrLoc(ErrLocParams{Chips: 1}); err == nil {
+		t.Fatal("1-chip errloc accepted")
+	}
+	p := SmallErrLocParams()
+	p.W, p.H = 4096, 4096
+	if _, err := RunErrLoc(p); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}
+
+func TestCrossMechanism(t *testing.T) {
+	r, err := RunCrossMechanism(SmallCrossMechParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VoltOnRefreshFP != r.Total || r.RefreshOnVoltFP != r.Total {
+		t.Fatalf("cross-mechanism identification %d/%d and %d/%d, want all",
+			r.VoltOnRefreshFP, r.Total, r.RefreshOnVoltFP, r.Total)
+	}
+	if r.MeanWithinVR > 0.05 || r.MeanWithinRV > 0.05 {
+		t.Fatalf("cross-mechanism distances %v / %v too large", r.MeanWithinVR, r.MeanWithinRV)
+	}
+	if !strings.Contains(r.Render(), "mechanisms") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunCrossMechanism(CrossMechParams{Chips: 1}); err == nil {
+		t.Fatal("1-chip cross-mechanism accepted")
+	}
+}
+
+func TestScrambling(t *testing.T) {
+	r, err := RunScrambling(SmallScrambleParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlainIdentified != r.Total {
+		t.Fatalf("plain identification %d/%d", r.PlainIdentified, r.Total)
+	}
+	if r.ScrambledIdentified != 0 {
+		t.Fatalf("scrambled outputs identified %d times — defense failed", r.ScrambledIdentified)
+	}
+	if r.ScrambledClusters != r.Params.Outputs {
+		t.Fatalf("scrambled clusters = %d, want %d (each output unlinkable)",
+			r.ScrambledClusters, r.Params.Outputs)
+	}
+	// Quality unchanged within noise (both paths store half-charged data).
+	if diff := r.ScrambledErrRate - r.PlainErrRate; diff < -0.005 || diff > 0.005 {
+		t.Fatalf("scrambling changed the error rate: %v vs %v", r.PlainErrRate, r.ScrambledErrRate)
+	}
+	if !strings.Contains(r.Render(), "anonymity") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunScrambling(ScrambleParams{Chips: 1, Outputs: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestRefreshSchemes(t *testing.T) {
+	r, err := RunRefreshSchemes(DefaultRefreshSchemesParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlainOverlap < 0.9 || r.PartitionedApproxOverlap < 0.9 || r.RowAwareOverlap < 0.9 {
+		t.Fatalf("overlaps %v / %v / %v — fingerprint should persist under every scheme",
+			r.PlainOverlap, r.PartitionedApproxOverlap, r.RowAwareOverlap)
+	}
+	if r.ExactZoneErrors != 0 {
+		t.Fatalf("Flikker exact zone produced %d errors", r.ExactZoneErrors)
+	}
+	if !strings.Contains(r.Render(), "refresh architectures") {
+		t.Fatal("Render missing title")
+	}
+	p := DefaultRefreshSchemesParams()
+	p.ExactBytes = 0
+	if _, err := RunRefreshSchemes(p); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestAllocatorComparison(t *testing.T) {
+	r, err := RunAllocatorComparison(SmallAllocatorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UniformFinal != 1 {
+		t.Fatalf("uniform model did not converge: %d clusters", r.UniformFinal)
+	}
+	if r.SystemFinal < r.UniformFinal {
+		t.Fatalf("allocator realism cannot beat the uniform model: %d vs %d",
+			r.SystemFinal, r.UniformFinal)
+	}
+	if r.SystemFinal > r.Params.Samples/5 {
+		t.Fatalf("system model barely stitched: %d clusters of %d samples",
+			r.SystemFinal, r.Params.Samples)
+	}
+	if !strings.Contains(r.Render(), "allocator realism") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunAllocatorComparison(AllocatorParams{}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestCollisions(t *testing.T) {
+	r, err := RunCollisions(SmallCollisionParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Collisions != 0 {
+		t.Fatalf("%d collisions among independent fingerprints", r.Collisions)
+	}
+	if r.MinDistance < 0.5 {
+		t.Fatalf("min pairwise distance = %v — fingerprint space too small", r.MinDistance)
+	}
+	if r.Pairs != 200*199/2 {
+		t.Fatalf("pairs = %d", r.Pairs)
+	}
+	if r.AnalyticLog10 > -100 {
+		t.Fatalf("analytic bound log10 = %v — not astronomically small", r.AnalyticLog10)
+	}
+	if !strings.Contains(r.Render(), "Monte-Carlo") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunCollisions(CollisionParams{Fingerprints: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	r, err := RunThresholdSweep(corpus(t), DefaultThresholdSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlateauLo < 0 {
+		t.Fatal("no zero-error plateau — separation collapsed")
+	}
+	if !(r.ChosenThreshold >= r.PlateauLo && r.ChosenThreshold <= r.PlateauHi) {
+		t.Fatalf("default threshold %v outside plateau [%v, %v]",
+			r.ChosenThreshold, r.PlateauLo, r.PlateauHi)
+	}
+	// The plateau must span at least an order of magnitude.
+	if r.PlateauHi/r.PlateauLo < 10 {
+		t.Fatalf("plateau [%v, %v] narrower than one order of magnitude",
+			r.PlateauLo, r.PlateauHi)
+	}
+	if !strings.Contains(r.Render(), "plateau") {
+		t.Fatal("Render missing plateau")
+	}
+	if _, err := RunThresholdSweep(corpus(t), nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestFig13MultiVictim(t *testing.T) {
+	p := SmallFig13Params()
+	p.Victims = 3
+	p.Samples = 1500 // 500 per victim, enough for each to converge
+	r, err := RunFig13(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Final != 3 {
+		t.Fatalf("final clusters = %d, want exactly 3 (one per machine)", r.Final)
+	}
+}
+
+func TestUniquenessCSVs(t *testing.T) {
+	r7 := RunFig7(corpus(t))
+	csv := r7.CSV()
+	if !strings.HasPrefix(csv, "class,distance\n") || !strings.Contains(csv, "within,") || !strings.Contains(csv, "between,") {
+		t.Fatalf("fig7 CSV malformed: %.80s", csv)
+	}
+	r9 := RunFig9(corpus(t))
+	if !strings.HasPrefix(r9.GroupedDistances.CSV(), "temperature,distance\n") {
+		t.Fatal("fig9 CSV header wrong")
+	}
+	r11 := RunFig11(corpus(t))
+	if !strings.HasPrefix(r11.GroupedDistances.CSV(), "accuracy,distance\n") {
+		t.Fatal("fig11 CSV header wrong")
+	}
+}
+
+func TestModelCheck(t *testing.T) {
+	r, err := RunModelCheck(DefaultModelCheckParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both layers must show high repeatability, near-perfect subset
+	// ordering, and tiny cross-device overlap — and agree with each other.
+	if r.SimRepeatability < 0.95 || r.ModelRepeatability < 0.95 {
+		t.Fatalf("repeatability sim %v model %v", r.SimRepeatability, r.ModelRepeatability)
+	}
+	if r.SimSubsetFraction < 0.99 || r.ModelSubsetFraction < 0.99 {
+		t.Fatalf("subset fraction sim %v model %v", r.SimSubsetFraction, r.ModelSubsetFraction)
+	}
+	if r.SimCrossOverlap > 0.1 || r.ModelCrossOverlap > 0.1 {
+		t.Fatalf("cross overlap sim %v model %v", r.SimCrossOverlap, r.ModelCrossOverlap)
+	}
+	if diff := r.SimRepeatability - r.ModelRepeatability; diff < -0.05 || diff > 0.05 {
+		t.Fatalf("layers disagree on repeatability: %v vs %v", r.SimRepeatability, r.ModelRepeatability)
+	}
+	if !strings.Contains(r.Render(), "Model validation") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunModelCheck(ModelCheckParams{Trials: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestEnergyPrivacy(t *testing.T) {
+	r, err := RunEnergyPrivacy(SmallEnergyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExactInterval <= 0 {
+		t.Fatalf("exact interval = %v", r.ExactInterval)
+	}
+	prevRatio := 1.0
+	for _, row := range r.Rows {
+		// Lower accuracy → longer interval → less refresh energy.
+		if row.EnergyRatio >= prevRatio {
+			t.Fatalf("energy ratio not decreasing: %+v", r.Rows)
+		}
+		prevRatio = row.EnergyRatio
+		if row.EnergyRatio >= 1 {
+			t.Fatalf("approximate operation costs more than exact: %+v", row)
+		}
+		if row.Identified != row.Total {
+			t.Fatalf("accuracy %v: only %d/%d identified", row.Accuracy, row.Identified, row.Total)
+		}
+	}
+	if !strings.Contains(r.Render(), "refresh energy") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunEnergyPrivacy(EnergyParams{Chips: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestApps(t *testing.T) {
+	r, err := RunApps(SmallAppsParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VisionIdentified != r.Total || r.MLIdentified != r.Total || r.SensorIdentified != r.Total {
+		t.Fatalf("identification vision %d, ml %d, sensor %d of %d",
+			r.VisionIdentified, r.MLIdentified, r.SensorIdentified, r.Total)
+	}
+	if !strings.Contains(r.Render(), "application independent") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunApps(AppsParams{Chips: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	r, err := RunFig8(SmallFig8Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "bit,failures\n") || len(strings.Split(csv, "\n")) < 10 {
+		t.Fatalf("fig8 CSV malformed: %.60s", csv)
+	}
+}
+
+// TestIdentificationAcrossJEDECRange pushes temperature robustness beyond
+// the paper's 40–60 °C chamber sweep to the full JEDEC commercial range:
+// the adaptive controller retargets accuracy at every temperature, so the
+// failing-cell *set* — and therefore identification — is stable from 0 to
+// 85 °C.
+func TestIdentificationAcrossJEDECRange(t *testing.T) {
+	c := corpus(t)
+	db := newDBFromCorpus(c)
+	cfg := dramConfigForCorpus(c.Params, 0)
+	chip, err := newChipFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := newMemory(chip, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, temp := range []float64{0, 20, 40, 60, 85} {
+		if err := mem.SetTemperature(temp); err != nil {
+			t.Fatal(err)
+		}
+		a, e, err := mem.WorstCaseOutput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := errorStringOf(a, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, idx, ok := db.Identify(es); !ok || idx != 0 {
+			t.Fatalf("chip 0 not identified at %v°C (idx=%d ok=%v)", temp, idx, ok)
+		}
+	}
+}
+
+// Helpers for the JEDEC-range test, kept local to the test file.
+func newDBFromCorpus(c *Corpus) *fingerprint.DB {
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	for i, fp := range c.Fingerprints {
+		db.Add(fmt.Sprintf("chip%02d", i), fp)
+	}
+	return db
+}
+
+func dramConfigForCorpus(p CorpusParams, i int) dram.Config {
+	cfg := dram.KM41464A(p.Seed + uint64(i)*0x9E37)
+	cfg.Geometry = p.Geometry
+	return cfg
+}
+
+func newChipFromConfig(cfg dram.Config) (*dram.Chip, error) { return dram.NewChip(cfg) }
+
+func newMemory(chip *dram.Chip, acc float64) (*approx.Memory, error) {
+	return approx.New(chip, acc)
+}
+
+func errorStringOf(a, e []byte) (*bitset.Set, error) { return fingerprint.ErrorString(a, e) }
+
+func TestECCDefense(t *testing.T) {
+	r, err := RunECCDefense(SmallECCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VisibleErrRate >= r.RawErrRate {
+		t.Fatalf("ECC did not reduce the error rate: %v vs %v", r.VisibleErrRate, r.RawErrRate)
+	}
+	if r.VisibleErrRate == 0 {
+		t.Fatal("ECC removed all errors — multi-bit words should survive at 1% raw error")
+	}
+	if r.Identified != r.Total {
+		t.Fatalf("identification through ECC %d/%d", r.Identified, r.Total)
+	}
+	if r.UncorrectableWords == 0 {
+		t.Fatal("no uncorrectable words")
+	}
+	if !strings.Contains(r.Render(), "SEC-DED") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunECCDefense(ECCParams{Chips: 1, Words: 1}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	p := SmallECCParams()
+	p.Words = 1 << 20
+	if _, err := RunECCDefense(p); err == nil {
+		t.Fatal("oversized words accepted")
+	}
+}
+
+func TestColdBoot(t *testing.T) {
+	r, err := RunColdBoot(DefaultColdBootParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTempOff := map[[2]float64]float64{}
+	for _, c := range r.Cells {
+		if c.Recovered < 0 || c.Recovered > 1 {
+			t.Fatalf("recovered fraction %v", c.Recovered)
+		}
+		byTempOff[[2]float64{c.TempC, c.OffTime}] = c.Recovered
+	}
+	// Colder transport preserves more at every off-time.
+	for _, off := range r.Params.OffTimes {
+		cold := byTempOff[[2]float64{-20, off}]
+		warm := byTempOff[[2]float64{40, off}]
+		if cold < warm {
+			t.Fatalf("cold (%v) recovered less than warm (%v) at %vs", cold, warm, off)
+		}
+	}
+	// At -20°C even 60s off keeps essentially the whole key; at 40°C it is
+	// badly damaged.
+	if byTempOff[[2]float64{-20, 60}] < 0.99 {
+		t.Fatalf("cold transport lost too much: %v", byTempOff[[2]float64{-20, 60}])
+	}
+	if byTempOff[[2]float64{40, 60}] > 0.5 {
+		t.Fatalf("warm transport preserved too much: %v", byTempOff[[2]float64{40, 60}])
+	}
+	if !strings.Contains(r.Render(), "cold-boot") {
+		t.Fatal("Render missing title")
+	}
+	if _, err := RunColdBoot(ColdBootParams{}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/drammodel"
+	"probablecause/internal/osmodel"
+	"probablecause/internal/stitch"
+	"probablecause/internal/workload"
+)
+
+// Fig13Params parameterizes the end-to-end eavesdropping experiment (§7.6):
+// a commodity system publishing approximate outputs that the attacker
+// stitches into a system-level fingerprint.
+type Fig13Params struct {
+	// MemoryPages is the victim's physical memory in 4 KB pages.
+	MemoryPages int
+	// SamplePages is the size of each published output in pages (a 10 MB
+	// photo = 2560 pages in the paper).
+	SamplePages int
+	Samples     int
+	ErrRate     float64
+	// Scattered enables the page-ASLR defense placement.
+	Scattered bool
+	// MinOverlap is the stitcher's alignment requirement.
+	MinOverlap int
+	// Victims is the number of distinct machines whose outputs are
+	// interleaved in the observed stream (the paper uses one; with more,
+	// the curve must converge to exactly that many clusters).
+	Victims int
+	Seed    uint64
+}
+
+// DefaultFig13Params runs the paper's geometry scaled down 16× (64 MB memory,
+// 0.625 MB samples). The memory:sample ratio — which determines the shape of
+// the convergence curve — is the paper's 102.4:1. Use PaperScaleFig13Params
+// for the full 1 GB run.
+func DefaultFig13Params() Fig13Params {
+	return Fig13Params{
+		MemoryPages: 16384, // 64 MB
+		SamplePages: 160,   // keeps the paper's 102.4:1 ratio
+		Samples:     1000,
+		ErrRate:     0.01,
+		MinOverlap:  1,
+		Seed:        0xF163,
+	}
+}
+
+// PaperScaleFig13Params is the paper's full configuration: 1 GB memory,
+// 10 MB samples, 1000 samples.
+func PaperScaleFig13Params() Fig13Params {
+	p := DefaultFig13Params()
+	p.MemoryPages = 262144 // 1 GB
+	p.SamplePages = 2560   // 10 MB
+	return p
+}
+
+// SmallFig13Params returns a fast configuration for tests. The memory:sample
+// ratio is reduced to 32:1 so the curve converges within 300 samples
+// (uniform-interval coverage gives E[clusters] ≈ n·e^(−n·ℓ/L); convergence
+// needs n ≈ 10·L/ℓ samples, which at the paper's 102:1 ratio means the full
+// 1000-sample run).
+func SmallFig13Params() Fig13Params {
+	p := DefaultFig13Params()
+	p.MemoryPages = 256
+	p.SamplePages = 8
+	p.Samples = 300
+	return p
+}
+
+func (p Fig13Params) validate() error {
+	if p.MemoryPages <= 0 || p.SamplePages <= 0 || p.SamplePages > p.MemoryPages {
+		return fmt.Errorf("experiment: bad fig13 geometry %+v", p)
+	}
+	if p.Samples <= 0 {
+		return fmt.Errorf("experiment: no samples requested")
+	}
+	return nil
+}
+
+// Fig13Result is the convergence curve of Figure 13: suspected distinct
+// chips as a function of samples observed.
+type Fig13Result struct {
+	Params Fig13Params
+	// Clusters[i] is the cluster count after sample i+1.
+	Clusters []int
+	Peak     int
+	// PeakAt is the sample index (1-based) where the count first reached
+	// its maximum — where convergence begins (the paper reports ~90).
+	PeakAt int
+	// Final is the cluster count after all samples (the paper's curve
+	// approaches 1).
+	Final int
+	// CoveredPages is the attacker database size at the end.
+	CoveredPages int
+}
+
+// RunFig13 streams samples from the victim model into the stitcher.
+func RunFig13(p Fig13Params) (*Fig13Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	victims := p.Victims
+	if victims < 1 {
+		victims = 1
+	}
+	srcs := make([]*workload.SampleSource, victims)
+	for v := range srcs {
+		model := drammodel.New(p.Seed + uint64(v)*0xD1CE)
+		mem, err := osmodel.NewMemory(p.MemoryPages, p.Seed^0x9E3779B9^uint64(v))
+		if err != nil {
+			return nil, err
+		}
+		var placer osmodel.Placer = mem
+		if p.Scattered {
+			placer = osmodel.Scattered{Memory: mem}
+		}
+		src, err := workload.NewSampleSource(model, placer, p.ErrRate, p.SamplePages)
+		if err != nil {
+			return nil, err
+		}
+		srcs[v] = src
+	}
+	st, err := stitch.New(stitch.Config{MinOverlap: p.MinOverlap})
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig13Result{Params: p}
+	for i := 0; i < p.Samples; i++ {
+		sample, _, err := srcs[i%victims].Next()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := st.Add(sample); err != nil {
+			return nil, err
+		}
+		count := st.Count()
+		r.Clusters = append(r.Clusters, count)
+		if count > r.Peak {
+			r.Peak = count
+			r.PeakAt = i + 1
+		}
+	}
+	r.Final = st.Count()
+	r.CoveredPages = st.CoveredPages()
+	return r, nil
+}
+
+// Series returns (samples, clusters) pairs subsampled to at most n points,
+// the data behind the Figure 13 curve.
+func (r *Fig13Result) Series(n int) [][2]int {
+	if n <= 0 || n > len(r.Clusters) {
+		n = len(r.Clusters)
+	}
+	out := make([][2]int, 0, n)
+	step := float64(len(r.Clusters)) / float64(n)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i)*step + step - 1)
+		if idx >= len(r.Clusters) {
+			idx = len(r.Clusters) - 1
+		}
+		out = append(out, [2]int{idx + 1, r.Clusters[idx]})
+	}
+	return out
+}
+
+// CSV renders the full curve as "samples,suspected_chips".
+func (r *Fig13Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("samples,suspected_chips\n")
+	for i, c := range r.Clusters {
+		fmt.Fprintf(&b, "%d,%d\n", i+1, c)
+	}
+	return b.String()
+}
+
+// Render prints the curve as an ASCII chart plus the headline numbers.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 13 — suspected chips vs samples collected (stitching convergence)\n\n")
+	fmt.Fprintf(&b, "memory %d pages (%.0f MB), samples of %d pages (%.2f MB), ratio %.1f:1\n",
+		r.Params.MemoryPages, float64(r.Params.MemoryPages)/256,
+		r.Params.SamplePages, float64(r.Params.SamplePages)/256,
+		float64(r.Params.MemoryPages)/float64(r.Params.SamplePages))
+	points := r.Series(25)
+	max := 1
+	for _, p := range points {
+		if p[1] > max {
+			max = p[1]
+		}
+	}
+	for _, p := range points {
+		bar := p[1] * 50 / max
+		fmt.Fprintf(&b, "%6d | %-50s %d\n", p[0], strings.Repeat("#", bar), p[1])
+	}
+	fmt.Fprintf(&b, "\npeak %d clusters at sample %d; final %d cluster(s); database %d pages\n",
+		r.Peak, r.PeakAt, r.Final, r.CoveredPages)
+	b.WriteString("(paper: convergence begins after ~90 samples and approaches a single fingerprint)\n")
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/imaging"
+	"probablecause/internal/workload"
+)
+
+// Fig5Params parameterizes the visual-comparison experiment: one image
+// stored on the same chip at two temperatures and on a second chip.
+type Fig5Params struct {
+	Geometry dram.Geometry
+	W, H     int
+	Accuracy float64
+	TempA1   float64 // first output of chip A
+	TempA2   float64 // second output of chip A
+	TempB    float64 // output of chip B
+	SeedA    uint64
+	SeedB    uint64
+	ImgSeed  uint64
+}
+
+// DefaultFig5Params matches the paper: a 200×154 black-and-white image at a
+// refresh rate yielding 1 % worst-case error, two temperatures for chip A.
+func DefaultFig5Params() Fig5Params {
+	return Fig5Params{
+		Geometry: dram.KM41464A(0).Geometry,
+		W:        200, H: 154,
+		Accuracy: 0.99,
+		TempA1:   40, TempA2: 60, TempB: 40,
+		SeedA: 0x515A, SeedB: 0x515B, ImgSeed: 0x1516,
+	}
+}
+
+// SmallFig5Params returns a reduced setup for tests.
+func SmallFig5Params() Fig5Params {
+	p := DefaultFig5Params()
+	p.Geometry = dram.Geometry{Rows: 128, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	p.W, p.H = 100, 77
+	return p
+}
+
+// Fig5Result holds the three approximate images and their pairwise error-
+// pattern distances: visually, (a) and (b) share error structure while (c)
+// does not.
+type Fig5Result struct {
+	Params             Fig5Params
+	Exact              *imaging.Image
+	OutA1, OutA2, OutB *imaging.Image
+	PixelErrs          [3]int // corrupted pixels per output
+	DistA1A2           float64
+	DistA1B, DistA2B   float64
+}
+
+// RunFig5 stores the image on both chips and collects the outputs.
+func RunFig5(p Fig5Params) (*Fig5Result, error) {
+	if p.W*p.H > p.Geometry.Bytes() {
+		return nil, fmt.Errorf("experiment: %dx%d image exceeds %d-byte chip", p.W, p.H, p.Geometry.Bytes())
+	}
+	job := workload.NewBinaryImageJob(p.W, p.H, p.ImgSeed, 64)
+
+	mkMem := func(seed uint64) (*approx.Memory, error) {
+		cfg := dram.KM41464A(seed)
+		cfg.Geometry = p.Geometry
+		chip, err := dram.NewChip(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return approx.New(chip, p.Accuracy)
+	}
+	memA, err := mkMem(p.SeedA)
+	if err != nil {
+		return nil, err
+	}
+	memB, err := mkMem(p.SeedB)
+	if err != nil {
+		return nil, err
+	}
+
+	capture := func(mem *approx.Memory, temp float64) (*imaging.Image, error) {
+		if err := mem.SetTemperature(temp); err != nil {
+			return nil, err
+		}
+		return job.RunApprox(mem, 0)
+	}
+	r := &Fig5Result{Params: p, Exact: job.Exact}
+	if r.OutA1, err = capture(memA, p.TempA1); err != nil {
+		return nil, err
+	}
+	if r.OutA2, err = capture(memA, p.TempA2); err != nil {
+		return nil, err
+	}
+	if r.OutB, err = capture(memB, p.TempB); err != nil {
+		return nil, err
+	}
+	for i, out := range []*imaging.Image{r.OutA1, r.OutA2, r.OutB} {
+		d, err := out.DiffCount(job.Exact)
+		if err != nil {
+			return nil, err
+		}
+		r.PixelErrs[i] = d
+	}
+
+	es := func(out *imaging.Image) (*bitset.Set, error) {
+		return fingerprint.ErrorString(out.Bytes(), job.Exact.Bytes())
+	}
+	a1, err := es(r.OutA1)
+	if err != nil {
+		return nil, err
+	}
+	a2, err := es(r.OutA2)
+	if err != nil {
+		return nil, err
+	}
+	bOut, err := es(r.OutB)
+	if err != nil {
+		return nil, err
+	}
+	r.DistA1A2 = fingerprint.Distance(a1, a2)
+	r.DistA1B = fingerprint.Distance(a1, bOut)
+	r.DistA2B = fingerprint.Distance(a2, bOut)
+	return r, nil
+}
+
+// Render prints the pairwise distances; PGMs lets callers write the images.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — one image, two chips, visual error patterns\n\n")
+	fmt.Fprintf(&b, "image: %dx%d B/W at %.0f%% accuracy\n", r.Params.W, r.Params.H, r.Params.Accuracy*100)
+	fmt.Fprintf(&b, "(a) chip A @ %.0f°C: %d corrupted pixels\n", r.Params.TempA1, r.PixelErrs[0])
+	fmt.Fprintf(&b, "(b) chip A @ %.0f°C: %d corrupted pixels\n", r.Params.TempA2, r.PixelErrs[1])
+	fmt.Fprintf(&b, "(c) chip B @ %.0f°C: %d corrupted pixels\n", r.Params.TempB, r.PixelErrs[2])
+	fmt.Fprintf(&b, "\ndistance (a)↔(b) same chip:      %.4f\n", r.DistA1A2)
+	fmt.Fprintf(&b, "distance (a)↔(c) different chip: %.4f\n", r.DistA1B)
+	fmt.Fprintf(&b, "distance (b)↔(c) different chip: %.4f\n", r.DistA2B)
+	b.WriteString("(paper: same-chip outputs share visible error structure; the other chip shares none)\n")
+	return b.String()
+}
+
+// PGMs returns the three outputs plus the exact image as named PGM files.
+func (r *Fig5Result) PGMs() map[string][]byte {
+	return map[string][]byte{
+		"fig5_exact.pgm":       r.Exact.EncodePGM(),
+		"fig5_a_chipA_40C.pgm": r.OutA1.EncodePGM(),
+		"fig5_b_chipA_60C.pgm": r.OutA2.EncodePGM(),
+		"fig5_c_chipB.pgm":     r.OutB.EncodePGM(),
+	}
+}

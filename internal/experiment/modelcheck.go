@@ -1,0 +1,155 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/fingerprint"
+)
+
+// ModelCheckParams parameterizes the model-validation experiment: the paper
+// derives its mathematical model (§7.6) from platform measurements; here we
+// verify that our two DRAM layers — the cell-level simulator and the
+// stateless mathematical model — exhibit the same statistical signatures.
+type ModelCheckParams struct {
+	Geometry dram.Geometry
+	Trials   int
+	Seed     uint64
+}
+
+// DefaultModelCheckParams compares the layers on one 8 KB device each.
+func DefaultModelCheckParams() ModelCheckParams {
+	return ModelCheckParams{
+		Geometry: dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2},
+		Trials:   10,
+		Seed:     0x30DE,
+	}
+}
+
+// ModelCheckResult holds the per-layer statistics side by side.
+type ModelCheckResult struct {
+	Params ModelCheckParams
+	// Repeatability: fraction of ever-failing bits failing in every trial.
+	SimRepeatability, ModelRepeatability float64
+	// SubsetFraction: order-of-failure subset fraction from 1 % to 5 % error.
+	SimSubsetFraction, ModelSubsetFraction float64
+	// CrossOverlap: |errors(deviceA) ∩ errors(deviceB)| / |errors| between
+	// two distinct devices at 1 % error.
+	SimCrossOverlap, ModelCrossOverlap float64
+}
+
+// RunModelCheck measures both layers.
+func RunModelCheck(p ModelCheckParams) (*ModelCheckResult, error) {
+	if p.Trials < 2 {
+		return nil, fmt.Errorf("experiment: need ≥2 trials")
+	}
+	r := &ModelCheckResult{Params: p}
+
+	// --- Cell-level simulator ---
+	simErrors := func(seed uint64, accuracy float64, trials int) ([]*bitset.Set, error) {
+		cfg := dram.KM41464A(seed)
+		cfg.Geometry = p.Geometry
+		chip, err := dram.NewChip(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := approx.New(chip, accuracy)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*bitset.Set, trials)
+		for t := range out {
+			a, e, err := mem.WorstCaseOutput()
+			if err != nil {
+				return nil, err
+			}
+			if out[t], err = fingerprint.ErrorString(a, e); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	simA99, err := simErrors(p.Seed, 0.99, p.Trials)
+	if err != nil {
+		return nil, err
+	}
+	r.SimRepeatability = repeatabilityDense(simA99)
+	simA95, err := simErrors(p.Seed, 0.95, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.SimSubsetFraction = 1 - float64(simA99[0].AndNotCount(simA95[0]))/float64(simA99[0].Count())
+	simB99, err := simErrors(p.Seed+1, 0.99, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.SimCrossOverlap = float64(simA99[0].AndCount(simB99[0])) / float64(simA99[0].Count())
+
+	// --- Mathematical model (same page size as the simulated chip) ---
+	mA := drammodel.New(p.Seed)
+	mA.PageBits = p.Geometry.Bits()
+	mB := drammodel.New(p.Seed + 1)
+	mB.PageBits = p.Geometry.Bits()
+	modelTrials := make([]bitset.Sparse, p.Trials)
+	for t := range modelTrials {
+		es, err := mA.PageErrors(0, 0.01, uint64(t))
+		if err != nil {
+			return nil, err
+		}
+		modelTrials[t] = es
+	}
+	r.ModelRepeatability = repeatabilitySparse(modelTrials)
+	m95, err := mA.PageErrors(0, 0.05, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.ModelSubsetFraction = 1 - float64(modelTrials[0].DiffCount(m95))/float64(modelTrials[0].Card())
+	b99, err := mB.PageErrors(0, 0.01, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.ModelCrossOverlap = float64(modelTrials[0].IntersectCount(b99)) / float64(modelTrials[0].Card())
+	return r, nil
+}
+
+func repeatabilityDense(sets []*bitset.Set) float64 {
+	inter := sets[0].Clone()
+	union := sets[0].Clone()
+	for _, s := range sets[1:] {
+		inter.And(s)
+		union.Or(s)
+	}
+	if union.Count() == 0 {
+		return 0
+	}
+	return float64(inter.Count()) / float64(union.Count())
+}
+
+func repeatabilitySparse(sets []bitset.Sparse) float64 {
+	inter, union := sets[0], sets[0]
+	for _, s := range sets[1:] {
+		inter = inter.Intersect(s)
+		union = union.Union(s)
+	}
+	if union.Card() == 0 {
+		return 0
+	}
+	return float64(inter.Card()) / float64(union.Card())
+}
+
+// Render prints the layer comparison.
+func (r *ModelCheckResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Model validation — cell-level simulator vs mathematical model\n\n")
+	fmt.Fprintf(&b, "%-36s %-14s %-14s\n", "statistic", "simulator", "model")
+	fmt.Fprintf(&b, "%-36s %-14.4f %-14.4f\n", "repeatability (∩/∪ over trials)", r.SimRepeatability, r.ModelRepeatability)
+	fmt.Fprintf(&b, "%-36s %-14.4f %-14.4f\n", "subset fraction 1%→5% error", r.SimSubsetFraction, r.ModelSubsetFraction)
+	fmt.Fprintf(&b, "%-36s %-14.4f %-14.4f\n", "cross-device error overlap", r.SimCrossOverlap, r.ModelCrossOverlap)
+	b.WriteString("\n(the paper distills platform measurements into its model the same way;\n")
+	b.WriteString(" both layers must agree on the signatures the attack relies on)\n")
+	return b.String()
+}

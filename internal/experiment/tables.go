@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"probablecause/internal/analysis"
+	"probablecause/internal/dram"
+)
+
+// Table1Params pins the analytical model's parameters: one page of memory at
+// 99 % accuracy with a 10 % noise threshold.
+type Table1Params struct {
+	M int // page size in bits
+	A int // tolerated error bits
+	T int // matching threshold in bits
+}
+
+// DefaultTable1Params returns the paper's header values: M = 32768, A = 1 %
+// of M = 328, T = 10 % of A = 32.
+func DefaultTable1Params() Table1Params {
+	return Table1Params{M: dram.PageBits, A: 328, T: 32}
+}
+
+// Table1Result holds the rows of Table 1 alongside the paper's printed
+// values. Our numbers are exact big-integer computations; the paper's
+// entropy row corresponds to T = 33 (see AltEntropyBits), so we report both.
+type Table1Result struct {
+	Params Table1Params
+
+	MaxUnique          string // C(M, A), paper "Max possible fingerprints"
+	DistinguishableLow string // Eq. 2 lower bound, paper "Max unique fingerprints ≥"
+	MismatchHigh       string // Eq. 3 upper bound, paper "Chance of mismatching ≤"
+	EntropyBits        float64
+	AltEntropyBits     float64 // with T = ceil(10%·A) = 33, the paper's printed 2423
+
+	PaperMaxUnique    string
+	PaperDistLow      string
+	PaperMismatchHigh string
+	PaperEntropyBits  float64
+}
+
+// RunTable1 evaluates Equations 1–4 at the Table 1 parameters.
+func RunTable1(p Table1Params) (*Table1Result, error) {
+	if p.M <= 0 || p.A <= p.T || p.T < 0 {
+		return nil, fmt.Errorf("experiment: bad table-1 parameters %+v", p)
+	}
+	s := analysis.FingerprintSpace{M: p.M, A: p.A, T: p.T}
+	lower, _ := s.DistinguishableBounds()
+	_, upper := s.MismatchBounds()
+	alt := analysis.FingerprintSpace{M: p.M, A: p.A, T: p.T + 1}
+	return &Table1Result{
+		Params:             p,
+		MaxUnique:          analysis.Sci(s.MaxUnique(), 2),
+		DistinguishableLow: lower.Text('e', 2),
+		MismatchHigh:       upper.Text('e', 2),
+		EntropyBits:        s.TotalEntropyBits(),
+		AltEntropyBits:     alt.TotalEntropyBits(),
+		PaperMaxUnique:     "8.70e+795",
+		PaperDistLow:       "1.07e+590",
+		PaperMismatchHigh:  "9.29e-591",
+		PaperEntropyBits:   2423,
+	}, nil
+}
+
+// Render prints Table 1 with a paper-vs-exact comparison column.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — fingerprint space for one page of memory\n")
+	fmt.Fprintf(&b, "M = %d bits, A = %d error bits (1%%), T = %d bits (10%% of A)\n\n", r.Params.M, r.Params.A, r.Params.T)
+	fmt.Fprintf(&b, "%-32s %-14s %-14s\n", "quantity", "exact (ours)", "paper")
+	fmt.Fprintf(&b, "%-32s %-14s %-14s\n", "max possible fingerprints", r.MaxUnique, r.PaperMaxUnique)
+	fmt.Fprintf(&b, "%-32s %-14s %-14s\n", "max unique fingerprints ≥", r.DistinguishableLow, r.PaperDistLow)
+	fmt.Fprintf(&b, "%-32s %-14s %-14s\n", "chance of mismatching ≤", r.MismatchHigh, r.PaperMismatchHigh)
+	fmt.Fprintf(&b, "%-32s %-14.1f %-14.0f\n", "total entropy (bits)", r.EntropyBits, r.PaperEntropyBits)
+	fmt.Fprintf(&b, "\n(with T = %d, entropy is %.1f bits — the paper's printed 2423 matches T = ceil(10%%·A);\n",
+		r.Params.T+1, r.AltEntropyBits)
+	b.WriteString(" exponents agree with the paper within a few decades; the conclusion —\n")
+	b.WriteString(" a fingerprint space astronomically larger than any device population — is unchanged)\n")
+	return b.String()
+}
+
+// Table2Params sweeps the accuracy levels of Table 2.
+type Table2Params struct {
+	M          int
+	Accuracies []float64
+}
+
+// DefaultTable2Params returns the paper's sweep.
+func DefaultTable2Params() Table2Params {
+	return Table2Params{M: dram.PageBits, Accuracies: []float64{0.99, 0.95, 0.90}}
+}
+
+// Table2Row is one accuracy level's mismatch bound.
+type Table2Row struct {
+	Accuracy     float64
+	A, T         int
+	MismatchHigh string
+	Log10        float64
+}
+
+// Table2Result holds the sweep with the paper's printed bounds.
+type Table2Result struct {
+	Params Table2Params
+	Rows   []Table2Row
+	Paper  []string
+}
+
+// RunTable2 evaluates the mismatch bound at every accuracy level.
+func RunTable2(p Table2Params) (*Table2Result, error) {
+	if p.M <= 0 || len(p.Accuracies) == 0 {
+		return nil, fmt.Errorf("experiment: bad table-2 parameters %+v", p)
+	}
+	r := &Table2Result{Params: p, Paper: []string{"9.29e-591", "8.78e-2028", "4.76e-3232"}}
+	for _, acc := range p.Accuracies {
+		a := int(float64(p.M)*(1-acc) + 0.5)
+		t := a / 10
+		s := analysis.FingerprintSpace{M: p.M, A: a, T: t}
+		_, upper := s.MismatchBounds()
+		r.Rows = append(r.Rows, Table2Row{
+			Accuracy:     acc,
+			A:            a,
+			T:            t,
+			MismatchHigh: upper.Text('e', 2),
+			Log10:        analysis.Log10Float(upper),
+		})
+	}
+	return r, nil
+}
+
+// Render prints Table 2 with the paper comparison.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — chance of mismatching two pages vs accuracy\n\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-6s %-14s %-14s\n", "accuracy", "A", "T", "exact ≤", "paper ≤")
+	for i, row := range r.Rows {
+		paper := ""
+		if i < len(r.Paper) {
+			paper = r.Paper[i]
+		}
+		fmt.Fprintf(&b, "%-10.0f%% %-7d %-6d %-14s %-14s\n", row.Accuracy*100, row.A, row.T, row.MismatchHigh, paper)
+	}
+	b.WriteString("\n(decreasing accuracy causes an exponential increase in fingerprint state space)\n")
+	return b.String()
+}

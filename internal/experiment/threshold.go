@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"probablecause/internal/fingerprint"
+)
+
+// ThresholdRow is the attack's error profile at one candidate threshold.
+type ThresholdRow struct {
+	Threshold float64
+	// FalseRejects: same-chip outputs whose distance exceeded the threshold.
+	FalseRejects int
+	// FalseAccepts: other-chip outputs under the threshold.
+	FalseAccepts int
+}
+
+// ThresholdResult reproduces the paper's experimental threshold
+// determination (§5.2 defers to §7): sweeping the identification threshold
+// over the uniqueness corpus and reporting false-accept / false-reject
+// counts. The two-orders-of-magnitude separation shows up as a wide plateau
+// of thresholds with zero errors of either kind.
+type ThresholdResult struct {
+	Rows []ThresholdRow
+	// PlateauLo and PlateauHi bound the zero-error threshold region.
+	PlateauLo, PlateauHi float64
+	// ChosenThreshold is the library default, which must sit inside the
+	// plateau.
+	ChosenThreshold float64
+	WithinTotal     int
+	BetweenTotal    int
+}
+
+// RunThresholdSweep evaluates candidate thresholds against a corpus.
+func RunThresholdSweep(c *Corpus, thresholds []float64) (*ThresholdResult, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("experiment: empty threshold sweep")
+	}
+	ts := append([]float64(nil), thresholds...)
+	sort.Float64s(ts)
+
+	var within, between []float64
+	for _, out := range c.Outputs {
+		for i, fp := range c.Fingerprints {
+			d := fingerprint.Distance(out.Errors, fp)
+			if i == out.Chip {
+				within = append(within, d)
+			} else {
+				between = append(between, d)
+			}
+		}
+	}
+	r := &ThresholdResult{
+		ChosenThreshold: fingerprint.DefaultThreshold,
+		WithinTotal:     len(within),
+		BetweenTotal:    len(between),
+		PlateauLo:       -1,
+		PlateauHi:       -1,
+	}
+	for _, t := range ts {
+		row := ThresholdRow{Threshold: t}
+		for _, d := range within {
+			if d >= t {
+				row.FalseRejects++
+			}
+		}
+		for _, d := range between {
+			if d < t {
+				row.FalseAccepts++
+			}
+		}
+		r.Rows = append(r.Rows, row)
+		if row.FalseRejects == 0 && row.FalseAccepts == 0 {
+			if r.PlateauLo < 0 {
+				r.PlateauLo = t
+			}
+			r.PlateauHi = t
+		}
+	}
+	return r, nil
+}
+
+// DefaultThresholdSweep is a log-ish sweep from well below the within-class
+// cloud to well inside the between-class cloud.
+func DefaultThresholdSweep() []float64 {
+	return []float64{0.001, 0.003, 0.01, 0.03, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95}
+}
+
+// Render prints the sweep table.
+func (r *ThresholdResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§7 — experimental determination of the identification threshold\n\n")
+	fmt.Fprintf(&b, "%-12s %-20s %-20s\n", "threshold", "false rejects", "false accepts")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12g %4d/%-15d %4d/%-15d\n",
+			row.Threshold, row.FalseRejects, r.WithinTotal, row.FalseAccepts, r.BetweenTotal)
+	}
+	if r.PlateauLo >= 0 {
+		fmt.Fprintf(&b, "\nzero-error plateau: [%g, %g]; library default %g sits inside: %v\n",
+			r.PlateauLo, r.PlateauHi, r.ChosenThreshold,
+			r.ChosenThreshold >= r.PlateauLo && r.ChosenThreshold <= r.PlateauHi)
+	} else {
+		b.WriteString("\nno zero-error threshold exists for this corpus\n")
+	}
+	b.WriteString("(the wide plateau is the two-orders-of-magnitude separation of Figure 7:\n")
+	b.WriteString(" any threshold in the gap works, so the choice is uncritical)\n")
+	return b.String()
+}

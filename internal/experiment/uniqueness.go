@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"probablecause/internal/analysis"
+	"probablecause/internal/fingerprint"
+)
+
+// Fig7Result reproduces Figure 7: the histogram of within-class (same chip)
+// and between-class (other chips) fingerprint distances over every
+// (output, fingerprint) pairing, plus the identification outcome.
+type Fig7Result struct {
+	Within, Between []float64
+	WithinSummary   analysis.Summary
+	BetweenSummary  analysis.Summary
+	// Separation is min(between) / max(within) — the paper reports two
+	// orders of magnitude. +Inf when every within-class distance is 0.
+	Separation float64
+	// IdentifyCorrect / IdentifyTotal summarize Algorithm 2 over all
+	// outputs against the fingerprint database (the paper reports 100 %).
+	IdentifyCorrect, IdentifyTotal int
+}
+
+// RunFig7 computes distances and identification results over a corpus.
+func RunFig7(c *Corpus) *Fig7Result {
+	r := &Fig7Result{}
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	for i, fp := range c.Fingerprints {
+		db.Add(fmt.Sprintf("chip%02d", i), fp)
+	}
+	for _, out := range c.Outputs {
+		for i, fp := range c.Fingerprints {
+			d := fingerprint.Distance(out.Errors, fp)
+			if i == out.Chip {
+				r.Within = append(r.Within, d)
+			} else {
+				r.Between = append(r.Between, d)
+			}
+		}
+		if _, idx, ok := db.Identify(out.Errors); ok && idx == out.Chip {
+			r.IdentifyCorrect++
+		}
+		r.IdentifyTotal++
+	}
+	r.WithinSummary = analysis.Summarize(r.Within)
+	r.BetweenSummary = analysis.Summarize(r.Between)
+	if r.WithinSummary.Max > 0 {
+		r.Separation = r.BetweenSummary.Min / r.WithinSummary.Max
+	} else {
+		r.Separation = inf()
+	}
+	return r
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Render prints the Figure 7 histogram and summary rows.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — within-class vs between-class fingerprint distance\n\n")
+	fmt.Fprintf(&b, "within-class  (%s)\n", r.WithinSummary)
+	hw := analysis.NewHistogram(0, 0.01, 20)
+	hw.AddAll(r.Within)
+	b.WriteString(hw.Render(50))
+	fmt.Fprintf(&b, "\nbetween-class (%s)\n", r.BetweenSummary)
+	hb := analysis.NewHistogram(0, 1, 50)
+	hb.AddAll(r.Between)
+	b.WriteString(hb.Render(50))
+	fmt.Fprintf(&b, "\nseparation min(between)/max(within) = %.3g (paper: ~2 orders of magnitude)\n", r.Separation)
+	fmt.Fprintf(&b, "identification: %d/%d correct (paper: 100%%)\n", r.IdentifyCorrect, r.IdentifyTotal)
+	return b.String()
+}
+
+// GroupedDistances holds between-class distances partitioned by a condition
+// value, as Figures 9 and 11 plot.
+type GroupedDistances struct {
+	Label     string
+	Keys      []float64
+	Groups    map[float64][]float64
+	Summaries map[float64]analysis.Summary
+}
+
+// Fig9Result reproduces Figure 9: between-class distance grouped by
+// temperature — the paper's claim is that temperature has no noticeable
+// effect.
+type Fig9Result struct {
+	GroupedDistances
+	// MeanSpread is (max group mean − min group mean) / overall mean; the
+	// temperature-insensitivity claim is that this is small.
+	MeanSpread float64
+}
+
+// RunFig9 groups the corpus's between-class distances by temperature.
+func RunFig9(c *Corpus) *Fig9Result {
+	r := &Fig9Result{GroupedDistances: groupBetween(c, "temperature", func(o Output) float64 { return o.TempC })}
+	r.MeanSpread = meanSpread(r.GroupedDistances)
+	return r
+}
+
+// Fig11Result reproduces Figure 11: between-class distance grouped by
+// accuracy. Lower accuracy means more error bits, more accidental overlap,
+// and smaller between-class distances — but still far above within-class.
+type Fig11Result struct {
+	GroupedDistances
+	// MeansByAccuracy lists (accuracy, mean distance) with accuracy
+	// ascending; the mean must increase with accuracy.
+	MeansMonotone bool
+	// MinBetween is the smallest between-class distance across all groups.
+	MinBetween float64
+}
+
+// RunFig11 groups the corpus's between-class distances by accuracy level.
+func RunFig11(c *Corpus) *Fig11Result {
+	r := &Fig11Result{GroupedDistances: groupBetween(c, "accuracy", func(o Output) float64 { return o.Accuracy })}
+	r.MeansMonotone = true
+	r.MinBetween = inf()
+	prev := -1.0
+	for _, k := range r.Keys {
+		s := r.Summaries[k]
+		if s.Mean < prev {
+			r.MeansMonotone = false
+		}
+		prev = s.Mean
+		if s.Min < r.MinBetween {
+			r.MinBetween = s.Min
+		}
+	}
+	return r
+}
+
+func groupBetween(c *Corpus, label string, key func(Output) float64) GroupedDistances {
+	g := GroupedDistances{Label: label, Groups: map[float64][]float64{}, Summaries: map[float64]analysis.Summary{}}
+	for _, out := range c.Outputs {
+		k := key(out)
+		for i, fp := range c.Fingerprints {
+			if i == out.Chip {
+				continue
+			}
+			g.Groups[k] = append(g.Groups[k], fingerprint.Distance(out.Errors, fp))
+		}
+	}
+	for k := range g.Groups {
+		g.Keys = append(g.Keys, k)
+		g.Summaries[k] = analysis.Summarize(g.Groups[k])
+	}
+	sort.Float64s(g.Keys)
+	return g
+}
+
+func meanSpread(g GroupedDistances) float64 {
+	var means []float64
+	for _, k := range g.Keys {
+		means = append(means, g.Summaries[k].Mean)
+	}
+	s := analysis.Summarize(means)
+	if s.Mean == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Mean
+}
+
+func renderGroups(b *strings.Builder, g GroupedDistances) {
+	for _, k := range g.Keys {
+		fmt.Fprintf(b, "%s = %g: %s\n", g.Label, k, g.Summaries[k])
+		h := analysis.NewHistogram(0.5, 1, 25)
+		h.AddAll(g.Groups[k])
+		b.WriteString(h.Render(40))
+		b.WriteString("\n")
+	}
+}
+
+// Render prints the Figure 9 grouped histograms.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — between-class distance grouped by temperature\n\n")
+	renderGroups(&b, r.GroupedDistances)
+	fmt.Fprintf(&b, "relative spread of group means = %.3g (paper: no noticeable effect)\n", r.MeanSpread)
+	return b.String()
+}
+
+// Render prints the Figure 11 grouped histograms.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — between-class distance grouped by accuracy\n\n")
+	renderGroups(&b, r.GroupedDistances)
+	fmt.Fprintf(&b, "mean distance increases with accuracy: %v (paper: yes)\n", r.MeansMonotone)
+	fmt.Fprintf(&b, "min between-class distance = %.3g (paper: still two orders above within-class)\n", r.MinBetween)
+	return b.String()
+}
+
+// CSV renders the Figure 7 distance distributions as
+// "class,distance" rows suitable for external plotting.
+func (r *Fig7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("class,distance\n")
+	for _, d := range r.Within {
+		fmt.Fprintf(&b, "within,%.6g\n", d)
+	}
+	for _, d := range r.Between {
+		fmt.Fprintf(&b, "between,%.6g\n", d)
+	}
+	return b.String()
+}
+
+// CSV renders grouped distances as "group,distance" rows.
+func (g GroupedDistances) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,distance\n", g.Label)
+	for _, k := range g.Keys {
+		for _, d := range g.Groups[k] {
+			fmt.Fprintf(&b, "%g,%.6g\n", k, d)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package fingerprint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"probablecause/internal/bitset"
+)
+
+// dbMagic identifies the fingerprint-database file format.
+var dbMagic = [6]byte{'P', 'C', 'D', 'B', '0', '1'}
+
+// WriteTo serializes the database (names, fingerprints, and threshold) in a
+// stable binary format. It implements io.WriterTo.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(dbMagic[:])); err != nil {
+		return n, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(len(db.entries)))
+	binary.LittleEndian.PutUint32(hdr[8:], math.Float32bits(float32(db.threshold)))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	for _, e := range db.entries {
+		if len(e.Name) > 0xFFFF {
+			return n, fmt.Errorf("fingerprint: name %q too long", e.Name[:32])
+		}
+		blob, err := e.FP.MarshalBinary()
+		if err != nil {
+			return n, err
+		}
+		var eh [6]byte
+		binary.LittleEndian.PutUint16(eh[:2], uint16(len(e.Name)))
+		binary.LittleEndian.PutUint32(eh[2:], uint32(len(blob)))
+		if err := count(bw.Write(eh[:])); err != nil {
+			return n, err
+		}
+		if err := count(bw.Write([]byte(e.Name))); err != nil {
+			return n, err
+		}
+		if err := count(bw.Write(blob)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDB deserializes a database written by WriteTo.
+func ReadDB(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("fingerprint: reading magic: %w", err)
+	}
+	if magic != dbMagic {
+		return nil, fmt.Errorf("fingerprint: not a fingerprint database (magic %q)", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("fingerprint: reading header: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:8])
+	if count > 1<<24 {
+		return nil, fmt.Errorf("fingerprint: implausible entry count %d", count)
+	}
+	db := NewDB(float64(math.Float32frombits(binary.LittleEndian.Uint32(hdr[8:]))))
+	for i := uint64(0); i < count; i++ {
+		var eh [6]byte
+		if _, err := io.ReadFull(br, eh[:]); err != nil {
+			return nil, fmt.Errorf("fingerprint: entry %d header: %w", i, err)
+		}
+		nameLen := binary.LittleEndian.Uint16(eh[:2])
+		blobLen := binary.LittleEndian.Uint32(eh[2:])
+		if blobLen > 1<<30 {
+			return nil, fmt.Errorf("fingerprint: entry %d implausibly large (%d bytes)", i, blobLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("fingerprint: entry %d name: %w", i, err)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("fingerprint: entry %d payload: %w", i, err)
+		}
+		var fp bitset.Set
+		if err := fp.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("fingerprint: entry %d (%s): %w", i, name, err)
+		}
+		db.Add(string(name), &fp)
+	}
+	return db, nil
+}

@@ -1,0 +1,101 @@
+package fingerprint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probablecause/internal/bitset"
+)
+
+func TestDBRoundTrip(t *testing.T) {
+	db := NewDB(0.07)
+	db.Add("alpha", bitset.FromPositions(1000, []uint32{1, 2, 3}))
+	db.Add("beta", bitset.FromPositions(2048, []uint32{100, 2000}))
+	db.Add("", bitset.New(8)) // empty name, empty fingerprint
+
+	var buf bytes.Buffer
+	n, err := db.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	if th := got.threshold; th < 0.069 || th > 0.071 {
+		t.Fatalf("threshold = %v", th)
+	}
+	for i, e := range got.Entries() {
+		want := db.Entries()[i]
+		if e.Name != want.Name || !e.FP.Equal(want.FP) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestDBEmptyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewDB(DefaultThreshold).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+}
+
+func TestReadDBRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",       // empty
+		"NOTDB1", // bad magic
+		"PCDB01", // truncated header
+		"PCDB01\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00", // count 1, no entry
+	}
+	for i, c := range cases {
+		if _, err := ReadDB(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadDBRejectsImplausibleCounts(t *testing.T) {
+	// Magic + count of 2^60 entries.
+	data := append([]byte("PCDB01"), make([]byte, 12)...)
+	data[6+7] = 0x10 // huge count
+	if _, err := ReadDB(bytes.NewReader(data)); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestDBRoundTripPreservesIdentification(t *testing.T) {
+	db := NewDB(DefaultThreshold)
+	fp := bitset.FromPositions(32768, []uint32{10, 20, 30, 40, 50, 60, 70, 80, 90, 100,
+		110, 120, 130, 140, 150, 160, 170, 180, 190, 200})
+	db.Add("victim", fp)
+
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := fp.Clone()
+	es.Set(9999) // extra error bit
+	name, _, ok := loaded.Identify(es)
+	if !ok || name != "victim" {
+		t.Fatalf("Identify after round trip = (%q, %v)", name, ok)
+	}
+}

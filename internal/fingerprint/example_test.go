@@ -1,0 +1,75 @@
+package fingerprint_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/fingerprint"
+)
+
+// ExampleCharacterize shows Algorithm 1: the fingerprint is the intersection
+// of the error strings of several approximate outputs.
+func ExampleCharacterize() {
+	exact := []byte{0x00, 0x00}
+	// Two outputs of the same chip: both flip bits 3 and 9; each adds one
+	// noise bit (5 and 12 respectively).
+	out1 := []byte{0x28, 0x02} // bits 3, 5, 9
+	out2 := []byte{0x08, 0x12} // bits 3, 9, 12
+
+	fp, err := fingerprint.Characterize(exact, out1, out2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fingerprint bits:", fp.Positions())
+	// Output:
+	// fingerprint bits: [3 9]
+}
+
+// ExampleDistance shows the modified Jaccard metric of Algorithm 3: a
+// same-chip output at a much higher error level still scores distance 0,
+// because every fingerprint bit is present in its error pattern.
+func ExampleDistance() {
+	fp := bitset.FromPositions(64, []uint32{3, 9})
+	// Same chip, heavier approximation: fingerprint bits plus many more.
+	heavy := bitset.FromPositions(64, []uint32{3, 9, 14, 21, 33, 40, 57})
+	// Different chip: disjoint error positions.
+	other := bitset.FromPositions(64, []uint32{7, 22, 48})
+
+	fmt.Printf("same chip:      %.2f\n", fingerprint.Distance(heavy, fp))
+	fmt.Printf("different chip: %.2f\n", fingerprint.Distance(other, fp))
+	// Output:
+	// same chip:      0.00
+	// different chip: 1.00
+}
+
+// ExampleDB_Identify shows Algorithm 2: scanning a fingerprint database for
+// the first entry within the threshold.
+func ExampleDB_Identify() {
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	db.Add("alice-laptop", bitset.FromPositions(64, []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}))
+	db.Add("bob-laptop", bitset.FromPositions(64, []uint32{40, 41, 42, 43, 44, 45, 46, 47, 48, 49}))
+
+	// A captured output: bob's fingerprint plus two noise bits.
+	es := bitset.FromPositions(64, []uint32{40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 12, 60})
+	name, _, ok := db.Identify(es)
+	fmt.Println(ok, name)
+	// Output:
+	// true bob-laptop
+}
+
+// ExampleClusterer shows Algorithm 4: grouping outputs from unknown devices.
+func ExampleClusterer() {
+	cl := fingerprint.NewClusterer(fingerprint.DefaultThreshold)
+	deviceA := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	deviceB := []uint32{30, 31, 32, 33, 34, 35, 36, 37, 38, 39}
+
+	fmt.Println(cl.Add(bitset.FromPositions(64, append(deviceA, 50)))) // new device
+	fmt.Println(cl.Add(bitset.FromPositions(64, append(deviceB, 51)))) // new device
+	fmt.Println(cl.Add(bitset.FromPositions(64, append(deviceA, 52)))) // matches first
+	fmt.Println("clusters:", cl.Count())
+	// Output:
+	// 0
+	// 1
+	// 0
+	// clusters: 2
+}

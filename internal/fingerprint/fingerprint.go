@@ -1,0 +1,232 @@
+// Package fingerprint implements the core contribution of Probable Cause:
+// the algorithms that turn approximate-DRAM error patterns into
+// device-identifying fingerprints (§5).
+//
+//   - ErrorString — XOR of an approximate output against the exact data
+//     (Algorithm 1, line 2).
+//   - Characterize — Algorithm 1: the fingerprint of a chip is the
+//     intersection of the error strings of several approximate outputs,
+//     keeping only the most volatile (reliably failing) cells.
+//   - Distance — Algorithm 3: a modified Jaccard distance that counts the
+//     fingerprint bits *missing* from an error string, normalized by the
+//     fingerprint weight. Unlike Hamming distance it is insensitive to a
+//     mismatch in approximation level between the fingerprint and the
+//     output (§5.2).
+//   - DB.Identify — Algorithm 2: scan a fingerprint database and return the
+//     first fingerprint within a threshold of the output's error string.
+//   - Clusterer — Algorithm 4: online clustering of outputs from unknown
+//     devices; matching outputs refine the cluster fingerprint by
+//     intersection, non-matching outputs open a new cluster.
+package fingerprint
+
+import (
+	"fmt"
+
+	"probablecause/internal/bitset"
+)
+
+// DefaultThreshold is the identification threshold on the modified Jaccard
+// distance. The paper determines the threshold experimentally (§7):
+// within-class distances sit near 1e-3 and between-class distances near 1,
+// two orders of magnitude apart, so any value in the wide gap works. 0.1
+// corresponds to the T = 10 %·A bound used in the analytical model (§7.1).
+const DefaultThreshold = 0.1
+
+// ErrorString returns the bit positions where approx differs from exact.
+func ErrorString(approx, exact []byte) (*bitset.Set, error) {
+	if len(approx) != len(exact) {
+		return nil, fmt.Errorf("fingerprint: length mismatch approx=%d exact=%d", len(approx), len(exact))
+	}
+	return bitset.FromBytes(approx).Xor(bitset.FromBytes(exact)), nil
+}
+
+// Characterize implements Algorithm 1: it computes the error string of every
+// approximate result against the exact data and returns their intersection —
+// the chip fingerprint. Intersection keeps only cells that failed in *every*
+// trial, minimizing the effect of noise ("keeping only the most volatile
+// bits"). At least one approximate result is required.
+func Characterize(exact []byte, approxes ...[]byte) (*bitset.Set, error) {
+	if len(approxes) == 0 {
+		return nil, fmt.Errorf("fingerprint: characterize needs at least one approximate result")
+	}
+	fp, err := ErrorString(approxes[0], exact)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range approxes[1:] {
+		es, err := ErrorString(a, exact)
+		if err != nil {
+			return nil, err
+		}
+		fp.And(es)
+	}
+	return fp, nil
+}
+
+// Distance implements Algorithm 3: the fraction of fingerprint bits absent
+// from the error string, normalized by the fingerprint's Hamming weight.
+// Following the paper's footnote, whichever of the two sets has fewer bits
+// is treated as the fingerprint, so the metric is symmetric in usage and
+// robust to the two inputs having very different error levels.
+//
+// Degenerate cases (not covered by the paper): if both sets are empty the
+// distance is 0 (indistinguishable); if exactly the smaller is empty there is
+// no evidence to match on and the distance is 1.
+func Distance(errorString, fp *bitset.Set) float64 {
+	a, b := fp, errorString
+	if a.Count() > b.Count() {
+		a, b = b, a
+	}
+	n := a.Count()
+	if n == 0 {
+		if b.Count() == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(a.AndNotCount(b)) / float64(n)
+}
+
+// SparseDistance is Distance over the sparse representation, used by the
+// stitching attack where page fingerprints are stored as sorted position
+// lists. Semantics are identical to Distance.
+func SparseDistance(a, b bitset.Sparse) float64 {
+	if a.Card() > b.Card() {
+		a, b = b, a
+	}
+	if a.Card() == 0 {
+		if b.Card() == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(a.DiffCount(b)) / float64(a.Card())
+}
+
+// HammingDistance returns the normalized Hamming distance |a⊕b| / len — the
+// naive metric the paper rejects (§5.2). Exposed for the ablation experiment
+// that reproduces the paper's argument.
+func HammingDistance(a, b *bitset.Set) float64 {
+	if a.Len() == 0 {
+		return 0
+	}
+	return float64(a.XorCount(b)) / float64(a.Len())
+}
+
+// Entry is one named fingerprint in a database.
+type Entry struct {
+	Name string
+	FP   *bitset.Set
+}
+
+// DB is the attacker's fingerprint database (supply-chain attack: one entry
+// per intercepted device).
+type DB struct {
+	entries   []Entry
+	threshold float64
+}
+
+// NewDB returns an empty database using the given identification threshold;
+// pass DefaultThreshold unless an experiment sweeps it.
+func NewDB(threshold float64) *DB {
+	return &DB{threshold: threshold}
+}
+
+// Add registers a fingerprint under a name.
+func (db *DB) Add(name string, fp *bitset.Set) {
+	db.entries = append(db.entries, Entry{Name: name, FP: fp})
+}
+
+// Len returns the number of fingerprints in the database.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Get returns the fingerprint stored under name, or ok=false.
+func (db *DB) Get(name string) (*bitset.Set, bool) {
+	for _, e := range db.entries {
+		if e.Name == name {
+			return e.FP, true
+		}
+	}
+	return nil, false
+}
+
+// Remove deletes the first entry stored under name and reports whether one
+// existed.
+func (db *DB) Remove(name string) bool {
+	for i, e := range db.entries {
+		if e.Name == name {
+			db.entries = append(db.entries[:i], db.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns the database contents (shared, not copied).
+func (db *DB) Entries() []Entry { return db.entries }
+
+// Identify implements Algorithm 2: it returns the first database entry whose
+// distance to the error string is below the threshold, or ok=false if no
+// fingerprint matches ("return failed").
+func (db *DB) Identify(errorString *bitset.Set) (name string, index int, ok bool) {
+	for i, e := range db.entries {
+		if Distance(errorString, e.FP) < db.threshold {
+			return e.Name, i, true
+		}
+	}
+	return "", -1, false
+}
+
+// IdentifyBest returns the database entry with the minimum distance to the
+// error string along with that distance, regardless of threshold. Useful for
+// reporting margins; Identify is the paper's decision procedure.
+func (db *DB) IdentifyBest(errorString *bitset.Set) (name string, index int, dist float64) {
+	index = -1
+	dist = 2 // above any possible distance
+	for i, e := range db.entries {
+		if d := Distance(errorString, e.FP); d < dist {
+			name, index, dist = e.Name, i, d
+		}
+	}
+	return name, index, dist
+}
+
+// Clusterer implements Algorithm 4: online clustering of approximate outputs
+// by originating device, without pre-characterized fingerprints
+// (the eavesdropping attacker).
+type Clusterer struct {
+	threshold float64
+	clusters  []*bitset.Set
+	sizes     []int
+}
+
+// NewClusterer returns a Clusterer with the given matching threshold.
+func NewClusterer(threshold float64) *Clusterer {
+	return &Clusterer{threshold: threshold}
+}
+
+// Add assigns an error string to a cluster and returns the cluster index.
+// A matching cluster's fingerprint is refined by intersection with the new
+// error string (as in characterization); otherwise the error string founds a
+// new cluster.
+func (c *Clusterer) Add(errorString *bitset.Set) int {
+	for j, fp := range c.clusters {
+		if Distance(errorString, fp) < c.threshold {
+			fp.And(errorString)
+			c.sizes[j]++
+			return j
+		}
+	}
+	c.clusters = append(c.clusters, errorString.Clone())
+	c.sizes = append(c.sizes, 1)
+	return len(c.clusters) - 1
+}
+
+// Count returns the number of clusters (suspected distinct devices).
+func (c *Clusterer) Count() int { return len(c.clusters) }
+
+// Size returns the number of outputs assigned to cluster j.
+func (c *Clusterer) Size(j int) int { return c.sizes[j] }
+
+// Fingerprint returns cluster j's current fingerprint (shared, not copied).
+func (c *Clusterer) Fingerprint(j int) *bitset.Set { return c.clusters[j] }

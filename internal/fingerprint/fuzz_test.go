@@ -1,0 +1,39 @@
+package fingerprint
+
+import (
+	"bytes"
+	"testing"
+
+	"probablecause/internal/bitset"
+)
+
+// FuzzReadDB: the fingerprint-database decoder must never panic and anything
+// it accepts must survive a write/read round trip.
+func FuzzReadDB(f *testing.F) {
+	var buf bytes.Buffer
+	db := NewDB(DefaultThreshold)
+	db.Add("x", bitset.FromPositions(1000, []uint32{1, 2, 3}))
+	if _, err := db.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PCDB01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadDB(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-write of accepted DB failed: %v", err)
+		}
+		again, err := ReadDB(&out)
+		if err != nil {
+			t.Fatalf("round trip read failed: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round trip changed entry count %d → %d", got.Len(), again.Len())
+		}
+	})
+}

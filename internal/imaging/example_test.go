@@ -1,0 +1,25 @@
+package imaging_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/imaging"
+)
+
+// Example runs the victim pipeline of §7.6: synthesize a photo, edge-detect
+// it, and serialize it for storage in (approximate) memory.
+func Example() {
+	photo := imaging.Synthetic(200, 154, 7)
+	edges := imaging.SobelEdges(photo).Threshold(64)
+	fmt.Println("buffer bytes:", len(edges.Bytes()))
+	pgm := edges.EncodePGM()
+	back, err := imaging.DecodePGM(pgm)
+	if err != nil {
+		panic(err)
+	}
+	d, _ := back.DiffCount(edges)
+	fmt.Println("PGM round-trip pixel diffs:", d)
+	// Output:
+	// buffer bytes: 30800
+	// PGM round-trip pixel diffs: 0
+}

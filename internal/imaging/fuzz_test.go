@@ -1,0 +1,29 @@
+package imaging
+
+import "testing"
+
+// FuzzDecodePGM exercises the PGM parser with arbitrary input: it must
+// never panic, and any image it accepts must re-encode/re-decode to itself.
+func FuzzDecodePGM(f *testing.F) {
+	f.Add([]byte("P5\n2 2\n255\n\x01\x02\x03\x04"))
+	f.Add([]byte("P5\n# comment\n1 1\n255\n\x00"))
+	f.Add([]byte("P6\n2 2\n255\nxxxx"))
+	f.Add([]byte("P5"))
+	f.Add([]byte("P5\n0 0\n255\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodePGM(data)
+		if err != nil {
+			return
+		}
+		if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H {
+			t.Fatalf("accepted malformed image %dx%d with %d pixels", im.W, im.H, len(im.Pix))
+		}
+		round, err := DecodePGM(im.EncodePGM())
+		if err != nil {
+			t.Fatalf("re-decode of accepted image failed: %v", err)
+		}
+		if d, _ := round.DiffCount(im); d != 0 {
+			t.Fatalf("re-decode differs in %d pixels", d)
+		}
+	})
+}

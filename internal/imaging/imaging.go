@@ -1,0 +1,245 @@
+// Package imaging is the stand-in for the paper's image workload: the CImg
+// gradient edge-detection program whose approximate outputs drive the
+// end-to-end experiment (§7.6, Figure 12), and the 200×154 black-and-white
+// test image of Figure 5.
+//
+// It provides a minimal grayscale image type, binary PGM (P5) encode/decode
+// for inspecting results on disk, deterministic synthetic test images, and a
+// Sobel gradient edge detector.
+package imaging
+
+import (
+	"fmt"
+
+	"probablecause/internal/prng"
+)
+
+// Image is an 8-bit grayscale image in row-major order.
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// New returns a black image of the given size. It panics on non-positive
+// dimensions.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: bad dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y); coordinates outside the image clamp to the
+// border (convenient for convolution kernels).
+func (im *Image) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates are ignored.
+func (im *Image) Set(x, y int, v uint8) {
+	if x < 0 || x >= im.W || y < 0 || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	c := New(im.W, im.H)
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// Bytes returns the raw pixel buffer — the data that gets stored in
+// (approximate) memory.
+func (im *Image) Bytes() []byte { return im.Pix }
+
+// FromBytes wraps a pixel buffer read back from memory as an image.
+func FromBytes(w, h int, data []byte) (*Image, error) {
+	if len(data) != w*h {
+		return nil, fmt.Errorf("imaging: %d bytes for %dx%d image", len(data), w, h)
+	}
+	return &Image{W: w, H: h, Pix: data}, nil
+}
+
+// DiffCount returns the number of differing pixels between two same-sized
+// images.
+func (im *Image) DiffCount(o *Image) (int, error) {
+	if im.W != o.W || im.H != o.H {
+		return 0, fmt.Errorf("imaging: size mismatch %dx%d vs %dx%d", im.W, im.H, o.W, o.H)
+	}
+	n := 0
+	for i := range im.Pix {
+		if im.Pix[i] != o.Pix[i] {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// EncodePGM serializes the image as binary PGM (P5).
+func (im *Image) EncodePGM() []byte {
+	header := fmt.Sprintf("P5\n%d %d\n255\n", im.W, im.H)
+	out := make([]byte, 0, len(header)+len(im.Pix))
+	out = append(out, header...)
+	return append(out, im.Pix...)
+}
+
+// DecodePGM parses a binary PGM (P5) image with maxval ≤ 255. Comment lines
+// (#) in the header are honored.
+func DecodePGM(data []byte) (*Image, error) {
+	pos := 0
+	token := func() (string, error) {
+		// Skip whitespace and comments.
+		for pos < len(data) {
+			c := data[pos]
+			if c == '#' {
+				for pos < len(data) && data[pos] != '\n' {
+					pos++
+				}
+				continue
+			}
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				pos++
+				continue
+			}
+			break
+		}
+		start := pos
+		for pos < len(data) {
+			c := data[pos]
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#' {
+				break
+			}
+			pos++
+		}
+		if start == pos {
+			return "", fmt.Errorf("imaging: truncated PGM header")
+		}
+		return string(data[start:pos]), nil
+	}
+	magic, err := token()
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imaging: not a binary PGM (magic %q)", magic)
+	}
+	var w, h, maxv int
+	for _, dst := range []*int{&w, &h, &maxv} {
+		t, err := token()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(t, "%d", dst); err != nil {
+			return nil, fmt.Errorf("imaging: bad PGM header field %q", t)
+		}
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 255 {
+		return nil, fmt.Errorf("imaging: unsupported PGM %dx%d maxval %d", w, h, maxv)
+	}
+	pos++ // single whitespace after maxval
+	if len(data)-pos < w*h {
+		return nil, fmt.Errorf("imaging: PGM payload truncated: %d of %d bytes", len(data)-pos, w*h)
+	}
+	im := New(w, h)
+	copy(im.Pix, data[pos:pos+w*h])
+	return im, nil
+}
+
+// Synthetic renders a deterministic grayscale test scene — a gradient
+// background with circles and rectangles — the kind of structured content
+// the paper's sample photo provides (Figure 12).
+func Synthetic(w, h int, seed uint64) *Image {
+	im := New(w, h)
+	rng := prng.New(prng.Hash(seed, 0x1A6))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Pix[y*w+x] = uint8(64 + (128*x)/w + (32*y)/h)
+		}
+	}
+	// Rectangles.
+	for i := 0; i < 4; i++ {
+		x0, y0 := rng.Intn(w), rng.Intn(h)
+		rw, rh := 4+rng.Intn(w/3), 4+rng.Intn(h/3)
+		v := uint8(rng.Intn(256))
+		for y := y0; y < y0+rh && y < h; y++ {
+			for x := x0; x < x0+rw && x < w; x++ {
+				im.Pix[y*w+x] = v
+			}
+		}
+	}
+	// Circles.
+	for i := 0; i < 4; i++ {
+		cx, cy := rng.Intn(w), rng.Intn(h)
+		r := 3 + rng.Intn(min(w, h)/4)
+		v := uint8(rng.Intn(256))
+		for y := cy - r; y <= cy+r; y++ {
+			for x := cx - r; x <= cx+r; x++ {
+				dx, dy := x-cx, y-cy
+				if dx*dx+dy*dy <= r*r {
+					im.Set(x, y, v)
+				}
+			}
+		}
+	}
+	return im
+}
+
+// SobelEdges returns the Sobel gradient magnitude of the image — the
+// edge-detection output the victim publishes in the end-to-end experiment.
+func SobelEdges(im *Image) *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			gx := -int(im.At(x-1, y-1)) + int(im.At(x+1, y-1)) +
+				-2*int(im.At(x-1, y)) + 2*int(im.At(x+1, y)) +
+				-int(im.At(x-1, y+1)) + int(im.At(x+1, y+1))
+			gy := -int(im.At(x-1, y-1)) - 2*int(im.At(x, y-1)) - int(im.At(x+1, y-1)) +
+				int(im.At(x-1, y+1)) + 2*int(im.At(x, y+1)) + int(im.At(x+1, y+1))
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			m := (gx + gy) / 2
+			if m > 255 {
+				m = 255
+			}
+			out.Pix[y*im.W+x] = uint8(m)
+		}
+	}
+	return out
+}
+
+// Threshold returns a black/white image: 255 where the pixel is ≥ level,
+// else 0. Figure 5 uses a black-and-white image.
+func (im *Image) Threshold(level uint8) *Image {
+	out := New(im.W, im.H)
+	for i, p := range im.Pix {
+		if p >= level {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+package imaging
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	im := New(10, 5)
+	im.Set(3, 2, 200)
+	if im.At(3, 2) != 200 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	// Clamped reads.
+	im.Set(0, 0, 7)
+	im.Set(9, 4, 9)
+	if im.At(-5, -5) != 7 || im.At(100, 100) != 9 {
+		t.Fatal("border clamping wrong")
+	}
+	// Out-of-range writes ignored.
+	im.Set(-1, 0, 99)
+	im.Set(10, 0, 99)
+	if im.At(0, 0) != 7 {
+		t.Fatal("out-of-range Set corrupted image")
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 5) did not panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	im := Synthetic(20, 10, 1)
+	got, err := FromBytes(20, 10, im.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := got.DiffCount(im); d != 0 {
+		t.Fatalf("round trip differs in %d pixels", d)
+	}
+	if _, err := FromBytes(5, 5, make([]byte, 10)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestDiffCount(t *testing.T) {
+	a := New(4, 4)
+	b := New(4, 4)
+	b.Set(1, 1, 255)
+	b.Set(2, 3, 1)
+	if d, err := a.DiffCount(b); err != nil || d != 2 {
+		t.Fatalf("DiffCount = %d, %v", d, err)
+	}
+	if _, err := a.DiffCount(New(5, 4)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := Synthetic(33, 17, 2)
+	enc := im.EncodePGM()
+	if !bytes.HasPrefix(enc, []byte("P5\n33 17\n255\n")) {
+		t.Fatalf("header = %q", enc[:16])
+	}
+	dec, err := DecodePGM(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := dec.DiffCount(im); d != 0 {
+		t.Fatalf("PGM round trip differs in %d pixels", d)
+	}
+}
+
+func TestDecodePGMWithComments(t *testing.T) {
+	data := append([]byte("P5\n# a comment\n2 2\n# another\n255\n"), 1, 2, 3, 4)
+	im, err := DecodePGM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 2 || im.Pix[3] != 4 {
+		t.Fatalf("decoded %+v", im)
+	}
+}
+
+func TestDecodePGMErrors(t *testing.T) {
+	cases := [][]byte{
+		[]byte("P6\n2 2\n255\n....xxxx...."), // wrong magic
+		[]byte("P5\n2 2\n255\n" + "ab"),      // truncated payload
+		[]byte("P5\n0 2\n255\n"),             // zero width
+		[]byte("P5\n2 2\n70000\n" + "abcd"),  // maxval too large
+		[]byte("P5"),                         // truncated header
+		[]byte("P5\nx 2\n255\n" + "abcd"),    // non-numeric
+	}
+	for i, c := range cases {
+		if _, err := DecodePGM(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(50, 40, 7)
+	b := Synthetic(50, 40, 7)
+	if d, _ := a.DiffCount(b); d != 0 {
+		t.Fatal("Synthetic is not deterministic")
+	}
+	c := Synthetic(50, 40, 8)
+	if d, _ := a.DiffCount(c); d == 0 {
+		t.Fatal("different seeds produced identical scenes")
+	}
+}
+
+func TestSobelFlatImageIsBlack(t *testing.T) {
+	im := New(16, 16)
+	for i := range im.Pix {
+		im.Pix[i] = 100
+	}
+	edges := SobelEdges(im)
+	for i, p := range edges.Pix {
+		if p != 0 {
+			t.Fatalf("edge response %d at flat pixel %d", p, i)
+		}
+	}
+}
+
+func TestSobelDetectsStep(t *testing.T) {
+	im := New(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			im.Set(x, y, 255)
+		}
+	}
+	edges := SobelEdges(im)
+	// Strong response on the step columns (7 and 8), none far away.
+	if edges.At(7, 8) == 0 || edges.At(8, 8) == 0 {
+		t.Fatal("no edge response at the step")
+	}
+	if edges.At(2, 8) != 0 || edges.At(13, 8) != 0 {
+		t.Fatal("edge response far from the step")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	im := New(4, 1)
+	im.Pix = []uint8{0, 99, 100, 255}
+	bw := im.Threshold(100)
+	want := []uint8{0, 0, 255, 255}
+	for i := range want {
+		if bw.Pix[i] != want[i] {
+			t.Fatalf("threshold = %v, want %v", bw.Pix, want)
+		}
+	}
+}
+
+func TestFigure5ImageShape(t *testing.T) {
+	// The paper's Figure 5 image: 200×154 black and white.
+	im := Synthetic(200, 154, 5).Threshold(128)
+	if len(im.Bytes()) != 200*154 {
+		t.Fatalf("buffer = %d bytes", len(im.Bytes()))
+	}
+	black, white := 0, 0
+	for _, p := range im.Pix {
+		switch p {
+		case 0:
+			black++
+		case 255:
+			white++
+		default:
+			t.Fatal("threshold produced gray pixel")
+		}
+	}
+	if black == 0 || white == 0 {
+		t.Fatal("degenerate black/white image")
+	}
+}

@@ -1,0 +1,331 @@
+package osmodel
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"probablecause/internal/prng"
+)
+
+// Placer abstracts "where does the OS put an n-page output buffer": the
+// uniform model (Memory), the page-ASLR defense (Scattered), and the
+// allocator-backed model (System) all satisfy it.
+type Placer interface {
+	// Place returns the physical pages holding an n-page output buffer.
+	Place(n int) (Placement, error)
+	// Pages returns the size of physical memory in pages.
+	Pages() int
+}
+
+var (
+	_ Placer = (*Memory)(nil)
+	_ Placer = (*Scattered)(nil)
+	_ Placer = (*System)(nil)
+)
+
+// Scattered adapts a Memory to place buffers with page-level ASLR
+// (§8.2.3) — the defense configuration of the end-to-end experiment.
+type Scattered struct {
+	*Memory
+}
+
+// Place scatters the buffer across random distinct pages.
+func (s Scattered) Place(n int) (Placement, error) {
+	return s.PlaceScattered(n)
+}
+
+// Buddy is a binary buddy allocator over a power-of-two number of physical
+// pages — the same discipline the Linux physical page allocator uses, and
+// the mechanism behind the paper's Valgrind observation that an output
+// buffer is physically contiguous but lands at a different base every run.
+type Buddy struct {
+	pages    int
+	maxOrder int
+	// free[k] holds the start pages of free blocks of 2^k pages, sorted.
+	free [][]int
+}
+
+// NewBuddy returns an allocator over pages physical pages (a power of two).
+func NewBuddy(pages int) (*Buddy, error) {
+	if pages <= 0 || pages&(pages-1) != 0 {
+		return nil, fmt.Errorf("osmodel: buddy size %d is not a positive power of two", pages)
+	}
+	maxOrder := bits.TrailingZeros(uint(pages))
+	b := &Buddy{pages: pages, maxOrder: maxOrder, free: make([][]int, maxOrder+1)}
+	b.free[maxOrder] = []int{0}
+	return b, nil
+}
+
+// Pages returns the managed memory size.
+func (b *Buddy) Pages() int { return b.pages }
+
+// orderFor returns the smallest order whose block fits n pages.
+func orderFor(n int) int {
+	o := 0
+	for 1<<o < n {
+		o++
+	}
+	return o
+}
+
+// Alloc returns the start page of a block holding n pages, splitting larger
+// blocks as needed (first-fit on the lowest adequate order).
+func (b *Buddy) Alloc(n int) (int, error) {
+	if n <= 0 || n > b.pages {
+		return 0, fmt.Errorf("osmodel: cannot allocate %d pages from %d", n, b.pages)
+	}
+	want := orderFor(n)
+	k := want
+	for k <= b.maxOrder && len(b.free[k]) == 0 {
+		k++
+	}
+	if k > b.maxOrder {
+		return 0, fmt.Errorf("osmodel: out of memory allocating %d pages", n)
+	}
+	start := b.free[k][0]
+	b.free[k] = b.free[k][1:]
+	// Split down to the wanted order, returning the upper halves to the
+	// free lists.
+	for k > want {
+		k--
+		b.insertFree(k, start+1<<k)
+	}
+	return start, nil
+}
+
+// AllocRandomFreePage allocates one page chosen uniformly over all free
+// pages (rank selects the rank-th free page in address order). This models
+// a mapping starting wherever the system's free memory happens to be — the
+// source of the run-to-run base variation the paper observed.
+func (b *Buddy) AllocRandomFreePage(rank int) (int, error) {
+	total := b.FreePages()
+	if total == 0 {
+		return 0, fmt.Errorf("osmodel: out of memory")
+	}
+	if rank < 0 || rank >= total {
+		rank %= total
+		if rank < 0 {
+			rank += total
+		}
+	}
+	for o, blocks := range b.free {
+		size := 1 << o
+		for _, start := range blocks {
+			if rank < size {
+				pg := start + rank
+				if !b.AllocAt(pg) {
+					return 0, fmt.Errorf("osmodel: internal: free page %d not allocatable", pg)
+				}
+				return pg, nil
+			}
+			rank -= size
+		}
+	}
+	return 0, fmt.Errorf("osmodel: internal: rank walk fell off the free lists")
+}
+
+// AllocAt allocates the single page pg if it is currently free, splitting
+// whatever free block contains it. It returns false if the page is in use.
+// This models the kernel's preference for extending an anonymous mapping
+// with the physically next page (per-CPU page lists / sequential carving),
+// which is what makes output buffers come out contiguous in practice.
+func (b *Buddy) AllocAt(pg int) bool {
+	if pg < 0 || pg >= b.pages {
+		return false
+	}
+	// Find the free block containing pg.
+	for o := 0; o <= b.maxOrder; o++ {
+		blockStart := pg &^ (1<<o - 1)
+		idx := sort.SearchInts(b.free[o], blockStart)
+		if idx >= len(b.free[o]) || b.free[o][idx] != blockStart {
+			continue
+		}
+		// Remove it and split down, keeping pg and freeing the rest.
+		b.free[o] = append(b.free[o][:idx], b.free[o][idx+1:]...)
+		for k := o - 1; k >= 0; k-- {
+			half := blockStart + 1<<k
+			if pg < half {
+				b.insertFree(k, half)
+			} else {
+				b.insertFree(k, blockStart)
+				blockStart = half
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Free returns the n-page block at start to the allocator, coalescing
+// buddies upward.
+func (b *Buddy) Free(start, n int) error {
+	o := orderFor(n)
+	size := 1 << o
+	if start < 0 || start%size != 0 || start+size > b.pages {
+		return fmt.Errorf("osmodel: bad free of %d pages at %d", n, start)
+	}
+	for o < b.maxOrder {
+		buddy := start ^ (1 << o)
+		idx := sort.SearchInts(b.free[o], buddy)
+		if idx >= len(b.free[o]) || b.free[o][idx] != buddy {
+			break
+		}
+		// Coalesce with the buddy.
+		b.free[o] = append(b.free[o][:idx], b.free[o][idx+1:]...)
+		if buddy < start {
+			start = buddy
+		}
+		o++
+	}
+	b.insertFree(o, start)
+	return nil
+}
+
+func (b *Buddy) insertFree(order, start int) {
+	idx := sort.SearchInts(b.free[order], start)
+	b.free[order] = append(b.free[order], 0)
+	copy(b.free[order][idx+1:], b.free[order][idx:])
+	b.free[order][idx] = start
+}
+
+// FreePages returns the total number of free pages (for invariant checks).
+func (b *Buddy) FreePages() int {
+	total := 0
+	for o, blocks := range b.free {
+		total += len(blocks) << o
+	}
+	return total
+}
+
+// System models the victim machine at the allocator level: every Place call
+// is one program run that churns the physical allocator (scratch
+// allocations of random sizes, partially freed in random order) before
+// allocating the output buffer. The buffer is physically contiguous (a
+// buddy block) and its base varies run to run — the two properties the
+// paper established with Valgrind (§7.6) — but here they *emerge* from
+// allocator behaviour instead of being postulated.
+type System struct {
+	buddy *Buddy
+	rng   *prng.Source
+	// held are long-lived allocations surviving across runs (cached pages,
+	// daemons), bounding how much of memory the output can land in.
+	held [][2]int // (start, pages)
+	// prevPages is the previous run's output buffer, freed on the next run.
+	prevPages []int
+	hasPrev   bool
+	// ChurnAllocs bounds the per-run scratch allocation count.
+	ChurnAllocs int
+	// ChurnMaxPages bounds each scratch allocation's size.
+	ChurnMaxPages int
+	// HoldProb is the probability a scratch allocation survives the run.
+	HoldProb float64
+}
+
+// NewSystem returns an allocator-backed placement model over a power-of-two
+// page count.
+func NewSystem(pages int, seed uint64) (*System, error) {
+	b, err := NewBuddy(pages)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		buddy:         b,
+		rng:           prng.New(prng.Hash(seed, 0x5157)),
+		ChurnAllocs:   16,
+		ChurnMaxPages: 8,
+		HoldProb:      0.1,
+	}, nil
+}
+
+// Pages returns the physical memory size.
+func (s *System) Pages() int { return s.buddy.pages }
+
+// Place simulates one program run and returns the output buffer placement.
+func (s *System) Place(n int) (Placement, error) {
+	if n <= 0 || n > s.buddy.pages {
+		return Placement{}, fmt.Errorf("osmodel: cannot place %d pages in %d-page system", n, s.buddy.pages)
+	}
+	// The previous run's output is long gone by the time a new run starts.
+	if s.hasPrev {
+		for _, pg := range s.prevPages {
+			if err := s.buddy.Free(pg, 1); err != nil {
+				return Placement{}, err
+			}
+		}
+		s.hasPrev = false
+	}
+	// Occasionally release old long-lived allocations so memory never
+	// fills up.
+	keep := s.held[:0]
+	for _, h := range s.held {
+		if s.rng.Float64() < 0.25 {
+			if err := s.buddy.Free(h[0], h[1]); err != nil {
+				return Placement{}, err
+			}
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	s.held = keep
+
+	// Scratch churn: allocate, mostly free, sometimes hold.
+	type alloc struct{ start, pages int }
+	var scratch []alloc
+	for i := 0; i < s.ChurnAllocs; i++ {
+		sz := 1 + s.rng.Intn(s.ChurnMaxPages)
+		start, err := s.buddy.Alloc(sz)
+		if err != nil {
+			break // fragmented/full: a real kernel would reclaim; we just stop churning
+		}
+		scratch = append(scratch, alloc{start, sz})
+	}
+	s.rng.Shuffle(len(scratch), func(i, j int) { scratch[i], scratch[j] = scratch[j], scratch[i] })
+	for _, a := range scratch {
+		if s.rng.Float64() < s.HoldProb {
+			s.held = append(s.held, [2]int{a.start, a.pages})
+			continue
+		}
+		if err := s.buddy.Free(a.start, a.pages); err != nil {
+			return Placement{}, err
+		}
+	}
+
+	// The output buffer is faulted in page by page, the way an anonymous
+	// mapping really grows. A buddy allocator with address-ordered free
+	// lists hands out *consecutive* pages while carving a large block, so
+	// the buffer comes out physically contiguous at an arbitrary,
+	// unaligned base — exactly the paper's Valgrind observation. Heavy
+	// fragmentation can introduce a jump mid-buffer; the placement then
+	// reports Contiguous=false, as a real trace would.
+	phys := make([]int, n)
+	for i := range phys {
+		// Prefer extending the mapping with the physically next page; fall
+		// back to whatever the allocator hands out.
+		if i > 0 && s.buddy.AllocAt(phys[i-1]+1) {
+			phys[i] = phys[i-1] + 1
+			continue
+		}
+		// (Re)start the run at a uniformly random free page: bases vary
+		// run to run, and large coalesced regions keep the continuation
+		// contiguous.
+		pg, err := s.buddy.AllocRandomFreePage(s.rng.Intn(s.buddy.FreePages()))
+		if err != nil {
+			// Roll back what we took so the system stays consistent.
+			for j := 0; j < i; j++ {
+				_ = s.buddy.Free(phys[j], 1)
+			}
+			return Placement{}, fmt.Errorf("osmodel: output buffer page %d: %w", i, err)
+		}
+		phys[i] = pg
+	}
+	s.prevPages, s.hasPrev = phys, true
+	contiguous := true
+	for i := 1; i < n; i++ {
+		if phys[i] != phys[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	return Placement{Phys: phys, Contiguous: contiguous}, nil
+}

@@ -1,0 +1,324 @@
+package osmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBuddyValidation(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100} {
+		if _, err := NewBuddy(n); err == nil {
+			t.Errorf("size %d accepted", n)
+		}
+	}
+	b, err := NewBuddy(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pages() != 64 || b.FreePages() != 64 {
+		t.Fatalf("Pages=%d FreePages=%d", b.Pages(), b.FreePages())
+	}
+}
+
+func TestBuddyAllocFreeRoundTrip(t *testing.T) {
+	b, _ := NewBuddy(64)
+	start, err := b.Alloc(5) // rounds to an 8-page block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start%8 != 0 {
+		t.Fatalf("5-page alloc at %d not aligned to its 8-page block", start)
+	}
+	if b.FreePages() != 56 {
+		t.Fatalf("FreePages = %d, want 56", b.FreePages())
+	}
+	if err := b.Free(start, 5); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 64 {
+		t.Fatalf("FreePages after free = %d, want 64 (coalesced)", b.FreePages())
+	}
+	// Fully coalesced: a whole-memory allocation must succeed again.
+	if _, err := b.Alloc(64); err != nil {
+		t.Fatalf("full coalescing failed: %v", err)
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	b, _ := NewBuddy(16)
+	for i := 0; i < 4; i++ {
+		if _, err := b.Alloc(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Alloc(1); err == nil {
+		t.Fatal("allocation from exhausted memory succeeded")
+	}
+	if _, err := b.Alloc(0); err == nil {
+		t.Fatal("zero-page allocation accepted")
+	}
+	if _, err := b.Alloc(32); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+}
+
+func TestBuddyFreeValidation(t *testing.T) {
+	b, _ := NewBuddy(16)
+	if err := b.Free(3, 4); err == nil {
+		t.Error("misaligned free accepted")
+	}
+	if err := b.Free(-4, 4); err == nil {
+		t.Error("negative free accepted")
+	}
+	if err := b.Free(16, 4); err == nil {
+		t.Error("out-of-range free accepted")
+	}
+}
+
+func TestBuddyNoOverlappingAllocations(t *testing.T) {
+	b, _ := NewBuddy(256)
+	used := map[int]bool{}
+	type alloc struct{ start, n int }
+	var allocs []alloc
+	for i := 0; i < 40; i++ {
+		n := 1 + i%7
+		start, err := b.Alloc(n)
+		if err != nil {
+			break
+		}
+		size := 1
+		for size < n {
+			size *= 2
+		}
+		for p := start; p < start+size; p++ {
+			if used[p] {
+				t.Fatalf("page %d double-allocated", p)
+			}
+			used[p] = true
+		}
+		allocs = append(allocs, alloc{start, n})
+	}
+	for _, a := range allocs {
+		if err := b.Free(a.start, a.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.FreePages() != 256 {
+		t.Fatalf("FreePages = %d after freeing everything", b.FreePages())
+	}
+}
+
+// Property: random alloc/free sequences conserve pages and never corrupt
+// the free lists (free-page accounting always consistent).
+func TestQuickBuddyConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b, err := NewBuddy(128)
+		if err != nil {
+			return false
+		}
+		type alloc struct{ start, n int }
+		var live []alloc
+		allocated := 0
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := int(op/2)%8 + 1
+				start, err := b.Alloc(n)
+				if err != nil {
+					continue
+				}
+				size := 1
+				for size < n {
+					size *= 2
+				}
+				live = append(live, alloc{start, n})
+				allocated += size
+			} else {
+				i := int(op/2) % len(live)
+				a := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if err := b.Free(a.start, a.n); err != nil {
+					return false
+				}
+				size := 1
+				for size < a.n {
+					size *= 2
+				}
+				allocated -= size
+			}
+			if b.FreePages()+allocated != 128 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemPlacementsVaryAndMostlyContiguous(t *testing.T) {
+	s, err := NewSystem(1024, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pages() != 1024 {
+		t.Fatalf("Pages = %d", s.Pages())
+	}
+	starts := map[int]bool{}
+	contiguous := 0
+	for i := 0; i < 100; i++ {
+		pl, err := s.Place(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pl.Phys) != 8 {
+			t.Fatalf("placement %+v", pl)
+		}
+		if pl.Contiguous {
+			contiguous++
+			for j := 1; j < len(pl.Phys); j++ {
+				if pl.Phys[j] != pl.Phys[j-1]+1 {
+					t.Fatalf("flagged contiguous but isn't: %v", pl.Phys)
+				}
+			}
+		}
+		starts[pl.Phys[0]] = true
+	}
+	// The Valgrind observations: buffers are (almost always) physically
+	// contiguous, and different runs use different pages. Fragmentation may
+	// split the occasional buffer.
+	if contiguous < 80 {
+		t.Fatalf("only %d/100 contiguous placements", contiguous)
+	}
+	// Distinct bases: the property that makes stitching possible.
+	if len(starts) < 10 {
+		t.Fatalf("only %d distinct bases over 100 runs — allocator churn ineffective", len(starts))
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(100, 1); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	s, err := NewSystem(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(0); err == nil {
+		t.Error("0-page placement accepted")
+	}
+	if _, err := s.Place(128); err == nil {
+		t.Error("oversized placement accepted")
+	}
+}
+
+func TestSystemSurvivesManyRuns(t *testing.T) {
+	// Long-lived holds must not leak memory to exhaustion.
+	s, err := NewSystem(256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := s.Place(4); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+func TestScatteredAdapter(t *testing.T) {
+	m, err := NewMemory(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Placer = Scattered{m}
+	pl, err := p.Place(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Contiguous {
+		t.Fatal("scattered adapter produced contiguous placement")
+	}
+	if p.Pages() != 100 {
+		t.Fatalf("Pages = %d", p.Pages())
+	}
+}
+
+func TestAllocAt(t *testing.T) {
+	b, _ := NewBuddy(16)
+	if !b.AllocAt(5) {
+		t.Fatal("AllocAt on free page failed")
+	}
+	if b.FreePages() != 15 {
+		t.Fatalf("FreePages = %d, want 15", b.FreePages())
+	}
+	if b.AllocAt(5) {
+		t.Fatal("AllocAt on allocated page succeeded")
+	}
+	if b.AllocAt(-1) || b.AllocAt(16) {
+		t.Fatal("AllocAt out of range succeeded")
+	}
+	if err := b.Free(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 16 {
+		t.Fatalf("FreePages after free = %d (coalescing broken)", b.FreePages())
+	}
+	if _, err := b.Alloc(16); err != nil {
+		t.Fatalf("full block unavailable after AllocAt round trip: %v", err)
+	}
+}
+
+func TestAllocAtEveryPage(t *testing.T) {
+	b, _ := NewBuddy(32)
+	for pg := 0; pg < 32; pg++ {
+		if !b.AllocAt(pg) {
+			t.Fatalf("AllocAt(%d) failed", pg)
+		}
+	}
+	if b.FreePages() != 0 {
+		t.Fatalf("FreePages = %d after allocating all", b.FreePages())
+	}
+	for pg := 0; pg < 32; pg++ {
+		if err := b.Free(pg, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.FreePages() != 32 {
+		t.Fatalf("FreePages = %d, want 32", b.FreePages())
+	}
+}
+
+func TestAllocRandomFreePageEdges(t *testing.T) {
+	b, _ := NewBuddy(16)
+	// Negative and oversized ranks wrap rather than fail.
+	if _, err := b.AllocRandomFreePage(-3); err != nil {
+		t.Fatalf("negative rank: %v", err)
+	}
+	if _, err := b.AllocRandomFreePage(1000); err != nil {
+		t.Fatalf("oversized rank: %v", err)
+	}
+	// Exhaust memory: must error rather than loop.
+	for b.FreePages() > 0 {
+		if _, err := b.AllocRandomFreePage(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AllocRandomFreePage(0); err == nil {
+		t.Fatal("allocation from empty memory succeeded")
+	}
+}
+
+func TestAllocRandomFreePageRankIsAddressOrdered(t *testing.T) {
+	b, _ := NewBuddy(16)
+	// Rank k must return the k-th free page in address order on a fresh
+	// allocator.
+	for want := 0; want < 4; want++ {
+		pg, err := b.AllocRandomFreePage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg != want {
+			t.Fatalf("rank-0 allocation = %d, want %d", pg, want)
+		}
+	}
+}

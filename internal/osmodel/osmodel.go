@@ -1,0 +1,95 @@
+// Package osmodel models how a commodity operating system places application
+// data in physical memory — the part of the end-to-end experiment the paper
+// measured with Valgrind on an Ubuntu VM (§7.6).
+//
+// The paper's observations, which this model encodes:
+//
+//   - an output buffer occupies *consecutive* physical pages ("data is
+//     stored in consecutive physical pages in main memory");
+//   - the base of the buffer differs from run to run ("the operating
+//     system's memory mapping causes the edge-detection program to store its
+//     results in different memory pages during different runs") — this is
+//     what makes stitching possible;
+//   - pages are not remapped within a run.
+//
+// The package also implements the page-level-ASLR defense of §8.2.3, which
+// scatters the buffer's pages so no two outputs ever share a *contiguous*
+// overlap for the stitcher to align on.
+package osmodel
+
+import (
+	"fmt"
+
+	"probablecause/internal/prng"
+)
+
+// Memory models the physical memory of one victim system.
+type Memory struct {
+	pages int
+	rng   *prng.Source
+}
+
+// NewMemory returns a memory of the given number of physical pages whose
+// placement decisions derive from seed.
+func NewMemory(pages int, seed uint64) (*Memory, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("osmodel: non-positive page count %d", pages)
+	}
+	return &Memory{pages: pages, rng: prng.New(prng.Hash(seed, 0x05))}, nil
+}
+
+// Pages returns the size of physical memory in pages.
+func (m *Memory) Pages() int { return m.pages }
+
+// Placement records which physical pages hold one output buffer, in buffer
+// order.
+type Placement struct {
+	// Phys[i] is the physical page holding the i-th page of the buffer.
+	Phys []int
+	// Contiguous reports whether the placement is one consecutive run (the
+	// commodity default) or scattered (the page-ASLR defense).
+	Contiguous bool
+}
+
+// Place allocates an n-page output buffer at a uniformly random contiguous
+// physical range — one program run on the commodity system.
+func (m *Memory) Place(n int) (Placement, error) {
+	if n <= 0 || n > m.pages {
+		return Placement{}, fmt.Errorf("osmodel: cannot place %d pages in %d-page memory", n, m.pages)
+	}
+	start := m.rng.Intn(m.pages - n + 1)
+	phys := make([]int, n)
+	for i := range phys {
+		phys[i] = start + i
+	}
+	return Placement{Phys: phys, Contiguous: true}, nil
+}
+
+// PlaceScattered allocates an n-page buffer at n distinct, randomly chosen,
+// non-consecutive-by-design physical pages — the page-level ASLR defense of
+// §8.2.3. The buffer's logical adjacency carries no information about
+// physical adjacency.
+func (m *Memory) PlaceScattered(n int) (Placement, error) {
+	if n <= 0 || n > m.pages {
+		return Placement{}, fmt.Errorf("osmodel: cannot place %d pages in %d-page memory", n, m.pages)
+	}
+	// Partial Fisher–Yates over the page space via a sparse swap map keeps
+	// the cost O(n) even for very large memories.
+	swaps := make(map[int]int, n)
+	phys := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := i + m.rng.Intn(m.pages-i)
+		vi, ok := swaps[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swaps[j]
+		if !ok {
+			vj = j
+		}
+		phys[i] = vj
+		swaps[j] = vi
+		swaps[i] = vj // keep map consistent if j == i or later reads
+	}
+	return Placement{Phys: phys, Contiguous: false}, nil
+}

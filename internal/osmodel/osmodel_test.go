@@ -1,0 +1,153 @@
+package osmodel
+
+import (
+	"testing"
+)
+
+func TestNewMemoryValidation(t *testing.T) {
+	if _, err := NewMemory(0, 1); err == nil {
+		t.Error("0 pages accepted")
+	}
+	if _, err := NewMemory(-5, 1); err == nil {
+		t.Error("negative pages accepted")
+	}
+	m, err := NewMemory(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pages() != 100 {
+		t.Fatalf("Pages = %d", m.Pages())
+	}
+}
+
+func TestPlaceContiguousInRange(t *testing.T) {
+	m, _ := NewMemory(1000, 2)
+	for i := 0; i < 100; i++ {
+		p, err := m.Place(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Contiguous || len(p.Phys) != 10 {
+			t.Fatalf("placement = %+v", p)
+		}
+		for j, pg := range p.Phys {
+			if pg < 0 || pg >= 1000 {
+				t.Fatalf("page %d out of range", pg)
+			}
+			if j > 0 && pg != p.Phys[j-1]+1 {
+				t.Fatalf("non-consecutive placement: %v", p.Phys)
+			}
+		}
+	}
+}
+
+func TestPlaceVariesAcrossRuns(t *testing.T) {
+	m, _ := NewMemory(10000, 3)
+	starts := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		p, err := m.Place(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts[p.Phys[0]] = true
+	}
+	if len(starts) < 40 {
+		t.Fatalf("only %d distinct starts in 50 runs — placement not randomized", len(starts))
+	}
+}
+
+func TestPlaceCoversFullRange(t *testing.T) {
+	m, _ := NewMemory(20, 4)
+	seenFirst, seenLast := false, false
+	for i := 0; i < 500; i++ {
+		p, err := m.Place(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Phys[0] == 0 {
+			seenFirst = true
+		}
+		if p.Phys[4] == 19 {
+			seenLast = true
+		}
+	}
+	if !seenFirst || !seenLast {
+		t.Fatalf("placement never reached boundaries: first=%v last=%v", seenFirst, seenLast)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	m, _ := NewMemory(10, 5)
+	if _, err := m.Place(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := m.Place(11); err == nil {
+		t.Error("n > memory accepted")
+	}
+	if _, err := m.Place(10); err != nil {
+		t.Errorf("exact-fit placement rejected: %v", err)
+	}
+	if _, err := m.PlaceScattered(0); err == nil {
+		t.Error("scattered n=0 accepted")
+	}
+	if _, err := m.PlaceScattered(11); err == nil {
+		t.Error("scattered n > memory accepted")
+	}
+}
+
+func TestPlaceScatteredDistinctPages(t *testing.T) {
+	m, _ := NewMemory(1000, 6)
+	for i := 0; i < 50; i++ {
+		p, err := m.PlaceScattered(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Contiguous {
+			t.Fatal("scattered placement marked contiguous")
+		}
+		seen := map[int]bool{}
+		for _, pg := range p.Phys {
+			if pg < 0 || pg >= 1000 {
+				t.Fatalf("page %d out of range", pg)
+			}
+			if seen[pg] {
+				t.Fatalf("duplicate physical page %d", pg)
+			}
+			seen[pg] = true
+		}
+	}
+}
+
+func TestPlaceScatteredBreaksAdjacency(t *testing.T) {
+	m, _ := NewMemory(100000, 7)
+	p, err := m.PlaceScattered(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjacent := 0
+	for i := 1; i < len(p.Phys); i++ {
+		if p.Phys[i] == p.Phys[i-1]+1 {
+			adjacent++
+		}
+	}
+	// Random pages are adjacent with probability ~1/100: expect ~10 pairs,
+	// never the ~999 a contiguous run would have.
+	if adjacent > 100 {
+		t.Fatalf("%d adjacent pairs — scattering is not scattering", adjacent)
+	}
+}
+
+func TestPlaceScatteredExactFit(t *testing.T) {
+	m, _ := NewMemory(16, 8)
+	p, err := m.PlaceScattered(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, pg := range p.Phys {
+		seen[pg] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("exact-fit scatter is not a permutation: %v", p.Phys)
+	}
+}

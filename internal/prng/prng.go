@@ -1,0 +1,192 @@
+// Package prng provides the deterministic random-number substrate used by
+// every simulator in this repository.
+//
+// Reproducibility is a hard requirement: each experiment in the paper is
+// regenerated from a fixed seed, so results are bit-identical across runs and
+// machines. We therefore implement our own generators rather than depending
+// on math/rand's unspecified-across-versions stream:
+//
+//   - SplitMix64: seed expansion and a stateless pseudo-random function (PRF)
+//     used by the mathematical DRAM model (a cell's volatility must be a pure
+//     function of (chip, page, bit) so the model needs no per-cell state).
+//   - Xoshiro256**: the sequential generator used by the cell-level DRAM
+//     simulator and workload generators.
+//   - Box–Muller Gaussians, used for retention-time distributions and trial
+//     noise.
+package prng
+
+import "math"
+
+// SplitMix64 advances the SplitMix64 state and returns the next value. It is
+// the canonical seed expander (Steele, Lea, Flood 2014).
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one SplitMix64 round. It is a high-quality
+// stateless mixing function: distinct inputs give effectively independent
+// outputs.
+func Mix64(x uint64) uint64 {
+	z := x + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Hash combines an arbitrary number of 64-bit values into one well-mixed
+// value. It is the PRF behind the mathematical DRAM model: the volatility of
+// cell i on page p of chip c is derived from Hash(chipSeed, p, i).
+func Hash(parts ...uint64) uint64 {
+	h := uint64(0x2545F4914F6CDD1D)
+	for _, p := range parts {
+		h = Mix64(h ^ p)
+	}
+	return h
+}
+
+// Uniform01 maps a 64-bit hash to a float64 in [0, 1).
+func Uniform01(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+	// cached spare normal from Box–Muller
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded from the given seed via SplitMix64 expansion.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = SplitMix64(&sm)
+	}
+	// A state of all zeros is invalid for xoshiro; SplitMix64 cannot produce
+	// four zero outputs from any seed, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value of the xoshiro256** stream.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return Uniform01(s.Uint64())
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be faster; plain
+	// rejection keeps the stream easy to reason about and is fast enough.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// NormFloat64 returns a standard normal deviate via Box–Muller. Two deviates
+// are produced per transform; the spare is cached.
+func (s *Source) NormFloat64() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	var u, v, r2 float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		r2 = u*u + v*v
+		if r2 > 0 && r2 < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(r2) / r2)
+	s.spare = v * f
+	s.hasSpare = true
+	return u * f
+}
+
+// Normal returns a normal deviate with the given mean and standard deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.NormFloat64()
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, matching the contract of math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fill fills buf with pseudo-random bytes.
+func (s *Source) Fill(buf []byte) {
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		v := s.Uint64()
+		buf[i] = byte(v)
+		buf[i+1] = byte(v >> 8)
+		buf[i+2] = byte(v >> 16)
+		buf[i+3] = byte(v >> 24)
+		buf[i+4] = byte(v >> 32)
+		buf[i+5] = byte(v >> 40)
+		buf[i+6] = byte(v >> 48)
+		buf[i+7] = byte(v >> 56)
+	}
+	if i < len(buf) {
+		v := s.Uint64()
+		for ; i < len(buf); i++ {
+			buf[i] = byte(v)
+			v >>= 8
+		}
+	}
+}

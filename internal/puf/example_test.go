@@ -1,0 +1,39 @@
+package puf_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/dram"
+	"probablecause/internal/puf"
+)
+
+// Example enrolls a device region as a PUF, authenticates the device, and
+// derives a device-bound key — the intentional twin of the Probable Cause
+// attack (§9.1).
+func Example() {
+	cfg := dram.KM41464A(0x9F9F)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		panic(err)
+	}
+	mem, err := approx.New(chip, 0.97)
+	if err != nil {
+		panic(err)
+	}
+
+	e, err := puf.Enroll(mem, puf.Region{Addr: 0, Len: 4096}, 3)
+	if err != nil {
+		panic(err)
+	}
+	ok, _, err := e.Authenticate(mem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("authenticated:", ok)
+	fmt.Println("key bytes:", len(e.Key(32)))
+	// Output:
+	// authenticated: true
+	// key bytes: 32
+}

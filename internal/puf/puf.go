@@ -1,0 +1,114 @@
+// Package puf implements a DRAM decay PUF — the *intentional* use of the
+// physics Probable Cause exploits. §9.1 contrasts the two: "the underlying
+// physical mechanism used in a DRAM PUF [Rosenblatt et al.] and Probable
+// Cause are the same", but a PUF deliberately characterizes the device for
+// attestation while approximate memory leaks the same identity by accident.
+//
+// The PUF here is a weak PUF (device-bound key storage and attestation):
+//
+//   - Enroll measures a memory region several times at a fixed decay
+//     interval and stores the intersected error pattern (exactly Algorithm 1)
+//     as the reference response;
+//   - Authenticate takes a fresh measurement and accepts iff its distance to
+//     the reference is below the threshold — the same modified-Jaccard
+//     decision as the attack;
+//   - Key derives a device-bound key from the reference response. The fresh
+//     measurement only gates access; the key material is the enrolled
+//     response itself, so the key is bit-stable across re-measurement noise.
+package puf
+
+import (
+	"fmt"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/prng"
+)
+
+// Region selects the memory window the PUF operates on.
+type Region struct {
+	Addr, Len int // bytes
+}
+
+func (r Region) validate(chipBytes int) error {
+	if r.Addr < 0 || r.Len <= 0 || r.Addr+r.Len > chipBytes {
+		return fmt.Errorf("puf: region [%d,%d) outside chip of %d bytes", r.Addr, r.Addr+r.Len, chipBytes)
+	}
+	return nil
+}
+
+// Enrollment is the stored reference for one device region.
+type Enrollment struct {
+	Region    Region
+	Reference *bitset.Set // intersected decay pattern
+	Threshold float64
+}
+
+// Enroll measures the region trials times through the approximate memory and
+// stores the intersected error pattern. At least two trials are required so
+// single-trial noise cannot enter the reference.
+func Enroll(mem *approx.Memory, region Region, trials int) (*Enrollment, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("puf: need ≥2 enrollment trials, have %d", trials)
+	}
+	if err := region.validate(mem.Chip().Geometry().Bytes()); err != nil {
+		return nil, err
+	}
+	exact := mem.Chip().WorstCaseData()[region.Addr : region.Addr+region.Len]
+	var outs [][]byte
+	for i := 0; i < trials; i++ {
+		out, err := mem.Roundtrip(region.Addr, exact)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, out)
+	}
+	ref, err := fingerprint.Characterize(exact, outs...)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Count() == 0 {
+		return nil, fmt.Errorf("puf: region produced no stable decay pattern; lower the accuracy or enlarge the region")
+	}
+	return &Enrollment{Region: region, Reference: ref, Threshold: fingerprint.DefaultThreshold}, nil
+}
+
+// Authenticate measures the region once and reports whether the device is
+// the enrolled one, along with the measured distance.
+func (e *Enrollment) Authenticate(mem *approx.Memory) (bool, float64, error) {
+	if err := e.Region.validate(mem.Chip().Geometry().Bytes()); err != nil {
+		return false, 1, err
+	}
+	exact := mem.Chip().WorstCaseData()[e.Region.Addr : e.Region.Addr+e.Region.Len]
+	out, err := mem.Roundtrip(e.Region.Addr, exact)
+	if err != nil {
+		return false, 1, err
+	}
+	es, err := fingerprint.ErrorString(out, exact)
+	if err != nil {
+		return false, 1, err
+	}
+	d := fingerprint.Distance(es, e.Reference)
+	return d < e.Threshold, d, nil
+}
+
+// Key derives n bytes of device-bound key material from the enrolled
+// reference response. The derivation is deterministic in the reference, so
+// the key survives measurement noise (the fresh measurement only gates via
+// Authenticate).
+func (e *Enrollment) Key(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	// Sponge-style extraction over the sorted error positions.
+	h := prng.Hash(0x90F5, uint64(e.Region.Addr), uint64(e.Region.Len))
+	e.Reference.ForEach(func(i int) bool {
+		h = prng.Mix64(h ^ uint64(i))
+		return true
+	})
+	out := make([]byte, n)
+	state := h
+	prng.New(state).Fill(out)
+	return out
+}

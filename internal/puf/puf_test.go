@@ -1,0 +1,151 @@
+package puf
+
+import (
+	"bytes"
+	"testing"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/dram"
+)
+
+func testMem(t *testing.T, seed uint64) *approx.Memory {
+	t.Helper()
+	cfg := dram.KM41464A(seed)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := approx.New(chip, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+var region = Region{Addr: 0, Len: 4096}
+
+func TestEnrollValidation(t *testing.T) {
+	mem := testMem(t, 1)
+	if _, err := Enroll(mem, region, 1); err == nil {
+		t.Error("single-trial enrollment accepted")
+	}
+	if _, err := Enroll(mem, Region{Addr: -1, Len: 10}, 3); err == nil {
+		t.Error("negative region accepted")
+	}
+	if _, err := Enroll(mem, Region{Addr: 0, Len: 1 << 30}, 3); err == nil {
+		t.Error("oversized region accepted")
+	}
+}
+
+func TestAuthenticateOwnDevice(t *testing.T) {
+	mem := testMem(t, 2)
+	e, err := Enroll(mem, region, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, d, err := e.Authenticate(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || d > 0.05 {
+		t.Fatalf("own device rejected: ok=%v distance=%v", ok, d)
+	}
+}
+
+func TestAuthenticateAcrossTemperature(t *testing.T) {
+	mem := testMem(t, 3)
+	e, err := Enroll(mem, region, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.SetTemperature(60); err != nil {
+		t.Fatal(err)
+	}
+	ok, d, err := e.Authenticate(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("own device rejected at 60°C (distance %v)", d)
+	}
+}
+
+func TestRejectOtherDevice(t *testing.T) {
+	a := testMem(t, 4)
+	b := testMem(t, 5)
+	e, err := Enroll(a, region, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, d, err := e.Authenticate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || d < 0.5 {
+		t.Fatalf("impostor accepted: ok=%v distance=%v", ok, d)
+	}
+}
+
+func TestKeyStableAndDeviceBound(t *testing.T) {
+	mem := testMem(t, 6)
+	e, err := Enroll(mem, region, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := e.Key(32)
+	k2 := e.Key(32)
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("key not deterministic")
+	}
+	if len(k1) != 32 {
+		t.Fatalf("key length %d", len(k1))
+	}
+	other, err := Enroll(testMem(t, 7), region, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, other.Key(32)) {
+		t.Fatal("two devices derived the same key")
+	}
+	if e.Key(0) != nil {
+		t.Fatal("zero-length key should be nil")
+	}
+}
+
+func TestKeyDependsOnRegion(t *testing.T) {
+	mem := testMem(t, 8)
+	e1, err := Enroll(mem, Region{Addr: 0, Len: 2048}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Enroll(mem, Region{Addr: 2048, Len: 2048}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(e1.Key(16), e2.Key(16)) {
+		t.Fatal("different regions derived the same key")
+	}
+}
+
+func TestAuthenticateRegionOutsideSmallerChip(t *testing.T) {
+	mem := testMem(t, 9)
+	e, err := Enroll(mem, region, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chip too small for the enrolled region must error, not panic.
+	cfg := dram.KM41464A(10)
+	cfg.Geometry = dram.Geometry{Rows: 4, Cols: 32, BitsPerWord: 4, DefaultStripe: 2}
+	small, err := dram.NewChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallMem, err := approx.New(small, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Authenticate(smallMem); err == nil {
+		t.Fatal("oversized region accepted on small chip")
+	}
+}

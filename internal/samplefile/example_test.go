@@ -1,0 +1,28 @@
+package samplefile_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/samplefile"
+	"probablecause/internal/stitch"
+)
+
+// Example round-trips a captured output through the JSON-lines format.
+func Example() {
+	sample := stitch.Sample{Pages: []bitset.Sparse{{12, 845, 3001}, {77}}}
+	var buf bytes.Buffer
+	if err := samplefile.Write(&buf, []stitch.Sample{sample}); err != nil {
+		panic(err)
+	}
+	fmt.Print(buf.String())
+	back, err := samplefile.ReadAll(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pages:", len(back[0].Pages))
+	// Output:
+	// [[12,845,3001],[77]]
+	// pages: 2
+}

@@ -1,0 +1,39 @@
+package samplefile
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReader: the JSON-lines sample parser must never panic, and every
+// sample it accepts must contain normalized (sorted, deduplicated) pages.
+func FuzzReader(f *testing.F) {
+	f.Add("[[1,2,3]]\n")
+	f.Add("[[9,1,5,1],[7]]\n\n[[2]]\n")
+	f.Add("not json\n")
+	f.Add("[]\n")
+	f.Add("[[]]")
+	f.Fuzz(func(t *testing.T, data string) {
+		r := NewReader(strings.NewReader(data))
+		for {
+			s, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // malformed input rejected: fine
+			}
+			if len(s.Pages) == 0 {
+				t.Fatal("accepted empty sample")
+			}
+			for _, p := range s.Pages {
+				for i := 1; i < len(p); i++ {
+					if p[i] <= p[i-1] {
+						t.Fatal("page positions not normalized")
+					}
+				}
+			}
+		}
+	})
+}

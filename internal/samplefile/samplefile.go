@@ -1,0 +1,99 @@
+// Package samplefile defines the on-disk interchange format for captured
+// approximate outputs ("samples") used by the pcause CLI.
+//
+// A sample file is JSON-lines: each line is one sample, encoded as an array
+// of pages, each page an array of ascending error bit positions:
+//
+//	[[12,845,3001],[77,1009],[...]]
+//
+// The format is deliberately trivial — it is what a scraper that extracts
+// error patterns from published outputs would emit — while staying
+// streamable (the stitcher handles samples one line at a time).
+package samplefile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/stitch"
+)
+
+// Write serializes samples as JSON lines.
+func Write(w io.Writer, samples []stitch.Sample) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, s := range samples {
+		pages := make([][]uint32, len(s.Pages))
+		for j, p := range s.Pages {
+			if p == nil {
+				pages[j] = []uint32{}
+			} else {
+				pages[j] = p
+			}
+		}
+		if err := enc.Encode(pages); err != nil {
+			return fmt.Errorf("samplefile: sample %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Reader streams samples from a JSON-lines source.
+type Reader struct {
+	scan *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r. Lines up to 64 MiB are accepted (a 10 MB sample at 1 %
+// error encodes to roughly 2 MB of JSON).
+func NewReader(r io.Reader) *Reader {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	return &Reader{scan: scan}
+}
+
+// Next returns the next sample, or io.EOF when the stream ends.
+func (r *Reader) Next() (stitch.Sample, error) {
+	for r.scan.Scan() {
+		r.line++
+		raw := r.scan.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var pages [][]uint32
+		if err := json.Unmarshal(raw, &pages); err != nil {
+			return stitch.Sample{}, fmt.Errorf("samplefile: line %d: %w", r.line, err)
+		}
+		if len(pages) == 0 {
+			return stitch.Sample{}, fmt.Errorf("samplefile: line %d: empty sample", r.line)
+		}
+		s := stitch.Sample{Pages: make([]bitset.Sparse, len(pages))}
+		for j, p := range pages {
+			s.Pages[j] = bitset.NewSparse(p)
+		}
+		return s, nil
+	}
+	if err := r.scan.Err(); err != nil {
+		return stitch.Sample{}, err
+	}
+	return stitch.Sample{}, io.EOF
+}
+
+// ReadAll drains the stream.
+func ReadAll(rd io.Reader) ([]stitch.Sample, error) {
+	r := NewReader(rd)
+	var out []stitch.Sample
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}

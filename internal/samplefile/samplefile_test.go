@@ -1,0 +1,99 @@
+package samplefile
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/stitch"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []stitch.Sample{
+		{Pages: []bitset.Sparse{{1, 5, 9}, {2}}},
+		{Pages: []bitset.Sparse{nil, {100, 200, 4000000000}}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d samples", len(out))
+	}
+	if !out[0].Pages[0].Equal(bitset.Sparse{1, 5, 9}) {
+		t.Fatalf("page = %v", out[0].Pages[0])
+	}
+	if out[1].Pages[0].Card() != 0 {
+		t.Fatalf("nil page round-tripped to %v", out[1].Pages[0])
+	}
+	if !out[1].Pages[1].Equal(bitset.Sparse{100, 200, 4000000000}) {
+		t.Fatalf("page = %v", out[1].Pages[1])
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	src := "[[1,2]]\n\n[[3]]\n"
+	out, err := ReadAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d samples", len(out))
+	}
+}
+
+func TestReaderRejectsBadJSON(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadAll(strings.NewReader("[]\n")); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestReaderNormalizesUnsortedPositions(t *testing.T) {
+	out, err := ReadAll(strings.NewReader("[[9,1,5,1]]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Pages[0].Equal(bitset.Sparse{1, 5, 9}) {
+		t.Fatalf("positions = %v", out[0].Pages[0])
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestStreamingReader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []stitch.Sample{
+		{Pages: []bitset.Sparse{{1}}},
+		{Pages: []bitset.Sparse{{2}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	s1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Pages[0].Equal(bitset.Sparse{1}) {
+		t.Fatalf("first sample %v", s1.Pages[0])
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,43 @@
+package stitch_test
+
+import (
+	"fmt"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/stitch"
+)
+
+// Example stitches two overlapping outputs of one machine into a single
+// whole-memory fingerprint cluster.
+func Example() {
+	victim := drammodel.New(7)
+	sample := func(startPage, pages int, trial uint64) stitch.Sample {
+		s := stitch.Sample{Pages: make([]bitset.Sparse, pages)}
+		for i := range s.Pages {
+			fp, err := victim.PageErrors(uint64(startPage+i), 0.01, trial)
+			if err != nil {
+				panic(err)
+			}
+			s.Pages[i] = fp
+		}
+		return s
+	}
+
+	st, err := stitch.New(stitch.Config{})
+	if err != nil {
+		panic(err)
+	}
+	// Output 1 covered physical pages 0-5; output 2 covered 4-9.
+	if _, err := st.Add(sample(0, 6, 1)); err != nil {
+		panic(err)
+	}
+	if _, err := st.Add(sample(4, 6, 2)); err != nil {
+		panic(err)
+	}
+	fmt.Println("suspected machines:", st.Count())
+	fmt.Println("fingerprinted pages:", st.CoveredPages())
+	// Output:
+	// suspected machines: 1
+	// fingerprinted pages: 10
+}

@@ -1,0 +1,144 @@
+package stitch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"probablecause/internal/bitset"
+)
+
+// stMagic identifies the stitcher-database file format.
+var stMagic = [6]byte{'P', 'C', 'S', 'T', '0', '1'}
+
+// WriteTo serializes the attacker's cluster database ("a database equal to
+// the size of the fingerprinted region of memory", §4). Only live clusters
+// and their page fingerprints are stored; union-find history and index state
+// are rebuilt on load. It implements io.WriterTo.
+func (s *Stitcher) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(stMagic[:])); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(s.live))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(s.samples))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	for c := range s.parent {
+		if s.parent[c] != c {
+			continue
+		}
+		pages := s.pages[c]
+		var pc [4]byte
+		binary.LittleEndian.PutUint32(pc[:], uint32(len(pages)))
+		if err := count(bw.Write(pc[:])); err != nil {
+			return n, err
+		}
+		// Deterministic output: offsets in ascending order.
+		offsets := make([]int, 0, len(pages))
+		for off := range pages {
+			offsets = append(offsets, off)
+		}
+		sort.Ints(offsets)
+		for _, off := range offsets {
+			var oh [8]byte
+			binary.LittleEndian.PutUint64(oh[:], uint64(int64(off)))
+			if err := count(bw.Write(oh[:])); err != nil {
+				return n, err
+			}
+			blob, err := pages[off].MarshalBinary()
+			if err != nil {
+				return n, err
+			}
+			var bl [4]byte
+			binary.LittleEndian.PutUint32(bl[:], uint32(len(blob)))
+			if err := count(bw.Write(bl[:])); err != nil {
+				return n, err
+			}
+			if err := count(bw.Write(blob)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Load reconstructs a stitcher from a database written by WriteTo, using the
+// given configuration for future matching.
+func Load(r io.Reader, cfg Config) (*Stitcher, error) {
+	st, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stitch: reading magic: %w", err)
+	}
+	if magic != stMagic {
+		return nil, fmt.Errorf("stitch: not a stitcher database (magic %q)", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("stitch: reading header: %w", err)
+	}
+	clusters := binary.LittleEndian.Uint32(hdr[:4])
+	st.samples = int(binary.LittleEndian.Uint32(hdr[4:]))
+	if clusters > 1<<24 {
+		return nil, fmt.Errorf("stitch: implausible cluster count %d", clusters)
+	}
+	for ci := uint32(0); ci < clusters; ci++ {
+		var pc [4]byte
+		if _, err := io.ReadFull(br, pc[:]); err != nil {
+			return nil, fmt.Errorf("stitch: cluster %d header: %w", ci, err)
+		}
+		pageCount := binary.LittleEndian.Uint32(pc[:])
+		if pageCount > 1<<28 {
+			return nil, fmt.Errorf("stitch: implausible page count %d", pageCount)
+		}
+		id := len(st.parent)
+		st.parent = append(st.parent, id)
+		st.shift = append(st.shift, 0)
+		m := make(map[int]bitset.Sparse, pageCount)
+		st.pages = append(st.pages, m)
+		st.live++
+		for pi := uint32(0); pi < pageCount; pi++ {
+			var oh [8]byte
+			if _, err := io.ReadFull(br, oh[:]); err != nil {
+				return nil, fmt.Errorf("stitch: cluster %d page %d offset: %w", ci, pi, err)
+			}
+			off := int(int64(binary.LittleEndian.Uint64(oh[:])))
+			var bl [4]byte
+			if _, err := io.ReadFull(br, bl[:]); err != nil {
+				return nil, fmt.Errorf("stitch: cluster %d page %d length: %w", ci, pi, err)
+			}
+			blobLen := binary.LittleEndian.Uint32(bl[:])
+			if blobLen > 1<<30 {
+				return nil, fmt.Errorf("stitch: implausible page blob of %d bytes", blobLen)
+			}
+			blob := make([]byte, blobLen)
+			if _, err := io.ReadFull(br, blob); err != nil {
+				return nil, fmt.Errorf("stitch: cluster %d page %d payload: %w", ci, pi, err)
+			}
+			fp, err := bitset.UnmarshalSparse(blob)
+			if err != nil {
+				return nil, fmt.Errorf("stitch: cluster %d page %d: %w", ci, pi, err)
+			}
+			if _, dup := m[off]; dup {
+				return nil, fmt.Errorf("stitch: cluster %d has duplicate offset %d", ci, off)
+			}
+			m[off] = fp
+			st.indexPage(id, off, fp)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,86 @@
+package stitch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"probablecause/internal/drammodel"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	m := drammodel.New(0x9E51)
+	st := newStitcher(t, Config{})
+	for trial := uint64(1); trial <= 6; trial++ {
+		if _, err := st.Add(sampleAt(t, m, int(trial)*3, 6, trial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	n, err := st.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Count() != st.Count() {
+		t.Fatalf("clusters %d != %d", loaded.Count(), st.Count())
+	}
+	if loaded.CoveredPages() != st.CoveredPages() {
+		t.Fatalf("pages %d != %d", loaded.CoveredPages(), st.CoveredPages())
+	}
+	if loaded.Samples() != st.Samples() {
+		t.Fatalf("samples %d != %d", loaded.Samples(), st.Samples())
+	}
+
+	// The reloaded archive must keep working: an overlapping sample merges
+	// into the existing cluster rather than founding a new one.
+	before := loaded.Count()
+	if _, err := loaded.Add(sampleAt(t, m, 5, 6, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Count() > before {
+		t.Fatal("reloaded database failed to match a known region")
+	}
+}
+
+func TestPersistEmpty(t *testing.T) {
+	st := newStitcher(t, Config{})
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Count() != 0 {
+		t.Fatalf("Count = %d", loaded.Count())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOPE01",
+		"PCST01",                                 // truncated header
+		"PCST01\x01\x00\x00\x00\x00\x00\x00\x00", // 1 cluster, no body
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c), Config{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsBadConfig(t *testing.T) {
+	if _, err := Load(strings.NewReader("PCST01"), Config{Threshold: 5}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

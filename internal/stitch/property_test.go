@@ -1,0 +1,138 @@
+package stitch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/prng"
+)
+
+// buildSamples materializes noise-free samples at the given start pages.
+func buildSamples(t testing.TB, model *drammodel.Model, starts []int, width int) []Sample {
+	t.Helper()
+	out := make([]Sample, len(starts))
+	for k, start := range starts {
+		pages := make([]bitset.Sparse, width)
+		for i := range pages {
+			fp, err := model.PageErrors(uint64(start+i), 0.01, uint64(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages[i] = fp
+		}
+		out[k] = Sample{Pages: pages}
+	}
+	return out
+}
+
+// Property: with noise-free fingerprints, the final cluster count does not
+// depend on the order samples arrive — stitching is a pure connectivity
+// computation.
+func TestQuickOrderInvariance(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%12) + 2
+		model := drammodel.New(seed)
+		model.BandSigma = 0
+		rng := prng.New(seed ^ 0x0D3)
+		starts := make([]int, count)
+		for i := range starts {
+			starts[i] = rng.Intn(120)
+		}
+		samples := buildSamples(t, model, starts, 6)
+
+		run := func(order []int) int {
+			st, err := New(Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, idx := range order {
+				if _, err := st.Add(samples[idx]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return st.Count()
+		}
+		forward := make([]int, count)
+		shuffled := make([]int, count)
+		for i := range forward {
+			forward[i] = i
+			shuffled[i] = i
+		}
+		rng.Shuffle(count, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return run(forward) == run(shuffled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a sample can only decrease the cluster count by merging
+// or increase it by exactly one.
+func TestQuickClusterCountDelta(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%15) + 2
+		model := drammodel.New(seed)
+		rng := prng.New(seed ^ 0x77)
+		starts := make([]int, count)
+		for i := range starts {
+			starts[i] = rng.Intn(100)
+		}
+		samples := buildSamples(t, model, starts, 5)
+		st, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0
+		for _, s := range samples {
+			if _, err := st.Add(s); err != nil {
+				t.Fatal(err)
+			}
+			now := st.Count()
+			if now > prev+1 || now < 1 {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CoveredPages never exceeds the page span actually touched and
+// never shrinks as samples accumulate.
+func TestQuickCoverageMonotone(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%10) + 2
+		model := drammodel.New(seed)
+		rng := prng.New(seed ^ 0x99)
+		st, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		touched := map[int]bool{}
+		prevCovered := 0
+		for k := 0; k < count; k++ {
+			start := rng.Intn(80)
+			samples := buildSamples(t, model, []int{start}, 4)
+			for i := 0; i < 4; i++ {
+				touched[start+i] = true
+			}
+			if _, err := st.Add(samples[0]); err != nil {
+				t.Fatal(err)
+			}
+			c := st.CoveredPages()
+			if c < prevCovered || c > len(touched) {
+				return false
+			}
+			prevCovered = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,361 @@
+// Package stitch implements the fingerprint-stitching attack of §4: building
+// a whole-memory fingerprint from many partial observations.
+//
+// Each captured approximate output yields a *sample* — a run of page-level
+// fingerprints in buffer order. Because the OS places an output buffer in
+// consecutive physical pages at a run-dependent base (see osmodel), two
+// outputs that overlapped in physical memory share a run of matching
+// page-level fingerprints. The stitcher:
+//
+//  1. looks up each page of a new sample in an LSH index over all previously
+//     seen pages (see minhash), producing candidate (cluster, offset)
+//     alignments;
+//  2. verifies candidate alignments with the paper's distance metric
+//     (Algorithm 3) page by page;
+//  3. merges the sample into every verified cluster — refining overlapping
+//     page fingerprints by intersection, exactly like characterization
+//     (Algorithm 1) — and merges those clusters with each other, since the
+//     sample proves they are regions of one physical memory.
+//
+// Clusters are kept in a weighted union-find whose edges carry the offset
+// translation between cluster coordinate frames, so stale index references
+// created before a merge remain resolvable afterwards.
+//
+// The number of live clusters is the attacker's count of suspected distinct
+// machines; Figure 13 tracks it as samples accumulate.
+package stitch
+
+import (
+	"fmt"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/minhash"
+)
+
+// RefineMode selects how a cluster's stored page fingerprint is updated
+// when a new matching observation of the same page arrives.
+type RefineMode int
+
+const (
+	// RefineIntersect replaces the stored fingerprint with its intersection
+	// with the new observation — Algorithm 1 applied page-wise. Correct for
+	// worst-case data, where every volatile cell is visible in every
+	// output: intersection strips only trial noise.
+	RefineIntersect RefineMode = iota
+	// RefineUnion accumulates observed error positions. Required when
+	// outputs expose only the cells their data happened to charge
+	// (ChargedFraction < 1 in the model): intersecting partial views would
+	// erase the fingerprint, while the union converges to the full volatile
+	// set.
+	RefineUnion
+	// RefineKeep leaves the first stored fingerprint untouched.
+	RefineKeep
+)
+
+// Config parameterizes a Stitcher.
+type Config struct {
+	// Threshold is the page-fingerprint distance below which two pages are
+	// considered the same physical page. Defaults to
+	// fingerprint.DefaultThreshold.
+	Threshold float64
+	// MinOverlap is the number of verified page matches required to accept
+	// an alignment. 1 suffices given the fingerprint-space combinatorics of
+	// Table 1; raise it to trade recall for robustness.
+	MinOverlap int
+	// Scheme is the MinHash/LSH scheme; defaults to minhash.DefaultScheme.
+	Scheme minhash.Scheme
+	// Brute disables the LSH index and scans every stored page per query —
+	// the quadratic baseline for the LSH ablation.
+	Brute bool
+	// Refine selects the page-fingerprint update rule; defaults to
+	// RefineIntersect (the paper's Algorithm 1).
+	Refine RefineMode
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = fingerprint.DefaultThreshold
+	}
+	if c.MinOverlap == 0 {
+		c.MinOverlap = 1
+	}
+	if c.Scheme == (minhash.Scheme{}) {
+		c.Scheme = minhash.DefaultScheme
+	}
+	return c
+}
+
+// Sample is one captured approximate output: the fingerprints of its pages
+// in buffer order.
+type Sample struct {
+	Pages []bitset.Sparse
+}
+
+// pageRef locates a page in the coordinate frame of the cluster that first
+// stored it; union-find translation maps it to the current root's frame.
+type pageRef struct {
+	cluster int
+	offset  int
+}
+
+type alignment struct {
+	root int // resolved root cluster
+	base int // sample page i sits at root offset base+i
+}
+
+// Stitcher accumulates samples into whole-memory fingerprint clusters.
+type Stitcher struct {
+	cfg   Config
+	index *minhash.Index[pageRef]
+
+	parent []int                   // union-find parent; parent[i] == i for roots
+	shift  []int                   // offset from node i's frame to parent's frame
+	pages  []map[int]bitset.Sparse // root-only: offset → fingerprint
+	live   int
+
+	samples int
+}
+
+// New returns an empty stitcher.
+func New(cfg Config) (*Stitcher, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("stitch: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	if cfg.MinOverlap < 1 {
+		return nil, fmt.Errorf("stitch: min overlap %d < 1", cfg.MinOverlap)
+	}
+	ix, err := minhash.NewIndex[pageRef](cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Stitcher{cfg: cfg, index: ix}, nil
+}
+
+// find resolves node c to its root and the offset translation from c's frame
+// to the root's frame, compressing the path.
+func (s *Stitcher) find(c int) (root, off int) {
+	if s.parent[c] == c {
+		return c, 0
+	}
+	r, o := s.find(s.parent[c])
+	s.parent[c] = r
+	s.shift[c] += o
+	return r, s.shift[c]
+}
+
+// Count returns the number of live clusters — suspected distinct machines.
+func (s *Stitcher) Count() int { return s.live }
+
+// Samples returns how many samples have been added.
+func (s *Stitcher) Samples() int { return s.samples }
+
+// CoveredPages returns the total number of distinct fingerprinted pages
+// across all clusters — the size of the attacker's database (§4).
+func (s *Stitcher) CoveredPages() int {
+	n := 0
+	for i := range s.parent {
+		if s.parent[i] == i {
+			n += len(s.pages[i])
+		}
+	}
+	return n
+}
+
+// LargestCluster returns the page count of the biggest cluster, 0 if none.
+func (s *Stitcher) LargestCluster() int {
+	max := 0
+	for i := range s.parent {
+		if s.parent[i] == i && len(s.pages[i]) > max {
+			max = len(s.pages[i])
+		}
+	}
+	return max
+}
+
+// Add ingests one sample and returns the root cluster id it now belongs to.
+func (s *Stitcher) Add(sample Sample) (int, error) {
+	if len(sample.Pages) == 0 {
+		return 0, fmt.Errorf("stitch: empty sample")
+	}
+	s.samples++
+
+	aligns := s.alignments(sample)
+	if len(aligns) == 0 {
+		return s.newCluster(sample), nil
+	}
+
+	// Merge the sample into the first verified alignment, then union every
+	// further aligned cluster into it: the sample witnesses that they are
+	// all windows of the same physical memory.
+	primary := aligns[0]
+	for _, a := range aligns[1:] {
+		// Frames: sampleIdx i ↔ primary offset primary.base+i ↔ a.root
+		// offset a.base+i, so aRootOff + (primary.base − a.base) = primaryOff.
+		s.union(a.root, primary.root, primary.base-a.base)
+	}
+	root, off := s.find(primary.root)
+	s.mergeSample(root, primary.base+off, sample)
+	return root, nil
+}
+
+// alignments returns verified alignments, deduplicated by root, best first.
+func (s *Stitcher) alignments(sample Sample) []alignment {
+	votes := make(map[alignment]int)
+	for i, fp := range sample.Pages {
+		if fp.Card() == 0 {
+			continue
+		}
+		for _, ref := range s.candidates(fp) {
+			root, off := s.find(ref.cluster)
+			votes[alignment{root: root, base: ref.offset + off - i}]++
+		}
+	}
+	// Verify each distinct candidate alignment; keep the best per root.
+	type scored struct {
+		a       alignment
+		matched int
+	}
+	best := make(map[int]scored)
+	for a := range votes {
+		matched := s.verify(a, sample)
+		if matched < s.cfg.MinOverlap {
+			continue
+		}
+		if b, ok := best[a.root]; !ok || matched > b.matched {
+			best[a.root] = scored{a: a, matched: matched}
+		}
+	}
+	out := make([]alignment, 0, len(best))
+	for _, b := range best {
+		out = append(out, b.a)
+	}
+	return out
+}
+
+// candidates returns page references possibly matching fp.
+func (s *Stitcher) candidates(fp bitset.Sparse) []pageRef {
+	if !s.cfg.Brute {
+		return s.index.Candidates(s.cfg.Scheme.Sign(fp))
+	}
+	var out []pageRef
+	for c := range s.parent {
+		if s.parent[c] != c {
+			continue
+		}
+		for off, stored := range s.pages[c] {
+			if fingerprint.SparseDistance(fp, stored) < s.cfg.Threshold {
+				out = append(out, pageRef{cluster: c, offset: off})
+			}
+		}
+	}
+	return out
+}
+
+// verify counts the sample pages whose fingerprint matches the cluster page
+// at the aligned offset.
+func (s *Stitcher) verify(a alignment, sample Sample) int {
+	matched := 0
+	for i, fp := range sample.Pages {
+		if fp.Card() == 0 {
+			continue
+		}
+		stored, ok := s.pages[a.root][a.base+i]
+		if !ok {
+			continue
+		}
+		if fingerprint.SparseDistance(fp, stored) < s.cfg.Threshold {
+			matched++
+		}
+	}
+	return matched
+}
+
+// newCluster stores the sample as a fresh cluster.
+func (s *Stitcher) newCluster(sample Sample) int {
+	id := len(s.parent)
+	s.parent = append(s.parent, id)
+	s.shift = append(s.shift, 0)
+	m := make(map[int]bitset.Sparse, len(sample.Pages))
+	s.pages = append(s.pages, m)
+	s.live++
+	for i, fp := range sample.Pages {
+		m[i] = fp.Clone()
+		s.indexPage(id, i, fp)
+	}
+	return id
+}
+
+// mergeSample folds the sample into root at the given base offset.
+func (s *Stitcher) mergeSample(root, base int, sample Sample) {
+	m := s.pages[root]
+	for i, fp := range sample.Pages {
+		off := base + i
+		if stored, ok := m[off]; ok {
+			// Refine only when the new observation really matches the
+			// stored page; a poor match must not corrupt the database.
+			if fingerprint.SparseDistance(fp, stored) < s.cfg.Threshold {
+				m[off] = s.refine(stored, fp)
+			}
+			continue
+		}
+		m[off] = fp.Clone()
+		s.indexPage(root, off, fp)
+	}
+}
+
+// refine applies the configured fingerprint-update rule.
+func (s *Stitcher) refine(stored, observed bitset.Sparse) bitset.Sparse {
+	switch s.cfg.Refine {
+	case RefineUnion:
+		return stored.Union(observed)
+	case RefineKeep:
+		return stored
+	default:
+		return stored.Intersect(observed)
+	}
+}
+
+// indexPage registers a page in the LSH index (no-op in brute mode; brute
+// candidates scan the cluster maps directly).
+func (s *Stitcher) indexPage(cluster, offset int, fp bitset.Sparse) {
+	if s.cfg.Brute || fp.Card() == 0 {
+		return
+	}
+	s.index.Add(s.cfg.Scheme.Sign(fp), pageRef{cluster: cluster, offset: offset})
+}
+
+// union merges cluster a into cluster b's component. delta is the offset
+// translation from a's root frame to b's root frame: bOff = aOff + delta.
+func (s *Stitcher) union(a, b, delta int) {
+	ra, oa := s.find(a)
+	rb, ob := s.find(b)
+	if ra == rb {
+		return
+	}
+	// Translate delta from the (a,b) frames to the (ra,rb) root frames:
+	// aOff = raOff ... careful: oa maps a's frame to ra's frame? shift[c]
+	// maps c's frame to parent's. find(a) returns offset from a's frame to
+	// root's frame: rootOff = aOff + oa. We were given bOff = aOff + delta.
+	// So rbOff = bOff + ob = aOff + delta + ob = (raOff − oa) + delta + ob.
+	d := delta + ob - oa // rbOff = raOff + d
+	// Merge the smaller page map into the larger.
+	if len(s.pages[ra]) > len(s.pages[rb]) {
+		ra, rb, d = rb, ra, -d
+	}
+	for off, fp := range s.pages[ra] {
+		target := off + d
+		if stored, ok := s.pages[rb][target]; ok {
+			if fingerprint.SparseDistance(fp, stored) < s.cfg.Threshold {
+				s.pages[rb][target] = s.refine(stored, fp)
+			}
+		} else {
+			s.pages[rb][target] = fp
+		}
+	}
+	s.pages[ra] = nil
+	s.parent[ra] = rb
+	s.shift[ra] = d
+	s.live--
+}

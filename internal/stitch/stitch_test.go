@@ -1,0 +1,287 @@
+package stitch
+
+import (
+	"testing"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/osmodel"
+)
+
+// sampleAt builds a sample from the model's pages [start, start+n).
+func sampleAt(t *testing.T, m *drammodel.Model, start, n int, trial uint64) Sample {
+	t.Helper()
+	pages := make([]bitset.Sparse, n)
+	for i := range pages {
+		fp, err := m.PageErrors(uint64(start+i), 0.01, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages[i] = fp
+	}
+	return Sample{Pages: pages}
+}
+
+func newStitcher(t *testing.T, cfg Config) *Stitcher {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Threshold: 2}); err == nil {
+		t.Error("threshold 2 accepted")
+	}
+	if _, err := New(Config{MinOverlap: -1}); err == nil {
+		t.Error("negative overlap accepted")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestEmptySampleRejected(t *testing.T) {
+	s := newStitcher(t, Config{})
+	if _, err := s.Add(Sample{}); err != nil {
+		// expected
+	} else {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestDisjointSamplesFormSeparateClusters(t *testing.T) {
+	m := drammodel.New(1)
+	s := newStitcher(t, Config{})
+	if _, err := s.Add(sampleAt(t, m, 0, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(sampleAt(t, m, 100, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 (no overlap to stitch)", s.Count())
+	}
+}
+
+func TestOverlappingSamplesMerge(t *testing.T) {
+	m := drammodel.New(2)
+	s := newStitcher(t, Config{})
+	c1, err := s.Add(sampleAt(t, m, 0, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Add(sampleAt(t, m, 4, 6, 2)) // pages 4,5 overlap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 after overlap", s.Count())
+	}
+	if r1, _ := s.find(c1); r1 != c2 && c1 != c2 {
+		t.Fatalf("samples in different clusters: %d vs %d", c1, c2)
+	}
+	// The merged cluster spans pages 0..9: ten distinct pages.
+	if got := s.CoveredPages(); got != 10 {
+		t.Fatalf("CoveredPages = %d, want 10", got)
+	}
+	if got := s.LargestCluster(); got != 10 {
+		t.Fatalf("LargestCluster = %d, want 10", got)
+	}
+}
+
+func TestBridgeSampleMergesTwoClusters(t *testing.T) {
+	m := drammodel.New(3)
+	s := newStitcher(t, Config{})
+	if _, err := s.Add(sampleAt(t, m, 0, 4, 1)); err != nil { // pages 0-3
+		t.Fatal(err)
+	}
+	if _, err := s.Add(sampleAt(t, m, 8, 4, 2)); err != nil { // pages 8-11
+		t.Fatal(err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("premise: Count = %d, want 2", s.Count())
+	}
+	// Bridge touches both: pages 2..9.
+	if _, err := s.Add(sampleAt(t, m, 2, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 after bridge", s.Count())
+	}
+	if got := s.CoveredPages(); got != 12 {
+		t.Fatalf("CoveredPages = %d, want 12 (pages 0..11)", got)
+	}
+}
+
+func TestDifferentChipsNeverMerge(t *testing.T) {
+	a, b := drammodel.New(4), drammodel.New(5)
+	s := newStitcher(t, Config{})
+	// Same page numbers, different devices: fingerprints are unrelated.
+	if _, err := s.Add(sampleAt(t, a, 0, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(sampleAt(t, b, 0, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 — different devices merged!", s.Count())
+	}
+}
+
+func TestRepeatedSampleRefinesNotGrows(t *testing.T) {
+	m := drammodel.New(6)
+	s := newStitcher(t, Config{})
+	if _, err := s.Add(sampleAt(t, m, 0, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CoveredPages()
+	if _, err := s.Add(sampleAt(t, m, 0, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+	if got := s.CoveredPages(); got != before {
+		t.Fatalf("CoveredPages grew %d→%d on repeated sample", before, got)
+	}
+	if s.Samples() != 2 {
+		t.Fatalf("Samples = %d, want 2", s.Samples())
+	}
+}
+
+func TestIntersectionRefinementStripsNoise(t *testing.T) {
+	m := drammodel.New(7)
+	s := newStitcher(t, Config{})
+	root := 0
+	for trial := uint64(1); trial <= 8; trial++ {
+		r, err := s.Add(sampleAt(t, m, 0, 2, trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		root = r
+	}
+	// After 8 trials the stored fingerprint must be (close to) the noise-free
+	// volatile core: a subset of every later observation's errors.
+	truth, err := m.VolatileSet(0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootID, off := s.find(root)
+	stored := s.pages[rootID][0+off]
+	extra := stored.DiffCount(truth)
+	if float64(extra) > 0.05*float64(stored.Card()) {
+		t.Fatalf("%d of %d stored bits are not in the true volatile set", extra, stored.Card())
+	}
+}
+
+func TestBruteMatchesLSH(t *testing.T) {
+	m := drammodel.New(8)
+	run := func(brute bool) (int, int) {
+		s := newStitcher(t, Config{Brute: brute})
+		mem, err := osmodel.NewMemory(64, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := uint64(1); trial <= 30; trial++ {
+			pl, err := mem.Place(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Add(sampleAt(t, m, pl.Phys[0], 8, trial)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Count(), s.CoveredPages()
+	}
+	lc, lp := run(false)
+	bc, bp := run(true)
+	if lc != bc || lp != bp {
+		t.Fatalf("LSH (%d clusters, %d pages) != brute (%d clusters, %d pages)", lc, lp, bc, bp)
+	}
+}
+
+func TestConvergenceTowardSingleCluster(t *testing.T) {
+	// Miniature Figure 13: 64-page memory, 8-page samples. After enough
+	// samples everything connects into one cluster.
+	m := drammodel.New(9)
+	mem, err := osmodel.NewMemory(64, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newStitcher(t, Config{})
+	peak := 0
+	for trial := uint64(1); trial <= 60; trial++ {
+		pl, err := mem.Place(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Add(sampleAt(t, m, pl.Phys[0], 8, trial)); err != nil {
+			t.Fatal(err)
+		}
+		if s.Count() > peak {
+			peak = s.Count()
+		}
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after 60 samples of a 64-page memory, want 1", s.Count())
+	}
+	if peak < 2 {
+		t.Fatalf("peak cluster count = %d — convergence curve degenerate", peak)
+	}
+	if got := s.CoveredPages(); got > 64 {
+		t.Fatalf("CoveredPages = %d exceeds physical memory", got)
+	}
+}
+
+func TestScatteredPlacementDefeatsStitching(t *testing.T) {
+	// §8.2.3: page-level ASLR removes contiguity. Individual physical pages
+	// can still collide across samples (true single-page matches — the
+	// paper's "flag any page-level fingerprint as a potential match"), but a
+	// stitcher demanding an aligned run of ≥2 matching pages never fires,
+	// because scattering makes consistent relative offsets vanishingly rare.
+	m := drammodel.New(10)
+	mem, err := osmodel.NewMemory(4096, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newStitcher(t, Config{MinOverlap: 2})
+	const samples = 20
+	for trial := uint64(1); trial <= samples; trial++ {
+		pl, err := mem.PlaceScattered(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := make([]bitset.Sparse, len(pl.Phys))
+		for i, phys := range pl.Phys {
+			fp, err := m.PageErrors(uint64(phys), 0.01, trial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages[i] = fp
+		}
+		if _, err := s.Add(Sample{Pages: pages}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Count() != samples {
+		t.Fatalf("Count = %d of %d samples — ASLR defense failed against 2-page alignment", s.Count(), samples)
+	}
+}
+
+func TestEmptyPageFingerprintsIgnored(t *testing.T) {
+	s := newStitcher(t, Config{})
+	empty := Sample{Pages: []bitset.Sparse{nil, nil}}
+	if _, err := s.Add(empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(empty); err != nil {
+		t.Fatal(err)
+	}
+	// Two all-empty samples must not merge on vacuous similarity.
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 — empty fingerprints matched", s.Count())
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/prng"
+)
+
+// The paper's introduction motivates approximate computing with "computer
+// vision, machine learning, and sensor networks" — applications that
+// tolerate error. ImageJob covers vision; KMeansJob and SensorJob cover the
+// other two. All three store their results in approximate memory, and all
+// three leak the same memory-level fingerprint: the attack is application
+// independent.
+
+// KMeansJob is a small machine-learning workload: k-means over 2-D points,
+// with the resulting centroids and assignments stored in approximate memory.
+type KMeansJob struct {
+	Points [][2]float32
+	K      int
+	// Exact is the serialized exact result (centroids then assignments).
+	Exact []byte
+}
+
+// NewKMeansJob generates a clustered synthetic dataset and solves it.
+func NewKMeansJob(points, k int, seed uint64) (*KMeansJob, error) {
+	if k <= 0 || points < k {
+		return nil, fmt.Errorf("workload: %d points for k=%d", points, k)
+	}
+	rng := prng.New(prng.Hash(seed, 0x6B6D))
+	j := &KMeansJob{K: k}
+	// Points drawn around k true centers.
+	centers := make([][2]float32, k)
+	for i := range centers {
+		centers[i] = [2]float32{float32(rng.Float64() * 100), float32(rng.Float64() * 100)}
+	}
+	for p := 0; p < points; p++ {
+		c := centers[p%k]
+		j.Points = append(j.Points, [2]float32{
+			c[0] + float32(rng.Normal(0, 3)),
+			c[1] + float32(rng.Normal(0, 3)),
+		})
+	}
+	centroids, assign := kmeans(j.Points, k, 20)
+	j.Exact = encodeKMeans(centroids, assign)
+	return j, nil
+}
+
+// kmeans is a plain Lloyd's-iterations solver with deterministic
+// first-k-points initialization.
+func kmeans(points [][2]float32, k, iters int) ([][2]float32, []uint8) {
+	centroids := make([][2]float32, k)
+	copy(centroids, points[:k])
+	assign := make([]uint8, len(points))
+	for it := 0; it < iters; it++ {
+		for p, pt := range points {
+			best, bestD := 0, math.MaxFloat64
+			for c, ct := range centroids {
+				dx := float64(pt[0] - ct[0])
+				dy := float64(pt[1] - ct[1])
+				if d := dx*dx + dy*dy; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[p] = uint8(best)
+		}
+		var sum [][3]float64 = make([][3]float64, k)
+		for p, pt := range points {
+			a := assign[p]
+			sum[a][0] += float64(pt[0])
+			sum[a][1] += float64(pt[1])
+			sum[a][2]++
+		}
+		for c := range centroids {
+			if sum[c][2] > 0 {
+				centroids[c] = [2]float32{
+					float32(sum[c][0] / sum[c][2]),
+					float32(sum[c][1] / sum[c][2]),
+				}
+			}
+		}
+	}
+	return centroids, assign
+}
+
+func encodeKMeans(centroids [][2]float32, assign []uint8) []byte {
+	out := make([]byte, 0, len(centroids)*8+len(assign))
+	var b [4]byte
+	for _, c := range centroids {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(c[0]))
+		out = append(out, b[:]...)
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(c[1]))
+		out = append(out, b[:]...)
+	}
+	return append(out, assign...)
+}
+
+// RunApprox stores the exact k-means result in approximate memory and
+// returns the approximate bytes the application would publish.
+func (j *KMeansJob) RunApprox(mem *approx.Memory, addr int) ([]byte, error) {
+	return mem.Roundtrip(addr, j.Exact)
+}
+
+// SensorJob is a sensor-network workload: a day of noisy temperature
+// readings aggregated into per-window means, stored in approximate memory.
+type SensorJob struct {
+	Readings []float32
+	// Exact is the serialized exact aggregate (float32 window means).
+	Exact []byte
+}
+
+// NewSensorJob synthesizes a diurnal temperature trace and aggregates it
+// into the given number of windows.
+func NewSensorJob(readings, windows int, seed uint64) (*SensorJob, error) {
+	if windows <= 0 || readings < windows {
+		return nil, fmt.Errorf("workload: %d readings for %d windows", readings, windows)
+	}
+	rng := prng.New(prng.Hash(seed, 0x53E2))
+	j := &SensorJob{}
+	for i := 0; i < readings; i++ {
+		phase := 2 * math.Pi * float64(i) / float64(readings)
+		j.Readings = append(j.Readings,
+			float32(20+8*math.Sin(phase)+rng.Normal(0, 0.5)))
+	}
+	per := readings / windows
+	out := make([]byte, 0, windows*4)
+	var b [4]byte
+	for w := 0; w < windows; w++ {
+		var sum float64
+		for i := w * per; i < (w+1)*per; i++ {
+			sum += float64(j.Readings[i])
+		}
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(sum/float64(per))))
+		out = append(out, b[:]...)
+	}
+	j.Exact = out
+	return j, nil
+}
+
+// RunApprox stores the exact aggregate in approximate memory and returns the
+// approximate bytes.
+func (j *SensorJob) RunApprox(mem *approx.Memory, addr int) ([]byte, error) {
+	return mem.Roundtrip(addr, j.Exact)
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/dram"
+)
+
+func appsMem(t *testing.T, seed uint64) *approx.Memory {
+	t.Helper()
+	cfg := dram.KM41464A(seed)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := approx.New(chip, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+func TestKMeansJobValidation(t *testing.T) {
+	if _, err := NewKMeansJob(2, 3, 1); err == nil {
+		t.Error("fewer points than clusters accepted")
+	}
+	if _, err := NewKMeansJob(10, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestKMeansJobClustersSensibly(t *testing.T) {
+	j, err := NewKMeansJob(300, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Points) != 300 {
+		t.Fatalf("%d points", len(j.Points))
+	}
+	if len(j.Exact) != 3*8+300 {
+		t.Fatalf("exact result %d bytes", len(j.Exact))
+	}
+	// Assignments must use every cluster (the data is built around k
+	// separated centers).
+	seen := map[uint8]bool{}
+	for _, a := range j.Exact[24:] {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("assignments used %d clusters", len(seen))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	a, err := NewKMeansJob(100, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKMeansJob(100, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Exact {
+		if a.Exact[i] != b.Exact[i] {
+			t.Fatal("k-means job not deterministic")
+		}
+	}
+}
+
+func TestSensorJobValidation(t *testing.T) {
+	if _, err := NewSensorJob(5, 10, 1); err == nil {
+		t.Error("fewer readings than windows accepted")
+	}
+	if _, err := NewSensorJob(10, 0, 1); err == nil {
+		t.Error("0 windows accepted")
+	}
+}
+
+func TestSensorJobAggregates(t *testing.T) {
+	j, err := NewSensorJob(2400, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Exact) != 24*4 {
+		t.Fatalf("aggregate %d bytes", len(j.Exact))
+	}
+	// Window means must stay inside the diurnal range 20±8 plus noise.
+	for w := 0; w < 24; w++ {
+		bits := uint32(j.Exact[w*4]) | uint32(j.Exact[w*4+1])<<8 |
+			uint32(j.Exact[w*4+2])<<16 | uint32(j.Exact[w*4+3])<<24
+		v := math.Float32frombits(bits)
+		if v < 10 || v > 30 {
+			t.Fatalf("window %d mean %v out of range", w, v)
+		}
+	}
+}
+
+func TestAppsRunApproxImprintErrors(t *testing.T) {
+	mem := appsMem(t, 11)
+	km, err := NewKMeansJob(2000, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := km.RunApprox(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitset.FromBytes(out).XorCount(bitset.FromBytes(km.Exact)) == 0 {
+		t.Fatal("k-means output carried no errors")
+	}
+
+	sj, err := NewSensorJob(40000, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOut, err := sj.RunApprox(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitset.FromBytes(sOut).XorCount(bitset.FromBytes(sj.Exact)) == 0 {
+		t.Fatal("sensor output carried no errors")
+	}
+}

@@ -1,0 +1,114 @@
+// Package workload generates the data and program runs that exercise the
+// approximate memory: worst-case characterization patterns, random data, the
+// edge-detection image job of the end-to-end experiment (§7.6, Figure 12),
+// and the model-level sample stream that feeds the stitching attack
+// (Figure 13).
+package workload
+
+import (
+	"fmt"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/bitset"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/imaging"
+	"probablecause/internal/osmodel"
+	"probablecause/internal/prng"
+	"probablecause/internal/stitch"
+)
+
+// Random returns n pseudo-random bytes derived from seed.
+func Random(seed uint64, n int) []byte {
+	buf := make([]byte, n)
+	prng.New(prng.Hash(seed, 0xDA7A)).Fill(buf)
+	return buf
+}
+
+// Constant returns n copies of b.
+func Constant(b byte, n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// ImageJob is one run of the victim's image-manipulation program: a source
+// photo, the exact edge-detection result, and the machinery to pass the
+// result through approximate memory.
+type ImageJob struct {
+	Input *imaging.Image
+	Exact *imaging.Image // edge-detection output before approximation
+}
+
+// NewImageJob builds a job over a deterministic synthetic photo.
+func NewImageJob(w, h int, seed uint64) *ImageJob {
+	in := imaging.Synthetic(w, h, seed)
+	return &ImageJob{Input: in, Exact: imaging.SobelEdges(in)}
+}
+
+// NewBinaryImageJob builds a job whose output is thresholded black/white, as
+// in Figure 5.
+func NewBinaryImageJob(w, h int, seed uint64, level uint8) *ImageJob {
+	in := imaging.Synthetic(w, h, seed)
+	return &ImageJob{Input: in, Exact: imaging.SobelEdges(in).Threshold(level)}
+}
+
+// RunApprox stores the exact output in the approximate memory at addr and
+// returns the approximate output the victim would publish.
+func (j *ImageJob) RunApprox(mem *approx.Memory, addr int) (*imaging.Image, error) {
+	out, err := mem.Roundtrip(addr, j.Exact.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("workload: image roundtrip: %w", err)
+	}
+	return imaging.FromBytes(j.Exact.W, j.Exact.H, out)
+}
+
+// SampleSource produces the stream of published approximate outputs the
+// eavesdropping attacker observes: each call models one victim program run
+// whose output buffer the OS places somewhere in physical memory. The
+// placement policy is pluggable: osmodel.Memory (uniform contiguous),
+// osmodel.Scattered (the page-ASLR defense), or osmodel.System (buddy-
+// allocator-backed).
+type SampleSource struct {
+	Model       *drammodel.Model
+	Placer      osmodel.Placer
+	ErrRate     float64
+	SamplePages int
+
+	trial uint64
+}
+
+// NewSampleSource builds a source over the given device model and placement
+// policy.
+func NewSampleSource(model *drammodel.Model, placer osmodel.Placer, errRate float64, samplePages int) (*SampleSource, error) {
+	if samplePages <= 0 || samplePages > placer.Pages() {
+		return nil, fmt.Errorf("workload: sample of %d pages in %d-page memory", samplePages, placer.Pages())
+	}
+	if errRate <= 0 || errRate > 1 {
+		return nil, fmt.Errorf("workload: error rate %v outside (0,1]", errRate)
+	}
+	return &SampleSource{Model: model, Placer: placer, ErrRate: errRate, SamplePages: samplePages}, nil
+}
+
+// Next returns the next published output as a stitchable sample plus the
+// (hidden-from-the-attacker) physical placement, for ground-truth checks.
+func (s *SampleSource) Next() (stitch.Sample, osmodel.Placement, error) {
+	s.trial++
+	pl, err := s.Placer.Place(s.SamplePages)
+	if err != nil {
+		return stitch.Sample{}, osmodel.Placement{}, err
+	}
+	pages := make([]bitset.Sparse, len(pl.Phys))
+	for i, phys := range pl.Phys {
+		fp, err := s.Model.PageErrors(uint64(phys), s.ErrRate, s.trial)
+		if err != nil {
+			return stitch.Sample{}, osmodel.Placement{}, err
+		}
+		pages[i] = fp
+	}
+	return stitch.Sample{Pages: pages}, pl, nil
+}
+
+// Trials returns how many samples have been produced.
+func (s *SampleSource) Trials() uint64 { return s.trial }

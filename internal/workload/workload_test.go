@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"probablecause/internal/approx"
+	"probablecause/internal/dram"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/osmodel"
+)
+
+func TestRandomDeterministicAndFull(t *testing.T) {
+	a := Random(1, 100)
+	b := Random(1, 100)
+	c := Random(2, 100)
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("Random not deterministic")
+	}
+	if !diff {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(0xAB, 5)
+	if len(c) != 5 {
+		t.Fatalf("len = %d", len(c))
+	}
+	for _, b := range c {
+		if b != 0xAB {
+			t.Fatalf("byte = %#x", b)
+		}
+	}
+}
+
+func TestImageJobExactIsDeterministic(t *testing.T) {
+	a := NewImageJob(64, 48, 9)
+	b := NewImageJob(64, 48, 9)
+	if d, _ := a.Exact.DiffCount(b.Exact); d != 0 {
+		t.Fatal("image job not deterministic")
+	}
+}
+
+func TestBinaryImageJobIsBinary(t *testing.T) {
+	j := NewBinaryImageJob(64, 48, 9, 64)
+	for _, p := range j.Exact.Pix {
+		if p != 0 && p != 255 {
+			t.Fatalf("non-binary pixel %d", p)
+		}
+	}
+}
+
+func TestRunApproxImprintsErrors(t *testing.T) {
+	cfg := dram.KM41464A(42)
+	cfg.Geometry = dram.Geometry{Rows: 64, Cols: 256, BitsPerWord: 4, DefaultStripe: 2}
+	chip, err := dram.NewChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := approx.New(chip, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewBinaryImageJob(80, 80, 3, 64)
+	out, err := j.RunApprox(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := out.DiffCount(j.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("approximate output identical to exact — no imprint")
+	}
+	if d > len(j.Exact.Pix)/2 {
+		t.Fatalf("%d of %d pixels corrupted — far beyond 5%% error", d, len(j.Exact.Pix))
+	}
+}
+
+func TestSampleSourceValidation(t *testing.T) {
+	mem, _ := osmodel.NewMemory(100, 1)
+	m := drammodel.New(1)
+	if _, err := NewSampleSource(m, mem, 0.01, 0); err == nil {
+		t.Error("0-page sample accepted")
+	}
+	if _, err := NewSampleSource(m, mem, 0.01, 101); err == nil {
+		t.Error("oversized sample accepted")
+	}
+	if _, err := NewSampleSource(m, mem, 0, 10); err == nil {
+		t.Error("0 error rate accepted")
+	}
+}
+
+func TestSampleSourceProducesPlacedSamples(t *testing.T) {
+	mem, _ := osmodel.NewMemory(100, 2)
+	m := drammodel.New(2)
+	src, err := NewSampleSource(m, mem, 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, pl, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pages) != 10 || len(pl.Phys) != 10 {
+		t.Fatalf("sample %d pages, placement %d pages", len(s.Pages), len(pl.Phys))
+	}
+	if !pl.Contiguous {
+		t.Fatal("default placement should be contiguous")
+	}
+	// Fingerprints correspond to the placed physical pages.
+	want, err := m.PageErrors(uint64(pl.Phys[3]), 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pages[3].Equal(want) {
+		t.Fatal("sample fingerprint does not match placed physical page")
+	}
+	if src.Trials() != 1 {
+		t.Fatalf("Trials = %d", src.Trials())
+	}
+}
+
+func TestSampleSourceScattered(t *testing.T) {
+	mem, _ := osmodel.NewMemory(1000, 3)
+	m := drammodel.New(3)
+	src, err := NewSampleSource(m, osmodel.Scattered{Memory: mem}, 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pl, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Contiguous {
+		t.Fatal("scattered source produced contiguous placement")
+	}
+}
+
+func TestSampleSourceBuddySystem(t *testing.T) {
+	sys, err := osmodel.NewSystem(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSampleSource(drammodel.New(4), sys, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, pl, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Contiguous || len(s.Pages) != 8 {
+		t.Fatalf("buddy placement %+v with %d pages", pl, len(s.Pages))
+	}
+}
