@@ -6,6 +6,8 @@ package probablecause_test
 
 import (
 	"bytes"
+	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -16,12 +18,39 @@ import (
 	"probablecause/internal/experiment"
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/minhash"
+	"probablecause/internal/obs"
 	"probablecause/internal/osmodel"
 	"probablecause/internal/prng"
 	"probablecause/internal/puf"
 	"probablecause/internal/stitch"
 	"probablecause/internal/workload"
 )
+
+// TestMain is the -obs.report plumbing for the bench suite: set OBS_REPORT
+// to a file name to run the whole suite with instrumentation enabled and
+// dump the metrics snapshot at exit. BENCH_*.json perf-trajectory files are
+// produced with
+//
+//	OBS_REPORT=BENCH_PRn.json go test -run=NONE -bench=. -benchtime=1x .
+//
+// Leave OBS_REPORT unset for timing runs: enabling obs adds the
+// instrumented (timed) path to the hot primitives being measured.
+func TestMain(m *testing.M) {
+	report := os.Getenv("OBS_REPORT")
+	if report != "" {
+		obs.Enable()
+	}
+	code := m.Run()
+	if report != "" {
+		if err := obs.WriteReportFile(report); err != nil {
+			fmt.Fprintln(os.Stderr, "writing OBS_REPORT:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 // --- per-figure / per-table benches -----------------------------------------
 

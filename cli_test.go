@@ -1,6 +1,7 @@
 package probablecause_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -107,6 +108,91 @@ func TestCLIStitchWorkflow(t *testing.T) {
 	out = runCLI(t, pcause, "stitch", "-in", more, "-progress", "0", "-load", dbPath)
 	if !strings.Contains(out, "resumed database") || !strings.Contains(out, "1 suspected machine(s)") {
 		t.Fatalf("resumed stitch: %s", out)
+	}
+}
+
+func TestCLIHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pcause, _ := buildCLIs(t)
+	out := runCLI(t, pcause, "help")
+	for _, cmd := range []string{"characterize", "identify", "cluster", "mkdb", "gensamples", "stitch", "demo"} {
+		if !strings.Contains(out, cmd) {
+			t.Errorf("help output missing %q:\n%s", cmd, out)
+		}
+	}
+	// Subcommand -h must print that command's own synopsis and flags, not
+	// the generic one-liner, and exit 0.
+	out = runCLI(t, pcause, "stitch", "-h")
+	if !strings.Contains(out, "usage: pcause stitch") || !strings.Contains(out, "-obs.report") {
+		t.Errorf("stitch -h output wrong:\n%s", out)
+	}
+	// Unknown commands still exit 2.
+	cmd := exec.Command(pcause, "frobnicate")
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown command exited 0")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("unknown command exit: %v, want code 2", err)
+	}
+}
+
+func TestCLIObsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	pcause, _ := buildCLIs(t)
+	dir := t.TempDir()
+	samples := filepath.Join(dir, "samples.jsonl")
+	report := filepath.Join(dir, "report.json")
+	trace := filepath.Join(dir, "trace.json")
+
+	runCLI(t, pcause, "gensamples", "-o", samples, "-memory", "256", "-pages", "8", "-n", "200")
+	runCLI(t, pcause, "stitch", "-in", samples, "-progress", "0", "-obs.report", report, "-obs.trace", trace)
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64            `json:"counters"`
+		Gauges     map[string]int64            `json:"gauges"`
+		Histograms map[string]map[string]int64 `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	// The acceptance surface: cluster count, pages covered, verify count,
+	// and distance percentiles must all be present and plausible.
+	if got := snap.Gauges["stitch.clusters"]; got < 1 {
+		t.Errorf("stitch.clusters = %d, want ≥ 1", got)
+	}
+	if got := snap.Gauges["stitch.covered_pages"]; got < 8 {
+		t.Errorf("stitch.covered_pages = %d, want ≥ 8", got)
+	}
+	if got := snap.Counters["stitch.verify.calls"]; got < 1 {
+		t.Errorf("stitch.verify.calls = %d, want ≥ 1", got)
+	}
+	if got := snap.Counters["stitch.samples"]; got != 200 {
+		t.Errorf("stitch.samples = %d, want 200", got)
+	}
+	h, ok := snap.Histograms["fingerprint.sparse_distance.nanos"]
+	if !ok {
+		t.Fatal("report missing fingerprint.sparse_distance.nanos histogram")
+	}
+	if h["count"] < 1 || h["p50"] < 1 || h["p99"] < h["p50"] {
+		t.Errorf("distance histogram implausible: %+v", h)
+	}
+	traceData, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(traceData, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("trace contains no spans")
 	}
 }
 

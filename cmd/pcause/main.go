@@ -38,6 +38,7 @@ import (
 	"probablecause/internal/dram"
 	"probablecause/internal/drammodel"
 	"probablecause/internal/fingerprint"
+	"probablecause/internal/obs"
 	"probablecause/internal/osmodel"
 	"probablecause/internal/samplefile"
 	"probablecause/internal/stitch"
@@ -46,7 +47,8 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
+		os.Exit(2)
 	}
 	var err error
 	switch os.Args[1] {
@@ -64,8 +66,12 @@ func main() {
 		err = cmdStitch(os.Args[2:])
 	case "demo":
 		err = cmdDemo(os.Args[2:])
+	case "help", "-h", "--help":
+		usage(os.Stdout)
 	default:
-		usage()
+		fmt.Fprintf(os.Stderr, "pcause: unknown command %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pcause:", err)
@@ -73,9 +79,33 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pcause <characterize|identify|cluster|mkdb|gensamples|stitch|demo> [flags]")
-	os.Exit(2)
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: pcause <command> [flags]
+
+Commands:
+  characterize  build a device fingerprint from captured outputs (Algorithm 1)
+  identify      match one output against a fingerprint database (Algorithms 2, 3)
+  cluster       group outputs by originating device (Algorithm 4)
+  mkdb          bundle named fingerprints into one database file
+  gensamples    simulate a victim publishing outputs to a sample file
+  stitch        run the whole-memory stitching attack (§4) over a sample file
+  demo          self-contained demonstration on two simulated chips
+
+Run 'pcause <command> -h' for the command's flags. Every command accepts the
+-obs.* observability flags (metrics report, debug server, trace log).
+`)
+}
+
+// newFlagSet builds a subcommand FlagSet whose -h output shows the command's
+// own synopsis and flags (not the generic one-liner), with the -obs.* family
+// installed.
+func newFlagSet(name, synopsis string) (*flag.FlagSet, *obs.Options) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pcause %s\n\nFlags:\n", synopsis)
+		fs.PrintDefaults()
+	}
+	return fs, obs.AddFlags(fs)
 }
 
 func readFiles(list string) ([][]byte, error) {
@@ -90,8 +120,8 @@ func readFiles(list string) ([][]byte, error) {
 	return out, nil
 }
 
-func cmdCharacterize(args []string) error {
-	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+func cmdCharacterize(args []string) (err error) {
+	fs, obsOpts := newFlagSet("characterize", "characterize -exact FILE -approx FILE[,FILE...] [-o FP]")
 	exactPath := fs.String("exact", "", "exact data file")
 	approxList := fs.String("approx", "", "comma-separated approximate output files")
 	outPath := fs.String("o", "fingerprint.bin", "output fingerprint file")
@@ -101,6 +131,15 @@ func cmdCharacterize(args []string) error {
 	if *exactPath == "" || *approxList == "" {
 		return fmt.Errorf("characterize requires -exact and -approx")
 	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	exact, err := os.ReadFile(*exactPath)
 	if err != nil {
 		return err
@@ -125,8 +164,8 @@ func cmdCharacterize(args []string) error {
 	return nil
 }
 
-func cmdIdentify(args []string) error {
-	fs := flag.NewFlagSet("identify", flag.ExitOnError)
+func cmdIdentify(args []string) (err error) {
+	fs, obsOpts := newFlagSet("identify", "identify -exact FILE -approx FILE -db FP[,FP...] [-threshold T]")
 	exactPath := fs.String("exact", "", "exact data file")
 	approxPath := fs.String("approx", "", "approximate output file")
 	dbList := fs.String("db", "", "comma-separated fingerprint files")
@@ -137,6 +176,15 @@ func cmdIdentify(args []string) error {
 	if *exactPath == "" || *approxPath == "" || *dbList == "" {
 		return fmt.Errorf("identify requires -exact, -approx and -db")
 	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	exact, err := os.ReadFile(*exactPath)
 	if err != nil {
 		return err
@@ -182,8 +230,8 @@ func cmdIdentify(args []string) error {
 	return nil
 }
 
-func cmdCluster(args []string) error {
-	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+func cmdCluster(args []string) (err error) {
+	fs, obsOpts := newFlagSet("cluster", "cluster -exact FILE -approx FILE[,FILE...] [-threshold T]")
 	exactPath := fs.String("exact", "", "exact data file")
 	approxList := fs.String("approx", "", "comma-separated approximate output files")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold")
@@ -193,6 +241,15 @@ func cmdCluster(args []string) error {
 	if *exactPath == "" || *approxList == "" {
 		return fmt.Errorf("cluster requires -exact and -approx")
 	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	exact, err := os.ReadFile(*exactPath)
 	if err != nil {
 		return err
@@ -217,8 +274,8 @@ func cmdCluster(args []string) error {
 // cmdMkdb bundles named fingerprints into one database file:
 //
 //	pcause mkdb -o fleet.pcdb chipA=fpA.bin chipB=fpB.bin
-func cmdMkdb(args []string) error {
-	fs := flag.NewFlagSet("mkdb", flag.ExitOnError)
+func cmdMkdb(args []string) (err error) {
+	fs, obsOpts := newFlagSet("mkdb", "mkdb [-o DB] name=FP [name=FP...]")
 	outPath := fs.String("o", "fingerprints.pcdb", "output database file")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold stored in the database")
 	if err := fs.Parse(args); err != nil {
@@ -227,6 +284,15 @@ func cmdMkdb(args []string) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("mkdb requires name=fingerprint.bin arguments")
 	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	db := fingerprint.NewDB(*threshold)
 	for _, arg := range fs.Args() {
 		name, file, ok := strings.Cut(arg, "=")
@@ -260,8 +326,8 @@ func cmdMkdb(args []string) error {
 
 // cmdGensamples simulates a victim system publishing approximate outputs
 // and writes them as a JSON-lines sample file for the stitch subcommand.
-func cmdGensamples(args []string) error {
-	fs := flag.NewFlagSet("gensamples", flag.ExitOnError)
+func cmdGensamples(args []string) (err error) {
+	fs, obsOpts := newFlagSet("gensamples", "gensamples [-o FILE] [-buddy|-scattered] [-memory N] [-pages N] [-n N]")
 	outPath := fs.String("o", "samples.jsonl", "output sample file")
 	memPages := fs.Int("memory", 4096, "victim physical memory in pages (power of two for -buddy)")
 	samplePages := fs.Int("pages", 40, "pages per published output")
@@ -273,6 +339,15 @@ func cmdGensamples(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	model := drammodel.New(*seed)
 	var placer osmodel.Placer
 	switch {
@@ -325,8 +400,8 @@ func cmdGensamples(args []string) error {
 
 // cmdStitch runs the whole-memory fingerprint-stitching attack over a sample
 // file, reporting the suspected-machine count as samples accumulate.
-func cmdStitch(args []string) error {
-	fs := flag.NewFlagSet("stitch", flag.ExitOnError)
+func cmdStitch(args []string) (err error) {
+	fs, obsOpts := newFlagSet("stitch", "stitch -in FILE [-save DB] [-load DB] [-threshold T] [-overlap N]")
 	inPath := fs.String("in", "samples.jsonl", "sample file (JSON lines)")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "page match threshold")
 	minOverlap := fs.Int("overlap", 1, "pages that must align to merge")
@@ -336,6 +411,15 @@ func cmdStitch(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	f, err := os.Open(*inPath)
 	if err != nil {
 		return err
@@ -395,12 +479,21 @@ func cmdStitch(args []string) error {
 	return nil
 }
 
-func cmdDemo(args []string) error {
-	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+func cmdDemo(args []string) (err error) {
+	fs, obsOpts := newFlagSet("demo", "demo [-accuracy A]")
 	accuracy := fs.Float64("accuracy", 0.99, "approximate-memory accuracy")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	fmt.Println("Probable Cause demo: two simulated 32 KB KM41464A chips")
 	fmt.Printf("approximate memory at %.0f%% accuracy\n\n", *accuracy*100)
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"probablecause/internal/experiment"
+	"probablecause/internal/obs"
 )
 
 func main() {
@@ -28,8 +29,18 @@ func main() {
 	scale := flag.String("scale", "default", "experiment scale: small, default, or paper")
 	out := flag.String("out", "results", "output directory for CSV/PGM artifacts")
 	scattered := flag.Bool("scattered", false, "fig13: use page-level-ASLR (scattered) placement")
+	obsOpts := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	obsFinish, err := obsOpts.Activate()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obsFinish(); err != nil {
+			fatal(err)
+		}
+	}()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

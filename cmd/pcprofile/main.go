@@ -22,6 +22,7 @@ import (
 	"probablecause/internal/bitset"
 	"probablecause/internal/dram"
 	"probablecause/internal/fingerprint"
+	"probablecause/internal/obs"
 )
 
 func main() {
@@ -30,7 +31,18 @@ func main() {
 	small := flag.Bool("small", false, "profile an 8 KB window instead of the full 32 KB chip")
 	ddr2 := flag.Bool("ddr2", false, "profile the DDR2 preset instead of the KM41464A")
 	trials := flag.Int("trials", 10, "stability trials at 99% accuracy")
+	obsOpts := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	obsFinish, err := obsOpts.Activate()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obsFinish(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	cfg := dram.KM41464A(*seed)
 	if *ddr2 {

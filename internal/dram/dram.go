@@ -40,7 +40,21 @@ import (
 
 	"probablecause/internal/bitset"
 	"probablecause/internal/dist"
+	"probablecause/internal/obs"
 	"probablecause/internal/prng"
+)
+
+// Simulator metrics. Decay counts are accumulated locally in the hot
+// per-bit loops and published once per operation, so the instrumented path
+// adds one branch and at most one atomic add per Read/Refresh call.
+var (
+	cReads          = obs.C("dram.reads")
+	cReadBits       = obs.C("dram.read.bits")
+	cWrites         = obs.C("dram.writes")
+	cCellsDecayed   = obs.C("dram.cells_decayed")
+	cRefreshRows    = obs.C("dram.refresh.rows")
+	cRefreshWindows = obs.C("dram.refresh.windows")
+	cRefreshLost    = obs.C("dram.refresh.cells_lost")
 )
 
 // PageBytes is the smallest unit of contiguous memory the analysis manages,
@@ -386,6 +400,9 @@ func (c *Chip) Write(addr int, data []byte) error {
 			}
 		}
 	}
+	if obs.On() {
+		cWrites.Inc()
+	}
 	return nil
 }
 
@@ -397,6 +414,7 @@ func (c *Chip) Read(addr, n int) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, n)
+	decayed := 0
 	for bi := 0; bi < n; bi++ {
 		base := (addr + bi) * 8
 		var b byte
@@ -405,12 +423,18 @@ func (c *Chip) Read(addr, n int) ([]byte, error) {
 			v := c.stored.Get(i)
 			if c.charged.Get(i) && c.decayed(i, c.now) {
 				v = c.defaults.Get(i)
+				decayed++
 			}
 			if v {
 				b |= 1 << uint(k)
 			}
 		}
 		out[bi] = b
+	}
+	if obs.On() {
+		cReads.Inc()
+		cReadBits.Add(int64(n) * 8)
+		cCellsDecayed.Add(int64(decayed))
 	}
 	return out, nil
 }
@@ -424,12 +448,14 @@ func (c *Chip) RefreshRow(r int) error {
 		return fmt.Errorf("dram: row %d out of range [0,%d)", r, c.cfg.Geometry.Rows)
 	}
 	rowBits := c.cfg.Geometry.RowBits()
+	lost := 0
 	for i := r * rowBits; i < (r+1)*rowBits; i++ {
 		if !c.charged.Get(i) {
 			continue
 		}
 		if c.decayed(i, c.now) {
 			// Value already reverted: persist the loss.
+			lost++
 			c.charged.Clear(i)
 			if c.defaults.Get(i) {
 				c.stored.Set(i)
@@ -440,15 +466,22 @@ func (c *Chip) RefreshRow(r int) error {
 			c.charge(i)
 		}
 	}
+	if obs.On() {
+		cRefreshRows.Inc()
+		cRefreshLost.Add(int64(lost))
+	}
 	return nil
 }
 
-// RefreshAll refreshes every row.
+// RefreshAll refreshes every row — one simulated refresh window.
 func (c *Chip) RefreshAll() {
 	for r := 0; r < c.cfg.Geometry.Rows; r++ {
 		if err := c.RefreshRow(r); err != nil {
 			panic(err) // unreachable: r is always in range
 		}
+	}
+	if obs.On() {
+		cRefreshWindows.Inc()
 	}
 }
 

@@ -58,6 +58,8 @@ type Fig8Result struct {
 
 // RunFig8 performs the repeated-trial campaign.
 func RunFig8(p Fig8Params) (*Fig8Result, error) {
+	done := track("fig8")
+	defer func() { done(p.Trials) }()
 	cfg := dram.KM41464A(p.Seed)
 	cfg.Geometry = p.Geometry
 	chip, err := dram.NewChip(cfg)
@@ -193,6 +195,8 @@ type Fig10Result struct {
 // RunFig10 captures one output per accuracy level and measures the subset
 // relation.
 func RunFig10(p Fig10Params) (*Fig10Result, error) {
+	done := track("fig10")
+	defer func() { done(len(p.Accuracies)) }()
 	cfg := dram.KM41464A(p.Seed)
 	cfg.Geometry = p.Geometry
 	chip, err := dram.NewChip(cfg)

@@ -92,6 +92,8 @@ func BuildCorpus(p CorpusParams) (*Corpus, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	done := track("corpus")
+	defer func() { done(p.Chips) }()
 	c := &Corpus{
 		Params:       p,
 		Fingerprints: make([]*bitset.Set, p.Chips),

@@ -64,6 +64,8 @@ func RunDDR2(p DDR2Params) (*DDR2Result, error) {
 	if p.Chips < 2 {
 		return nil, fmt.Errorf("experiment: need ≥2 DDR2 chips")
 	}
+	done := track("ddr2")
+	defer func() { done(p.Chips) }()
 	r := &DDR2Result{Params: p, WithinMax: 0, BetweenMin: 1}
 	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
 	var fps []*fpOut

@@ -65,6 +65,8 @@ func RunDefenses(p DefensesParams) (*DefensesResult, error) {
 	if p.Chips < 2 || p.Outputs < 1 {
 		return nil, fmt.Errorf("experiment: bad defense params %+v", p)
 	}
+	done := track("defenses")
+	defer func() { done(p.Chips * p.Outputs) }()
 	// Characterize each chip from clean observations (the attacker moved
 	// first; the defense protects only future outputs).
 	models := make([]*drammodel.Model, p.Chips)

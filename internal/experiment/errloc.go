@@ -67,6 +67,8 @@ func RunErrLoc(p ErrLocParams) (*ErrLocResult, error) {
 	if p.W*p.H > p.Geometry.Bytes() {
 		return nil, fmt.Errorf("experiment: image exceeds chip capacity")
 	}
+	done := track("errloc")
+	defer func() { done(p.Chips) }()
 	r := &ErrLocResult{Params: p}
 	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
 

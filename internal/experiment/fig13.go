@@ -101,6 +101,8 @@ func RunFig13(p Fig13Params) (*Fig13Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	done := track("fig13")
+	defer func() { done(p.Samples) }()
 	victims := p.Victims
 	if victims < 1 {
 		victims = 1

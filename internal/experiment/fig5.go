@@ -63,6 +63,8 @@ func RunFig5(p Fig5Params) (*Fig5Result, error) {
 	if p.W*p.H > p.Geometry.Bytes() {
 		return nil, fmt.Errorf("experiment: %dx%d image exceeds %d-byte chip", p.W, p.H, p.Geometry.Bytes())
 	}
+	done := track("fig5")
+	defer func() { done(3) }() // three captured outputs: A1, A2, B
 	job := workload.NewBinaryImageJob(p.W, p.H, p.ImgSeed, 64)
 
 	mkMem := func(seed uint64) (*approx.Memory, error) {

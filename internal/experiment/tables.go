@@ -45,6 +45,8 @@ func RunTable1(p Table1Params) (*Table1Result, error) {
 	if p.M <= 0 || p.A <= p.T || p.T < 0 {
 		return nil, fmt.Errorf("experiment: bad table-1 parameters %+v", p)
 	}
+	done := track("table1")
+	defer func() { done(1) }()
 	s := analysis.FingerprintSpace{M: p.M, A: p.A, T: p.T}
 	lower, _ := s.DistinguishableBounds()
 	_, upper := s.MismatchBounds()
@@ -111,6 +113,8 @@ func RunTable2(p Table2Params) (*Table2Result, error) {
 	if p.M <= 0 || len(p.Accuracies) == 0 {
 		return nil, fmt.Errorf("experiment: bad table-2 parameters %+v", p)
 	}
+	done := track("table2")
+	defer func() { done(len(p.Accuracies)) }()
 	r := &Table2Result{Params: p, Paper: []string{"9.29e-591", "8.78e-2028", "4.76e-3232"}}
 	for _, acc := range p.Accuracies {
 		a := int(float64(p.M)*(1-acc) + 0.5)

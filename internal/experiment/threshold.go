@@ -38,6 +38,8 @@ func RunThresholdSweep(c *Corpus, thresholds []float64) (*ThresholdResult, error
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("experiment: empty threshold sweep")
 	}
+	done := track("threshold")
+	defer func() { done(len(c.Outputs)) }()
 	ts := append([]float64(nil), thresholds...)
 	sort.Float64s(ts)
 

@@ -27,7 +27,9 @@ type Fig7Result struct {
 
 // RunFig7 computes distances and identification results over a corpus.
 func RunFig7(c *Corpus) *Fig7Result {
+	done := track("fig7")
 	r := &Fig7Result{}
+	defer func() { done(r.IdentifyTotal) }()
 	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
 	for i, fp := range c.Fingerprints {
 		db.Add(fmt.Sprintf("chip%02d", i), fp)
@@ -96,8 +98,10 @@ type Fig9Result struct {
 
 // RunFig9 groups the corpus's between-class distances by temperature.
 func RunFig9(c *Corpus) *Fig9Result {
+	done := track("fig9")
 	r := &Fig9Result{GroupedDistances: groupBetween(c, "temperature", func(o Output) float64 { return o.TempC })}
 	r.MeanSpread = meanSpread(r.GroupedDistances)
+	done(len(c.Outputs))
 	return r
 }
 
@@ -115,6 +119,8 @@ type Fig11Result struct {
 
 // RunFig11 groups the corpus's between-class distances by accuracy level.
 func RunFig11(c *Corpus) *Fig11Result {
+	done := track("fig11")
+	defer func() { done(len(c.Outputs)) }()
 	r := &Fig11Result{GroupedDistances: groupBetween(c, "accuracy", func(o Output) float64 { return o.Accuracy })}
 	r.MeansMonotone = true
 	r.MinBetween = inf()

@@ -21,8 +21,28 @@ package fingerprint
 
 import (
 	"fmt"
+	"time"
 
 	"probablecause/internal/bitset"
+	"probablecause/internal/obs"
+)
+
+// Pipeline metrics, all behind obs.On() so library users pay one branch.
+// Distance and SparseDistance are the hottest calls in the system (every
+// stitch candidate check lands here), hence the latency histograms the
+// perf trajectory tracks across PRs.
+var (
+	cErrorStringCalls = obs.C("fingerprint.errorstring.calls")
+	cErrorStringBits  = obs.C("fingerprint.errorstring.bits")
+	cDistanceCalls    = obs.C("fingerprint.distance.calls")
+	hDistanceNanos    = obs.H("fingerprint.distance.nanos")
+	cSparseCalls      = obs.C("fingerprint.sparse_distance.calls")
+	hSparseNanos      = obs.H("fingerprint.sparse_distance.nanos")
+	cIdentifyHit      = obs.C("fingerprint.identify.hit")
+	cIdentifyMiss     = obs.C("fingerprint.identify.miss")
+	cIdentifyAmbig    = obs.C("fingerprint.identify.ambiguous")
+	cClusterNew       = obs.C("fingerprint.cluster.new")
+	cClusterRefine    = obs.C("fingerprint.cluster.refined")
 )
 
 // DefaultThreshold is the identification threshold on the modified Jaccard
@@ -37,7 +57,12 @@ func ErrorString(approx, exact []byte) (*bitset.Set, error) {
 	if len(approx) != len(exact) {
 		return nil, fmt.Errorf("fingerprint: length mismatch approx=%d exact=%d", len(approx), len(exact))
 	}
-	return bitset.FromBytes(approx).Xor(bitset.FromBytes(exact)), nil
+	es := bitset.FromBytes(approx).Xor(bitset.FromBytes(exact))
+	if obs.On() {
+		cErrorStringCalls.Inc()
+		cErrorStringBits.Add(int64(es.Count()))
+	}
+	return es, nil
 }
 
 // Characterize implements Algorithm 1: it computes the error string of every
@@ -73,6 +98,17 @@ func Characterize(exact []byte, approxes ...[]byte) (*bitset.Set, error) {
 // distance is 0 (indistinguishable); if exactly the smaller is empty there is
 // no evidence to match on and the distance is 1.
 func Distance(errorString, fp *bitset.Set) float64 {
+	if obs.On() {
+		t0 := time.Now()
+		d := distance(errorString, fp)
+		cDistanceCalls.Inc()
+		hDistanceNanos.Observe(time.Since(t0).Nanoseconds())
+		return d
+	}
+	return distance(errorString, fp)
+}
+
+func distance(errorString, fp *bitset.Set) float64 {
 	a, b := fp, errorString
 	if a.Count() > b.Count() {
 		a, b = b, a
@@ -91,6 +127,17 @@ func Distance(errorString, fp *bitset.Set) float64 {
 // stitching attack where page fingerprints are stored as sorted position
 // lists. Semantics are identical to Distance.
 func SparseDistance(a, b bitset.Sparse) float64 {
+	if obs.On() {
+		t0 := time.Now()
+		d := sparseDistance(a, b)
+		cSparseCalls.Inc()
+		hSparseNanos.Observe(time.Since(t0).Nanoseconds())
+		return d
+	}
+	return sparseDistance(a, b)
+}
+
+func sparseDistance(a, b bitset.Sparse) float64 {
 	if a.Card() > b.Card() {
 		a, b = b, a
 	}
@@ -171,8 +218,26 @@ func (db *DB) Entries() []Entry { return db.entries }
 func (db *DB) Identify(errorString *bitset.Set) (name string, index int, ok bool) {
 	for i, e := range db.entries {
 		if Distance(errorString, e.FP) < db.threshold {
+			if obs.On() {
+				// Keep scanning to classify the decision: a second entry
+				// under the threshold means the match was ambiguous —
+				// exactly the statistic Table 2 reasons about.
+				matches := 1
+				for _, rest := range db.entries[i+1:] {
+					if Distance(errorString, rest.FP) < db.threshold {
+						matches++
+					}
+				}
+				cIdentifyHit.Inc()
+				if matches > 1 {
+					cIdentifyAmbig.Inc()
+				}
+			}
 			return e.Name, i, true
 		}
+	}
+	if obs.On() {
+		cIdentifyMiss.Inc()
 	}
 	return "", -1, false
 }
@@ -183,9 +248,25 @@ func (db *DB) Identify(errorString *bitset.Set) (name string, index int, ok bool
 func (db *DB) IdentifyBest(errorString *bitset.Set) (name string, index int, dist float64) {
 	index = -1
 	dist = 2 // above any possible distance
+	below := 0
 	for i, e := range db.entries {
-		if d := Distance(errorString, e.FP); d < dist {
+		d := Distance(errorString, e.FP)
+		if d < db.threshold {
+			below++
+		}
+		if d < dist {
 			name, index, dist = e.Name, i, d
+		}
+	}
+	if obs.On() {
+		switch {
+		case below == 0:
+			cIdentifyMiss.Inc()
+		case below == 1:
+			cIdentifyHit.Inc()
+		default:
+			cIdentifyHit.Inc()
+			cIdentifyAmbig.Inc()
 		}
 	}
 	return name, index, dist
@@ -214,11 +295,17 @@ func (c *Clusterer) Add(errorString *bitset.Set) int {
 		if Distance(errorString, fp) < c.threshold {
 			fp.And(errorString)
 			c.sizes[j]++
+			if obs.On() {
+				cClusterRefine.Inc()
+			}
 			return j
 		}
 	}
 	c.clusters = append(c.clusters, errorString.Clone())
 	c.sizes = append(c.sizes, 1)
+	if obs.On() {
+		cClusterNew.Inc()
+	}
 	return len(c.clusters) - 1
 }
 

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Options is the -obs.* flag family shared by every command. Zero values
+// mean "off"; any non-zero observability output (report, http, trace)
+// enables instrumentation for the run.
+type Options struct {
+	HTTP     string // -obs.http: debug server listen address
+	Report   string // -obs.report: metrics snapshot JSON written at exit
+	TraceOut string // -obs.trace: chrome://tracing span log written at exit
+	LogLevel string // -obs.log: minimum log level
+	Force    bool   // -obs: enable instrumentation with no output configured
+}
+
+// AddFlags installs the flag family on fs and returns the destination.
+func AddFlags(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.BoolVar(&o.Force, "obs", false, "enable instrumentation (implied by the other -obs.* flags)")
+	fs.StringVar(&o.HTTP, "obs.http", "", "serve /metrics, expvar and pprof on this address (e.g. :6060)")
+	fs.StringVar(&o.Report, "obs.report", "", "write a JSON metrics snapshot to this file at exit")
+	fs.StringVar(&o.TraceOut, "obs.trace", "", "write a chrome://tracing span log to this file at exit")
+	fs.StringVar(&o.LogLevel, "obs.log", "warn", "log level: debug, info, warn, error")
+	return o
+}
+
+// Activate applies the parsed options: sets the log level, enables
+// instrumentation if any output is configured, and starts the debug server.
+// The returned finish function writes the report and trace files; call it
+// once when the command is done (its error matters — a report that failed
+// to write is a failed run for whoever asked for the report).
+func (o *Options) Activate() (finish func() error, err error) {
+	lvl, err := ParseLevel(o.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	SetLogLevel(lvl)
+	// A verbose log level counts as configured output: the debug/info call
+	// sites sit behind On() guards, so without this they would never fire.
+	if o.Force || o.HTTP != "" || o.Report != "" || o.TraceOut != "" || lvl < LevelWarn {
+		Enable()
+	}
+	if o.TraceOut != "" {
+		EnableTracing()
+	}
+	var srv *Server
+	if o.HTTP != "" {
+		if srv, err = StartServer(o.HTTP); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: debug server on http://%s (metrics, expvar, pprof)\n", srv.Addr())
+	}
+	return func() error {
+		if srv != nil {
+			srv.Close()
+		}
+		if o.Report != "" {
+			if err := WriteReportFile(o.Report); err != nil {
+				return fmt.Errorf("obs: writing report: %w", err)
+			}
+		}
+		if o.TraceOut != "" {
+			f, err := os.Create(o.TraceOut)
+			if err != nil {
+				return fmt.Errorf("obs: writing trace: %w", err)
+			}
+			if err := WriteTrace(f); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: writing trace: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("obs: writing trace: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

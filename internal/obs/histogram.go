@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values 0..15 get one exact bucket each; every
+// larger value lands in one of 16 linear sub-buckets of its binary octave
+// [2^e, 2^(e+1)). The worst-case relative quantization error is therefore
+// 1/32 ≈ 3 %, constant across the full int64 range — the right shape for
+// latencies, which span nanoseconds to seconds. The layout is HdrHistogram's
+// core idea stripped to the stdlib.
+const (
+	histSubBuckets = 16
+	histFirstExact = 16 // values below this index themselves
+	histBuckets    = histFirstExact + (63-4+1)*histSubBuckets
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histFirstExact {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // e ≥ 4
+	sub := int(uint64(v)>>(uint(e)-4)) - histSubBuckets
+	return histFirstExact + (e-4)*histSubBuckets + sub
+}
+
+// bucketMid returns a representative (midpoint) value for bucket i.
+func bucketMid(i int) int64 {
+	if i < histFirstExact {
+		return int64(i)
+	}
+	i -= histFirstExact
+	e := uint(i/histSubBuckets) + 4
+	sub := int64(i % histSubBuckets)
+	lo := (histSubBuckets + sub) << (e - 4)
+	width := int64(1) << (e - 4)
+	return lo + width/2
+}
+
+// Histogram records an int64 distribution (latencies in nanoseconds, sizes
+// in bits) in log-scale buckets. All methods are safe for concurrent use;
+// Observe is wait-free (three atomic adds plus two bounded CAS loops).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram. Prefer Registry.Histogram / H,
+// which register the result under a name.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 until first observation
+	return h
+}
+
+// Observe records one value. Negative values are clamped to zero: the
+// histogram tracks magnitudes (durations, counts) for which a negative
+// reading is a clock artifact, not data.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Time returns a stop function that observes the elapsed nanoseconds when
+// called:
+//
+//	defer h.Time()()
+func (h *Histogram) Time() func() {
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Nanoseconds()) }
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot summarizes a histogram at one instant. Quantiles carry
+// the bucket quantization error (≤ ~3 % relative).
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	Mean  int64 `json:"mean"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Observe calls may land
+// between the per-bucket reads; the snapshot is a consistent-enough view for
+// reporting, not a linearizable cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = s.Sum / s.Count
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P90 = quantile(&counts, total, 0.90)
+	s.P99 = quantile(&counts, total, 0.99)
+	return s
+}
+
+// quantile returns the representative value of the bucket containing the
+// q-th observation (nearest-rank over bucket midpoints).
+func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1 // 1-based nearest rank
+	cum := int64(0)
+	for i := range counts {
+		cum += counts[i]
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketIndexMonotone checks the bucket layout: indices are monotone in
+// the value and the representative midpoint stays within the documented 3 %
+// relative error.
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 63, 64, 100, 1 << 20, 1<<20 + 1, 1 << 40, 1 << 62} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+		mid := bucketMid(i)
+		if v >= histFirstExact {
+			if rel := math.Abs(float64(mid-v)) / float64(v); rel > 1.0/32+1e-9 {
+				t.Errorf("bucketMid(%d)=%d for value %d: relative error %.4f", i, mid, v, rel)
+			}
+		} else if mid != v {
+			t.Errorf("exact bucket %d has midpoint %d", v, mid)
+		}
+	}
+}
+
+// TestHistogramPercentilesKnownDistribution observes the integers 1..10000
+// exactly once each, so the true quantiles are known in closed form, and
+// requires the reported percentiles to sit within the bucket quantization
+// error.
+func TestHistogramPercentilesKnownDistribution(t *testing.T) {
+	h := NewHistogram()
+	const n = 10000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	if s.Min != 1 || s.Max != n {
+		t.Errorf("min/max = %d/%d, want 1/%d", s.Min, s.Max, n)
+	}
+	if want := int64(n+1) / 2; math.Abs(float64(s.Mean-want)) > 1 {
+		t.Errorf("mean = %d, want ≈%d", s.Mean, want)
+	}
+	check := func(name string, got, want int64) {
+		t.Helper()
+		if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.05 {
+			t.Errorf("%s = %d, want %d ± 5%% (relative error %.4f)", name, got, want, rel)
+		}
+	}
+	check("p50", s.P50, n/2)
+	check("p90", s.P90, n*9/10)
+	check("p99", s.P99, n*99/100)
+}
+
+// TestHistogramSkewedDistribution checks percentiles on a two-mode
+// distribution: 95 fast observations and 5 slow ones per round. p50 and p90
+// must report the fast mode, p99 must find the slow tail.
+func TestHistogramSkewedDistribution(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		for j := 0; j < 95; j++ {
+			h.Observe(100)
+		}
+		for j := 0; j < 5; j++ {
+			h.Observe(100000)
+		}
+	}
+	s := h.Snapshot()
+	if rel := math.Abs(float64(s.P50-100)) / 100; rel > 0.05 {
+		t.Errorf("p50 = %d, want ≈100", s.P50)
+	}
+	if rel := math.Abs(float64(s.P90-100)) / 100; rel > 0.05 {
+		t.Errorf("p90 = %d, want ≈100", s.P90)
+	}
+	if rel := math.Abs(float64(s.P99-100000)) / 100000; rel > 0.05 {
+		t.Errorf("p99 = %d, want ≈100000", s.P99)
+	}
+}
+
+// TestHistogramEdgeCases: empty histograms, zero, and negative clamping.
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Snapshot(); s.Count != 0 || s.P99 != 0 || s.Min != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(-50) // clock skew artifact: clamped to 0
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != 0 || s.Max != 0 || s.P50 != 0 {
+		t.Errorf("zero/negative handling wrong: %+v", s)
+	}
+}

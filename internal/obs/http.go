@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Debug server: -obs.http :6060 exposes
+//
+//	/metrics          Prometheus text format (add ?format=json for JSON)
+//	/debug/vars       expvar (Go runtime memstats + the obs registry)
+//	/debug/pprof/     net/http/pprof profiles (heap, profile, trace, ...)
+//
+// The server runs for the lifetime of the command; long runs (pcause stitch
+// over a large sample file, paper-scale pcexperiments) can be profiled live.
+
+func init() {
+	// Publish the registry through expvar so /debug/vars carries the same
+	// numbers as /metrics. expvar.Func serializes on every scrape, so the
+	// cost is paid by the scraper, never the pipeline.
+	expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
+}
+
+// metricsHandler serves the Default registry snapshot.
+func metricsHandler(w http.ResponseWriter, r *http.Request) {
+	snap := Default.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snap.WritePrometheus(w)
+}
+
+// Server is a running debug server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// StartServer binds addr and serves the debug endpoints in a background
+// goroutine. It builds its own mux rather than using http.DefaultServeMux so
+// importing this package never mutates global handler state.
+func StartServer(addr string) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", metricsHandler)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	Infof("obs debug server listening", "addr", s.Addr())
+	return s, nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the text exposition format byte for byte on a
+// registry with one metric of each kind.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stitch.verify.calls").Add(42)
+	r.Gauge("stitch.clusters").Set(7)
+	h := r.Histogram("fingerprint.distance.nanos")
+	for i := 0; i < 100; i++ {
+		h.Observe(10) // exact bucket: quantiles are exactly 10
+	}
+	var buf strings.Builder
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE pc_stitch_verify_calls counter
+pc_stitch_verify_calls 42
+# TYPE pc_stitch_clusters gauge
+pc_stitch_clusters 7
+# TYPE pc_fingerprint_distance_nanos summary
+pc_fingerprint_distance_nanos{quantile="0.5"} 10
+pc_fingerprint_distance_nanos{quantile="0.9"} 10
+pc_fingerprint_distance_nanos{quantile="0.99"} 10
+pc_fingerprint_distance_nanos_sum 1000
+pc_fingerprint_distance_nanos_count 100
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestDebugServerEndpoints starts the real server on a loopback port and
+// exercises /metrics (both formats), /debug/vars, and the pprof index.
+func TestDebugServerEndpoints(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	C("httptest.hits").Inc()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "pc_httptest_hits 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/metrics?format=json"); !strings.Contains(body, `"httptest.hits": 1`) {
+		t.Errorf("/metrics?format=json missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") || !strings.Contains(body, `"obs"`) {
+		t.Errorf("/debug/vars missing expvar content")
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}

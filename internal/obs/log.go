@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Leveled structured logging. One line per event:
+//
+//	2026-08-05T12:00:00Z INFO stitch resumed clusters=3 pages=412
+//
+// Values are rendered with %v; strings containing spaces are quoted. The
+// logger writes to stderr so command stdout stays machine-readable.
+
+// Level is a log severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's canonical upper-case name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q", s)
+	}
+}
+
+var (
+	logLevel atomic.Int32 // default LevelWarn, set in init
+	logMu    sync.Mutex
+	logW     io.Writer = os.Stderr
+)
+
+func init() { logLevel.Store(int32(LevelWarn)) }
+
+// SetLogLevel sets the minimum severity that is emitted.
+func SetLogLevel(l Level) { logLevel.Store(int32(l)) }
+
+// SetLogWriter redirects log output (test hook); pass nil to restore
+// stderr.
+func SetLogWriter(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if w == nil {
+		w = os.Stderr
+	}
+	logW = w
+}
+
+// Logf emits one structured line at the given level. kv is alternating
+// key, value pairs; a trailing odd value is logged under the key "extra".
+func Logf(l Level, msg string, kv ...any) {
+	if l < Level(logLevel.Load()) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(time.Now().UTC().Format(time.RFC3339))
+	b.WriteByte(' ')
+	b.WriteString(l.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for i := 0; i < len(kv); i += 2 {
+		key, val := "extra", kv[i]
+		if i+1 < len(kv) {
+			key, val = fmt.Sprint(kv[i]), kv[i+1]
+		}
+		rendered := fmt.Sprint(val)
+		if strings.ContainsAny(rendered, " \t\"") {
+			rendered = fmt.Sprintf("%q", rendered)
+		}
+		fmt.Fprintf(&b, " %s=%s", key, rendered)
+	}
+	b.WriteByte('\n')
+	logMu.Lock()
+	defer logMu.Unlock()
+	io.WriteString(logW, b.String())
+}
+
+// Debugf logs at debug level.
+func Debugf(msg string, kv ...any) { Logf(LevelDebug, msg, kv...) }
+
+// Infof logs at info level.
+func Infof(msg string, kv ...any) { Logf(LevelInfo, msg, kv...) }
+
+// Warnf logs at warn level.
+func Warnf(msg string, kv ...any) { Logf(LevelWarn, msg, kv...) }
+
+// Errorf logs at error level.
+func Errorf(msg string, kv ...any) { Logf(LevelError, msg, kv...) }

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any sign, but counters are conventionally monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can move in both directions (cluster counts, pages
+// covered, queue depths).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a concurrent-safe collection of named metrics. The zero value
+// is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry behind the C, G, and H accessors.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on first
+// use. Safe for concurrent callers.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = NewHistogram()
+	r.histograms[name] = h
+	return h
+}
+
+// C returns a counter from the Default registry. Instrumented packages hold
+// the result in a package-level var so the map lookup happens once.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns a gauge from the Default registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns a histogram from the Default registry.
+func H(name string) *Histogram { return Default.Histogram(name) }
+
+// Snapshot is a point-in-time copy of a registry, serializable as JSON. The
+// shape is stable: BENCH_*.json perf trajectories diff these files across
+// PRs.
+type Snapshot struct {
+	TakenAt    string                       `json:"taken_at"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		TakenAt:    time.Now().UTC().Format(time.RFC3339),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteReportFile dumps the Default registry snapshot to path — the
+// implementation behind the -obs.report flag and the OBS_REPORT bench hook.
+func WriteReportFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Default.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// promName maps a dotted metric name to the Prometheus character set.
+func promName(name string) string {
+	return "pc_" + strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as summaries
+// with p50/p90/p99 quantile labels. Output is sorted by name so it is
+// stable for golden tests.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", pn, h.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %d\n", pn, h.P90)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %d\n", pn, h.P99)
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

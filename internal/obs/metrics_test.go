@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryGetOrCreate verifies that repeated lookups return the same
+// metric instance, so package-level vars and dynamic lookups can mix.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter(x) returned distinct instances")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("Gauge(x) returned distinct instances")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("Histogram(x) returned distinct instances")
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines — run
+// under -race, this is the concurrency guarantee of the tentpole. Writers
+// create and update metrics while readers snapshot mid-flight.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"shared", "per-" + string(rune('a'+w))}
+			for i := 0; i < rounds; i++ {
+				for _, n := range names {
+					r.Counter(n).Inc()
+					r.Gauge(n).Set(int64(i))
+					r.Histogram(n).Observe(int64(i % 257))
+				}
+			}
+		}(w)
+	}
+	// Concurrent snapshot readers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := r.Snapshot()
+				if got := s.Counters["shared"]; got < 0 {
+					t.Errorf("negative counter in snapshot: %d", got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got, want := s.Counters["shared"], int64(workers*rounds); got != want {
+		t.Errorf("shared counter = %d, want %d", got, want)
+	}
+	if got, want := s.Histograms["shared"].Count, int64(workers*rounds); got != want {
+		t.Errorf("shared histogram count = %d, want %d", got, want)
+	}
+	for w := 0; w < workers; w++ {
+		name := "per-" + string(rune('a'+w))
+		if got, want := s.Counters[name], int64(rounds); got != want {
+			t.Errorf("%s counter = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestSnapshotJSONShape pins the report schema that BENCH_*.json
+// trajectories depend on.
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("calls").Add(3)
+	r.Gauge("depth").Set(-2)
+	r.Histogram("lat").Observe(100)
+	var buf strings.Builder
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TakenAt    string                       `json:"taken_at"`
+		Counters   map[string]int64             `json:"counters"`
+		Gauges     map[string]int64             `json:"gauges"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if decoded.TakenAt == "" {
+		t.Error("snapshot missing taken_at")
+	}
+	if decoded.Counters["calls"] != 3 || decoded.Gauges["depth"] != -2 {
+		t.Errorf("snapshot values wrong: %+v", decoded)
+	}
+	if h := decoded.Histograms["lat"]; h.Count != 1 || h.Min != 100 || h.Max != 100 {
+		t.Errorf("histogram snapshot wrong: %+v", h)
+	}
+}
+
+// TestOnOffGate checks the global enable switch that hot paths branch on.
+func TestOnOffGate(t *testing.T) {
+	defer Disable()
+	Disable()
+	if On() {
+		t.Fatal("On() true after Disable")
+	}
+	Enable()
+	if !On() {
+		t.Fatal("On() false after Enable")
+	}
+}

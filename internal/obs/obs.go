@@ -1,0 +1,47 @@
+// Package obs is the observability layer of the repository: a dependency-free
+// (standard library only) collection of metrics, span tracing, leveled
+// logging, and debug-server plumbing shared by every package on the
+// fingerprinting pipeline.
+//
+// The layer is built around one invariant: when observability is off — the
+// default — instrumentation costs a single predictable branch on an atomic
+// bool. Hot paths guard every metric update with On():
+//
+//	if obs.On() {
+//		cDistanceCalls.Inc()
+//	}
+//
+// so library users and benchmarks that never call Enable pay nothing.
+//
+// # Components
+//
+//   - Registry (metrics.go): concurrent-safe named counters, gauges, and
+//     log-scale histograms with p50/p90/p99 snapshots. The package-level
+//     Default registry backs the C, G, and H accessors.
+//   - Span tracing (trace.go): Start(ctx, name) opens a timed span with
+//     key/value attributes; completed spans export as chrome://tracing
+//     compatible JSON events.
+//   - Leveled logging (log.go): structured key=value lines to stderr.
+//   - Debug server (http.go): /metrics in JSON and Prometheus text format,
+//     expvar at /debug/vars, and net/http/pprof at /debug/pprof/.
+//   - Flag plumbing (flags.go): AddFlags installs the -obs.* flag family on
+//     a FlagSet; Options.Activate turns the layer on and returns a finish
+//     function that writes the -obs.report snapshot and -obs.trace log.
+package obs
+
+import "sync/atomic"
+
+// on gates every instrumentation site in the repository.
+var on atomic.Bool
+
+// On reports whether observability is enabled. Instrumented hot paths call
+// it before touching any metric; when it returns false the instrumentation
+// must cost nothing beyond the branch.
+func On() bool { return on.Load() }
+
+// Enable turns instrumentation on process-wide.
+func Enable() { on.Store(true) }
+
+// Disable turns instrumentation off process-wide. Metrics keep their values;
+// they simply stop moving.
+func Disable() { on.Store(false) }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing: Start opens a timed span, End closes it and files a record
+// with the process-wide tracer. Nesting travels through the context — a span
+// started from a context carrying another span becomes its child and
+// inherits its track id, so the chrome://tracing view (and any tool reading
+// time containment on one track) reconstructs the call tree.
+//
+// Tracing is off by default; Start then returns a nil *Span whose methods
+// are no-ops, so instrumented code needs no guards beyond passing the
+// context along.
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed operation.
+type Span struct {
+	name   string
+	start  time.Time
+	track  int64 // chrome tracing tid; shared down one span stack
+	parent string
+	attrs  []Attr
+}
+
+// SpanRecord is a completed span as stored by the tracer and exported to
+// JSON. Times are microseconds, matching the chrome trace event format.
+type SpanRecord struct {
+	Name     string         `json:"name"`
+	Phase    string         `json:"ph"` // always "X": complete event
+	StartUS  int64          `json:"ts"`
+	DurUS    int64          `json:"dur"`
+	PID      int            `json:"pid"`
+	TID      int64          `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+	ParentGo string         `json:"-"` // parent span name, for tests/log export
+}
+
+type tracer struct {
+	mu      sync.Mutex
+	on      bool
+	epoch   time.Time
+	records []SpanRecord
+	tracks  atomic.Int64
+}
+
+var globalTracer tracer
+
+// EnableTracing starts collecting spans (and implies Enable for the metrics
+// side of the layer, since a trace without counters is half a picture).
+func EnableTracing() {
+	Enable()
+	globalTracer.mu.Lock()
+	defer globalTracer.mu.Unlock()
+	if !globalTracer.on {
+		globalTracer.on = true
+		globalTracer.epoch = time.Now()
+	}
+}
+
+// TracingEnabled reports whether spans are being collected.
+func TracingEnabled() bool {
+	globalTracer.mu.Lock()
+	defer globalTracer.mu.Unlock()
+	return globalTracer.on
+}
+
+// ResetTracing drops collected spans and disables collection (test hook).
+func ResetTracing() {
+	globalTracer.mu.Lock()
+	defer globalTracer.mu.Unlock()
+	globalTracer.on = false
+	globalTracer.records = nil
+}
+
+type spanCtxKey struct{}
+
+// Start opens a span. The returned context carries the span so that child
+// calls to Start nest under it; pass it down the call path being traced.
+// When tracing is disabled the span is nil and every method is a no-op.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if !TracingEnabled() {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		s.track = parent.track
+		s.parent = parent.name
+	} else {
+		s.track = globalTracer.tracks.Add(1)
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr annotates the span with a key/value pair.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and files it with the tracer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	rec := SpanRecord{
+		Name:     s.name,
+		Phase:    "X",
+		DurUS:    end.Sub(s.start).Microseconds(),
+		PID:      1,
+		TID:      s.track,
+		ParentGo: s.parent,
+	}
+	if len(s.attrs) > 0 {
+		rec.Args = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Args[a.Key] = a.Value
+		}
+	}
+	globalTracer.mu.Lock()
+	defer globalTracer.mu.Unlock()
+	if !globalTracer.on {
+		return
+	}
+	rec.StartUS = s.start.Sub(globalTracer.epoch).Microseconds()
+	globalTracer.records = append(globalTracer.records, rec)
+}
+
+// TraceRecords returns a copy of the spans collected so far, in completion
+// order.
+func TraceRecords() []SpanRecord {
+	globalTracer.mu.Lock()
+	defer globalTracer.mu.Unlock()
+	out := make([]SpanRecord, len(globalTracer.records))
+	copy(out, globalTracer.records)
+	return out
+}
+
+// WriteTrace writes the collected spans as a chrome://tracing JSON array
+// (load it via the "Load" button on chrome://tracing or in Perfetto).
+func WriteTrace(w io.Writer) error {
+	records := TraceRecords()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(records)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanNestingAndOrdering opens a three-deep span stack plus a sibling
+// and checks parent links, track inheritance, and completion order.
+func TestSpanNestingAndOrdering(t *testing.T) {
+	ResetTracing()
+	EnableTracing()
+	defer func() { ResetTracing(); Disable() }()
+
+	ctx := context.Background()
+	ctx1, root := Start(ctx, "root")
+	root.SetAttr("samples", 3)
+	ctx2, child := Start(ctx1, "child")
+	_, grand := Start(ctx2, "grandchild")
+	grand.End()
+	child.End()
+	_, sibling := Start(ctx1, "sibling")
+	sibling.End()
+	root.End()
+
+	recs := TraceRecords()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4: %+v", len(recs), recs)
+	}
+	// Completion order: innermost first.
+	wantOrder := []string{"grandchild", "child", "sibling", "root"}
+	for i, want := range wantOrder {
+		if recs[i].Name != want {
+			t.Errorf("record %d = %s, want %s", i, recs[i].Name, want)
+		}
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["child"].ParentGo != "root" || byName["grandchild"].ParentGo != "child" || byName["sibling"].ParentGo != "root" {
+		t.Errorf("parent links wrong: %+v", byName)
+	}
+	if byName["root"].ParentGo != "" {
+		t.Errorf("root has parent %q", byName["root"].ParentGo)
+	}
+	// One span stack shares one track id.
+	tid := byName["root"].TID
+	for _, name := range []string{"child", "grandchild", "sibling"} {
+		if byName[name].TID != tid {
+			t.Errorf("%s on track %d, root on %d", name, byName[name].TID, tid)
+		}
+	}
+	// Attrs survive into args.
+	if got := byName["root"].Args["samples"]; got != 3 {
+		t.Errorf("root args = %v, want samples=3", byName["root"].Args)
+	}
+	// Containment: children start no earlier and end no later than root.
+	rootEnd := byName["root"].StartUS + byName["root"].DurUS
+	for _, name := range wantOrder[:3] {
+		r := byName[name]
+		if r.StartUS < byName["root"].StartUS || r.StartUS+r.DurUS > rootEnd {
+			t.Errorf("%s [%d,%d] escapes root [%d,%d]",
+				name, r.StartUS, r.StartUS+r.DurUS, byName["root"].StartUS, rootEnd)
+		}
+	}
+}
+
+// TestSpanDisabledIsNoop: with tracing off, Start returns a nil span whose
+// methods are safe, and nothing is recorded.
+func TestSpanDisabledIsNoop(t *testing.T) {
+	ResetTracing()
+	ctx, sp := Start(context.Background(), "ghost")
+	if sp != nil {
+		t.Fatal("Start returned a live span while tracing disabled")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if ctx == nil {
+		t.Fatal("Start returned nil context")
+	}
+	if got := TraceRecords(); len(got) != 0 {
+		t.Fatalf("recorded %d spans while disabled", len(got))
+	}
+}
+
+// TestSeparateRootsGetSeparateTracks: concurrent-looking root spans must not
+// share a chrome tracing track, or their bars would falsely nest.
+func TestSeparateRootsGetSeparateTracks(t *testing.T) {
+	ResetTracing()
+	EnableTracing()
+	defer func() { ResetTracing(); Disable() }()
+	_, a := Start(context.Background(), "a")
+	_, b := Start(context.Background(), "b")
+	a.End()
+	b.End()
+	recs := TraceRecords()
+	if recs[0].TID == recs[1].TID {
+		t.Errorf("independent roots share track %d", recs[0].TID)
+	}
+}
+
+// TestWriteTraceChromeFormat checks the export is a JSON array of complete
+// ("ph":"X") events — the chrome://tracing contract.
+func TestWriteTraceChromeFormat(t *testing.T) {
+	ResetTracing()
+	EnableTracing()
+	defer func() { ResetTracing(); Disable() }()
+	_, sp := Start(context.Background(), "op")
+	sp.SetAttr("pages", 8)
+	sp.End()
+	var buf strings.Builder
+	if err := WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e["ph"] != "X" || e["name"] != "op" {
+		t.Errorf("event shape wrong: %v", e)
+	}
+	for _, key := range []string{"ts", "dur", "pid", "tid"} {
+		if _, ok := e[key]; !ok {
+			t.Errorf("event missing %q: %v", key, e)
+		}
+	}
+}

@@ -26,11 +26,28 @@
 package stitch
 
 import (
+	"context"
 	"fmt"
 
 	"probablecause/internal/bitset"
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/minhash"
+	"probablecause/internal/obs"
+)
+
+// Stitching metrics. The gauges answer the attack's two headline questions
+// (how many machines does the attacker believe exist, and how much memory
+// has been fingerprinted — Fig. 13); the counters expose the work the LSH
+// index saves versus brute force.
+var (
+	cSamples     = obs.C("stitch.samples")
+	cCandidates  = obs.C("stitch.candidates.scanned")
+	cVerifyCalls = obs.C("stitch.verify.calls")
+	cVerifyOK    = obs.C("stitch.verify.matched")
+	cMerges      = obs.C("stitch.cluster.merges")
+	cNewClusters = obs.C("stitch.cluster.new")
+	gClusters    = obs.G("stitch.clusters")
+	gCovered     = obs.G("stitch.covered_pages")
 )
 
 // RefineMode selects how a cluster's stored page fingerprint is updated
@@ -180,10 +197,27 @@ func (s *Stitcher) Add(sample Sample) (int, error) {
 		return 0, fmt.Errorf("stitch: empty sample")
 	}
 	s.samples++
+	ctx, sp := obs.Start(context.Background(), "stitch.add")
+	sp.SetAttr("sample_pages", len(sample.Pages))
+	root := s.add(ctx, sample)
+	if obs.On() {
+		cSamples.Inc()
+		gClusters.Set(int64(s.live))
+		gCovered.Set(int64(s.CoveredPages()))
+	}
+	sp.SetAttr("clusters", s.live)
+	sp.End()
+	return root, nil
+}
 
+// add is Add's instrumented body.
+func (s *Stitcher) add(ctx context.Context, sample Sample) int {
+	_, asp := obs.Start(ctx, "stitch.align")
 	aligns := s.alignments(sample)
+	asp.SetAttr("alignments", len(aligns))
+	asp.End()
 	if len(aligns) == 0 {
-		return s.newCluster(sample), nil
+		return s.newCluster(sample)
 	}
 
 	// Merge the sample into the first verified alignment, then union every
@@ -196,8 +230,10 @@ func (s *Stitcher) Add(sample Sample) (int, error) {
 		s.union(a.root, primary.root, primary.base-a.base)
 	}
 	root, off := s.find(primary.root)
+	_, msp := obs.Start(ctx, "stitch.merge")
 	s.mergeSample(root, primary.base+off, sample)
-	return root, nil
+	msp.End()
+	return root
 }
 
 // alignments returns verified alignments, deduplicated by root, best first.
@@ -237,18 +273,27 @@ func (s *Stitcher) alignments(sample Sample) []alignment {
 // candidates returns page references possibly matching fp.
 func (s *Stitcher) candidates(fp bitset.Sparse) []pageRef {
 	if !s.cfg.Brute {
-		return s.index.Candidates(s.cfg.Scheme.Sign(fp))
+		out := s.index.Candidates(s.cfg.Scheme.Sign(fp))
+		if obs.On() {
+			cCandidates.Add(int64(len(out)))
+		}
+		return out
 	}
+	scanned := 0
 	var out []pageRef
 	for c := range s.parent {
 		if s.parent[c] != c {
 			continue
 		}
+		scanned += len(s.pages[c])
 		for off, stored := range s.pages[c] {
 			if fingerprint.SparseDistance(fp, stored) < s.cfg.Threshold {
 				out = append(out, pageRef{cluster: c, offset: off})
 			}
 		}
+	}
+	if obs.On() {
+		cCandidates.Add(int64(scanned))
 	}
 	return out
 }
@@ -256,6 +301,9 @@ func (s *Stitcher) candidates(fp bitset.Sparse) []pageRef {
 // verify counts the sample pages whose fingerprint matches the cluster page
 // at the aligned offset.
 func (s *Stitcher) verify(a alignment, sample Sample) int {
+	if obs.On() {
+		cVerifyCalls.Inc()
+	}
 	matched := 0
 	for i, fp := range sample.Pages {
 		if fp.Card() == 0 {
@@ -269,6 +317,9 @@ func (s *Stitcher) verify(a alignment, sample Sample) int {
 			matched++
 		}
 	}
+	if obs.On() && matched >= s.cfg.MinOverlap {
+		cVerifyOK.Inc()
+	}
 	return matched
 }
 
@@ -280,6 +331,9 @@ func (s *Stitcher) newCluster(sample Sample) int {
 	m := make(map[int]bitset.Sparse, len(sample.Pages))
 	s.pages = append(s.pages, m)
 	s.live++
+	if obs.On() {
+		cNewClusters.Inc()
+	}
 	for i, fp := range sample.Pages {
 		m[i] = fp.Clone()
 		s.indexPage(id, i, fp)
@@ -333,6 +387,9 @@ func (s *Stitcher) union(a, b, delta int) {
 	rb, ob := s.find(b)
 	if ra == rb {
 		return
+	}
+	if obs.On() {
+		cMerges.Inc()
 	}
 	// Translate delta from the (a,b) frames to the (ra,rb) root frames:
 	// aOff = raOff ... careful: oa maps a's frame to ra's frame? shift[c]
