@@ -13,9 +13,10 @@
 //	    Group approximate outputs by originating device (Algorithm 4).
 //	pcause mkdb -o DB name=FP [name=FP...]
 //	    Bundle named fingerprints into one database file.
-//	pcause gensamples -o FILE [-buddy|-scattered]
-//	    Simulate a victim publishing outputs; write a JSON-lines sample file.
-//	pcause stitch -in FILE [-save DB] [-load DB]
+//	pcause gensamples -o FILE [-buddy|-scattered] [-corrupt SPEC]
+//	    Simulate a victim publishing outputs; write a JSON-lines sample file,
+//	    optionally corrupted under a fault-injection plan.
+//	pcause stitch -in FILE [-lenient] [-save DB] [-load DB]
 //	    Run the whole-memory stitching attack (§4) over a sample file.
 //	pcause demo
 //	    Run a self-contained demonstration on two simulated chips.
@@ -26,6 +27,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +39,7 @@ import (
 	"probablecause/internal/bitset"
 	"probablecause/internal/dram"
 	"probablecause/internal/drammodel"
+	"probablecause/internal/faults"
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/obs"
 	"probablecause/internal/osmodel"
@@ -327,7 +330,7 @@ func cmdMkdb(args []string) (err error) {
 // cmdGensamples simulates a victim system publishing approximate outputs
 // and writes them as a JSON-lines sample file for the stitch subcommand.
 func cmdGensamples(args []string) (err error) {
-	fs, obsOpts := newFlagSet("gensamples", "gensamples [-o FILE] [-buddy|-scattered] [-memory N] [-pages N] [-n N]")
+	fs, obsOpts := newFlagSet("gensamples", "gensamples [-o FILE] [-buddy|-scattered] [-memory N] [-pages N] [-n N] [-corrupt SPEC]")
 	outPath := fs.String("o", "samples.jsonl", "output sample file")
 	memPages := fs.Int("memory", 4096, "victim physical memory in pages (power of two for -buddy)")
 	samplePages := fs.Int("pages", 40, "pages per published output")
@@ -336,7 +339,13 @@ func cmdGensamples(args []string) (err error) {
 	seed := fs.Uint64("seed", 0x6E5A, "victim system seed")
 	buddy := fs.Bool("buddy", false, "use the buddy-allocator placement model")
 	scattered := fs.Bool("scattered", false, "use page-level-ASLR placement (defense)")
+	corrupt := fs.String("corrupt", "", "fault plan for a corrupted corpus, e.g. bitflip=0.01,drop=0.005,line=0.02")
+	corruptSeed := fs.Uint64("corrupt.seed", 0xFA17, "fault-injection seed for -corrupt")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faults.ParsePlan(*corrupt, *corruptSeed)
+	if err != nil {
 		return err
 	}
 	finish, err := obsOpts.Activate()
@@ -374,40 +383,51 @@ func cmdGensamples(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*outPath)
-	if err != nil {
-		return err
-	}
+	inj := faults.NewInjector(plan)
 	samples := make([]stitch.Sample, 0, *count)
+	badPages := 0
 	for i := 0; i < *count; i++ {
 		s, _, err := src.Next()
 		if err != nil {
-			f.Close()
 			return err
+		}
+		if plan.Active() {
+			var n int
+			s, n = inj.CorruptSample(s, dram.PageBits)
+			badPages += n
 		}
 		samples = append(samples, s)
 	}
-	if err := samplefile.Write(f, samples); err != nil {
-		f.Close()
+	var buf bytes.Buffer
+	if err := samplefile.Write(&buf, samples); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
+	doc := buf.Bytes()
+	badLines := 0
+	if plan.Line > 0 {
+		doc, badLines = inj.CorruptJSONLines(doc)
+	}
+	if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d samples (%d pages each) to %s\n", *count, *samplePages, *outPath)
+	if plan.Active() {
+		fmt.Printf("faults (%s): corrupted %d pages, mangled %d lines\n", plan, badPages, badLines)
+	}
 	return nil
 }
 
 // cmdStitch runs the whole-memory fingerprint-stitching attack over a sample
 // file, reporting the suspected-machine count as samples accumulate.
 func cmdStitch(args []string) (err error) {
-	fs, obsOpts := newFlagSet("stitch", "stitch -in FILE [-save DB] [-load DB] [-threshold T] [-overlap N]")
+	fs, obsOpts := newFlagSet("stitch", "stitch -in FILE [-lenient] [-save DB] [-load DB] [-threshold T] [-overlap N]")
 	inPath := fs.String("in", "samples.jsonl", "sample file (JSON lines)")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "page match threshold")
 	minOverlap := fs.Int("overlap", 1, "pages that must align to merge")
 	every := fs.Int("progress", 100, "print progress every N samples")
 	loadPath := fs.String("load", "", "resume from a previously saved database")
 	savePath := fs.String("save", "", "save the database when done")
+	lenient := fs.Bool("lenient", false, "tolerate corrupt captures: skip malformed lines and reject outlier pages instead of aborting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -426,6 +446,10 @@ func cmdStitch(args []string) (err error) {
 	}
 	defer f.Close()
 	cfg := stitch.Config{Threshold: *threshold, MinOverlap: *minOverlap}
+	if *lenient {
+		cfg.MaxBitPos = dram.PageBits
+		cfg.OutlierFactor = 8
+	}
 	var st *stitch.Stitcher
 	if *loadPath != "" {
 		db, err := os.Open(*loadPath)
@@ -442,7 +466,8 @@ func cmdStitch(args []string) (err error) {
 		return err
 	}
 	r := samplefile.NewReader(f)
-	n := 0
+	r.SetLenient(*lenient)
+	n, rejected := 0, 0
 	for {
 		s, err := r.Next()
 		if err == io.EOF {
@@ -452,6 +477,10 @@ func cmdStitch(args []string) (err error) {
 			return err
 		}
 		if _, err := st.Add(s); err != nil {
+			if *lenient && errors.Is(err, stitch.ErrSampleRejected) {
+				rejected++
+				continue
+			}
 			return err
 		}
 		n++
@@ -462,6 +491,10 @@ func cmdStitch(args []string) (err error) {
 	}
 	fmt.Printf("final: %d samples → %d suspected machine(s); largest fingerprint %d pages\n",
 		n, st.Count(), st.LargestCluster())
+	if *lenient && (r.Skipped() > 0 || rejected > 0 || st.RejectedPages() > 0) {
+		fmt.Printf("lenient: skipped %d malformed line(s), rejected %d sample(s) and %d outlier page(s)\n",
+			r.Skipped(), rejected, st.RejectedPages())
+	}
 	if *savePath != "" {
 		out, err := os.Create(*savePath)
 		if err != nil {

@@ -1,321 +1,477 @@
 // Command pcexperiments regenerates every table and figure of the paper's
-// evaluation on the simulated platform.
+// evaluation on the simulated platform, under a resilient, resumable
+// runner (internal/runner): each experiment runs with optional timeout,
+// panic recovery, and transient-failure retry, and the suite checkpoints a
+// manifest into the output directory so an interrupted run can be resumed
+// with -resume, rerunning only incomplete experiments.
 //
 // Usage:
 //
-//	pcexperiments [-run all|fig5|fig7|fig8|fig9|fig10|fig11|fig13|table1|table2|ddr2|defenses|
-//	               errloc|crossmech|scramble|refreshschemes|allocator|collisions|threshold|
-//	               modelcheck|energy|apps|eccdefense|ablations]
-//	              [-scale small|default|paper] [-out DIR] [-scattered]
+//	pcexperiments [-run all|NAME[,NAME...]] [-scale small|default|paper]
+//	              [-out DIR] [-scattered] [-resume] [-timeout DUR]
+//	              [-retries N] [-faults PLAN] [-fault.seed SEED]
+//
+// Experiment names: fig5 fig7 fig8 fig9 fig10 fig11 fig13 table1 table2
+// ddr2 defenses errloc crossmech scramble refreshschemes allocator
+// collisions threshold modelcheck energy apps eccdefense coldboot
+// ablations.
+//
+// -faults installs a deterministic fault-injection plan (internal/faults)
+// for chaos runs, e.g. -faults dram=0.0001,latency=1ms; transient DRAM
+// faults injected this way are absorbed by the runner's retry policy.
 //
 // Results are printed to stdout; CSV series and PGM images are written to
-// the output directory (default ./results).
+// the output directory (default ./results) alongside the checkpoint
+// manifest.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"probablecause/internal/dram"
 	"probablecause/internal/experiment"
+	"probablecause/internal/faults"
 	"probablecause/internal/obs"
+	"probablecause/internal/runner"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, fig5, fig7, fig8, fig9, fig10, fig11, fig13, table1, table2, ddr2, defenses, errloc, crossmech, scramble, refreshschemes, allocator, collisions, threshold, modelcheck, energy, apps, eccdefense, coldboot, ablations)")
-	scale := flag.String("scale", "default", "experiment scale: small, default, or paper")
-	out := flag.String("out", "results", "output directory for CSV/PGM artifacts")
-	scattered := flag.Bool("scattered", false, "fig13: use page-level-ASLR (scattered) placement")
-	obsOpts := obs.AddFlags(flag.CommandLine)
-	flag.Parse()
+	// The single exit path: every error funnels through run's return value
+	// so the deferred obs finish (report/trace flush) always executes
+	// before the process decides its exit code.
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pcexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("pcexperiments", flag.ExitOnError)
+	runSel := fs.String("run", "all", "experiments to run: all, or a comma-separated list of names")
+	scale := fs.String("scale", "default", "experiment scale: small, default, or paper")
+	out := fs.String("out", "results", "output directory for CSV/PGM artifacts and the checkpoint manifest")
+	scattered := fs.Bool("scattered", false, "fig13: use page-level-ASLR (scattered) placement")
+	resume := fs.Bool("resume", false, "skip experiments the manifest in -out already records as done")
+	timeout := fs.Duration("timeout", 0, "per-experiment timeout (0 = unbounded)")
+	retries := fs.Int("retries", 2, "extra attempts for experiments failing with transient errors")
+	faultSpec := fs.String("faults", "", "fault-injection plan, e.g. dram=0.0001,latency=1ms (chaos testing)")
+	faultSeed := fs.Uint64("fault.seed", 0xFA17, "seed of the fault plan's decision stream")
+	obsOpts := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	obsFinish, err := obsOpts.Activate()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer func() {
-		if err := obsFinish(); err != nil {
-			fatal(err)
+		if ferr := obsFinish(); err == nil {
+			err = ferr
 		}
 	}()
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+
+	plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
 	}
-	want := func(name string) bool { return *run == "all" || *run == name }
+	if plan.Active() {
+		inj := faults.NewInjector(plan)
+		dram.SetDefaultFaultHook(inj.ChipHook())
+		defer dram.SetDefaultFaultHook(nil)
+		fmt.Printf("fault injection active: %s (seed %#x)\n", plan, *faultSeed)
+	}
+
+	specs, err := suite(*runSel, *scale, *scattered)
+	if err != nil {
+		return err
+	}
+
+	// ^C / SIGTERM cancels the suite context; the runner checkpoints after
+	// every experiment, so the interrupted run resumes with -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-
-	var corpus *experiment.Corpus
-	needCorpus := want("fig7") || want("fig9") || want("fig11") || want("threshold")
-	if needCorpus {
-		params := experiment.DefaultCorpusParams()
-		if *scale == "small" {
-			params = experiment.SmallCorpusParams()
-		}
-		fmt.Printf("building %d-chip corpus (%d KB each)...\n",
-			params.Chips, params.Geometry.Bytes()/1024)
-		var err error
-		corpus, err = experiment.BuildCorpus(params)
-		if err != nil {
-			fatal(err)
-		}
+	cfg := runner.Config{
+		OutDir:  *out,
+		Timeout: *timeout,
+		Retries: *retries,
+		Resume:  *resume,
+		Seed:    *faultSeed,
+		// The manifest pins the parameters that determine artifact
+		// content; -run is deliberately absent so partial runs of the same
+		// configuration share one checkpoint.
+		Meta: map[string]string{
+			"scale":     *scale,
+			"scattered": strconv.FormatBool(*scattered),
+			"faults":    plan.String(),
+		},
 	}
-
-	if want("fig5") {
-		p := experiment.DefaultFig5Params()
-		if *scale == "small" {
-			p = experiment.SmallFig5Params()
-		}
-		r, err := experiment.RunFig5(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-		for name, data := range r.PGMs() {
-			writeFile(*out, name, data)
-		}
+	summary, rerr := runner.Run(ctx, cfg, specs)
+	if summary != nil && len(summary.Results) > 0 {
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(summary)
 	}
-	if want("fig7") {
-		r := experiment.RunFig7(corpus)
-		section(r.Render())
-		writeFile(*out, "fig7.csv", []byte(r.CSV()))
+	if rerr != nil {
+		return rerr
 	}
-	if want("fig8") {
-		p := experiment.DefaultFig8Params()
-		if *scale == "small" {
-			p = experiment.SmallFig8Params()
-		}
-		r, err := experiment.RunFig8(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-		writeFile(*out, "fig8.csv", []byte(r.CSV()))
+	if failed := summary.Failed(); len(failed) > 0 {
+		return fmt.Errorf("%d of %d experiment(s) failed; rerun with -resume to retry only those",
+			len(failed), len(summary.Results))
 	}
-	if want("fig9") {
-		r := experiment.RunFig9(corpus)
-		section(r.Render())
-		writeFile(*out, "fig9.csv", []byte(r.GroupedDistances.CSV()))
-	}
-	if want("fig10") {
-		p := experiment.DefaultFig10Params()
-		if *scale == "small" {
-			p = experiment.SmallFig10Params()
-		}
-		r, err := experiment.RunFig10(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("fig11") {
-		r := experiment.RunFig11(corpus)
-		section(r.Render())
-		writeFile(*out, "fig11.csv", []byte(r.GroupedDistances.CSV()))
-	}
-	if want("threshold") {
-		r, err := experiment.RunThresholdSweep(corpus, experiment.DefaultThresholdSweep())
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("fig13") {
-		p := experiment.DefaultFig13Params()
-		switch *scale {
-		case "small":
-			p = experiment.SmallFig13Params()
-		case "paper":
-			p = experiment.PaperScaleFig13Params()
-		}
-		p.Scattered = *scattered
-		if *scattered {
-			p.MinOverlap = 2
-		}
-		r, err := experiment.RunFig13(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-		writeFile(*out, "fig13.csv", []byte(r.CSV()))
-	}
-	if want("table1") {
-		r, err := experiment.RunTable1(experiment.DefaultTable1Params())
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("table2") {
-		r, err := experiment.RunTable2(experiment.DefaultTable2Params())
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("ddr2") {
-		p := experiment.DefaultDDR2Params()
-		if *scale == "small" {
-			p = experiment.SmallDDR2Params()
-		}
-		r, err := experiment.RunDDR2(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("defenses") {
-		p := experiment.DefaultDefensesParams()
-		if *scale == "small" {
-			p = experiment.SmallDefensesParams()
-		}
-		r, err := experiment.RunDefenses(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("errloc") {
-		p := experiment.DefaultErrLocParams()
-		if *scale == "small" {
-			p = experiment.SmallErrLocParams()
-		}
-		r, err := experiment.RunErrLoc(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("crossmech") {
-		p := experiment.DefaultCrossMechParams()
-		if *scale == "small" {
-			p = experiment.SmallCrossMechParams()
-		}
-		r, err := experiment.RunCrossMechanism(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("scramble") {
-		p := experiment.DefaultScrambleParams()
-		if *scale == "small" {
-			p = experiment.SmallScrambleParams()
-		}
-		r, err := experiment.RunScrambling(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("refreshschemes") {
-		r, err := experiment.RunRefreshSchemes(experiment.DefaultRefreshSchemesParams())
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("allocator") {
-		p := experiment.DefaultAllocatorParams()
-		if *scale == "small" {
-			p = experiment.SmallAllocatorParams()
-		}
-		r, err := experiment.RunAllocatorComparison(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("collisions") {
-		p := experiment.DefaultCollisionParams()
-		if *scale == "small" {
-			p = experiment.SmallCollisionParams()
-		}
-		r, err := experiment.RunCollisions(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("modelcheck") {
-		r, err := experiment.RunModelCheck(experiment.DefaultModelCheckParams())
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("energy") {
-		p := experiment.DefaultEnergyParams()
-		if *scale == "small" {
-			p = experiment.SmallEnergyParams()
-		}
-		r, err := experiment.RunEnergyPrivacy(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("apps") {
-		p := experiment.DefaultAppsParams()
-		if *scale == "small" {
-			p = experiment.SmallAppsParams()
-		}
-		r, err := experiment.RunApps(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("eccdefense") {
-		p := experiment.DefaultECCParams()
-		if *scale == "small" {
-			p = experiment.SmallECCParams()
-		}
-		r, err := experiment.RunECCDefense(p)
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("coldboot") {
-		r, err := experiment.RunColdBoot(experiment.DefaultColdBootParams())
-		if err != nil {
-			fatal(err)
-		}
-		section(r.Render())
-	}
-	if want("ablations") {
-		r1, err := experiment.RunAblationHamming(10, 32768, 0xAB1)
-		if err != nil {
-			fatal(err)
-		}
-		section(r1.Render())
-		r2, err := experiment.RunAblationIntersect(21, 32768, 0xAB2)
-		if err != nil {
-			fatal(err)
-		}
-		section(r2.Render())
-	}
-
 	fmt.Printf("done in %v; artifacts in %s\n", time.Since(start).Round(time.Millisecond), *out)
+	return nil
 }
 
-func section(s string) {
-	fmt.Println(strings.Repeat("=", 78))
-	fmt.Println(s)
-}
-
-func writeFile(dir, name string, data []byte) {
-	path := filepath.Join(dir, name)
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fatal(err)
+// suite resolves the -run selection against the full experiment registry.
+func suite(sel, scale string, scattered bool) ([]runner.Spec, error) {
+	all := specs(scale, scattered)
+	if sel == "" || sel == "all" {
+		return all, nil
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	want := make(map[string]bool)
+	for _, name := range strings.Split(sel, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	var out []runner.Spec
+	for _, s := range all {
+		if want[s.Name] {
+			out = append(out, s)
+			delete(want, s.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown, known []string
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		for _, s := range all {
+			known = append(known, s.Name)
+		}
+		return nil, fmt.Errorf("unknown experiment(s) %s; known: %s",
+			strings.Join(unknown, ","), strings.Join(known, " "))
+	}
+	return out, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcexperiments:", err)
-	os.Exit(1)
+// corpusBox lazily builds the shared identification corpus used by fig7,
+// fig9, fig11, and threshold. Errors are not cached: a transiently-failed
+// build (fault injection reaches chip construction reads) is retried on
+// the next experiment attempt.
+type corpusBox struct {
+	scale string
+	mu    sync.Mutex
+	c     *experiment.Corpus
+}
+
+func (b *corpusBox) get(rc *runner.RunContext) (*experiment.Corpus, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.c != nil {
+		return b.c, nil
+	}
+	params := experiment.DefaultCorpusParams()
+	if b.scale == "small" {
+		params = experiment.SmallCorpusParams()
+	}
+	rc.Printf("building %d-chip corpus (%d KB each)...\n",
+		params.Chips, params.Geometry.Bytes()/1024)
+	c, err := experiment.BuildCorpus(params)
+	if err != nil {
+		return nil, err
+	}
+	b.c = c
+	return c, nil
+}
+
+// specs is the experiment registry, in the order the original script ran
+// them. Each body reports through the RunContext so output and artifacts
+// stay attributable (and suppressible) per attempt.
+func specs(scale string, scattered bool) []runner.Spec {
+	small := scale == "small"
+	corpus := &corpusBox{scale: scale}
+	return []runner.Spec{
+		{Name: "fig5", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultFig5Params()
+			if small {
+				p = experiment.SmallFig5Params()
+			}
+			r, err := experiment.RunFig5(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			for name, data := range r.PGMs() {
+				if err := rc.WriteArtifact(name, data); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "fig7", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			c, err := corpus.get(rc)
+			if err != nil {
+				return err
+			}
+			r := experiment.RunFig7(c)
+			rc.Section(r.Render())
+			return rc.WriteArtifact("fig7.csv", []byte(r.CSV()))
+		}},
+		{Name: "fig8", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultFig8Params()
+			if small {
+				p = experiment.SmallFig8Params()
+			}
+			r, err := experiment.RunFig8(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return rc.WriteArtifact("fig8.csv", []byte(r.CSV()))
+		}},
+		{Name: "fig9", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			c, err := corpus.get(rc)
+			if err != nil {
+				return err
+			}
+			r := experiment.RunFig9(c)
+			rc.Section(r.Render())
+			return rc.WriteArtifact("fig9.csv", []byte(r.GroupedDistances.CSV()))
+		}},
+		{Name: "fig10", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultFig10Params()
+			if small {
+				p = experiment.SmallFig10Params()
+			}
+			r, err := experiment.RunFig10(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "fig11", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			c, err := corpus.get(rc)
+			if err != nil {
+				return err
+			}
+			r := experiment.RunFig11(c)
+			rc.Section(r.Render())
+			return rc.WriteArtifact("fig11.csv", []byte(r.GroupedDistances.CSV()))
+		}},
+		{Name: "threshold", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			c, err := corpus.get(rc)
+			if err != nil {
+				return err
+			}
+			r, err := experiment.RunThresholdSweep(c, experiment.DefaultThresholdSweep())
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "fig13", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultFig13Params()
+			switch scale {
+			case "small":
+				p = experiment.SmallFig13Params()
+			case "paper":
+				p = experiment.PaperScaleFig13Params()
+			}
+			p.Scattered = scattered
+			if scattered {
+				p.MinOverlap = 2
+			}
+			r, err := experiment.RunFig13(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return rc.WriteArtifact("fig13.csv", []byte(r.CSV()))
+		}},
+		{Name: "table1", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			r, err := experiment.RunTable1(experiment.DefaultTable1Params())
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "table2", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			r, err := experiment.RunTable2(experiment.DefaultTable2Params())
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "ddr2", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultDDR2Params()
+			if small {
+				p = experiment.SmallDDR2Params()
+			}
+			r, err := experiment.RunDDR2(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "defenses", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultDefensesParams()
+			if small {
+				p = experiment.SmallDefensesParams()
+			}
+			r, err := experiment.RunDefenses(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "errloc", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultErrLocParams()
+			if small {
+				p = experiment.SmallErrLocParams()
+			}
+			r, err := experiment.RunErrLoc(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "crossmech", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultCrossMechParams()
+			if small {
+				p = experiment.SmallCrossMechParams()
+			}
+			r, err := experiment.RunCrossMechanism(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "scramble", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultScrambleParams()
+			if small {
+				p = experiment.SmallScrambleParams()
+			}
+			r, err := experiment.RunScrambling(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "refreshschemes", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			r, err := experiment.RunRefreshSchemes(experiment.DefaultRefreshSchemesParams())
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "allocator", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultAllocatorParams()
+			if small {
+				p = experiment.SmallAllocatorParams()
+			}
+			r, err := experiment.RunAllocatorComparison(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "collisions", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultCollisionParams()
+			if small {
+				p = experiment.SmallCollisionParams()
+			}
+			r, err := experiment.RunCollisions(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "modelcheck", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			r, err := experiment.RunModelCheck(experiment.DefaultModelCheckParams())
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "energy", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultEnergyParams()
+			if small {
+				p = experiment.SmallEnergyParams()
+			}
+			r, err := experiment.RunEnergyPrivacy(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "apps", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultAppsParams()
+			if small {
+				p = experiment.SmallAppsParams()
+			}
+			r, err := experiment.RunApps(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "eccdefense", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultECCParams()
+			if small {
+				p = experiment.SmallECCParams()
+			}
+			r, err := experiment.RunECCDefense(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "coldboot", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			r, err := experiment.RunColdBoot(experiment.DefaultColdBootParams())
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
+		{Name: "ablations", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			r1, err := experiment.RunAblationHamming(10, 32768, 0xAB1)
+			if err != nil {
+				return err
+			}
+			rc.Section(r1.Render())
+			r2, err := experiment.RunAblationIntersect(21, 32768, 0xAB2)
+			if err != nil {
+				return err
+			}
+			rc.Section(r2.Render())
+			return nil
+		}},
+	}
 }

@@ -26,21 +26,33 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 0xC0FFEE, "chip seed (the silicon identity)")
-	out := flag.String("out", "results", "output directory")
-	small := flag.Bool("small", false, "profile an 8 KB window instead of the full 32 KB chip")
-	ddr2 := flag.Bool("ddr2", false, "profile the DDR2 preset instead of the KM41464A")
-	trials := flag.Int("trials", 10, "stability trials at 99% accuracy")
-	obsOpts := obs.AddFlags(flag.CommandLine)
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pcprofile:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the single exit path: every failure returns here so the deferred
+// obsFinish flushes -obs.trace/-obs.report output before the process dies.
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("pcprofile", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0xC0FFEE, "chip seed (the silicon identity)")
+	out := fs.String("out", "results", "output directory")
+	small := fs.Bool("small", false, "profile an 8 KB window instead of the full 32 KB chip")
+	ddr2 := fs.Bool("ddr2", false, "profile the DDR2 preset instead of the KM41464A")
+	trials := fs.Int("trials", 10, "stability trials at 99% accuracy")
+	obsOpts := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	obsFinish, err := obsOpts.Activate()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer func() {
-		if err := obsFinish(); err != nil {
-			fatal(err)
+		if ferr := obsFinish(); ferr != nil && err == nil {
+			err = ferr
 		}
 	}()
 
@@ -55,11 +67,11 @@ func main() {
 		}
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	chip, err := dram.NewChip(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	bits := cfg.Geometry.Bits()
 	fmt.Printf("profiling %d-byte chip (seed %#x)\n", cfg.Geometry.Bytes(), *seed)
@@ -70,7 +82,7 @@ func main() {
 	for _, temp := range []float64{40, 50, 60} {
 		chip.SetTemperature(temp)
 		if err := chip.Write(0, chip.WorstCaseData()); err != nil {
-			fatal(err)
+			return err
 		}
 		for f := 0.5; f <= 20; f *= 1.25 {
 			// Scale the interval with temperature so each curve spans the
@@ -80,25 +92,29 @@ func main() {
 			fmt.Fprintf(&curve, "%.0f,%.4f,%.6f\n", temp, iv, rate)
 		}
 	}
-	writeFile(*out, "decay_curve.csv", curve.String())
+	if err := writeFile(*out, "decay_curve.csv", curve.String()); err != nil {
+		return err
+	}
 
 	// Row lifetimes.
 	chip.SetTemperature(cfg.RefTempC)
 	ra, err := approx.NewRowAware(chip, 1.0)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var rows strings.Builder
 	rows.WriteString("row,first_failure_s\n")
 	for r := 0; r < cfg.Geometry.Rows; r++ {
 		fmt.Fprintf(&rows, "%d,%.4f\n", r, ra.RowInterval(r))
 	}
-	writeFile(*out, "row_lifetimes.csv", rows.String())
+	if err := writeFile(*out, "row_lifetimes.csv", rows.String()); err != nil {
+		return err
+	}
 
 	// Stability at 99%.
 	mem, err := approx.New(chip, 0.99)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var stab strings.Builder
 	stab.WriteString("trial,errors,stable_vs_first\n")
@@ -106,11 +122,11 @@ func main() {
 	for t := 0; t < *trials; t++ {
 		a, e, err := mem.WorstCaseOutput()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		es, err := fingerprint.ErrorString(a, e)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		overlap := 1.0
 		if first == nil {
@@ -120,8 +136,11 @@ func main() {
 		}
 		fmt.Fprintf(&stab, "%d,%d,%.4f\n", t, es.Count(), overlap)
 	}
-	writeFile(*out, "stability.csv", stab.String())
+	if err := writeFile(*out, "stability.csv", stab.String()); err != nil {
+		return err
+	}
 	fmt.Println("done")
+	return nil
 }
 
 // chipScale approximates the retention scaling at a temperature so the decay
@@ -134,15 +153,11 @@ func chipScale(tempC float64) float64 {
 	return scale
 }
 
-func writeFile(dir, name, content string) {
+func writeFile(dir, name, content string) error {
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcprofile:", err)
-	os.Exit(1)
+	return nil
 }

@@ -37,6 +37,7 @@ package dram
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"probablecause/internal/bitset"
 	"probablecause/internal/dist"
@@ -55,7 +56,38 @@ var (
 	cRefreshRows    = obs.C("dram.refresh.rows")
 	cRefreshWindows = obs.C("dram.refresh.windows")
 	cRefreshLost    = obs.C("dram.refresh.cells_lost")
+	cReadFaults     = obs.C("dram.read.faults")
 )
+
+// FaultHook models transient device faults: it is consulted at the top of
+// every Read and may fail the operation by returning an error (op is
+// "read", addr/n the requested range). The simulator's own physics never
+// fail a read — decay corrupts data, not transfers — but real capture rigs
+// do fail transiently (bus glitches, busy controllers), and the chaos
+// suite injects exactly that through internal/faults. Hook errors should
+// be transient-classified so retry policies recognize them.
+type FaultHook func(op string, addr, n int) error
+
+var defaultFaultHook struct {
+	mu   sync.Mutex
+	hook FaultHook
+}
+
+// SetDefaultFaultHook installs a fault hook inherited by every chip
+// created afterwards — the lever a binary uses to inject DRAM faults into
+// experiments that construct their own chips internally. A nil hook clears
+// it. Existing chips are unaffected.
+func SetDefaultFaultHook(h FaultHook) {
+	defaultFaultHook.mu.Lock()
+	defaultFaultHook.hook = h
+	defaultFaultHook.mu.Unlock()
+}
+
+func currentDefaultFaultHook() FaultHook {
+	defaultFaultHook.mu.Lock()
+	defer defaultFaultHook.mu.Unlock()
+	return defaultFaultHook.hook
+}
 
 // PageBytes is the smallest unit of contiguous memory the analysis manages,
 // matching the operating-system page the paper fingerprints (§4, fn. 1).
@@ -219,6 +251,8 @@ type Chip struct {
 	charged  *bitset.Set // capacitor currently charged (stored != default)
 	defaults *bitset.Set // per-cell default value
 	vrt      *bitset.Set // cells with variable retention time
+
+	fault FaultHook // transient read-fault injection; nil = no faults
 }
 
 // NewChip builds a chip. The retention map is derived deterministically from
@@ -238,6 +272,7 @@ func NewChip(cfg Config) (*Chip, error) {
 		charged:    bitset.New(n),
 		defaults:   bitset.New(n),
 		vrt:        bitset.New(n),
+		fault:      currentDefaultFaultHook(),
 	}
 	c.SetTemperature(cfg.RefTempC)
 	c.volts, c.voltScale = cfg.NominalVolts, 1
@@ -406,12 +441,25 @@ func (c *Chip) Write(addr int, data []byte) error {
 	return nil
 }
 
+// SetFaultHook installs (or, with nil, clears) this chip's fault hook.
+func (c *Chip) SetFaultHook(h FaultHook) { c.fault = h }
+
 // Read returns n bytes starting at byte address addr, evaluating decay at
 // the current clock. A charged cell that has outlived its retention reads as
-// its default value — the approximate output.
+// its default value — the approximate output. With a fault hook installed,
+// the read may instead fail with the hook's (transient) error before any
+// data moves.
 func (c *Chip) Read(addr, n int) ([]byte, error) {
 	if err := c.checkRange(addr, n); err != nil {
 		return nil, err
+	}
+	if c.fault != nil {
+		if err := c.fault("read", addr, n); err != nil {
+			if obs.On() {
+				cReadFaults.Inc()
+			}
+			return nil, fmt.Errorf("dram: read [%d,%d): %w", addr, addr+n, err)
+		}
 	}
 	out := make([]byte, n)
 	decayed := 0

@@ -1,0 +1,71 @@
+package dram
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+var errGlitch = errors.New("bus glitch")
+
+func TestReadFaultHookFailsThenRecovers(t *testing.T) {
+	chip, err := NewChip(KM41464A(0xFA017))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.Write(0, []byte{0xAB, 0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	chip.SetFaultHook(func(op string, addr, n int) error {
+		calls++
+		if op != "read" {
+			t.Fatalf("unexpected op %q", op)
+		}
+		if calls == 1 {
+			return errGlitch
+		}
+		return nil
+	})
+	if _, err := chip.Read(0, 2); !errors.Is(err, errGlitch) {
+		t.Fatalf("first read: got %v, want the hook's error", err)
+	}
+	// The failed read moved no data and no time: the retry is exact.
+	got, err := chip.Read(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB || got[1] != 0xCD {
+		t.Fatalf("retried read returned %x", got)
+	}
+	chip.SetFaultHook(nil)
+	if _, err := chip.Read(0, 2); err != nil {
+		t.Fatalf("cleared hook still fires: %v", err)
+	}
+}
+
+func TestDefaultFaultHookInheritedAtConstruction(t *testing.T) {
+	SetDefaultFaultHook(func(op string, addr, n int) error {
+		return fmt.Errorf("default hook")
+	})
+	defer SetDefaultFaultHook(nil)
+	faulty, err := NewChip(KM41464A(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.Read(0, 1); err == nil {
+		t.Fatal("chip did not inherit the default hook")
+	}
+	SetDefaultFaultHook(nil)
+	clean, err := NewChip(KM41464A(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Read(0, 1); err != nil {
+		t.Fatalf("chip built after clearing still faults: %v", err)
+	}
+	// Clearing the default never reaches back into existing chips.
+	if _, err := faulty.Read(0, 1); err == nil {
+		t.Fatal("existing chip lost its hook when the default was cleared")
+	}
+}

@@ -1,0 +1,269 @@
+// Package faults is the deterministic fault-injection substrate behind the
+// repository's chaos testing. Probable Cause's core claim is that
+// fingerprints survive noise (§4–5): identification works on outputs that
+// are error-ridden, partial, and adversarially scrambled. The pipeline that
+// reproduces that claim must therefore itself survive noise — malformed
+// sample lines, corrupted captures, flaky storage, slow devices — without
+// panicking or silently producing wrong answers.
+//
+// The package provides composable, seeded fault plans. A Plan declares the
+// fault mix (what kinds, at what rates); an Injector executes the plan
+// against a deterministic pseudo-random decision stream, so a chaos run is
+// exactly reproducible from its seed. Faults fall into two classes:
+//
+//   - Data corruption: sample bit flips, dropped and duplicated pages
+//     (CorruptSample), and JSON-line mangling — truncation, garbage bytes,
+//     wrong-shape JSON (CorruptLine, CorruptJSONLines). These model a
+//     scraper emitting damaged captures; the pipeline must skip or sanitize
+//     them (samplefile lenient mode, stitch outlier rejection).
+//   - Transient operational faults: injected I/O errors from wrapped
+//     io.Reader/io.Writer values, injected latency, and transient DRAM read
+//     faults via ChipHook. These model flaky storage and busy devices; the
+//     pipeline must classify them as retryable (IsTransient) and retry with
+//     backoff (internal/runner).
+//
+// Every injected fault is counted through the internal/obs registry under
+// faults.injected.* so chaos runs can assert exactly what was exercised.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"probablecause/internal/obs"
+	"probablecause/internal/prng"
+)
+
+// Fault-injection metrics: one counter per fault kind, so a chaos run can
+// assert from an -obs.report snapshot exactly which faults fired.
+var (
+	cBitFlip  = obs.C("faults.injected.bitflip")
+	cDropPage = obs.C("faults.injected.droppage")
+	cDupPage  = obs.C("faults.injected.duppage")
+	cLine     = obs.C("faults.injected.line")
+	cReadErr  = obs.C("faults.injected.readerr")
+	cWriteErr = obs.C("faults.injected.writeerr")
+	cDRAMErr  = obs.C("faults.injected.dram")
+	cLatency  = obs.C("faults.injected.latency")
+)
+
+// ErrInjected is the root cause of every operational fault this package
+// injects. It is always wrapped in a transient marker, so
+// IsTransient(err) is true for any error originating here.
+var ErrInjected = errors.New("faults: injected fault")
+
+// transientError marks an error as fault-classified-transient: the
+// operation failed for a reason that a retry may not reproduce (flaky I/O,
+// busy device, injected chaos). The runner's retry policy keys off this
+// classification via IsTransient.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports true for it. A nil err returns
+// nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was classified
+// transient. Non-transient failures — malformed input, invalid parameters,
+// logic errors — must not be retried: they will fail identically forever.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Plan declares a fault mix. All rates are probabilities in [0,1] evaluated
+// independently per opportunity (per page, per line, per I/O call, per DRAM
+// read). The zero Plan injects nothing.
+type Plan struct {
+	// Seed drives the deterministic decision stream; two injectors built
+	// from identical plans corrupt identically.
+	Seed uint64
+
+	// BitFlip is the per-page probability that a page's fingerprint gets
+	// error bits flipped: some true positions removed, some spurious
+	// positions added (possibly out of page range — the sanitizer's job).
+	BitFlip float64
+	// DropPage is the per-page probability the page is lost (replaced by an
+	// empty observation).
+	DropPage float64
+	// DupPage is the per-page probability the page is overwritten with a
+	// duplicate of the preceding page — a torn or repeated capture.
+	DupPage float64
+	// Line is the per-line probability that an encoded JSON sample line is
+	// mangled (truncated, overwritten with garbage, or replaced by JSON of
+	// the wrong shape).
+	Line float64
+	// ReadErr / WriteErr are the per-call probabilities that a wrapped
+	// Reader/Writer returns a transient error instead of performing the
+	// operation.
+	ReadErr  float64
+	WriteErr float64
+	// DRAM is the per-Read probability that a chip fault hook built with
+	// ChipHook fails the read with a transient error.
+	DRAM float64
+	// Latency is sleep injected into every wrapped I/O call and every DRAM
+	// hook invocation, modelling slow devices. Zero injects none.
+	Latency time.Duration
+}
+
+// planFields maps spec keys to rate fields, shared by ParsePlan and String.
+var planFields = []struct {
+	key string
+	get func(*Plan) *float64
+}{
+	{"bitflip", func(p *Plan) *float64 { return &p.BitFlip }},
+	{"drop", func(p *Plan) *float64 { return &p.DropPage }},
+	{"dup", func(p *Plan) *float64 { return &p.DupPage }},
+	{"line", func(p *Plan) *float64 { return &p.Line }},
+	{"readerr", func(p *Plan) *float64 { return &p.ReadErr }},
+	{"writeerr", func(p *Plan) *float64 { return &p.WriteErr }},
+	{"dram", func(p *Plan) *float64 { return &p.DRAM }},
+}
+
+// ParsePlan parses a comma-separated fault spec, e.g.
+//
+//	bitflip=0.01,drop=0.005,dup=0.002,line=0.01,readerr=0.001,dram=0.0005,latency=1ms
+//
+// Recognized keys: bitflip, drop, dup, line, readerr, writeerr, dram
+// (rates in [0,1]) and latency (a time.Duration). An empty spec is the zero
+// plan.
+func ParsePlan(spec string, seed uint64) (Plan, error) {
+	p := Plan{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: spec entry %q is not key=value", part)
+		}
+		if key == "latency" {
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Plan{}, fmt.Errorf("faults: bad latency %q", val)
+			}
+			p.Latency = d
+			continue
+		}
+		rate, err := strconv.ParseFloat(val, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return Plan{}, fmt.Errorf("faults: rate %q for %s outside [0,1]", val, key)
+		}
+		found := false
+		for _, f := range planFields {
+			if f.key == key {
+				*f.get(&p) = rate
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Plan{}, fmt.Errorf("faults: unknown fault kind %q", key)
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan in ParsePlan syntax (active faults only).
+func (p Plan) String() string {
+	var parts []string
+	for _, f := range planFields {
+		if r := *f.get(&p); r > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", f.key, r))
+		}
+	}
+	if p.Latency > 0 {
+		parts = append(parts, "latency="+p.Latency.String())
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p Plan) Active() bool {
+	for _, f := range planFields {
+		if *f.get(&p) > 0 {
+			return true
+		}
+	}
+	return p.Latency > 0
+}
+
+// Injector executes a Plan against a deterministic decision stream. Each
+// fault decision consumes one draw from a counter-mode PRF over the plan
+// seed, so the full fault sequence is a pure function of (Plan, call
+// order). The counter is atomic: concurrent use is safe, though then the
+// interleaving — and hence exact fault placement — follows the runtime
+// schedule rather than program order.
+type Injector struct {
+	plan Plan
+	n    atomic.Uint64
+	// sleep is swapped out by tests so latency plans don't slow the suite.
+	sleep func(time.Duration)
+}
+
+// NewInjector returns an injector for the plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan, sleep: time.Sleep}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// draw returns the next uniform [0,1) decision variate.
+func (in *Injector) draw() float64 {
+	return prng.Uniform01(prng.Hash(in.plan.Seed, in.n.Add(1)))
+}
+
+// draw2 returns the next decision variate plus a raw hash for shaping the
+// fault (which bits to flip, where to truncate) without burning a second
+// decision draw.
+func (in *Injector) draw2() (float64, uint64) {
+	n := in.n.Add(1)
+	return prng.Uniform01(prng.Hash(in.plan.Seed, n)), prng.Hash(in.plan.Seed, n, 0x5A17)
+}
+
+// Decisions returns how many fault decisions the injector has made — a
+// cheap way for tests to assert determinism (equal plans + equal call
+// sequences ⇒ equal decision counts and outcomes).
+func (in *Injector) Decisions() uint64 { return in.n.Load() }
+
+// lag injects the plan's latency, if any.
+func (in *Injector) lag() {
+	if in.plan.Latency > 0 {
+		if obs.On() {
+			cLatency.Inc()
+		}
+		in.sleep(in.plan.Latency)
+	}
+}
+
+// sortedU32 sorts positions in place and returns them (helper for fault
+// shaping, which must emit the samplefile's ascending-position encoding).
+func sortedU32(v []uint32) []uint32 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v
+}
+
+// cOn aliases obs.On for the fault sites.
+func cOn() bool { return obs.On() }
+
+// errInjectedOp builds the ErrInjected-rooted cause for an operational
+// fault, naming the operation that was failed.
+func errInjectedOp(op string) error {
+	return fmt.Errorf("%w: %s", ErrInjected, op)
+}

@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/stitch"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "bitflip=0.01,drop=0.005,dup=0.002,line=0.1,readerr=0.001,writeerr=0.002,dram=0.0005,latency=1ms"
+	p, err := ParsePlan(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitFlip != 0.01 || p.DropPage != 0.005 || p.DupPage != 0.002 ||
+		p.Line != 0.1 || p.ReadErr != 0.001 || p.WriteErr != 0.002 ||
+		p.DRAM != 0.0005 || p.Latency != time.Millisecond {
+		t.Fatalf("parsed plan %+v does not match spec", p)
+	}
+	if !p.Active() {
+		t.Fatal("plan with rates should be active")
+	}
+	reparsed, err := ParsePlan(p.String(), 42)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if reparsed != p {
+		t.Fatalf("round trip mismatch: %+v vs %+v", reparsed, p)
+	}
+}
+
+func TestParsePlanRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"bogus=0.1", "bitflip=2", "bitflip=-1", "bitflip", "latency=-1s", "latency=xyz"} {
+		if _, err := ParsePlan(spec, 1); err == nil {
+			t.Errorf("spec %q: expected error", spec)
+		}
+	}
+	p, err := ParsePlan("", 1)
+	if err != nil || p.Active() {
+		t.Fatalf("empty spec should give inactive plan, got %+v, %v", p, err)
+	}
+	if got := p.String(); got != "none" {
+		t.Fatalf("inactive plan renders %q", got)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("disk on fire")
+	if IsTransient(base) {
+		t.Fatal("plain error must not be transient")
+	}
+	tr := Transient(base)
+	if !IsTransient(tr) {
+		t.Fatal("Transient(err) must be transient")
+	}
+	if !errors.Is(tr, base) {
+		t.Fatal("transient wrapper must preserve the cause chain")
+	}
+	// Classification survives further wrapping, as errors cross package
+	// boundaries with fmt.Errorf("...: %w", err).
+	wrapped := fmt.Errorf("samplefile: line 3: %w", tr)
+	if !IsTransient(wrapped) {
+		t.Fatal("transient classification lost through wrapping")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) must be nil")
+	}
+}
+
+func testSample(pages, bitsPerPage int) stitch.Sample {
+	s := stitch.Sample{Pages: make([]bitset.Sparse, pages)}
+	for i := range s.Pages {
+		pos := make([]uint32, 0, bitsPerPage)
+		for k := 0; k < bitsPerPage; k++ {
+			pos = append(pos, uint32(7*i+97*k)%32768)
+		}
+		s.Pages[i] = bitset.NewSparse(pos)
+	}
+	return s
+}
+
+func TestCorruptSampleDeterministic(t *testing.T) {
+	plan := Plan{Seed: 0xC4A05, BitFlip: 0.3, DropPage: 0.2, DupPage: 0.2}
+	s := testSample(64, 40)
+	a, na := NewInjector(plan).CorruptSample(s, 32768)
+	b, nb := NewInjector(plan).CorruptSample(s, 32768)
+	if na != nb {
+		t.Fatalf("fault counts differ: %d vs %d", na, nb)
+	}
+	if na == 0 {
+		t.Fatal("expected faults at these rates")
+	}
+	for i := range a.Pages {
+		if !a.Pages[i].Equal(b.Pages[i]) {
+			t.Fatalf("page %d differs between identically-seeded runs", i)
+		}
+	}
+	// The input must never be mutated.
+	orig := testSample(64, 40)
+	for i := range s.Pages {
+		if !s.Pages[i].Equal(orig.Pages[i]) {
+			t.Fatalf("CorruptSample mutated its input at page %d", i)
+		}
+	}
+	// A different seed must corrupt differently.
+	c, _ := NewInjector(Plan{Seed: 0x0DD, BitFlip: 0.3, DropPage: 0.2, DupPage: 0.2}).CorruptSample(s, 32768)
+	same := true
+	for i := range a.Pages {
+		if !a.Pages[i].Equal(c.Pages[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestCorruptSampleRateExtremes(t *testing.T) {
+	s := testSample(32, 20)
+	if _, n := NewInjector(Plan{Seed: 1}).CorruptSample(s, 32768); n != 0 {
+		t.Fatalf("zero plan faulted %d pages", n)
+	}
+	got, n := NewInjector(Plan{Seed: 1, DropPage: 1}).CorruptSample(s, 32768)
+	if n != len(s.Pages) {
+		t.Fatalf("drop=1 faulted %d of %d pages", n, len(s.Pages))
+	}
+	for i, p := range got.Pages {
+		if p.Card() != 0 {
+			t.Fatalf("page %d not dropped", i)
+		}
+	}
+}
+
+func TestCorruptLineProducesRejectableLines(t *testing.T) {
+	in := NewInjector(Plan{Seed: 0x11E, Line: 1})
+	line := []byte(`[[1,2,3],[4,5],[6]]`)
+	sawMode := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		out, hit := in.CorruptLine(line)
+		if !hit {
+			t.Fatal("line=1 must corrupt every line")
+		}
+		if bytes.Equal(out, line) {
+			t.Fatal("corrupted line identical to input")
+		}
+		var pages [][]uint32
+		if json.Unmarshal(out, &pages) == nil {
+			t.Fatalf("corrupted line still parses as a sample: %q", out)
+		}
+		if json.Valid(out) {
+			sawMode["wrongshape"] = true
+		} else if out[0] == '[' {
+			sawMode["truncate"] = true
+		} else {
+			sawMode["garbage"] = true
+		}
+	}
+	for _, m := range []string{"truncate", "garbage", "wrongshape"} {
+		if !sawMode[m] {
+			t.Errorf("corruption mode %s never exercised", m)
+		}
+	}
+}
+
+func TestCorruptJSONLinesCountsAndPreservesSurvivors(t *testing.T) {
+	doc := []byte("[[1,2]]\n[[3]]\n\n[[4,5,6]]\n")
+	in := NewInjector(Plan{Seed: 9, Line: 0})
+	out, n := in.CorruptJSONLines(doc)
+	if n != 0 || !bytes.Equal(out, doc) {
+		t.Fatalf("zero-rate corruption changed the document (%d lines)", n)
+	}
+	out, n = NewInjector(Plan{Seed: 9, Line: 1}).CorruptJSONLines(doc)
+	if n != 3 {
+		t.Fatalf("line=1 corrupted %d of 3 non-blank lines", n)
+	}
+	if lines := bytes.Count(out, []byte("\n")); lines != bytes.Count(doc, []byte("\n")) {
+		t.Fatalf("corruption changed the line structure: %d newlines", lines)
+	}
+}
+
+func TestFlakyReaderAndWriter(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, ReadErr: 1, WriteErr: 1})
+	if _, err := in.Reader(strings.NewReader("data")).Read(make([]byte, 4)); !IsTransient(err) {
+		t.Fatalf("readerr=1: got %v, want transient", err)
+	}
+	if _, err := in.Writer(io.Discard).Write([]byte("data")); !IsTransient(err) {
+		t.Fatalf("writeerr=1: got %v, want transient", err)
+	}
+
+	// At rate 0 the stream must be byte-identical.
+	clean := NewInjector(Plan{Seed: 3})
+	got, err := io.ReadAll(clean.Reader(strings.NewReader("hello world")))
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("clean read: %q, %v", got, err)
+	}
+	var buf bytes.Buffer
+	if _, err := clean.Writer(&buf).Write([]byte("hello")); err != nil || buf.String() != "hello" {
+		t.Fatalf("clean write: %q, %v", buf.String(), err)
+	}
+}
+
+func TestChipHookTransientAndLatency(t *testing.T) {
+	slept := 0
+	in := NewInjector(Plan{Seed: 5, DRAM: 1, Latency: time.Microsecond})
+	in.sleep = func(time.Duration) { slept++ }
+	hook := in.ChipHook()
+	err := hook("read", 0, 64)
+	if !IsTransient(err) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("dram=1 hook returned %v", err)
+	}
+	if slept != 1 {
+		t.Fatalf("latency injected %d times, want 1", slept)
+	}
+	ok := NewInjector(Plan{Seed: 5}).ChipHook()
+	if err := ok("read", 0, 64); err != nil {
+		t.Fatalf("zero plan hook returned %v", err)
+	}
+}

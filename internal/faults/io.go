@@ -1,0 +1,53 @@
+package faults
+
+import "io"
+
+// Reader wraps r so that every Read first pays the plan's latency and may
+// fail with a transient injected error at the plan's ReadErr rate. The
+// wrapped stream is otherwise byte-identical: a failed call consumes no
+// input, so a caller that retries (or a scanner whose owner retries the
+// whole open) sees exactly the underlying data.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	return &flakyReader{r: r, in: in}
+}
+
+type flakyReader struct {
+	r  io.Reader
+	in *Injector
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	f.in.lag()
+	if f.in.hit(f.in.plan.ReadErr) {
+		if cOn() {
+			cReadErr.Inc()
+		}
+		return 0, Transient(errInjectedOp("read"))
+	}
+	return f.r.Read(p)
+}
+
+// Writer wraps w symmetrically to Reader: per-call latency plus transient
+// failures at the WriteErr rate. A failed call writes nothing (the fault
+// fires before the underlying write), modelling an atomic-at-the-syscall
+// flaky disk rather than a torn write; torn data is the job of the
+// line-corruption faults.
+func (in *Injector) Writer(w io.Writer) io.Writer {
+	return &flakyWriter{w: w, in: in}
+}
+
+type flakyWriter struct {
+	w  io.Writer
+	in *Injector
+}
+
+func (f *flakyWriter) Write(p []byte) (int, error) {
+	f.in.lag()
+	if f.in.hit(f.in.plan.WriteErr) {
+		if cOn() {
+			cWriteErr.Inc()
+		}
+		return 0, Transient(errInjectedOp("write"))
+	}
+	return f.w.Write(p)
+}

@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"bytes"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/stitch"
+)
+
+// CorruptSample applies the plan's page-level data faults to a sample and
+// returns the corrupted copy (the input is never mutated) plus the number
+// of pages faulted. pageBits bounds the spurious positions a bit-flip fault
+// may invent; flipped positions are drawn from [0, 2·pageBits) so roughly
+// half the invented positions fall outside the page — exactly the
+// corruption the stitcher's MaxBitPos sanitizer exists to reject.
+func (in *Injector) CorruptSample(s stitch.Sample, pageBits int) (stitch.Sample, int) {
+	if pageBits <= 0 {
+		pageBits = 1
+	}
+	out := stitch.Sample{Pages: make([]bitset.Sparse, len(s.Pages))}
+	faulted := 0
+	for i, p := range s.Pages {
+		out.Pages[i] = p
+		switch {
+		case in.hit(in.plan.DropPage):
+			out.Pages[i] = nil
+			faulted++
+			if cOn() {
+				cDropPage.Inc()
+			}
+		case i > 0 && in.hit(in.plan.DupPage):
+			out.Pages[i] = out.Pages[i-1].Clone()
+			faulted++
+			if cOn() {
+				cDupPage.Inc()
+			}
+		default:
+			if u, h := in.draw2(); u < in.plan.BitFlip {
+				out.Pages[i] = flipBits(p, pageBits, h)
+				faulted++
+				if cOn() {
+					cBitFlip.Inc()
+				}
+			}
+		}
+	}
+	return out, faulted
+}
+
+// hit burns one decision draw against rate.
+func (in *Injector) hit(rate float64) bool {
+	if rate <= 0 {
+		// Still burn the draw so the number of draws per opportunity does
+		// not depend on which rates are enabled; disabling one fault kind
+		// leaves the others' decision variates in place.
+		in.n.Add(1)
+		return false
+	}
+	return in.draw() < rate
+}
+
+// flipBits corrupts a page fingerprint: it removes roughly a third of the
+// true positions and invents the same number of spurious ones (drawn from
+// [0, 2·pageBits), i.e. half plausible, half out of range), plus a burst of
+// extra noise positions so corrupted pages are also density outliers.
+func flipBits(p bitset.Sparse, pageBits int, h uint64) bitset.Sparse {
+	burst := 8 + int(h%8)
+	out := make([]uint32, 0, len(p)+burst)
+	st := h
+	for _, pos := range p {
+		if splitDraw(&st)%3 == 0 {
+			continue // drop this true position
+		}
+		out = append(out, pos)
+	}
+	invented := len(p)/3 + burst
+	for k := 0; k < invented; k++ {
+		out = append(out, uint32(splitDraw(&st)%uint64(2*pageBits)))
+	}
+	return bitset.NewSparse(sortedU32(out))
+}
+
+// splitDraw is a tiny SplitMix64 step for fault shaping.
+func splitDraw(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// CorruptLine applies the plan's line fault to one encoded JSON sample line
+// (without its trailing newline). It returns the possibly-mangled line and
+// whether a fault fired. The three corruption modes cover the malformed
+// inputs a scraper realistically emits: a truncated line (partial write), a
+// line of non-JSON garbage, and well-formed JSON of the wrong shape.
+func (in *Injector) CorruptLine(line []byte) ([]byte, bool) {
+	u, h := in.draw2()
+	if in.plan.Line <= 0 || u >= in.plan.Line {
+		return line, false
+	}
+	if cOn() {
+		cLine.Inc()
+	}
+	switch h % 3 {
+	case 0: // truncate to a proper prefix (an unclosed JSON array)
+		cut := 1 + int(h>>2)%maxInt(len(line)-1, 1)
+		return line[:cut:cut], true
+	case 1: // non-JSON garbage bytes
+		g := make([]byte, 8+h%24)
+		st := h
+		for i := range g {
+			g[i] = byte(0x80 | splitDraw(&st)&0x7F) // high bit set: never valid JSON
+		}
+		return g, true
+	default: // valid JSON, wrong shape
+		return []byte(`{"pages":"corrupt"}`), true
+	}
+}
+
+// CorruptJSONLines applies CorruptLine to every line of a JSON-lines
+// document, returning the corrupted document and how many lines were
+// mangled. Blank lines are passed through without burning a decision, so
+// line numbering of faults matches sample numbering.
+func (in *Injector) CorruptJSONLines(doc []byte) ([]byte, int) {
+	lines := bytes.Split(doc, []byte("\n"))
+	corrupted := 0
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		out, hit := in.CorruptLine(line)
+		if hit {
+			lines[i] = out
+			corrupted++
+		}
+	}
+	return bytes.Join(lines, []byte("\n")), corrupted
+}
+
+// ChipHook returns a dram fault hook implementing the plan's transient DRAM
+// read faults and latency; install it with (*dram.Chip).SetFaultHook or
+// dram.SetDefaultFaultHook. The hook's error is transient: a retried read
+// advances the decision stream and will (at any realistic rate) succeed.
+func (in *Injector) ChipHook() func(op string, addr, n int) error {
+	return func(op string, addr, n int) error {
+		in.lag()
+		if in.hit(in.plan.DRAM) {
+			if cOn() {
+				cDRAMErr.Inc()
+			}
+			return Transient(errInjectedOp("dram " + op))
+		}
+		return nil
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,354 @@
+// Chaos suite: drives every fault kind the substrate can inject through the
+// full pipeline — generate → corrupt → ingest → stitch, all under the
+// resilient runner — and asserts the hardening invariants: nothing panics,
+// accuracy degrades boundedly, transient faults are retried away, and a
+// killed run resumes to byte-identical artifacts. Every seed is fixed, so
+// each run replays the exact same fault sequence.
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probablecause/internal/dram"
+	"probablecause/internal/drammodel"
+	"probablecause/internal/faults"
+	"probablecause/internal/obs"
+	"probablecause/internal/osmodel"
+	"probablecause/internal/samplefile"
+	"probablecause/internal/stitch"
+	"probablecause/internal/workload"
+)
+
+// chaosMatrix is the documented fault matrix: one configured rate per fault
+// kind. The data-corruption rates (bitflip, drop, dup, line) are high enough
+// that a brittle pipeline dies on a 200-sample corpus; the transient rates
+// (readerr, dram) are high enough that a run without retries cannot finish.
+var chaosMatrix = faults.Plan{
+	Seed:     0xC4A05,
+	BitFlip:  0.03, // pages with flipped/invented fingerprint bits
+	DropPage: 0.01, // pages silently missing from a sample
+	DupPage:  0.01, // pages duplicated from their neighbor
+	Line:     0.05, // JSON lines truncated or filled with garbage
+	ReadErr:  0.20, // transient I/O faults per read call
+	DRAM:     0.10, // transient silicon faults per chip access
+}
+
+// chaosCorpus publishes n deterministic victim outputs: 8-page samples from
+// a 512-page memory at 1% approximation error.
+func chaosCorpus(t *testing.T, n int) []stitch.Sample {
+	t.Helper()
+	mem, err := osmodel.NewMemory(512, 0xA11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewSampleSource(drammodel.New(0x5EED), mem, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]stitch.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		s, _, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+// TestChaosLenientIngestionRecoversWellFormedLines corrupts the encoded
+// corpus at the matrix line rate and asserts lenient ingestion recovers
+// exactly the well-formed remainder, with the skips visible through obs.
+func TestChaosLenientIngestionRecoversWellFormedLines(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	skippedBefore := obs.C("samplefile.lines.skipped").Value()
+
+	samples := chaosCorpus(t, 200)
+	var buf bytes.Buffer
+	if err := samplefile.Write(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(chaosMatrix)
+	doc, mangled := inj.CorruptJSONLines(buf.Bytes())
+	if mangled == 0 {
+		t.Fatal("fault matrix mangled no lines; the chaos run is vacuous")
+	}
+
+	recovered, skipped, err := samplefile.ReadAllLenient(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("lenient ingestion failed outright: %v", err)
+	}
+	if skipped != mangled {
+		t.Fatalf("skipped %d lines, injector mangled %d", skipped, mangled)
+	}
+	if len(recovered) != len(samples)-mangled {
+		t.Fatalf("recovered %d samples, want %d", len(recovered), len(samples)-mangled)
+	}
+	if got := obs.C("samplefile.lines.skipped").Value() - skippedBefore; got != int64(mangled) {
+		t.Fatalf("obs counted %d skips, want %d", got, mangled)
+	}
+}
+
+// TestChaosBoundedStitchDegradation runs the stitching attack over a corpus
+// corrupted at the matrix page rates and asserts the sanitizers keep the
+// damage bounded: nearly every sample is still absorbed and the cluster
+// count does not explode relative to the clean run.
+func TestChaosBoundedStitchDegradation(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	flipsBefore := obs.C("faults.injected.bitflip").Value()
+
+	samples := chaosCorpus(t, 150)
+	clean, err := stitch.New(stitch.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if _, err := clean.Add(s); err != nil {
+			t.Fatalf("clean corpus rejected: %v", err)
+		}
+	}
+
+	inj := faults.NewInjector(chaosMatrix)
+	hard, err := stitch.New(stitch.Config{MaxBitPos: dram.PageBits, OutlierFactor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptPages, rejectedSamples := 0, 0
+	for _, s := range samples {
+		cs, n := inj.CorruptSample(s, dram.PageBits)
+		corruptPages += n
+		if _, err := hard.Add(cs); err != nil {
+			if errors.Is(err, stitch.ErrSampleRejected) {
+				rejectedSamples++
+				continue
+			}
+			t.Fatalf("non-rejection error from hardened stitcher: %v", err)
+		}
+	}
+	if corruptPages == 0 {
+		t.Fatal("fault matrix corrupted no pages; the chaos run is vacuous")
+	}
+	if obs.C("faults.injected.bitflip").Value() == flipsBefore {
+		t.Fatal("bitflip injections not counted through obs")
+	}
+
+	// Bounded degradation: ≥90% of samples absorbed, and fragmentation from
+	// lost overlaps stays within 2× the clean cluster count (plus slack for
+	// the handful of fully-rejected samples).
+	absorbed := len(samples) - rejectedSamples
+	if absorbed < len(samples)*9/10 {
+		t.Fatalf("only %d/%d corrupted samples absorbed", absorbed, len(samples))
+	}
+	if hard.Count() > 2*clean.Count()+5 {
+		t.Fatalf("degradation unbounded: %d clusters vs %d clean", hard.Count(), clean.Count())
+	}
+	t.Logf("clean=%d clusters; faulted=%d clusters, %d pages corrupted, %d pages rejected, %d samples rejected",
+		clean.Count(), hard.Count(), corruptPages, hard.RejectedPages(), rejectedSamples)
+}
+
+// TestChaosRunnerAbsorbsTransientFaults runs a suite whose experiments hit
+// transient I/O and DRAM faults at the matrix rates and asserts the runner's
+// retry loop absorbs every one of them.
+func TestChaosRunnerAbsorbsTransientFaults(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	retriesBefore := obs.C("runner.retries").Value()
+
+	samples := chaosCorpus(t, 40)
+	var doc bytes.Buffer
+	if err := samplefile.Write(&doc, samples); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each injector lives outside its spec body, so retries advance the
+	// fault sequence instead of replaying the same failure forever.
+	ioInj := faults.NewInjector(faults.Plan{Seed: chaosMatrix.Seed, ReadErr: chaosMatrix.ReadErr})
+	dramInj := faults.NewInjector(faults.Plan{Seed: chaosMatrix.Seed ^ 1, DRAM: chaosMatrix.DRAM})
+	chip, err := dram.NewChip(dram.KM41464A(0xFA057))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.SetFaultHook(dramInj.ChipHook())
+
+	specs := []Spec{
+		{Name: "flaky-ingest", Run: func(ctx context.Context, rc *RunContext) error {
+			got, err := samplefile.ReadAll(ioInj.Reader(bytes.NewReader(doc.Bytes())))
+			if err != nil {
+				return err
+			}
+			rc.Printf("read %d samples", len(got))
+			return nil
+		}},
+		{Name: "flaky-chip", Run: func(ctx context.Context, rc *RunContext) error {
+			for addr := 0; addr < 64; addr += 16 {
+				if _, err := chip.Read(addr, 16); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	cfg := fastConfig(t)
+	cfg.Retries = 25
+	sum, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatalf("suite failed under transient faults: %v", err)
+	}
+	done, failed, _ := sum.Counts()
+	if done != len(specs) || failed != 0 {
+		t.Fatalf("done=%d failed=%d, want all %d done", done, failed, len(specs))
+	}
+	attempts := 0
+	for _, r := range sum.Results {
+		attempts += r.Attempts
+	}
+	if attempts <= len(specs) {
+		t.Fatal("no retries happened; the transient rates did not bite")
+	}
+	if obs.C("runner.retries").Value() == retriesBefore {
+		t.Fatal("retries not counted through obs")
+	}
+}
+
+// chaosSpecs builds the resumable workload: each experiment stitches its own
+// slice of the corpus and writes the cluster report as an artifact. The
+// artifact bytes are a pure function of the (fixed-seed) corpus, so any two
+// completions of the same experiment must agree byte-for-byte.
+func chaosSpecs(t *testing.T, samples []stitch.Sample, names []string, after func(name string)) []Spec {
+	t.Helper()
+	per := len(samples) / len(names)
+	specs := make([]Spec, len(names))
+	for i, name := range names {
+		i, name := i, name
+		specs[i] = Spec{Name: name, Run: func(ctx context.Context, rc *RunContext) error {
+			st, err := stitch.New(stitch.Config{MaxBitPos: dram.PageBits, OutlierFactor: 8})
+			if err != nil {
+				return err
+			}
+			for _, s := range samples[i*per : (i+1)*per] {
+				if _, err := st.Add(s); err != nil && !errors.Is(err, stitch.ErrSampleRejected) {
+					return err
+				}
+			}
+			report := fmt.Sprintf("experiment,%s\nclusters,%d\npages,%d\n", name, st.Count(), st.CoveredPages())
+			if err := rc.WriteArtifact(name+".csv", []byte(report)); err != nil {
+				return err
+			}
+			if after != nil {
+				after(name)
+			}
+			return nil
+		}}
+	}
+	return specs
+}
+
+// TestChaosKillResumeProducesIdenticalArtifacts kills a suite mid-run, then
+// resumes it, asserting the resume executes only the incomplete experiments
+// and that every artifact is byte-identical to an uninterrupted run.
+func TestChaosKillResumeProducesIdenticalArtifacts(t *testing.T) {
+	samples := chaosCorpus(t, 120)
+	names := []string{"alpha", "bravo", "charlie", "delta"}
+
+	// Reference: an uninterrupted run.
+	refCfg := fastConfig(t)
+	if _, err := Run(context.Background(), refCfg, chaosSpecs(t, samples, names, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos run: the plug is pulled while "charlie" is executing, so alpha
+	// and bravo are checkpointed, charlie dies mid-flight, delta never runs.
+	cfg := fastConfig(t)
+	cfg.Resume = true
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killed := chaosSpecs(t, samples, names, nil)
+	killed[2].Run = func(ctx context.Context, rc *RunContext) error {
+		cancel()
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	sum, err := Run(ctx, cfg, killed)
+	if err == nil {
+		t.Fatal("killed run reported success")
+	}
+	if done, _, _ := sum.Counts(); done != 2 {
+		t.Fatalf("killed run completed %d experiments, want 2", done)
+	}
+
+	// Resume: only charlie and delta may execute.
+	var executed []string
+	sum, err = Run(context.Background(), cfg, chaosSpecs(t, samples, names, func(name string) {
+		executed = append(executed, name)
+	}))
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if got := strings.Join(executed, ","); got != "charlie,delta" {
+		t.Fatalf("resume executed %q, want only the incomplete experiments", got)
+	}
+	done, failed, skipped := sum.Counts()
+	if done != 2 || failed != 0 || skipped != 2 {
+		t.Fatalf("resume counts done=%d failed=%d skipped=%d", done, failed, skipped)
+	}
+
+	// Every artifact must match the uninterrupted reference byte-for-byte.
+	for _, name := range names {
+		want := readArtifact(t, refCfg.OutDir, name+".csv")
+		got := readArtifact(t, cfg.OutDir, name+".csv")
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s.csv diverged after kill+resume:\nref: %q\ngot: %q", name, want, got)
+		}
+	}
+}
+
+// readArtifact loads one artifact from a run's output directory.
+func readArtifact(t *testing.T, dir, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosPanicsStayContained injects a panicking experiment between
+// healthy ones and asserts the suite neither dies nor loses the rest.
+func TestChaosPanicsStayContained(t *testing.T) {
+	samples := chaosCorpus(t, 60)
+	names := []string{"before", "after"}
+	specs := chaosSpecs(t, samples, names, nil)
+	bomb := Spec{Name: "bomb", Run: func(ctx context.Context, rc *RunContext) error {
+		var s *stitch.Stitcher
+		_ = s.Count() // nil-pointer dereference, as a corrupted input might cause
+		return nil
+	}}
+	specs = append(specs[:1], append([]Spec{bomb}, specs[1:]...)...)
+
+	cfg := fastConfig(t)
+	sum, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatalf("the panic escaped the suite: %v", err)
+	}
+	done, failed, _ := sum.Counts()
+	if done != 2 || failed != 1 {
+		t.Fatalf("done=%d failed=%d, want the healthy experiments to survive", done, failed)
+	}
+	for _, r := range sum.Failed() {
+		if r.Name != "bomb" {
+			t.Fatalf("healthy experiment %s failed: %v", r.Name, r.Err)
+		}
+		if !strings.Contains(r.Err.Error(), "panicked") {
+			t.Fatalf("panic not surfaced as an error: %v", r.Err)
+		}
+	}
+}

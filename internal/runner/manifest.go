@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ManifestName is the checkpoint file the runner maintains in the output
+// directory. It records, per experiment, whether the experiment completed
+// and which artifacts it produced, so an interrupted suite can be resumed
+// with only the incomplete experiments rerun.
+const ManifestName = "manifest.json"
+
+// manifestVersion gates the on-disk format; a version bump invalidates old
+// checkpoints rather than misreading them.
+const manifestVersion = 1
+
+// Manifest is the suite checkpoint. The Meta block pins the configuration
+// the checkpoint was taken under (scale, selection, fault plan …): resuming
+// under a different configuration would silently mix artifacts from two
+// different suites, so the runner refuses it.
+type Manifest struct {
+	Version     int                       `json:"version"`
+	UpdatedAt   string                    `json:"updated_at"`
+	Meta        map[string]string         `json:"meta,omitempty"`
+	Experiments map[string]*ManifestEntry `json:"experiments"`
+}
+
+// ManifestEntry is one experiment's checkpoint state.
+type ManifestEntry struct {
+	// Status is "done" or "failed". Anything else (including a missing
+	// entry) means the experiment has not completed and must (re)run.
+	Status    string   `json:"status"`
+	Attempts  int      `json:"attempts"`
+	WallMS    int64    `json:"wall_ms"`
+	Error     string   `json:"error,omitempty"`
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+func newManifest(meta map[string]string) *Manifest {
+	return &Manifest{
+		Version:     manifestVersion,
+		Meta:        meta,
+		Experiments: make(map[string]*ManifestEntry),
+	}
+}
+
+// LoadManifest reads a checkpoint from dir. A missing file returns (nil,
+// nil): no checkpoint is not an error, it just means nothing to resume.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("runner: manifest %s is corrupt: %w", filepath.Join(dir, ManifestName), err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("runner: manifest version %d (want %d); delete %s to start fresh",
+			m.Version, manifestVersion, filepath.Join(dir, ManifestName))
+	}
+	if m.Experiments == nil {
+		m.Experiments = make(map[string]*ManifestEntry)
+	}
+	return &m, nil
+}
+
+// save writes the checkpoint atomically (temp file + rename), so a crash
+// mid-save leaves the previous checkpoint intact rather than a torn one.
+func (m *Manifest) save(dir string) error {
+	m.UpdatedAt = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding manifest: %w", err)
+	}
+	return atomicWrite(filepath.Join(dir, ManifestName), append(data, '\n'))
+}
+
+// metaMatches reports whether the checkpoint was taken under the given
+// configuration.
+func (m *Manifest) metaMatches(meta map[string]string) bool {
+	if len(m.Meta) != len(meta) {
+		return false
+	}
+	for k, v := range meta {
+		if m.Meta[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// atomicWrite writes data to path via a temp file in the same directory
+// plus rename, the crash-consistency idiom every checkpoint and artifact
+// write in the runner goes through.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,482 @@
+// Package runner executes experiment suites resiliently. The pcexperiments
+// binary used to be a straight-line script: one panic, one transient I/O
+// hiccup, or one ^C destroyed an entire run with every completed
+// experiment's work lost. The runner turns a suite into a supervised,
+// checkpointed pipeline:
+//
+//   - each experiment runs under the suite context with an optional
+//     per-experiment timeout;
+//   - a panic inside an experiment is recovered and converted into that
+//     experiment's error — the suite, and the process, keep going;
+//   - failures classified transient (faults.IsTransient) are retried with
+//     exponential backoff plus deterministic jitter;
+//   - after every experiment the runner checkpoints a manifest into the
+//     output directory, and with Resume set it skips experiments the
+//     manifest already records as done — an interrupted suite reruns only
+//     incomplete work and, because experiments are seeded, reproduces
+//     byte-identical artifacts;
+//   - one experiment failing permanently does not abort the suite: the
+//     runner records the failure and moves on, reporting the aggregate at
+//     the end (a suite is a batch job, not a transaction).
+//
+// Artifacts are written through the RunContext so the manifest can record
+// them; artifact writes are atomic (temp + rename), so a kill mid-write
+// never leaves a torn CSV next to a manifest claiming success.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"probablecause/internal/faults"
+	"probablecause/internal/obs"
+	"probablecause/internal/prng"
+)
+
+// Runner metrics: the retry/panic/timeout counters are the chaos suite's
+// assertion surface ("faults fired and were absorbed, not ignored").
+var (
+	cRuns     = obs.C("runner.experiments")
+	cDone     = obs.C("runner.completed")
+	cFailed   = obs.C("runner.failed")
+	cRetries  = obs.C("runner.retries")
+	cPanics   = obs.C("runner.panics")
+	cTimeouts = obs.C("runner.timeouts")
+	cSkipped  = obs.C("runner.resume_skips")
+)
+
+// Spec is one experiment: a stable name (the manifest key) and a body. The
+// body receives the experiment context — cancelled on suite shutdown or
+// per-experiment timeout — and the RunContext through which it reports
+// sections and writes artifacts. Bodies must be idempotent and
+// deterministic for checkpoint/resume to reproduce identical artifacts;
+// every experiment in this repository is seeded, so they are.
+type Spec struct {
+	Name string
+	Run  func(ctx context.Context, rc *RunContext) error
+}
+
+// Config parameterizes a suite run.
+type Config struct {
+	// OutDir receives artifacts and the checkpoint manifest. Created if
+	// missing.
+	OutDir string
+	// Timeout bounds each experiment attempt; 0 means unbounded. On
+	// timeout the attempt's context is cancelled and the attempt fails
+	// with context.DeadlineExceeded (not retried: rerunning a too-slow
+	// experiment doubles the damage instead of fixing it).
+	Timeout time.Duration
+	// Retries is the number of additional attempts allowed when an attempt
+	// fails with a transient error (faults.IsTransient).
+	Retries int
+	// BackoffBase is the first retry delay; each further retry doubles it,
+	// capped at BackoffMax. Defaults: 100ms base, 5s cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Resume loads the manifest from OutDir and skips experiments it
+	// records as done. The manifest's Meta must match this run's Meta.
+	Resume bool
+	// Meta pins the suite configuration inside the checkpoint so a resume
+	// under different flags is refused instead of mixing suites.
+	Meta map[string]string
+	// Out receives experiment section output; defaults to os.Stdout.
+	Out io.Writer
+	// Seed drives retry jitter; jitter is deterministic so chaos runs
+	// reproduce exactly.
+	Seed uint64
+	// sleep is swapped out by tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if c.sleep == nil {
+		c.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return c
+}
+
+// Status is an experiment's outcome within one suite run.
+type Status string
+
+const (
+	// StatusDone: the experiment completed and its artifacts are on disk.
+	StatusDone Status = "done"
+	// StatusFailed: the experiment failed permanently (after any retries).
+	StatusFailed Status = "failed"
+	// StatusSkipped: the checkpoint already records the experiment as done;
+	// it was not rerun.
+	StatusSkipped Status = "skipped"
+)
+
+// Result is one experiment's outcome.
+type Result struct {
+	Name      string
+	Status    Status
+	Attempts  int
+	Wall      time.Duration
+	Err       error
+	Artifacts []string
+}
+
+// Summary aggregates a suite run.
+type Summary struct {
+	Results []Result
+}
+
+// Counts returns (done, failed, skipped).
+func (s *Summary) Counts() (done, failed, skipped int) {
+	for _, r := range s.Results {
+		switch r.Status {
+		case StatusDone:
+			done++
+		case StatusFailed:
+			failed++
+		case StatusSkipped:
+			skipped++
+		}
+	}
+	return
+}
+
+// Failed returns the results that failed permanently.
+func (s *Summary) Failed() []Result {
+	var out []Result
+	for _, r := range s.Results {
+		if r.Status == StatusFailed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the one-screen suite report.
+func (s *Summary) String() string {
+	done, failed, skipped := s.Counts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "suite: %d done, %d failed, %d skipped (resume)\n", done, failed, skipped)
+	for _, r := range s.Results {
+		switch r.Status {
+		case StatusFailed:
+			fmt.Fprintf(&b, "  FAIL %-16s attempts=%d wall=%v err=%v\n",
+				r.Name, r.Attempts, r.Wall.Round(time.Millisecond), r.Err)
+		case StatusDone:
+			if r.Attempts > 1 {
+				fmt.Fprintf(&b, "  ok   %-16s attempts=%d (recovered) wall=%v\n",
+					r.Name, r.Attempts, r.Wall.Round(time.Millisecond))
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Run executes the suite. It returns a non-nil Summary covering every spec
+// reached, and an error only when the suite as a whole could not proceed
+// (bad configuration, unusable output directory, context cancelled).
+// Individual experiment failures live in the Summary, not the error: the
+// caller decides whether a partially-failed suite is fatal.
+func Run(ctx context.Context, cfg Config, specs []Spec) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: output dir: %w", err)
+	}
+
+	manifest := newManifest(cfg.Meta)
+	if cfg.Resume {
+		prev, err := LoadManifest(cfg.OutDir)
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil {
+			if !prev.metaMatches(cfg.Meta) {
+				return nil, fmt.Errorf("runner: manifest in %s was written under a different configuration (%v, now %v); run without -resume or use a fresh output dir",
+					cfg.OutDir, renderMeta(prev.Meta), renderMeta(cfg.Meta))
+			}
+			manifest = prev
+		}
+	}
+
+	summary := &Summary{}
+	jitter := prng.New(prng.Hash(cfg.Seed, 0x5EEB))
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			// Suite shutdown: checkpoint state is already on disk; report
+			// what was reached and surface the cancellation.
+			return summary, fmt.Errorf("runner: suite interrupted: %w", err)
+		}
+		if cfg.Resume {
+			if e := manifest.Experiments[spec.Name]; e != nil && e.Status == string(StatusDone) {
+				if obs.On() {
+					cSkipped.Inc()
+				}
+				fmt.Fprintf(cfg.Out, "-- %s: done in checkpoint, skipping (artifacts: %s)\n",
+					spec.Name, strings.Join(e.Artifacts, ", "))
+				summary.Results = append(summary.Results, Result{
+					Name: spec.Name, Status: StatusSkipped, Artifacts: e.Artifacts,
+				})
+				continue
+			}
+		}
+		res := runExperiment(ctx, cfg, spec, jitter)
+		summary.Results = append(summary.Results, res)
+		entry := &ManifestEntry{
+			Status:    string(res.Status),
+			Attempts:  res.Attempts,
+			WallMS:    res.Wall.Milliseconds(),
+			Artifacts: res.Artifacts,
+		}
+		if res.Err != nil {
+			entry.Error = res.Err.Error()
+		}
+		manifest.Experiments[spec.Name] = entry
+		if err := manifest.save(cfg.OutDir); err != nil {
+			return summary, fmt.Errorf("runner: checkpointing after %s: %w", spec.Name, err)
+		}
+	}
+	return summary, nil
+}
+
+func validateSpecs(specs []Spec) error {
+	if len(specs) == 0 {
+		return errors.New("runner: empty suite")
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if s.Name == "" || s.Run == nil {
+			return fmt.Errorf("runner: spec %+v missing name or body", s)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("runner: duplicate experiment name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// runExperiment supervises one experiment: attempts, retries, timeout,
+// panic recovery.
+func runExperiment(ctx context.Context, cfg Config, spec Spec, jitter *prng.Source) Result {
+	if obs.On() {
+		cRuns.Inc()
+	}
+	start := time.Now()
+	res := Result{Name: spec.Name}
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		rc := newRunContext(cfg.OutDir, cfg.Out, spec.Name)
+		err := runOnce(ctx, cfg.Timeout, spec, rc)
+		rc.seal()
+		if err == nil {
+			res.Status = StatusDone
+			res.Artifacts = rc.artifacts()
+			res.Wall = time.Since(start)
+			if obs.On() {
+				cDone.Inc()
+			}
+			return res
+		}
+		retryable := faults.IsTransient(err) && !errors.Is(err, context.DeadlineExceeded) &&
+			!errors.Is(err, context.Canceled)
+		if retryable && attempt <= cfg.Retries && ctx.Err() == nil {
+			delay := backoff(cfg.BackoffBase, cfg.BackoffMax, attempt, jitter)
+			if obs.On() {
+				cRetries.Inc()
+			}
+			obs.Warnf("experiment retrying", "name", spec.Name, "attempt", attempt, "delay", delay, "err", err)
+			fmt.Fprintf(cfg.Out, "-- %s: transient failure (attempt %d/%d), retrying in %v: %v\n",
+				spec.Name, attempt, cfg.Retries+1, delay.Round(time.Millisecond), err)
+			if cfg.sleep(ctx, delay) != nil {
+				// Suite shutdown during backoff: record the original error.
+				res.Status, res.Err, res.Wall = StatusFailed, err, time.Since(start)
+				if obs.On() {
+					cFailed.Inc()
+				}
+				return res
+			}
+			continue
+		}
+		res.Status, res.Err, res.Wall = StatusFailed, err, time.Since(start)
+		if obs.On() {
+			cFailed.Inc()
+		}
+		return res
+	}
+}
+
+// backoff returns the exponential delay for the given attempt with up to
+// 50% deterministic jitter on top.
+func backoff(base, max time.Duration, attempt int, jitter *prng.Source) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d + time.Duration(jitter.Float64()*0.5*float64(d))
+}
+
+// runOnce executes one attempt in its own goroutine so a hung experiment
+// cannot wedge the suite past its timeout, with panics recovered into
+// errors. On timeout the attempt's context is cancelled and the goroutine
+// is abandoned (its RunContext is sealed, so late writes are discarded);
+// experiments that honour ctx exit promptly, and ones that do not can at
+// worst leak one goroutine, not crash or stall the suite.
+func runOnce(parent context.Context, timeout time.Duration, spec Spec, rc *RunContext) error {
+	ctx, cancel := parent, func() {}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, timeout)
+	}
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if obs.On() {
+					cPanics.Inc()
+				}
+				done <- fmt.Errorf("runner: experiment %s panicked: %v\n%s", spec.Name, r, debug.Stack())
+			}
+		}()
+		done <- spec.Run(ctx, rc)
+	}()
+	select {
+	case err := <-done:
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && obs.On() {
+			cTimeouts.Inc()
+		}
+		return err
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			if obs.On() {
+				cTimeouts.Inc()
+			}
+			return fmt.Errorf("runner: experiment %s exceeded its %v timeout: %w", spec.Name, timeout, ctx.Err())
+		}
+		return fmt.Errorf("runner: experiment %s cancelled: %w", spec.Name, ctx.Err())
+	}
+}
+
+// RunContext is the surface an experiment body reports through. It is
+// sealed when the attempt ends, so an abandoned (timed-out) attempt's late
+// output and artifacts are dropped instead of interleaving with the next
+// experiment.
+type RunContext struct {
+	outDir string
+	name   string
+
+	mu     sync.Mutex
+	out    io.Writer
+	sealed bool
+	arts   []string
+}
+
+func newRunContext(outDir string, out io.Writer, name string) *RunContext {
+	return &RunContext{outDir: outDir, out: out, name: name}
+}
+
+// Name returns the experiment's name.
+func (rc *RunContext) Name() string { return rc.name }
+
+// Section prints a delimited report section, matching the pcexperiments
+// output format.
+func (rc *RunContext) Section(s string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.sealed {
+		return
+	}
+	fmt.Fprintln(rc.out, strings.Repeat("=", 78))
+	fmt.Fprintln(rc.out, s)
+}
+
+// Printf prints to the suite output stream.
+func (rc *RunContext) Printf(format string, args ...any) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.sealed {
+		return
+	}
+	fmt.Fprintf(rc.out, format, args...)
+}
+
+// WriteArtifact atomically writes an output file into the suite's output
+// directory and records it in the checkpoint manifest.
+func (rc *RunContext) WriteArtifact(name string, data []byte) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.sealed {
+		return fmt.Errorf("runner: %s: attempt already ended; artifact %s dropped", rc.name, name)
+	}
+	path := filepath.Join(rc.outDir, name)
+	if dir := filepath.Dir(path); dir != rc.outDir {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return fmt.Errorf("runner: artifact %s: %w", name, err)
+	}
+	rc.arts = append(rc.arts, name)
+	fmt.Fprintf(rc.out, "wrote %s (%d bytes)\n", path, len(data))
+	return nil
+}
+
+// seal ends the attempt: subsequent writes are no-ops/errors.
+func (rc *RunContext) seal() {
+	rc.mu.Lock()
+	rc.sealed = true
+	rc.mu.Unlock()
+}
+
+// artifacts returns the recorded artifact names, sorted for stable
+// manifests.
+func (rc *RunContext) artifacts() []string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := append([]string(nil), rc.arts...)
+	sort.Strings(out)
+	return out
+}
+
+func renderMeta(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+m[k])
+	}
+	return strings.Join(parts, " ")
+}

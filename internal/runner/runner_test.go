@@ -1,0 +1,322 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"probablecause/internal/faults"
+)
+
+// fastConfig returns a config whose backoff never actually sleeps.
+func fastConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		OutDir:      t.TempDir(),
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		Out:         &bytes.Buffer{},
+		sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+}
+
+func okSpec(name string, calls *int) Spec {
+	return Spec{Name: name, Run: func(ctx context.Context, rc *RunContext) error {
+		*calls++
+		return rc.WriteArtifact(name+".csv", []byte(name+",1\n"))
+	}}
+}
+
+func TestRunHappyPathWritesManifestAndArtifacts(t *testing.T) {
+	cfg := fastConfig(t)
+	var a, b int
+	sum, err := Run(context.Background(), cfg, []Spec{okSpec("alpha", &a), okSpec("beta", &b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, failed, skipped := sum.Counts()
+	if done != 2 || failed != 0 || skipped != 0 {
+		t.Fatalf("counts = %d/%d/%d", done, failed, skipped)
+	}
+	if a != 1 || b != 1 {
+		t.Fatalf("bodies ran %d/%d times", a, b)
+	}
+	m, err := LoadManifest(cfg.OutDir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest: %v, %v", m, err)
+	}
+	e := m.Experiments["alpha"]
+	if e == nil || e.Status != "done" || len(e.Artifacts) != 1 || e.Artifacts[0] != "alpha.csv" {
+		t.Fatalf("manifest entry %+v", e)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "alpha.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRetriesTransientFailures(t *testing.T) {
+	cfg := fastConfig(t)
+	calls := 0
+	spec := Spec{Name: "flaky", Run: func(ctx context.Context, rc *RunContext) error {
+		calls++
+		if calls < 3 {
+			return faults.Transient(errors.New("blip"))
+		}
+		return nil
+	}}
+	sum, err := Run(context.Background(), cfg, []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Results[0]
+	if r.Status != StatusDone || r.Attempts != 3 || calls != 3 {
+		t.Fatalf("result %+v, calls %d", r, calls)
+	}
+}
+
+func TestRunDoesNotRetryPermanentFailuresOrPanics(t *testing.T) {
+	cfg := fastConfig(t)
+	permCalls, panicCalls, after := 0, 0, 0
+	specs := []Spec{
+		{Name: "perm", Run: func(ctx context.Context, rc *RunContext) error {
+			permCalls++
+			return errors.New("bad parameters")
+		}},
+		{Name: "boom", Run: func(ctx context.Context, rc *RunContext) error {
+			panicCalls++
+			panic("index out of range")
+		}},
+		okSpec("after", &after),
+	}
+	sum, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if permCalls != 1 || panicCalls != 1 {
+		t.Fatalf("permanent failure retried: %d/%d calls", permCalls, panicCalls)
+	}
+	if sum.Results[0].Status != StatusFailed || sum.Results[1].Status != StatusFailed {
+		t.Fatalf("statuses %+v", sum.Results)
+	}
+	if !strings.Contains(sum.Results[1].Err.Error(), "panicked") {
+		t.Fatalf("panic not converted to error: %v", sum.Results[1].Err)
+	}
+	// The suite carried on past both failures.
+	if after != 1 || sum.Results[2].Status != StatusDone {
+		t.Fatal("suite did not continue past failures")
+	}
+	m, _ := LoadManifest(cfg.OutDir)
+	if m.Experiments["boom"].Error == "" {
+		t.Fatal("manifest lost the failure reason")
+	}
+}
+
+func TestRunTimeoutFailsAttemptWithoutRetry(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.Timeout = 20 * time.Millisecond
+	calls := 0
+	specs := []Spec{
+		{Name: "slow", Run: func(ctx context.Context, rc *RunContext) error {
+			calls++
+			<-ctx.Done() // well-behaved: observes cancellation
+			return ctx.Err()
+		}},
+	}
+	sum, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Results[0]
+	if r.Status != StatusFailed || calls != 1 {
+		t.Fatalf("result %+v calls %d", r, calls)
+	}
+	if !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("error %v is not a deadline", r.Err)
+	}
+}
+
+func TestRunTimeoutAbandonsHungExperiment(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.Timeout = 20 * time.Millisecond
+	release := make(chan struct{})
+	var after int
+	specs := []Spec{
+		{Name: "hung", Run: func(ctx context.Context, rc *RunContext) error {
+			<-release // ignores ctx entirely
+			rc.Section("late output that must be dropped")
+			return rc.WriteArtifact("late.csv", []byte("x"))
+		}},
+		okSpec("after", &after),
+	}
+	sum, err := Run(context.Background(), cfg, specs)
+	close(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Results[0].Status != StatusFailed || after != 1 {
+		t.Fatalf("hung experiment did not time out cleanly: %+v", sum.Results)
+	}
+	time.Sleep(10 * time.Millisecond) // let the abandoned goroutine run its late writes
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "late.csv")); !os.IsNotExist(err) {
+		t.Fatal("sealed RunContext allowed a late artifact write")
+	}
+}
+
+func TestRunResumeSkipsCompletedAndRefusesMetaMismatch(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.Meta = map[string]string{"scale": "small"}
+	var a, b int
+	fail := true
+	specs := []Spec{
+		okSpec("alpha", &a),
+		{Name: "beta", Run: func(ctx context.Context, rc *RunContext) error {
+			b++
+			if fail {
+				return errors.New("first run fails")
+			}
+			return rc.WriteArtifact("beta.csv", []byte("beta\n"))
+		}},
+	}
+	if _, err := Run(context.Background(), cfg, specs); err != nil {
+		t.Fatal(err)
+	}
+	alphaBytes, err := os.ReadFile(filepath.Join(cfg.OutDir, "alpha.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: alpha must be skipped (not rerun), beta rerun and now succeed.
+	fail = false
+	cfg.Resume = true
+	sum, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || b != 2 {
+		t.Fatalf("resume reran completed work: alpha %d, beta %d calls", a, b)
+	}
+	if sum.Results[0].Status != StatusSkipped || sum.Results[1].Status != StatusDone {
+		t.Fatalf("resume statuses %+v", sum.Results)
+	}
+	got, _ := os.ReadFile(filepath.Join(cfg.OutDir, "alpha.csv"))
+	if !bytes.Equal(got, alphaBytes) {
+		t.Fatal("resume disturbed a completed artifact")
+	}
+
+	// A resume under different configuration must be refused.
+	cfg.Meta = map[string]string{"scale": "paper"}
+	if _, err := Run(context.Background(), cfg, specs); err == nil {
+		t.Fatal("meta mismatch accepted")
+	}
+}
+
+func TestRunSuiteCancellationCheckpointsProgress(t *testing.T) {
+	cfg := fastConfig(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var a, c int
+	specs := []Spec{
+		okSpec("alpha", &a),
+		{Name: "beta", Run: func(ctx context.Context, rc *RunContext) error {
+			cancel() // the suite is killed while beta runs
+			return ctx.Err()
+		}},
+		okSpec("gamma", &c),
+	}
+	sum, err := Run(ctx, cfg, specs)
+	if err == nil {
+		t.Fatal("cancelled suite must surface the interruption")
+	}
+	if a != 1 || c != 0 {
+		t.Fatalf("ran alpha %d, gamma %d times", a, c)
+	}
+	if len(sum.Results) != 2 {
+		t.Fatalf("summary has %d results", len(sum.Results))
+	}
+	// The checkpoint reflects completed work, so a resume reruns only
+	// beta and gamma.
+	m, err := LoadManifest(cfg.OutDir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest after cancel: %v %v", m, err)
+	}
+	if m.Experiments["alpha"].Status != "done" {
+		t.Fatal("completed experiment not checkpointed")
+	}
+	cfg.Resume = true
+	sum2, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || c != 1 || sum2.Results[0].Status != StatusSkipped {
+		t.Fatalf("resume after kill: alpha %d gamma %d results %+v", a, c, sum2.Results)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	var delays []time.Duration
+	cfg.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return nil
+	}
+	cfg.OutDir = t.TempDir()
+	cfg.Retries = 6
+	cfg.BackoffBase = 10 * time.Millisecond
+	cfg.BackoffMax = 80 * time.Millisecond
+	cfg.Out = &bytes.Buffer{}
+	spec := Spec{Name: "alwaysflaky", Run: func(ctx context.Context, rc *RunContext) error {
+		return faults.Transient(errors.New("blip"))
+	}}
+	if _, err := Run(context.Background(), cfg, []Spec{spec}); err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 6 {
+		t.Fatalf("%d retries, want 6", len(delays))
+	}
+	for i, d := range delays {
+		base := time.Duration(10<<uint(i)) * time.Millisecond
+		if base > 80*time.Millisecond {
+			base = 80 * time.Millisecond
+		}
+		if d < base || d > base+base/2 {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, base, base+base/2)
+		}
+	}
+}
+
+func TestValidateSpecs(t *testing.T) {
+	none := func(ctx context.Context, rc *RunContext) error { return nil }
+	cases := [][]Spec{
+		nil,
+		{{Name: "", Run: none}},
+		{{Name: "x", Run: nil}},
+		{{Name: "x", Run: none}, {Name: "x", Run: none}},
+	}
+	for i, specs := range cases {
+		if _, err := Run(context.Background(), Config{OutDir: t.TempDir(), Out: &bytes.Buffer{}}, specs); err == nil {
+			t.Errorf("case %d: invalid suite accepted", i)
+		}
+	}
+}
+
+func TestManifestCorruptAndVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName),
+		[]byte(fmt.Sprintf(`{"version":%d,"experiments":{}}`, manifestVersion+1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("future manifest version accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package samplefile
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"probablecause/internal/faults"
+)
+
+// The corrupted-sample fault corpus: every malformed shape the chaos plan
+// (internal/faults) injects, plus the pathological ones it cannot (an
+// oversized line). Each case says what strict mode must do and whether
+// lenient mode can still make progress past it.
+var corruptCases = []struct {
+	name  string
+	input string
+	// wantStrict is a substring of the strict-mode error; "" means the
+	// input parses cleanly.
+	wantStrict string
+	// wantSamples is how many samples lenient mode recovers.
+	wantSamples int
+	// wantSkipped is how many lines lenient mode skips.
+	wantSkipped int
+}{
+	{
+		name:        "well-formed",
+		input:       "[[1,2,3],[4]]\n[[5]]\n",
+		wantStrict:  "",
+		wantSamples: 2,
+	},
+	{
+		name:        "truncated line",
+		input:       "[[1,2,3],[4]]\n[[5,6],[7\n[[8]]\n",
+		wantStrict:  "line 2",
+		wantSamples: 2,
+		wantSkipped: 1,
+	},
+	{
+		name:        "non-array JSON",
+		input:       "{\"pages\":\"corrupt\"}\n[[9]]\n",
+		wantStrict:  "line 1",
+		wantSamples: 1,
+		wantSkipped: 1,
+	},
+	{
+		name:        "garbage bytes",
+		input:       "[[1]]\n\xff\x80\xfe garbage\n[[2]]\n",
+		wantStrict:  "line 2",
+		wantSamples: 2,
+		wantSkipped: 1,
+	},
+	{
+		name: "out-of-order bit positions",
+		// Positions are normalized (sorted, deduplicated) on ingest, per
+		// the format's fuzz invariant — disorder is repaired, not rejected.
+		input:       "[[9,1,5,1]]\n",
+		wantStrict:  "",
+		wantSamples: 1,
+	},
+	{
+		name:        "empty sample line",
+		input:       "[[1]]\n[]\n[[2]]\n",
+		wantStrict:  "empty sample",
+		wantSamples: 2,
+		wantSkipped: 1,
+	},
+	{
+		name:        "every line corrupt",
+		input:       "nope\n{\"a\":1}\n[[\n",
+		wantStrict:  "line 1",
+		wantSamples: 0,
+		wantSkipped: 3,
+	},
+}
+
+func TestCorruptCorpusStrictAndLenient(t *testing.T) {
+	for _, tc := range corruptCases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Strict mode: fail on the first malformed line, with its
+			// number in the message.
+			_, err := ReadAll(strings.NewReader(tc.input))
+			if tc.wantStrict == "" {
+				if err != nil {
+					t.Fatalf("strict: unexpected error %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantStrict) {
+				t.Fatalf("strict: error %v does not mention %q", err, tc.wantStrict)
+			}
+
+			// Lenient mode: recover every well-formed line, count skips.
+			samples, skipped, err := ReadAllLenient(strings.NewReader(tc.input))
+			if err != nil {
+				t.Fatalf("lenient: %v", err)
+			}
+			if len(samples) != tc.wantSamples || skipped != tc.wantSkipped {
+				t.Fatalf("lenient: %d samples, %d skipped; want %d, %d",
+					len(samples), skipped, tc.wantSamples, tc.wantSkipped)
+			}
+		})
+	}
+}
+
+func TestOversizedLineReportsLimitAndLineNumber(t *testing.T) {
+	// An over-long line is a stream-level failure in both modes: the
+	// scanner cannot resynchronize past it, so "skipping" it would
+	// silently drop the rest of the capture. Shrink the limit so the test
+	// doesn't have to materialize a 64 MiB line.
+	defer func(old int) { maxLineBytes = old }(maxLineBytes)
+	maxLineBytes = 1 << 16
+	huge := "[[1]]\n[" + strings.Repeat("1,", maxLineBytes/2) + "1]\n"
+	for _, lenient := range []bool{false, true} {
+		r := NewReader(strings.NewReader(huge))
+		r.SetLenient(lenient)
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("lenient=%v: first sample: %v", lenient, err)
+		}
+		_, err := r.Next()
+		if err == nil || err == io.EOF {
+			t.Fatalf("lenient=%v: oversized line accepted", lenient)
+		}
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("lenient=%v: error %v does not wrap bufio.ErrTooLong", lenient, err)
+		}
+		for _, want := range []string{"line 2", "MiB"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("lenient=%v: error %q does not mention %q", lenient, err, want)
+			}
+		}
+	}
+}
+
+func TestScannerIOErrorsCarryLineContextAndTransience(t *testing.T) {
+	// A transient I/O fault from the underlying stream must surface with
+	// line context and keep its transient classification through the
+	// wrapping, so the runner's retry policy still recognizes it.
+	in := faults.NewInjector(faults.Plan{Seed: 7, ReadErr: 1})
+	r := NewReader(in.Reader(strings.NewReader("[[1,2]]\n")))
+	_, err := r.Next()
+	if err == nil || err == io.EOF {
+		t.Fatal("injected read error lost")
+	}
+	if !faults.IsTransient(err) {
+		t.Fatalf("transient classification lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error %q lacks line context", err)
+	}
+	// Lenient mode must NOT swallow stream errors.
+	r2 := NewReader(in.Reader(strings.NewReader("[[1,2]]\n")))
+	r2.SetLenient(true)
+	if _, err := r2.Next(); err == nil || err == io.EOF {
+		t.Fatal("lenient mode swallowed an I/O error")
+	}
+}
+
+func TestLenientRecoversAroundFaultInjectedCorruption(t *testing.T) {
+	// End-to-end over the fault injector: corrupt a 200-line document at a
+	// fixed seed and verify lenient ingestion recovers exactly the
+	// untouched lines.
+	var doc strings.Builder
+	for i := 0; i < 200; i++ {
+		doc.WriteString("[[1,2,3],[4,5],[6]]\n")
+	}
+	in := faults.NewInjector(faults.Plan{Seed: 0xC0DE, Line: 0.15})
+	corrupted, n := in.CorruptJSONLines([]byte(doc.String()))
+	if n == 0 || n == 200 {
+		t.Fatalf("fault plan corrupted %d of 200 lines; matrix not exercised", n)
+	}
+	samples, skipped, err := ReadAllLenient(strings.NewReader(string(corrupted)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != n || len(samples) != 200-n {
+		t.Fatalf("recovered %d samples with %d skips; want %d and %d",
+			len(samples), skipped, 200-n, n)
+	}
+}

@@ -9,17 +9,45 @@
 // The format is deliberately trivial — it is what a scraper that extracts
 // error patterns from published outputs would emit — while staying
 // streamable (the stitcher handles samples one line at a time).
+//
+// Because the producer is a scraper, the input is hostile by default:
+// truncated lines, non-JSON garbage, and wrong-shape JSON all occur in
+// practice (and are generated deliberately by internal/faults for chaos
+// testing). The Reader therefore has two modes. In strict mode (the
+// default) the first malformed line fails the stream with its line number.
+// In lenient mode malformed lines are skipped and counted — one bad line
+// in a million-sample capture must not abort an identification run — while
+// I/O errors from the underlying stream still fail immediately: those are
+// environmental (and possibly transient), not data, and skipping them
+// would silently drop well-formed samples.
 package samplefile
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"probablecause/internal/bitset"
+	"probablecause/internal/obs"
 	"probablecause/internal/stitch"
 )
+
+// Ingestion metrics: total lines parsed and malformed lines skipped in
+// lenient mode. The chaos suite asserts skipped == injected corruptions.
+var (
+	cLines   = obs.C("samplefile.lines")
+	cSkipped = obs.C("samplefile.lines.skipped")
+)
+
+// MaxLineBytes is the largest accepted encoded sample line (a 10 MB sample
+// at 1% error encodes to roughly 2 MB of JSON, so 64 MiB is generous).
+const MaxLineBytes = 64 << 20
+
+// maxLineBytes is the limit the reader actually applies; tests shrink it so
+// exercising the over-long-line path doesn't require a 64 MiB allocation.
+var maxLineBytes = MaxLineBytes
 
 // Write serializes samples as JSON lines.
 func Write(w io.Writer, samples []stitch.Sample) error {
@@ -43,17 +71,38 @@ func Write(w io.Writer, samples []stitch.Sample) error {
 
 // Reader streams samples from a JSON-lines source.
 type Reader struct {
-	scan *bufio.Scanner
-	line int
+	scan    *bufio.Scanner
+	line    int
+	lenient bool
+	skipped int
 }
 
-// NewReader wraps r. Lines up to 64 MiB are accepted (a 10 MB sample at 1 %
-// error encodes to roughly 2 MB of JSON).
+// NewReader wraps r in a strict-mode reader. Lines up to MaxLineBytes are
+// accepted.
 func NewReader(r io.Reader) *Reader {
 	scan := bufio.NewScanner(r)
-	scan.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	initial := 1 << 20
+	if initial > maxLineBytes {
+		// The scanner's effective limit is max(cap(buf), maxLineBytes).
+		initial = maxLineBytes
+	}
+	scan.Buffer(make([]byte, 0, initial), maxLineBytes)
 	return &Reader{scan: scan}
 }
+
+// SetLenient switches malformed-line handling: in lenient mode Next skips
+// and counts lines that fail to parse instead of returning their error.
+// Stream-level I/O failures (including over-long lines) still fail the
+// read in either mode.
+func (r *Reader) SetLenient(on bool) { r.lenient = on }
+
+// Skipped returns how many malformed lines have been skipped in lenient
+// mode.
+func (r *Reader) Skipped() int { return r.skipped }
+
+// Line returns the 1-based number of the last line consumed — context for
+// error reporting by callers that wrap Next.
+func (r *Reader) Line() int { return r.line }
 
 // Next returns the next sample, or io.EOF when the stream ends.
 func (r *Reader) Next() (stitch.Sample, error) {
@@ -63,36 +112,75 @@ func (r *Reader) Next() (stitch.Sample, error) {
 		if len(raw) == 0 {
 			continue
 		}
-		var pages [][]uint32
-		if err := json.Unmarshal(raw, &pages); err != nil {
-			return stitch.Sample{}, fmt.Errorf("samplefile: line %d: %w", r.line, err)
+		if obs.On() {
+			cLines.Inc()
 		}
-		if len(pages) == 0 {
-			return stitch.Sample{}, fmt.Errorf("samplefile: line %d: empty sample", r.line)
+		s, err := parseSample(raw)
+		if err == nil {
+			return s, nil
 		}
-		s := stitch.Sample{Pages: make([]bitset.Sparse, len(pages))}
-		for j, p := range pages {
-			s.Pages[j] = bitset.NewSparse(p)
+		if r.lenient {
+			r.skipped++
+			if obs.On() {
+				cSkipped.Inc()
+				obs.Debugf("samplefile: skipping malformed line", "line", r.line, "err", err)
+			}
+			continue
 		}
-		return s, nil
+		return stitch.Sample{}, fmt.Errorf("samplefile: line %d: %w", r.line, err)
 	}
 	if err := r.scan.Err(); err != nil {
-		return stitch.Sample{}, err
+		if errors.Is(err, bufio.ErrTooLong) {
+			return stitch.Sample{}, fmt.Errorf(
+				"samplefile: line %d: line exceeds the %d MiB sample limit (%w); the capture is corrupt or not a JSON-lines sample file",
+				r.line+1, maxLineBytes>>20, err)
+		}
+		return stitch.Sample{}, fmt.Errorf("samplefile: line %d: reading stream: %w", r.line+1, err)
 	}
 	return stitch.Sample{}, io.EOF
 }
 
-// ReadAll drains the stream.
+// parseSample decodes one non-empty line. Parse failures describe the line
+// content shape, not just the json error, so a strict-mode failure in a
+// gigabyte capture is diagnosable from the message alone.
+func parseSample(raw []byte) (stitch.Sample, error) {
+	var pages [][]uint32
+	if err := json.Unmarshal(raw, &pages); err != nil {
+		return stitch.Sample{}, fmt.Errorf("malformed sample (%d bytes): %w", len(raw), err)
+	}
+	if len(pages) == 0 {
+		return stitch.Sample{}, fmt.Errorf("empty sample")
+	}
+	s := stitch.Sample{Pages: make([]bitset.Sparse, len(pages))}
+	for j, p := range pages {
+		s.Pages[j] = bitset.NewSparse(p)
+	}
+	return s, nil
+}
+
+// ReadAll drains the stream in strict mode.
 func ReadAll(rd io.Reader) ([]stitch.Sample, error) {
+	samples, _, err := readAll(rd, false)
+	return samples, err
+}
+
+// ReadAllLenient drains the stream in lenient mode, returning the samples
+// recovered and the number of malformed lines skipped.
+func ReadAllLenient(rd io.Reader) (samples []stitch.Sample, skipped int, err error) {
+	return readAll(rd, true)
+}
+
+func readAll(rd io.Reader, lenient bool) ([]stitch.Sample, int, error) {
 	r := NewReader(rd)
+	r.SetLenient(lenient)
 	var out []stitch.Sample
 	for {
 		s, err := r.Next()
 		if err == io.EOF {
-			return out, nil
+			return out, r.Skipped(), nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, r.Skipped(), err
 		}
 		out = append(out, s)
 	}

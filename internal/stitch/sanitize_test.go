@@ -1,0 +1,104 @@
+package stitch
+
+import (
+	"errors"
+	"testing"
+
+	"probablecause/internal/bitset"
+)
+
+// page builds a plausible page fingerprint: card ascending positions below
+// 32768, offset per page index so distinct pages don't alias.
+func page(idx, card int) bitset.Sparse {
+	pos := make([]uint32, 0, card)
+	for k := 0; k < card; k++ {
+		pos = append(pos, uint32((idx*997+k*73)%32768))
+	}
+	return bitset.NewSparse(pos)
+}
+
+func TestSanitizeRejectsOutOfRangeAndDensePages(t *testing.T) {
+	st, err := New(Config{MaxBitPos: 32768, OutlierFactor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sample{Pages: []bitset.Sparse{
+		page(0, 40), page(1, 40), page(2, 40), page(3, 40),
+		bitset.NewSparse([]uint32{5, 40000}), // out of page range
+		page(5, 40*20),                       // 20× the median density
+	}}
+	if _, err := st.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.RejectedPages(); got != 2 {
+		t.Fatalf("rejected %d pages, want 2", got)
+	}
+	// The surviving pages formed one cluster; the corrupt ones were
+	// treated as unobserved, not stored.
+	if st.Count() != 1 {
+		t.Fatalf("clusters = %d", st.Count())
+	}
+}
+
+func TestSanitizeDisabledByDefault(t *testing.T) {
+	st, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the filters, even absurd pages are accepted (the seed
+	// pipeline's behavior, preserved for callers that pre-validate).
+	s := Sample{Pages: []bitset.Sparse{bitset.NewSparse([]uint32{5, 1 << 30})}}
+	if _, err := st.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if st.RejectedPages() != 0 || st.Count() != 1 {
+		t.Fatalf("rejected=%d clusters=%d", st.RejectedPages(), st.Count())
+	}
+}
+
+func TestSanitizeRejectsFullyCorruptSample(t *testing.T) {
+	st, err := New(Config{MaxBitPos: 32768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sample{Pages: []bitset.Sparse{
+		bitset.NewSparse([]uint32{40000}),
+		bitset.NewSparse([]uint32{99999}),
+	}}
+	_, err = st.Add(s)
+	if !errors.Is(err, ErrSampleRejected) {
+		t.Fatalf("got %v, want ErrSampleRejected", err)
+	}
+	// The husk must not have become a cluster or counted as a sample.
+	if st.Count() != 0 || st.Samples() != 0 {
+		t.Fatalf("rejected sample leaked state: clusters=%d samples=%d", st.Count(), st.Samples())
+	}
+}
+
+func TestSanitizeKeepsAlignmentAcrossCorruption(t *testing.T) {
+	// Two observations of the same region, the second with one corrupted
+	// page: outlier rejection must drop the bad page but still align and
+	// merge the sample into the first cluster.
+	st, err := New(Config{MaxBitPos: 32768, OutlierFactor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Sample{Pages: []bitset.Sparse{page(0, 40), page(1, 40), page(2, 40), page(3, 40)}}
+	if _, err := st.Add(clean); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := Sample{Pages: []bitset.Sparse{
+		page(0, 40), page(1, 40),
+		bitset.NewSparse([]uint32{7, 50000}), // page 2 corrupted
+		page(3, 40),
+	}}
+	if _, err := st.Add(corrupt); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 1 {
+		t.Fatalf("corrupted page broke alignment: %d clusters", st.Count())
+	}
+	if st.RejectedPages() != 1 {
+		t.Fatalf("rejected %d pages, want 1", st.RejectedPages())
+	}
+}

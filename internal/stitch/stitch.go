@@ -27,7 +27,9 @@ package stitch
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 
 	"probablecause/internal/bitset"
 	"probablecause/internal/fingerprint"
@@ -46,9 +48,17 @@ var (
 	cVerifyOK    = obs.C("stitch.verify.matched")
 	cMerges      = obs.C("stitch.cluster.merges")
 	cNewClusters = obs.C("stitch.cluster.new")
+	cPagesBad    = obs.C("stitch.pages.rejected")
+	cSamplesBad  = obs.C("stitch.samples.rejected")
 	gClusters    = obs.G("stitch.clusters")
 	gCovered     = obs.G("stitch.covered_pages")
 )
+
+// ErrSampleRejected is returned (wrapped) by Add when outlier rejection
+// discards every page of a sample: nothing credible remains to stitch, and
+// admitting the husk would inflate the cluster count with an empty cluster.
+// Lenient pipelines skip-and-count these; they are not transient.
+var ErrSampleRejected = errors.New("stitch: sample rejected by outlier filter")
 
 // RefineMode selects how a cluster's stored page fingerprint is updated
 // when a new matching observation of the same page arrives.
@@ -88,6 +98,21 @@ type Config struct {
 	// Refine selects the page-fingerprint update rule; defaults to
 	// RefineIntersect (the paper's Algorithm 1).
 	Refine RefineMode
+
+	// MaxBitPos, when non-zero, enables outlier rejection of pages whose
+	// fingerprint contains any bit position ≥ MaxBitPos. Error positions
+	// are page-relative, so positions beyond the page size can only come
+	// from corruption; set this to the page size in bits (dram.PageBits
+	// for the paper's platform).
+	MaxBitPos uint32
+	// OutlierFactor, when non-zero, enables density-based outlier
+	// rejection: pages whose error-bit count exceeds OutlierFactor × the
+	// sample's median non-empty page cardinality are discarded. Real pages
+	// of one output share an error rate (they decayed under the same
+	// refresh interval), so a page an order of magnitude denser than its
+	// siblings is corruption, not physics. 8 is a safe factor for the
+	// paper's error-rate regimes.
+	OutlierFactor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -131,7 +156,8 @@ type Stitcher struct {
 	pages  []map[int]bitset.Sparse // root-only: offset → fingerprint
 	live   int
 
-	samples int
+	samples       int
+	rejectedPages int // outlier pages discarded by sanitize
 }
 
 // New returns an empty stitcher.
@@ -168,6 +194,11 @@ func (s *Stitcher) Count() int { return s.live }
 // Samples returns how many samples have been added.
 func (s *Stitcher) Samples() int { return s.samples }
 
+// RejectedPages returns how many outlier pages the sanitizer has discarded
+// across all samples — the volume of corruption absorbed without poisoning
+// the database.
+func (s *Stitcher) RejectedPages() int { return s.rejectedPages }
+
 // CoveredPages returns the total number of distinct fingerprinted pages
 // across all clusters — the size of the attacker's database (§4).
 func (s *Stitcher) CoveredPages() int {
@@ -191,10 +222,29 @@ func (s *Stitcher) LargestCluster() int {
 	return max
 }
 
-// Add ingests one sample and returns the root cluster id it now belongs to.
+// Add ingests one sample and returns the root cluster id it now belongs
+// to. With outlier rejection configured (MaxBitPos / OutlierFactor),
+// corrupted pages are discarded before alignment; if nothing credible
+// remains the sample is refused with an error wrapping ErrSampleRejected.
 func (s *Stitcher) Add(sample Sample) (int, error) {
 	if len(sample.Pages) == 0 {
 		return 0, fmt.Errorf("stitch: empty sample")
+	}
+	if s.cfg.MaxBitPos > 0 || s.cfg.OutlierFactor > 0 {
+		clean, rejected := s.sanitize(sample)
+		if rejected > 0 {
+			s.rejectedPages += rejected
+			if obs.On() {
+				cPagesBad.Add(int64(rejected))
+			}
+			if !hasObservedPage(clean) {
+				if obs.On() {
+					cSamplesBad.Inc()
+				}
+				return 0, fmt.Errorf("%w: all %d non-empty pages discarded", ErrSampleRejected, rejected)
+			}
+		}
+		sample = clean
 	}
 	s.samples++
 	ctx, sp := obs.Start(context.Background(), "stitch.add")
@@ -369,6 +419,56 @@ func (s *Stitcher) refine(stored, observed bitset.Sparse) bitset.Sparse {
 	default:
 		return stored.Intersect(observed)
 	}
+}
+
+// sanitize applies the configured outlier filters, returning a copy of the
+// sample with rejected pages replaced by empty (unobserved) fingerprints
+// and the number of pages rejected. An empty page participates in nothing:
+// it is skipped by alignment, verification, and indexing, so a rejected
+// page is exactly "this page was not captured" — the graceful-degradation
+// contract that lets a bounded fraction of corruption pass through the
+// stitcher without poisoning cluster merging.
+func (s *Stitcher) sanitize(sample Sample) (Sample, int) {
+	maxCard := -1
+	if s.cfg.OutlierFactor > 0 {
+		cards := make([]int, 0, len(sample.Pages))
+		for _, p := range sample.Pages {
+			if p.Card() > 0 {
+				cards = append(cards, p.Card())
+			}
+		}
+		if len(cards) >= 3 { // a median of fewer observations is no baseline
+			sort.Ints(cards)
+			maxCard = int(s.cfg.OutlierFactor * float64(cards[len(cards)/2]))
+		}
+	}
+	out := Sample{Pages: make([]bitset.Sparse, len(sample.Pages))}
+	rejected := 0
+	for i, p := range sample.Pages {
+		switch {
+		case p.Card() == 0:
+			out.Pages[i] = p
+		// Sparse fingerprints are sorted ascending, so the last position is
+		// the maximum: one comparison decides the range check.
+		case s.cfg.MaxBitPos > 0 && p[len(p)-1] >= s.cfg.MaxBitPos:
+			rejected++
+		case maxCard > 0 && p.Card() > maxCard:
+			rejected++
+		default:
+			out.Pages[i] = p
+		}
+	}
+	return out, rejected
+}
+
+// hasObservedPage reports whether any page of the sample carries bits.
+func hasObservedPage(sample Sample) bool {
+	for _, p := range sample.Pages {
+		if p.Card() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // indexPage registers a page in the LSH index (no-op in brute mode; brute
