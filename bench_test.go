@@ -88,7 +88,7 @@ func BenchmarkFig7Uniqueness(b *testing.B) {
 	c := corpusForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := experiment.RunFig7(c)
+		r := experiment.RunFig7(c, 1)
 		if r.IdentifyCorrect != r.IdentifyTotal {
 			b.Fatalf("identification %d/%d", r.IdentifyCorrect, r.IdentifyTotal)
 		}
@@ -111,7 +111,7 @@ func BenchmarkFig9Thermal(b *testing.B) {
 	c := corpusForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := experiment.RunFig9(c)
+		r := experiment.RunFig9(c, 1)
 		b.ReportMetric(r.MeanSpread, "mean-spread")
 	}
 }
@@ -131,7 +131,7 @@ func BenchmarkFig11AccuracyPrivacy(b *testing.B) {
 	c := corpusForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := experiment.RunFig11(c)
+		r := experiment.RunFig11(c, 1)
 		b.ReportMetric(r.MinBetween, "min-between")
 	}
 }
@@ -442,7 +442,7 @@ func BenchmarkThresholdSweep(b *testing.B) {
 	c := corpusForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiment.RunThresholdSweep(c, experiment.DefaultThresholdSweep())
+		r, err := experiment.RunThresholdSweep(c, experiment.DefaultThresholdSweep(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -43,6 +43,7 @@ import (
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/obs"
 	"probablecause/internal/osmodel"
+	"probablecause/internal/pool"
 	"probablecause/internal/samplefile"
 	"probablecause/internal/stitch"
 	"probablecause/internal/workload"
@@ -168,11 +169,12 @@ func cmdCharacterize(args []string) (err error) {
 }
 
 func cmdIdentify(args []string) (err error) {
-	fs, obsOpts := newFlagSet("identify", "identify -exact FILE -approx FILE -db FP[,FP...] [-threshold T]")
+	fs, obsOpts := newFlagSet("identify", "identify -exact FILE -approx FILE -db FP[,FP...] [-threshold T] [-indexed]")
 	exactPath := fs.String("exact", "", "exact data file")
 	approxPath := fs.String("approx", "", "approximate output file")
 	dbList := fs.String("db", "", "comma-separated fingerprint files")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold")
+	indexed := fs.Bool("indexed", false, "use the LSH-indexed lookup (sublinear in database size; identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -224,7 +226,15 @@ func cmdIdentify(args []string) (err error) {
 		}
 		db.Add(filepath.Base(name), &fp)
 	}
-	name, _, dist := db.IdentifyBest(es)
+	var ident fingerprint.Identifier = db
+	if *indexed {
+		ix, err := fingerprint.IndexDB(db, fingerprint.IndexedConfig{})
+		if err != nil {
+			return err
+		}
+		ident = ix
+	}
+	name, _, dist := ident.IdentifyBest(es)
 	if dist < *threshold {
 		fmt.Printf("MATCH %s (distance %.4f, threshold %g)\n", name, dist, *threshold)
 		return nil
@@ -420,10 +430,11 @@ func cmdGensamples(args []string) (err error) {
 // cmdStitch runs the whole-memory fingerprint-stitching attack over a sample
 // file, reporting the suspected-machine count as samples accumulate.
 func cmdStitch(args []string) (err error) {
-	fs, obsOpts := newFlagSet("stitch", "stitch -in FILE [-lenient] [-save DB] [-load DB] [-threshold T] [-overlap N]")
+	fs, obsOpts := newFlagSet("stitch", "stitch -in FILE [-lenient] [-save DB] [-load DB] [-threshold T] [-overlap N] [-workers N]")
 	inPath := fs.String("in", "samples.jsonl", "sample file (JSON lines)")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "page match threshold")
 	minOverlap := fs.Int("overlap", 1, "pages that must align to merge")
+	workers := fs.Int("workers", 1, "worker pool size for signing/verification (0 = one per CPU); any value produces identical clusters")
 	every := fs.Int("progress", 100, "print progress every N samples")
 	loadPath := fs.String("load", "", "resume from a previously saved database")
 	savePath := fs.String("save", "", "save the database when done")
@@ -445,7 +456,7 @@ func cmdStitch(args []string) (err error) {
 		return err
 	}
 	defer f.Close()
-	cfg := stitch.Config{Threshold: *threshold, MinOverlap: *minOverlap}
+	cfg := stitch.Config{Threshold: *threshold, MinOverlap: *minOverlap, Workers: pool.Workers(*workers)}
 	if *lenient {
 		cfg.MaxBitPos = dram.PageBits
 		cfg.OutlierFactor = 8

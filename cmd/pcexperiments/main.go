@@ -41,6 +41,7 @@ import (
 	"probablecause/internal/experiment"
 	"probablecause/internal/faults"
 	"probablecause/internal/obs"
+	"probablecause/internal/pool"
 	"probablecause/internal/runner"
 )
 
@@ -60,6 +61,7 @@ func run(args []string) (err error) {
 	scale := fs.String("scale", "default", "experiment scale: small, default, or paper")
 	out := fs.String("out", "results", "output directory for CSV/PGM artifacts and the checkpoint manifest")
 	scattered := fs.Bool("scattered", false, "fig13: use page-level-ASLR (scattered) placement")
+	workers := fs.Int("workers", 1, "worker pool size inside each experiment (0 = one per CPU); any value produces identical results")
 	resume := fs.Bool("resume", false, "skip experiments the manifest in -out already records as done")
 	timeout := fs.Duration("timeout", 0, "per-experiment timeout (0 = unbounded)")
 	retries := fs.Int("retries", 2, "extra attempts for experiments failing with transient errors")
@@ -91,7 +93,7 @@ func run(args []string) (err error) {
 		fmt.Printf("fault injection active: %s (seed %#x)\n", plan, *faultSeed)
 	}
 
-	specs, err := suite(*runSel, *scale, *scattered)
+	specs, err := suite(*runSel, *scale, *scattered, pool.Workers(*workers))
 	if err != nil {
 		return err
 	}
@@ -134,8 +136,8 @@ func run(args []string) (err error) {
 }
 
 // suite resolves the -run selection against the full experiment registry.
-func suite(sel, scale string, scattered bool) ([]runner.Spec, error) {
-	all := specs(scale, scattered)
+func suite(sel, scale string, scattered bool, workers int) ([]runner.Spec, error) {
+	all := specs(scale, scattered, workers)
 	if sel == "" || sel == "all" {
 		return all, nil
 	}
@@ -197,7 +199,7 @@ func (b *corpusBox) get(rc *runner.RunContext) (*experiment.Corpus, error) {
 // specs is the experiment registry, in the order the original script ran
 // them. Each body reports through the RunContext so output and artifacts
 // stay attributable (and suppressible) per attempt.
-func specs(scale string, scattered bool) []runner.Spec {
+func specs(scale string, scattered bool, workers int) []runner.Spec {
 	small := scale == "small"
 	corpus := &corpusBox{scale: scale}
 	return []runner.Spec{
@@ -223,7 +225,7 @@ func specs(scale string, scattered bool) []runner.Spec {
 			if err != nil {
 				return err
 			}
-			r := experiment.RunFig7(c)
+			r := experiment.RunFig7(c, workers)
 			rc.Section(r.Render())
 			return rc.WriteArtifact("fig7.csv", []byte(r.CSV()))
 		}},
@@ -244,7 +246,7 @@ func specs(scale string, scattered bool) []runner.Spec {
 			if err != nil {
 				return err
 			}
-			r := experiment.RunFig9(c)
+			r := experiment.RunFig9(c, workers)
 			rc.Section(r.Render())
 			return rc.WriteArtifact("fig9.csv", []byte(r.GroupedDistances.CSV()))
 		}},
@@ -265,7 +267,7 @@ func specs(scale string, scattered bool) []runner.Spec {
 			if err != nil {
 				return err
 			}
-			r := experiment.RunFig11(c)
+			r := experiment.RunFig11(c, workers)
 			rc.Section(r.Render())
 			return rc.WriteArtifact("fig11.csv", []byte(r.GroupedDistances.CSV()))
 		}},
@@ -274,7 +276,7 @@ func specs(scale string, scattered bool) []runner.Spec {
 			if err != nil {
 				return err
 			}
-			r, err := experiment.RunThresholdSweep(c, experiment.DefaultThresholdSweep())
+			r, err := experiment.RunThresholdSweep(c, experiment.DefaultThresholdSweep(), workers)
 			if err != nil {
 				return err
 			}
@@ -290,6 +292,7 @@ func specs(scale string, scattered bool) []runner.Spec {
 				p = experiment.PaperScaleFig13Params()
 			}
 			p.Scattered = scattered
+			p.Workers = workers
 			if scattered {
 				p.MinOverlap = 2
 			}
@@ -401,6 +404,7 @@ func specs(scale string, scattered bool) []runner.Spec {
 			if small {
 				p = experiment.SmallCollisionParams()
 			}
+			p.Workers = workers
 			r, err := experiment.RunCollisions(p)
 			if err != nil {
 				return err

@@ -23,6 +23,7 @@ import (
 	"probablecause/internal/dram"
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/obs"
+	"probablecause/internal/pool"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run(args []string) (err error) {
 	small := fs.Bool("small", false, "profile an 8 KB window instead of the full 32 KB chip")
 	ddr2 := fs.Bool("ddr2", false, "profile the DDR2 preset instead of the KM41464A")
 	trials := fs.Int("trials", 10, "stability trials at 99% accuracy")
+	workers := fs.Int("workers", 1, "worker pool size for the row-lifetime sweep (0 = one per CPU); output is identical for any value")
 	obsOpts := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,10 +104,16 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	// RowInterval is a pure per-row read, so the sweep fans out; the CSV is
+	// assembled serially in row order and is identical for any worker count.
+	vals := make([]float64, cfg.Geometry.Rows)
+	pool.Map(pool.Workers(*workers), cfg.Geometry.Rows, func(r int) {
+		vals[r] = ra.RowInterval(r)
+	})
 	var rows strings.Builder
 	rows.WriteString("row,first_failure_s\n")
-	for r := 0; r < cfg.Geometry.Rows; r++ {
-		fmt.Fprintf(&rows, "%d,%.4f\n", r, ra.RowInterval(r))
+	for r, v := range vals {
+		fmt.Fprintf(&rows, "%d,%.4f\n", r, v)
 	}
 	if err := writeFile(*out, "row_lifetimes.csv", rows.String()); err != nil {
 		return err

@@ -26,9 +26,16 @@ const wordBits = 64
 
 // Set is a fixed-size dense bit set. The zero value is an empty set of
 // length zero; use New to create a set of a given length.
+//
+// The set caches its own cardinality: every mutator maintains card
+// incrementally (Set/Clear) or fuses the popcount into the word loop it
+// already runs (And/Or/Xor/AndNot), so Count is O(1). Distance — the hottest
+// call in the system — depends on this: it needs both operand weights before
+// it touches a single word.
 type Set struct {
 	words []uint64
 	n     int // number of valid bits
+	card  int // cached number of set bits; invariant: card == recount(words)
 }
 
 // New returns a Set holding n bits, all zero.
@@ -55,13 +62,21 @@ func (s *Set) Len() int { return s.n }
 // Set sets bit i to 1.
 func (s *Set) Set(i int) {
 	s.check(i)
-	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	w, mask := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if s.words[w]&mask == 0 {
+		s.words[w] |= mask
+		s.card++
+	}
 }
 
 // Clear sets bit i to 0.
 func (s *Set) Clear(i int) {
 	s.check(i)
-	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	w, mask := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if s.words[w]&mask != 0 {
+		s.words[w] &^= mask
+		s.card--
+	}
 }
 
 // Get reports whether bit i is set.
@@ -76,18 +91,24 @@ func (s *Set) check(i int) {
 	}
 }
 
-// Count returns the number of set bits (the Hamming weight).
-func (s *Set) Count() int {
+// Count returns the number of set bits (the Hamming weight). It reads the
+// cached cardinality and costs O(1).
+func (s *Set) Count() int { return s.card }
+
+// recount recomputes the cached cardinality from the words. Only bulk loads
+// (FromBytes, UnmarshalBinary) need it; every other mutator maintains card
+// incrementally.
+func (s *Set) recount() {
 	c := 0
 	for _, w := range s.words {
 		c += bits.OnesCount64(w)
 	}
-	return c
+	s.card = c
 }
 
 // Clone returns a deep copy of s.
 func (s *Set) Clone() *Set {
-	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n, card: s.card}
 	copy(c.words, s.words)
 	return c
 }
@@ -97,6 +118,7 @@ func (s *Set) Reset() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+	s.card = 0
 }
 
 func (s *Set) sameShape(o *Set) {
@@ -105,21 +127,28 @@ func (s *Set) sameShape(o *Set) {
 	}
 }
 
-// And sets s = s ∩ o and returns s.
+// And sets s = s ∩ o and returns s. The cardinality update is fused into the
+// word loop the operation already runs.
 func (s *Set) And(o *Set) *Set {
 	s.sameShape(o)
+	c := 0
 	for i := range s.words {
 		s.words[i] &= o.words[i]
+		c += bits.OnesCount64(s.words[i])
 	}
+	s.card = c
 	return s
 }
 
 // Or sets s = s ∪ o and returns s.
 func (s *Set) Or(o *Set) *Set {
 	s.sameShape(o)
+	c := 0
 	for i := range s.words {
 		s.words[i] |= o.words[i]
+		c += bits.OnesCount64(s.words[i])
 	}
+	s.card = c
 	return s
 }
 
@@ -127,18 +156,24 @@ func (s *Set) Or(o *Set) *Set {
 // exact data yields the error string (Algorithm 1, line 2).
 func (s *Set) Xor(o *Set) *Set {
 	s.sameShape(o)
+	c := 0
 	for i := range s.words {
 		s.words[i] ^= o.words[i]
+		c += bits.OnesCount64(s.words[i])
 	}
+	s.card = c
 	return s
 }
 
 // AndNot sets s = s \ o and returns s.
 func (s *Set) AndNot(o *Set) *Set {
 	s.sameShape(o)
+	c := 0
 	for i := range s.words {
 		s.words[i] &^= o.words[i]
+		c += bits.OnesCount64(s.words[i])
 	}
+	s.card = c
 	return s
 }
 
@@ -162,6 +197,26 @@ func (s *Set) AndNotCount(o *Set) int {
 		c += bits.OnesCount64(w &^ o.words[i])
 	}
 	return c
+}
+
+// MinCardAndNotCount is the fused kernel behind the Distance hot loop
+// (Algorithm 3). Following the paper's footnote, whichever of s and o has
+// fewer set bits plays the fingerprint role; the kernel picks that side with
+// two O(1) cached-cardinality reads and computes |small \ large| in a single
+// pass over the words. It returns the smaller and larger cardinalities and
+// the difference count. When the cardinalities tie, s is the fingerprint, so
+// callers that pass (fp, errorString) keep the paper's orientation.
+func MinCardAndNotCount(s, o *Set) (minCard, maxCard, diff int) {
+	s.sameShape(o)
+	a, b := s, o
+	if a.card > b.card {
+		a, b = b, a
+	}
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w &^ b.words[i])
+	}
+	return a.card, b.card, c
 }
 
 // XorCount returns the Hamming distance |s ⊕ o| without modifying either set.
@@ -286,6 +341,7 @@ func (s *Set) UnmarshalBinary(data []byte) error {
 	}
 	// Defensive: clear any bits past n so invariants hold on crafted input.
 	s.trim()
+	s.recount()
 	return nil
 }
 
@@ -307,6 +363,7 @@ func FromBytes(data []byte) *Set {
 	for i := len(data) &^ 7; i < len(data); i++ {
 		s.words[i/8] |= uint64(data[i]) << uint(8*(i%8))
 	}
+	s.recount()
 	return s
 }
 

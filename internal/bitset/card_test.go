@@ -1,0 +1,118 @@
+package bitset
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// recountWords is the reference cardinality: a fresh popcount over the words,
+// bypassing the cache the production Count() serves from.
+func recountWords(s *Set) int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+func checkCard(t *testing.T, s *Set, ctx string) {
+	t.Helper()
+	if got, want := s.Count(), recountWords(s); got != want {
+		t.Fatalf("%s: cached Count() = %d, recount = %d", ctx, got, want)
+	}
+}
+
+func TestCachedCardIncremental(t *testing.T) {
+	s := New(200)
+	checkCard(t, s, "fresh")
+	s.Set(0)
+	s.Set(0) // idempotent: card must not double-count
+	s.Set(63)
+	s.Set(64)
+	s.Set(199)
+	checkCard(t, s, "after sets")
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Clear(63)
+	s.Clear(63) // idempotent
+	checkCard(t, s, "after clears")
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	s.Reset()
+	checkCard(t, s, "after reset")
+	if s.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", s.Count())
+	}
+}
+
+func TestCachedCardBulkOps(t *testing.T) {
+	a := FromPositions(256, []uint32{1, 5, 64, 100, 255})
+	b := FromPositions(256, []uint32{5, 64, 128, 254})
+	for _, tc := range []struct {
+		name string
+		op   func(x, y *Set) *Set
+	}{
+		{"and", (*Set).And},
+		{"or", (*Set).Or},
+		{"xor", (*Set).Xor},
+		{"andnot", (*Set).AndNot},
+	} {
+		x := a.Clone()
+		tc.op(x, b)
+		checkCard(t, x, tc.name)
+	}
+	checkCard(t, a.Clone(), "clone")
+}
+
+func TestCachedCardLoadPaths(t *testing.T) {
+	s := FromBytes([]byte{0xFF, 0x00, 0x81, 0xAA, 0x01})
+	checkCard(t, s, "FromBytes")
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u Set
+	if err := u.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	checkCard(t, &u, "UnmarshalBinary")
+	if u.Count() != s.Count() {
+		t.Fatalf("round-trip count %d != %d", u.Count(), s.Count())
+	}
+}
+
+func TestMinCardAndNotCount(t *testing.T) {
+	fp := FromPositions(128, []uint32{1, 2, 3, 70})
+	es := FromPositions(128, []uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	minC, maxC, diff := MinCardAndNotCount(fp, es)
+	if minC != 4 || maxC != 8 {
+		t.Fatalf("cards = (%d, %d), want (4, 8)", minC, maxC)
+	}
+	if diff != 1 { // position 70 is the only fp bit missing from es
+		t.Fatalf("diff = %d, want 1", diff)
+	}
+	// Symmetric usage: the smaller side is picked regardless of argument order.
+	minC2, maxC2, diff2 := MinCardAndNotCount(es, fp)
+	if minC2 != minC || maxC2 != maxC || diff2 != diff {
+		t.Fatalf("order sensitivity: (%d,%d,%d) vs (%d,%d,%d)", minC2, maxC2, diff2, minC, maxC, diff)
+	}
+	// Ties keep the first argument as the fingerprint.
+	x := FromPositions(64, []uint32{0, 1})
+	y := FromPositions(64, []uint32{1, 2})
+	if _, _, d := MinCardAndNotCount(x, y); d != 1 {
+		t.Fatalf("tie diff = %d, want |x \\ y| = 1", d)
+	}
+}
+
+func TestMinCardAndNotCountMatchesNaive(t *testing.T) {
+	a := FromPositions(512, []uint32{0, 63, 64, 65, 200, 301, 302, 511})
+	b := FromPositions(512, []uint32{63, 65, 300, 301, 500})
+	small, large := b, a
+	minC, maxC, diff := MinCardAndNotCount(a, b)
+	if minC != small.Count() || maxC != large.Count() || diff != small.AndNotCount(large) {
+		t.Fatalf("fused (%d,%d,%d) != naive (%d,%d,%d)",
+			minC, maxC, diff, small.Count(), large.Count(), small.AndNotCount(large))
+	}
+}

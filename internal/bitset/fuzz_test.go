@@ -1,6 +1,9 @@
 package bitset
 
-import "testing"
+import (
+	"math/bits"
+	"testing"
+)
 
 // FuzzUnmarshalBinary: the dense-set decoder must never panic and anything
 // it accepts must survive a marshal round trip.
@@ -24,6 +27,66 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		}
 		if !again.Equal(&s) {
 			t.Fatal("round trip changed the set")
+		}
+	})
+}
+
+// FuzzCachedCard drives a random operation sequence through two sets and
+// asserts the cached cardinality stays equal to a fresh popcount after every
+// step. The program is the fuzz input: each byte pair is (opcode, operand).
+// This is the invariant the whole Distance fast path rests on — a stale
+// cache silently mis-ranks fingerprints instead of crashing, so only an
+// explicit recount can catch it.
+func FuzzCachedCard(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 10, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 0})
+	f.Add([]byte{0, 1, 0, 1, 1, 1, 6, 0, 0, 200})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const n = 192
+		s, o := New(n), New(n)
+		// Give the second operand some content so binary ops do work.
+		for i := 0; i < n; i += 7 {
+			o.Set(i)
+		}
+		verify := func(set *Set, op string) {
+			c := 0
+			for _, w := range set.words {
+				c += bits.OnesCount64(w)
+			}
+			if set.Count() != c {
+				t.Fatalf("after %s: cached %d != recount %d", op, set.Count(), c)
+			}
+		}
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i]%8, int(program[i+1])%n
+			switch op {
+			case 0:
+				s.Set(arg)
+			case 1:
+				s.Clear(arg)
+			case 2:
+				s.And(o)
+			case 3:
+				s.Or(o)
+			case 4:
+				s.Xor(o)
+			case 5:
+				s.AndNot(o)
+			case 6:
+				s.Reset()
+			case 7:
+				o.Set(arg) // mutate the operand too
+			}
+			verify(s, "s-op")
+			verify(o, "o-op")
+			minC, maxC, diff := MinCardAndNotCount(s, o)
+			a, b := s, o
+			if a.Count() > b.Count() {
+				a, b = b, a
+			}
+			if minC != a.Count() || maxC != b.Count() || diff != a.AndNotCount(b) {
+				t.Fatalf("fused kernel diverged: (%d,%d,%d) vs (%d,%d,%d)",
+					minC, maxC, diff, a.Count(), b.Count(), a.AndNotCount(b))
+			}
 		}
 	})
 }

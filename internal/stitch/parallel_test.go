@@ -1,0 +1,91 @@
+package stitch
+
+import (
+	"bytes"
+	"testing"
+
+	"probablecause/internal/drammodel"
+	"probablecause/internal/prng"
+)
+
+// stitchAll runs the full sample stream through a fresh stitcher with the
+// given worker count and returns the canonical serialized database.
+func stitchAll(t *testing.T, cfg Config, samples []Sample, workers int) ([]byte, int) {
+	t.Helper()
+	cfg.Workers = workers
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range samples {
+		if _, err := st.Add(smp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st.Count()
+}
+
+// overlappingSamples builds a stream whose windows overlap enough to force
+// merges, unions of multiple roots, and refinement — every code path the
+// parallel phases touch.
+func overlappingSamples(t *testing.T, seed uint64, n, width, span int) []Sample {
+	t.Helper()
+	model := drammodel.New(seed)
+	model.BandSigma = 0
+	rng := prng.New(seed ^ 0xA11E1)
+	starts := make([]int, n)
+	for i := range starts {
+		starts[i] = rng.Intn(span)
+	}
+	return buildSamples(t, model, starts, width)
+}
+
+// TestParallelStitchMatchesSerial is the tentpole determinism contract: for
+// every worker count the stitcher produces a byte-identical database —
+// identical clusters, offsets, and page fingerprints — because mutation stays
+// serial and the verified-alignment merge order is sorted, not scheduled.
+func TestParallelStitchMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"lsh", Config{}},
+		{"brute", Config{Brute: true}},
+		{"union-refine", Config{Refine: RefineUnion}},
+		{"min-overlap-2", Config{MinOverlap: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			samples := overlappingSamples(t, 0x5717C4+uint64(len(tc.name)), 24, 6, 40)
+			wantDB, wantCount := stitchAll(t, tc.cfg, samples, 1)
+			for _, workers := range []int{2, 4, 8} {
+				gotDB, gotCount := stitchAll(t, tc.cfg, samples, workers)
+				if gotCount != wantCount {
+					t.Fatalf("workers=%d: %d clusters, serial built %d", workers, gotCount, wantCount)
+				}
+				if !bytes.Equal(gotDB, wantDB) {
+					t.Fatalf("workers=%d: serialized database differs from serial run (%d vs %d bytes)",
+						workers, len(gotDB), len(wantDB))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelStitchDeterministicAcrossRuns guards against within-run
+// nondeterminism that a serial-vs-parallel diff can miss (e.g. map iteration
+// order leaking into merge decisions on BOTH sides): the same input must
+// yield the same bytes on repeated parallel runs.
+func TestParallelStitchDeterministicAcrossRuns(t *testing.T) {
+	samples := overlappingSamples(t, 0xD37, 20, 5, 30)
+	first, _ := stitchAll(t, Config{}, samples, 4)
+	for run := 0; run < 3; run++ {
+		again, _ := stitchAll(t, Config{}, samples, 4)
+		if !bytes.Equal(first, again) {
+			t.Fatalf("run %d produced different bytes than run 0", run)
+		}
+	}
+}

@@ -137,7 +137,7 @@ func Load(r io.Reader, cfg Config) (*Stitcher, error) {
 				return nil, fmt.Errorf("stitch: cluster %d has duplicate offset %d", ci, off)
 			}
 			m[off] = fp
-			st.indexPage(id, off, fp)
+			st.indexPage(id, off, fp, nil, 0)
 		}
 	}
 	return st, nil

@@ -35,6 +35,7 @@ import (
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/minhash"
 	"probablecause/internal/obs"
+	"probablecause/internal/pool"
 )
 
 // Stitching metrics. The gauges answer the attack's two headline questions
@@ -113,6 +114,14 @@ type Config struct {
 	// siblings is corruption, not physics. 8 is a safe factor for the
 	// paper's error-rate regimes.
 	OutlierFactor float64
+
+	// Workers bounds the worker pool used inside Add for per-page signature
+	// computation, candidate lookup, and alignment verification — the
+	// read-only phases that dominate stitching cost. 0 or 1 runs inline
+	// (pool.Map semantics); any worker count produces byte-identical
+	// clusters because union-find mutation and merging stay serial and the
+	// merge order is fixed by sorting verified alignments.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -262,12 +271,17 @@ func (s *Stitcher) Add(sample Sample) (int, error) {
 
 // add is Add's instrumented body.
 func (s *Stitcher) add(ctx context.Context, sample Sample) int {
+	// Sign every observed page exactly once, up front: the signatures feed
+	// both candidate lookup and, for pages that turn out to be new, index
+	// insertion. Signing is the pure, per-page dominant cost, so it fans out
+	// across the pool.
+	sigs := s.signPages(sample)
 	_, asp := obs.Start(ctx, "stitch.align")
-	aligns := s.alignments(sample)
+	aligns := s.alignments(sample, sigs)
 	asp.SetAttr("alignments", len(aligns))
 	asp.End()
 	if len(aligns) == 0 {
-		return s.newCluster(sample)
+		return s.newCluster(sample, sigs)
 	}
 
 	// Merge the sample into the first verified alignment, then union every
@@ -281,49 +295,105 @@ func (s *Stitcher) add(ctx context.Context, sample Sample) int {
 	}
 	root, off := s.find(primary.root)
 	_, msp := obs.Start(ctx, "stitch.merge")
-	s.mergeSample(root, primary.base+off, sample)
+	s.mergeSample(root, primary.base+off, sample, sigs)
 	msp.End()
 	return root
 }
 
-// alignments returns verified alignments, deduplicated by root, best first.
-func (s *Stitcher) alignments(sample Sample) []alignment {
-	votes := make(map[alignment]int)
-	for i, fp := range sample.Pages {
-		if fp.Card() == 0 {
-			continue
+// signPages computes the LSH signature of every observed page, fanned across
+// the configured pool. Returns nil in brute mode, where signatures are unused.
+func (s *Stitcher) signPages(sample Sample) []minhash.Signature {
+	if s.cfg.Brute {
+		return nil
+	}
+	sigs := make([]minhash.Signature, len(sample.Pages))
+	pool.Map(s.cfg.Workers, len(sample.Pages), func(i int) {
+		if sample.Pages[i].Card() > 0 {
+			sigs[i] = s.cfg.Scheme.Sign(sample.Pages[i])
 		}
-		for _, ref := range s.candidates(fp) {
+	})
+	return sigs
+}
+
+// alignments returns verified alignments, deduplicated by root, best first.
+// The order is fully deterministic — (matched desc, root asc, base asc) — so
+// the downstream merge applies identically for every worker count.
+func (s *Stitcher) alignments(sample Sample, sigs []minhash.Signature) []alignment {
+	// Candidate lookup per page is read-only on the index (or, in brute
+	// mode, on the cluster maps) and runs in parallel.
+	cands := make([][]pageRef, len(sample.Pages))
+	pool.Map(s.cfg.Workers, len(sample.Pages), func(i int) {
+		if sample.Pages[i].Card() > 0 {
+			cands[i] = s.candidates(sample.Pages[i], sigs, i)
+		}
+	})
+	// Vote resolution must stay serial: find() compresses paths, mutating
+	// the union-find arrays.
+	votes := make(map[alignment]int)
+	for i := range sample.Pages {
+		for _, ref := range cands[i] {
 			root, off := s.find(ref.cluster)
 			votes[alignment{root: root, base: ref.offset + off - i}]++
 		}
 	}
-	// Verify each distinct candidate alignment; keep the best per root.
+	distinct := make([]alignment, 0, len(votes))
+	for a := range votes {
+		distinct = append(distinct, a)
+	}
+	sort.Slice(distinct, func(i, j int) bool {
+		if distinct[i].root != distinct[j].root {
+			return distinct[i].root < distinct[j].root
+		}
+		return distinct[i].base < distinct[j].base
+	})
+	// Verification only reads cluster pages; each distinct alignment
+	// verifies independently. Results land in index-owned slots so the
+	// reduction below sees them in sorted order regardless of completion
+	// order.
+	matched := make([]int, len(distinct))
+	pool.Map(s.cfg.Workers, len(distinct), func(k int) {
+		matched[k] = s.verify(distinct[k], sample)
+	})
+	// Keep the best alignment per root; ties resolve to the first in sorted
+	// order, never to map-iteration luck.
 	type scored struct {
 		a       alignment
 		matched int
 	}
 	best := make(map[int]scored)
-	for a := range votes {
-		matched := s.verify(a, sample)
-		if matched < s.cfg.MinOverlap {
+	for k, a := range distinct {
+		if matched[k] < s.cfg.MinOverlap {
 			continue
 		}
-		if b, ok := best[a.root]; !ok || matched > b.matched {
-			best[a.root] = scored{a: a, matched: matched}
+		if b, ok := best[a.root]; !ok || matched[k] > b.matched {
+			best[a.root] = scored{a: a, matched: matched[k]}
 		}
 	}
-	out := make([]alignment, 0, len(best))
+	out := make([]scored, 0, len(best))
 	for _, b := range best {
-		out = append(out, b.a)
+		out = append(out, b)
 	}
-	return out
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].matched != out[j].matched {
+			return out[i].matched > out[j].matched
+		}
+		if out[i].a.root != out[j].a.root {
+			return out[i].a.root < out[j].a.root
+		}
+		return out[i].a.base < out[j].a.base
+	})
+	aligns := make([]alignment, len(out))
+	for i, b := range out {
+		aligns[i] = b.a
+	}
+	return aligns
 }
 
-// candidates returns page references possibly matching fp.
-func (s *Stitcher) candidates(fp bitset.Sparse) []pageRef {
+// candidates returns page references possibly matching sample page i. Safe
+// for concurrent use: it reads the index (or cluster maps) only.
+func (s *Stitcher) candidates(fp bitset.Sparse, sigs []minhash.Signature, i int) []pageRef {
 	if !s.cfg.Brute {
-		out := s.index.Candidates(s.cfg.Scheme.Sign(fp))
+		out := s.index.Candidates(sigs[i])
 		if obs.On() {
 			cCandidates.Add(int64(len(out)))
 		}
@@ -373,8 +443,9 @@ func (s *Stitcher) verify(a alignment, sample Sample) int {
 	return matched
 }
 
-// newCluster stores the sample as a fresh cluster.
-func (s *Stitcher) newCluster(sample Sample) int {
+// newCluster stores the sample as a fresh cluster, reusing the signatures
+// computed at the top of add.
+func (s *Stitcher) newCluster(sample Sample, sigs []minhash.Signature) int {
 	id := len(s.parent)
 	s.parent = append(s.parent, id)
 	s.shift = append(s.shift, 0)
@@ -386,13 +457,13 @@ func (s *Stitcher) newCluster(sample Sample) int {
 	}
 	for i, fp := range sample.Pages {
 		m[i] = fp.Clone()
-		s.indexPage(id, i, fp)
+		s.indexPage(id, i, fp, sigs, i)
 	}
 	return id
 }
 
 // mergeSample folds the sample into root at the given base offset.
-func (s *Stitcher) mergeSample(root, base int, sample Sample) {
+func (s *Stitcher) mergeSample(root, base int, sample Sample, sigs []minhash.Signature) {
 	m := s.pages[root]
 	for i, fp := range sample.Pages {
 		off := base + i
@@ -405,7 +476,7 @@ func (s *Stitcher) mergeSample(root, base int, sample Sample) {
 			continue
 		}
 		m[off] = fp.Clone()
-		s.indexPage(root, off, fp)
+		s.indexPage(root, off, fp, sigs, i)
 	}
 }
 
@@ -472,12 +543,22 @@ func hasObservedPage(sample Sample) bool {
 }
 
 // indexPage registers a page in the LSH index (no-op in brute mode; brute
-// candidates scan the cluster maps directly).
-func (s *Stitcher) indexPage(cluster, offset int, fp bitset.Sparse) {
+// candidates scan the cluster maps directly). When the caller is stitching a
+// sample, the page's precomputed signature is passed via (sigs, i); callers
+// without one (Load rebuilding the index) pass nil and the page is signed
+// here.
+func (s *Stitcher) indexPage(cluster, offset int, fp bitset.Sparse, sigs []minhash.Signature, i int) {
 	if s.cfg.Brute || fp.Card() == 0 {
 		return
 	}
-	s.index.Add(s.cfg.Scheme.Sign(fp), pageRef{cluster: cluster, offset: offset})
+	sig := minhash.Signature(nil)
+	if sigs != nil {
+		sig = sigs[i]
+	}
+	if sig == nil {
+		sig = s.cfg.Scheme.Sign(fp)
+	}
+	s.index.Add(sig, pageRef{cluster: cluster, offset: offset})
 }
 
 // union merges cluster a into cluster b's component. delta is the offset
