@@ -2,6 +2,7 @@ package probablecause_test
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -26,12 +27,28 @@ func buildCLIs(t *testing.T) (pcause, pcexperiments string) {
 
 func runCLI(t *testing.T, bin string, args ...string) string {
 	t.Helper()
+	out, code := runCLIStatus(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("%s %s: exit %d\n%s", filepath.Base(bin), strings.Join(args, " "), code, out)
+	}
+	return out
+}
+
+// runCLIStatus runs the command and returns its combined output and exit
+// code — for commands whose exit code is part of the contract (identify's
+// verdict codes).
+func runCLIStatus(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
-		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+		}
+		return string(out), ee.ExitCode()
 	}
-	return string(out)
+	return string(out), 0
 }
 
 func TestCLIFullAttackWorkflow(t *testing.T) {
@@ -78,8 +95,8 @@ func TestCLIFullAttackWorkflow(t *testing.T) {
 	if out := runCLI(t, pcause, "identify", "-exact", exactPath, "-approx", a3, "-db", db); !strings.Contains(out, "MATCH deviceA") {
 		t.Fatalf("identify (same device): %s", out)
 	}
-	if out := runCLI(t, pcause, "identify", "-exact", exactPath, "-approx", b1, "-db", db); !strings.Contains(out, "no match") {
-		t.Fatalf("identify (other device): %s", out)
+	if out, code := runCLIStatus(t, pcause, "identify", "-exact", exactPath, "-approx", b1, "-db", db); !strings.Contains(out, "no match") || code != 3 {
+		t.Fatalf("identify (other device): exit %d, %s", code, out)
 	}
 
 	out = runCLI(t, pcause, "cluster", "-exact", exactPath, "-approx", strings.Join([]string{a1, a2, a3, b1}, ","))

@@ -27,6 +27,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -78,10 +79,29 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		var st *statusError
+		if errors.As(err, &st) {
+			os.Exit(st.code)
+		}
 		fmt.Fprintln(os.Stderr, "pcause:", err)
 		os.Exit(1)
 	}
 }
+
+// statusError carries a verdict exit code out of a subcommand without
+// printing anything beyond what the command already wrote: identify exits 0
+// on an unambiguous match, identifyExitNoMatch when nothing is within
+// threshold, and identifyExitAmbiguous when several entries are — so scripts
+// can branch on the verdict without parsing output.
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return fmt.Sprintf("exit status %d", e.code) }
+
+// Identify verdict exit codes.
+const (
+	identifyExitNoMatch   = 3
+	identifyExitAmbiguous = 4
+)
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage: pcause <command> [flags]
@@ -169,12 +189,13 @@ func cmdCharacterize(args []string) (err error) {
 }
 
 func cmdIdentify(args []string) (err error) {
-	fs, obsOpts := newFlagSet("identify", "identify -exact FILE -approx FILE -db FP[,FP...] [-threshold T] [-indexed]")
+	fs, obsOpts := newFlagSet("identify", "identify -exact FILE -approx FILE -db FP[,FP...] [-threshold T] [-indexed] [-json]")
 	exactPath := fs.String("exact", "", "exact data file")
 	approxPath := fs.String("approx", "", "approximate output file")
 	dbList := fs.String("db", "", "comma-separated fingerprint files")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold")
 	indexed := fs.Bool("indexed", false, "use the LSH-indexed lookup (sublinear in database size; identical results)")
+	asJSON := fs.Bool("json", false, "emit the verdict as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -234,13 +255,42 @@ func cmdIdentify(args []string) (err error) {
 		}
 		ident = ix
 	}
-	name, _, dist := ident.IdentifyBest(es)
-	if dist < *threshold {
-		fmt.Printf("MATCH %s (distance %.4f, threshold %g)\n", name, dist, *threshold)
-		return nil
+	v := ident.Decide(es)
+	if *asJSON {
+		blob, err := json.Marshal(struct {
+			Match     bool    `json:"match"`
+			Ambiguous bool    `json:"ambiguous"`
+			Matches   int     `json:"matches"`
+			Name      string  `json:"name"`
+			Distance  float64 `json:"distance"`
+			Threshold float64 `json:"threshold"`
+		}{v.OK(), v.Ambiguous(), v.Matches, v.Name, v.Distance, *threshold})
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
 	}
-	fmt.Printf("no match (best %s at distance %.4f, threshold %g)\n", name, dist, *threshold)
-	return nil
+	switch {
+	case v.Ambiguous():
+		// An ambiguous identification is a distinct verdict (Algorithm 3
+		// returns "ambiguous", not the best guess): more than one registered
+		// device is within threshold, so naming one would be a coin flip.
+		if !*asJSON {
+			fmt.Printf("AMBIGUOUS %d devices within threshold %g (best %s at distance %.4f)\n",
+				v.Matches, *threshold, v.Name, v.Distance)
+		}
+		return &statusError{code: identifyExitAmbiguous}
+	case v.OK():
+		if !*asJSON {
+			fmt.Printf("MATCH %s (distance %.4f, threshold %g)\n", v.Name, v.Distance, *threshold)
+		}
+		return nil
+	default:
+		if !*asJSON {
+			fmt.Printf("no match (best %s at distance %.4f, threshold %g)\n", v.Name, v.Distance, *threshold)
+		}
+		return &statusError{code: identifyExitNoMatch}
+	}
 }
 
 func cmdCluster(args []string) (err error) {

@@ -1,0 +1,199 @@
+// Command pcserved serves the fingerprint identification engine over
+// HTTP/JSON: load a fingerprint database, answer "which registered device
+// produced this approximate output?" at fleet scale.
+//
+//	pcserved -db DB[,DB...] [-snapshot FILE] [-addr HOST:PORT] [flags]
+//
+// The serving path layers micro-batching, an N-way sharded database, and an
+// LRU verdict cache over the parallel identification engine; see
+// internal/server. On SIGINT/SIGTERM the server drains in-flight requests
+// and, when -snapshot is set, saves the (possibly mutated) database
+// atomically before exiting — restart with the same -snapshot to resume.
+//
+// API:
+//
+//	POST   /v1/identify        {"len":N,"positions":[...]} → verdict
+//	POST   /v1/identify-batch  {"queries":[...]} → verdicts
+//	POST   /v1/characterize    intersect outputs; optionally register
+//	GET    /v1/db              serving stats
+//	POST   /v1/db              register a fingerprint
+//	DELETE /v1/db?name=N       remove a fingerprint
+//	GET    /healthz            liveness
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/faults"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/obs"
+	"probablecause/internal/samplefile"
+	"probablecause/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pcserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("pcserved", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pcserved [-db DB[,DB...]] [-snapshot FILE] [-addr HOST:PORT] [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	addr := fs.String("addr", "127.0.0.1:8437", "listen address")
+	dbList := fs.String("db", "", "comma-separated fingerprint databases or raw fingerprints to seed from")
+	snapshot := fs.String("snapshot", "", "database snapshot: loaded at startup when present, saved atomically on shutdown")
+	threshold := fs.Float64("threshold", 0, "match threshold (0: take it from the seed database)")
+	shards := fs.Int("shards", 0, fmt.Sprintf("database shard count (0: %d)", fingerprint.DefaultShards))
+	plain := fs.Bool("plain", false, "disable the per-shard LSH indexes (dense-scan shards)")
+	workers := fs.Int("workers", 0, "identification worker pool size (0: one per CPU)")
+	batchWindow := fs.Duration("batch.window", 500*time.Microsecond, "micro-batching coalescing window (0: dispatch immediately)")
+	maxBatch := fs.Int("batch.max", 0, fmt.Sprintf("max identify queries per dispatch (0: %d)", server.DefaultMaxBatch))
+	queue := fs.Int("queue", 0, fmt.Sprintf("identify queue depth; overflow is shed with 429 (0: %d)", server.DefaultQueueDepth))
+	cacheSize := fs.Int("cache", 4096, "verdict cache capacity (0: caching off)")
+	timeout := fs.Duration("timeout", 0, fmt.Sprintf("per-request verdict timeout (0: %s)", server.DefaultRequestTimeout))
+	maxBody := fs.Int64("maxbody", 0, fmt.Sprintf("request body cap in bytes (0: %d)", int64(server.DefaultMaxBodyBytes)))
+	faultSpec := fs.String("faults", "", "chaos: fault plan for request ingest, e.g. readerr=0.01,latency=2ms")
+	faultSeed := fs.Uint64("fault.seed", 0xFA17, "fault-injection seed for -faults")
+	obsOpts := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
+	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
+
+	seed, err := loadSeed(*dbList, *snapshot, *threshold)
+	if err != nil {
+		return err
+	}
+
+	svc, err := server.New(seed, server.Config{
+		Threshold:      *threshold,
+		Shards:         *shards,
+		Plain:          *plain,
+		Workers:        *workers,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		FaultPlan:      plan,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	st := svc.DB().Stats()
+	fmt.Printf("pcserved: listening on %s (%d entries, %d shards)\n", ln.Addr(), st.Entries, len(st.PerShard))
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Printf("pcserved: %s, draining\n", sig)
+	case err := <-serveErr:
+		return err
+	}
+
+	// Graceful drain: stop accepting, finish in-flight HTTP exchanges, then
+	// drain the identify queue so every admitted query gets its verdict.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	svc.Close()
+
+	if *snapshot != "" {
+		db := svc.DB().Export()
+		if err := samplefile.SaveDB(*snapshot, db); err != nil {
+			return err
+		}
+		fmt.Printf("pcserved: saved %d entries to %s\n", db.Len(), *snapshot)
+	}
+	return nil
+}
+
+// loadSeed assembles the startup database: the snapshot when it exists
+// (restart path), else the -db file list (first-boot path), else an empty
+// start. Like pcause identify, each -db file may be a whole PCDB01 database
+// or a single raw fingerprint, detected by magic.
+func loadSeed(dbList, snapshot string, threshold float64) (*fingerprint.DB, error) {
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			return samplefile.LoadDB(snapshot)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	if dbList == "" {
+		return nil, nil
+	}
+	if threshold == 0 {
+		threshold = fingerprint.DefaultThreshold
+	}
+	db := fingerprint.NewDB(threshold)
+	for _, name := range strings.Split(dbList, ",") {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.HasPrefix(data, []byte("PCDB01")) {
+			sub, err := fingerprint.ReadDB(bytes.NewReader(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			for _, e := range sub.Entries() {
+				db.Add(e.Name, e.FP)
+			}
+			continue
+		}
+		var fp bitset.Set
+		if err := fp.UnmarshalBinary(data); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		db.Add(filepath.Base(name), &fp)
+	}
+	return db, nil
+}

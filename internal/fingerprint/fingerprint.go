@@ -273,32 +273,11 @@ func (db *DB) ambiguousAfter(errorString *bitset.Set, i int) bool {
 
 // IdentifyBest returns the database entry with the minimum distance to the
 // error string along with that distance, regardless of threshold. Useful for
-// reporting margins; Identify is the paper's decision procedure.
+// reporting margins; Identify is the paper's decision procedure and Decide
+// carries the full verdict (including the ambiguity count) in one value.
 func (db *DB) IdentifyBest(errorString *bitset.Set) (name string, index int, dist float64) {
-	index = -1
-	dist = 2 // above any possible distance
-	below := 0
-	for i, e := range db.entries {
-		d := Distance(errorString, e.FP)
-		if d < db.threshold {
-			below++
-		}
-		if d < dist {
-			name, index, dist = e.Name, i, d
-		}
-	}
-	if obs.On() {
-		switch {
-		case below == 0:
-			cIdentifyMiss.Inc()
-		case below == 1:
-			cIdentifyHit.Inc()
-		default:
-			cIdentifyHit.Inc()
-			cIdentifyAmbig.Inc()
-		}
-	}
-	return name, index, dist
+	v := db.Decide(errorString)
+	return v.Name, v.Index, v.Distance
 }
 
 // Clusterer implements Algorithm 4: online clustering of approximate outputs

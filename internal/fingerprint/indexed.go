@@ -156,38 +156,8 @@ func (x *IndexedDB) ambiguousAmong(errorString *bitset.Set, rest []int) bool {
 // global best. With NoFallback set the margin is computed over candidates
 // only.
 func (x *IndexedDB) IdentifyBest(errorString *bitset.Set) (name string, index int, dist float64) {
-	index = -1
-	dist = 2 // above any possible distance
-	below := 0
-	cands := x.candidates(errorString)
-	for _, i := range cands {
-		e := x.db.entries[i]
-		d := Distance(errorString, e.FP)
-		if d < x.db.threshold {
-			below++
-		}
-		if d < dist {
-			name, index, dist = e.Name, i, d
-		}
-	}
-	if below == 0 && !x.cfg.NoFallback {
-		if obs.On() {
-			cIndexFallbacks.Inc()
-		}
-		return x.db.IdentifyBest(errorString)
-	}
-	if obs.On() {
-		switch {
-		case below == 0:
-			cIdentifyMiss.Inc()
-		case below == 1:
-			cIdentifyHit.Inc()
-		default:
-			cIdentifyHit.Inc()
-			cIdentifyAmbig.Inc()
-		}
-	}
-	return name, index, dist
+	v := x.Decide(errorString)
+	return v.Name, v.Index, v.Distance
 }
 
 // ParallelIdentify runs Identify for every error string across a bounded
@@ -235,18 +205,22 @@ func sortInts(s []int) {
 	}
 }
 
-// Identifier is the shared identification surface of DB and IndexedDB;
-// experiment drivers take it so the indexed and scan paths are swappable.
+// Identifier is the shared identification surface of DB, IndexedDB, and
+// ShardedDB; experiment drivers and the serving layer take it so the scan,
+// indexed, and sharded paths are swappable.
 type Identifier interface {
 	Identify(errorString *bitset.Set) (name string, index int, ok bool)
 	IdentifyBest(errorString *bitset.Set) (name string, index int, dist float64)
+	Decide(errorString *bitset.Set) Verdict
 	ParallelIdentify(errorStrings []*bitset.Set, workers int) []Match
+	ParallelDecide(errorStrings []*bitset.Set, workers int) []Verdict
 	Len() int
 }
 
 var (
 	_ Identifier = (*DB)(nil)
 	_ Identifier = (*IndexedDB)(nil)
+	_ Identifier = (*ShardedDB)(nil)
 )
 
 // String renders a small summary for logs.

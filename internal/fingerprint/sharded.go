@@ -1,0 +1,398 @@
+package fingerprint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/minhash"
+	"probablecause/internal/obs"
+	"probablecause/internal/pool"
+	"probablecause/internal/prng"
+)
+
+// Sharded-DB metrics: mutation volume and the per-shard balance the
+// signature hashing is supposed to deliver.
+var (
+	cShardAdds    = obs.C("fingerprint.sharded.adds")
+	cShardRemoves = obs.C("fingerprint.sharded.removes")
+)
+
+// DefaultShards is the shard count a zero ShardedConfig selects: enough that
+// per-shard write locks stop serializing a multi-core serving workload,
+// small enough that the per-query fan-out over shards stays negligible next
+// to one Distance call.
+const DefaultShards = 8
+
+// ShardedConfig parameterizes a ShardedDB.
+type ShardedConfig struct {
+	// Shards is the number of shards; 0 selects DefaultShards.
+	Shards int
+	// Index configures the per-shard LSH index (scheme, fallback, build
+	// workers). The zero value selects minhash.DefaultScheme with the
+	// verified fallback on.
+	Index IndexedConfig
+	// Plain disables the per-shard LSH indexes: every shard answers by dense
+	// scan. The ablation configuration, and the strictest correctness
+	// baseline (no index-recall caveats at all).
+	Plain bool
+}
+
+// ShardedDB distributes a fingerprint database over N shards, each an
+// independently locked (Indexed)DB, so concurrent adds and lookups scale
+// across cores: queries take per-shard read locks and mutations write-lock
+// only the one shard owning the entry. Entries are assigned to shards by a
+// hash folded over the MinHash signature's band keys — the same signature
+// the per-shard LSH index stores, computed once per Add.
+//
+// Determinism contract: a ShardedDB built by any interleaving of the same
+// Add sequence answers Decide/Identify/IdentifyBest exactly as the plain DB
+// built from that sequence, with Verdict.Index and the identify index
+// reported as the entry's add-order id (stable across Removes, equal to the
+// DB slice index when nothing was removed). Cross-shard combination is by
+// (distance, id) lexicographic minimum for best-match decisions and minimum
+// id for first-match decisions, which reproduces the dense scan's
+// first-strictly-better / first-on-tie behavior. On indexed shards the
+// per-shard answers inherit IndexedDB's contract (verified fallback; with
+// several sub-threshold entries the Matches count inspects candidates only).
+type ShardedDB struct {
+	threshold float64
+	cfg       ShardedConfig
+	scheme    minhash.Scheme
+	shards    []*dbShard
+
+	mu     sync.Mutex       // serializes mutations and the name bookkeeping
+	names  map[string][]int // name → owning shard of each live entry, in add order
+	nextID int
+	count  atomic.Int64
+	gen    atomic.Int64
+}
+
+// dbShard is one shard: a plain DB, its optional LSH-indexed view, and the
+// local-index → add-order-id mapping.
+type dbShard struct {
+	mu  sync.RWMutex
+	db  *DB
+	ix  *IndexedDB // nil when ShardedConfig.Plain
+	ids []int
+}
+
+// NewShardedDB returns an empty sharded database using the given
+// identification threshold.
+func NewShardedDB(threshold float64, cfg ShardedConfig) (*ShardedDB, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("fingerprint: shard count %d", cfg.Shards)
+	}
+	if cfg.Index.Scheme == (minhash.Scheme{}) {
+		cfg.Index.Scheme = minhash.DefaultScheme
+	}
+	if err := cfg.Index.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	s := &ShardedDB{
+		threshold: threshold,
+		cfg:       cfg,
+		scheme:    cfg.Index.Scheme,
+		shards:    make([]*dbShard, cfg.Shards),
+		names:     make(map[string][]int),
+	}
+	for i := range s.shards {
+		sh := &dbShard{db: NewDB(threshold)}
+		if !cfg.Plain {
+			ix, err := IndexDB(sh.db, cfg.Index)
+			if err != nil {
+				return nil, err
+			}
+			sh.ix = ix
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// ShardDB builds a ShardedDB holding db's entries in add order, using db's
+// threshold. The entries are shared, not copied; db itself is left alone.
+func ShardDB(db *DB, cfg ShardedConfig) (*ShardedDB, error) {
+	s, err := NewShardedDB(db.threshold, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range db.entries {
+		s.Add(e.Name, e.FP)
+	}
+	return s, nil
+}
+
+// Threshold returns the identification threshold.
+func (s *ShardedDB) Threshold() float64 { return s.threshold }
+
+// Threshold returns the identification threshold.
+func (db *DB) Threshold() float64 { return db.threshold }
+
+// Len returns the number of fingerprints across all shards.
+func (s *ShardedDB) Len() int { return int(s.count.Load()) }
+
+// Generation counts mutations (Adds and Removes). Result caches key their
+// entries to the generation observed before the lookup and drop writes from
+// a stale generation, so a mutation can never resurrect a pre-mutation
+// verdict.
+func (s *ShardedDB) Generation() int64 { return s.gen.Load() }
+
+// shardFor folds the signature's band keys into a shard assignment.
+func (s *ShardedDB) shardFor(sig minhash.Signature) int {
+	h := uint64(0x5113A6DE)
+	for _, k := range s.scheme.BandKeys(sig) {
+		h = prng.Mix64(h ^ k)
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// Add registers a fingerprint under a name. Duplicate names are permitted;
+// Get and Remove address the earliest-added live entry under the name.
+func (s *ShardedDB) Add(name string, fp *bitset.Set) {
+	sig := s.scheme.Sign(bitset.Sparse(fp.Positions()))
+	si := s.shardFor(sig)
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.names[name] = append(s.names[name], si)
+	sh := s.shards[si]
+	sh.mu.Lock()
+	if sh.ix != nil {
+		sh.ix.index.Add(sig, len(sh.db.entries))
+	}
+	sh.db.Add(name, fp)
+	sh.ids = append(sh.ids, id)
+	sh.mu.Unlock()
+	s.count.Add(1)
+	s.gen.Add(1)
+	s.mu.Unlock()
+	if obs.On() {
+		cShardAdds.Inc()
+	}
+}
+
+// Get returns the fingerprint stored under name, or ok=false.
+func (s *ShardedDB) Get(name string) (*bitset.Set, bool) {
+	s.mu.Lock()
+	lst := s.names[name]
+	if len(lst) == 0 {
+		s.mu.Unlock()
+		return nil, false
+	}
+	sh := s.shards[lst[0]]
+	s.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.db.Get(name)
+}
+
+// Remove deletes the earliest-added live entry under name and reports
+// whether one existed. Only the owning shard is write-locked and rebuilt;
+// the other shards keep serving.
+func (s *ShardedDB) Remove(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lst := s.names[name]
+	if len(lst) == 0 {
+		return false
+	}
+	si := lst[0]
+	if len(lst) == 1 {
+		delete(s.names, name)
+	} else {
+		s.names[name] = lst[1:]
+	}
+	sh := s.shards[si]
+	sh.mu.Lock()
+	local := sh.db.byName[name]
+	sh.db.Remove(name)
+	sh.ids = append(sh.ids[:local], sh.ids[local+1:]...)
+	if sh.ix != nil {
+		// The LSH index maps signatures to local indices, all shifted by the
+		// removal; rebuild it over the shard (O(shard size), the price Adds
+		// and lookups avoid). The scheme was validated at construction, so
+		// IndexDB cannot fail here.
+		ix, err := IndexDB(sh.db, s.cfg.Index)
+		if err != nil {
+			panic("fingerprint: sharded index rebuild: " + err.Error())
+		}
+		sh.ix = ix
+	}
+	sh.mu.Unlock()
+	s.count.Add(-1)
+	s.gen.Add(1)
+	if obs.On() {
+		cShardRemoves.Inc()
+	}
+	return true
+}
+
+// decideRaw answers over one shard without obs verdict counters, mapping the
+// local best index to its add-order id.
+func (sh *dbShard) decideRaw(errorString *bitset.Set) Verdict {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var v Verdict
+	if sh.ix != nil {
+		v = sh.ix.decideRaw(errorString)
+	} else {
+		v = sh.db.decideRaw(errorString)
+	}
+	if v.Index >= 0 {
+		v.Index = sh.ids[v.Index]
+	}
+	return v
+}
+
+// firstMatch answers Algorithm 2 over one shard, mapping the local index to
+// its add-order id.
+func (sh *dbShard) firstMatch(errorString *bitset.Set) (name string, id int, ok bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var local int
+	if sh.ix != nil {
+		name, local, ok = sh.ix.firstMatch(errorString)
+	} else {
+		name, local, ok = sh.db.firstMatch(errorString)
+	}
+	if !ok {
+		return "", -1, false
+	}
+	return name, sh.ids[local], true
+}
+
+// Decide runs the full identification decision across all shards: the
+// (distance, id)-lexicographic best entry and the total sub-threshold match
+// count.
+func (s *ShardedDB) Decide(errorString *bitset.Set) Verdict {
+	v := Verdict{Index: -1, Distance: 2}
+	for _, sh := range s.shards {
+		sv := sh.decideRaw(errorString)
+		v.Matches += sv.Matches
+		if sv.Index < 0 {
+			continue
+		}
+		if sv.Distance < v.Distance || (sv.Distance == v.Distance && (v.Index < 0 || sv.Index < v.Index)) {
+			v.Name, v.Index, v.Distance = sv.Name, sv.Index, sv.Distance
+		}
+	}
+	recordVerdict(v)
+	return v
+}
+
+// Identify implements Algorithm 2 across the shards: every shard reports its
+// first match and the minimum add-order id wins — the entry the dense scan
+// in add order would have accepted. The obs ambiguity counter fires when
+// matches surface from more than one shard (a lower bound on the true
+// ambiguity, which Decide counts exactly).
+func (s *ShardedDB) Identify(errorString *bitset.Set) (name string, index int, ok bool) {
+	index = -1
+	matchedShards := 0
+	for _, sh := range s.shards {
+		n, id, hit := sh.firstMatch(errorString)
+		if !hit {
+			continue
+		}
+		matchedShards++
+		if index < 0 || id < index {
+			name, index = n, id
+		}
+	}
+	if obs.On() {
+		if index < 0 {
+			cIdentifyMiss.Inc()
+		} else {
+			cIdentifyHit.Inc()
+			if matchedShards > 1 {
+				cIdentifyAmbig.Inc()
+			}
+		}
+	}
+	return name, index, index >= 0
+}
+
+// IdentifyBest returns the minimum-distance entry across all shards; see
+// Decide for the combination rule.
+func (s *ShardedDB) IdentifyBest(errorString *bitset.Set) (name string, index int, dist float64) {
+	v := s.Decide(errorString)
+	return v.Name, v.Index, v.Distance
+}
+
+// ParallelIdentify runs Identify for every error string across a bounded
+// worker pool; see DB.ParallelIdentify for the determinism contract.
+func (s *ShardedDB) ParallelIdentify(errorStrings []*bitset.Set, workers int) []Match {
+	out := make([]Match, len(errorStrings))
+	pool.Map(workers, len(errorStrings), func(i int) {
+		name, idx, ok := s.Identify(errorStrings[i])
+		out[i] = Match{Name: name, Index: idx, OK: ok}
+	})
+	return out
+}
+
+// ParallelDecide runs Decide for every error string across a bounded worker
+// pool; each slot equals a serial Decide call.
+func (s *ShardedDB) ParallelDecide(errorStrings []*bitset.Set, workers int) []Verdict {
+	out := make([]Verdict, len(errorStrings))
+	pool.Map(workers, len(errorStrings), func(i int) {
+		out[i] = s.Decide(errorStrings[i])
+	})
+	return out
+}
+
+// ShardStats summarizes the sharded database for the /v1/db endpoint.
+type ShardStats struct {
+	Entries  int   `json:"entries"`
+	PerShard []int `json:"per_shard"`
+	Indexed  bool  `json:"indexed"`
+}
+
+// Stats returns the entry distribution across shards.
+func (s *ShardedDB) Stats() ShardStats {
+	st := ShardStats{PerShard: make([]int, len(s.shards)), Indexed: !s.cfg.Plain}
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		st.PerShard[i] = sh.db.Len()
+		st.Entries += sh.db.Len()
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Export reassembles a plain DB holding the live entries in add order —
+// the snapshot pcserved writes on shutdown. Fingerprints are shared, not
+// copied; mutations are blocked for the duration.
+func (s *ShardedDB) Export() *DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type tagged struct {
+		id   int
+		name string
+		fp   *bitset.Set
+	}
+	all := make([]tagged, 0, s.count.Load())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for i, e := range sh.db.entries {
+			all = append(all, tagged{id: sh.ids[i], name: e.Name, fp: e.FP})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	db := NewDB(s.threshold)
+	for _, t := range all {
+		db.Add(t.name, t.fp)
+	}
+	return db
+}
+
+// String renders a small summary for logs.
+func (s *ShardedDB) String() string {
+	return fmt.Sprintf("shardeddb(entries=%d, shards=%d, indexed=%v)",
+		s.Len(), len(s.shards), !s.cfg.Plain)
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -120,10 +121,12 @@ func TestRunDoesNotRetryPermanentFailuresOrPanics(t *testing.T) {
 func TestRunTimeoutFailsAttemptWithoutRetry(t *testing.T) {
 	cfg := fastConfig(t)
 	cfg.Timeout = 20 * time.Millisecond
-	calls := 0
+	// Atomic: the runner abandons a timed-out attempt without joining its
+	// goroutine, so this write can overlap the read after Run returns.
+	var calls atomic.Int32
 	specs := []Spec{
 		{Name: "slow", Run: func(ctx context.Context, rc *RunContext) error {
-			calls++
+			calls.Add(1)
 			<-ctx.Done() // well-behaved: observes cancellation
 			return ctx.Err()
 		}},
@@ -133,8 +136,8 @@ func TestRunTimeoutFailsAttemptWithoutRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := sum.Results[0]
-	if r.Status != StatusFailed || calls != 1 {
-		t.Fatalf("result %+v calls %d", r, calls)
+	if r.Status != StatusFailed || calls.Load() != 1 {
+		t.Fatalf("result %+v calls %d", r, calls.Load())
 	}
 	if !errors.Is(r.Err, context.DeadlineExceeded) {
 		t.Fatalf("error %v is not a deadline", r.Err)

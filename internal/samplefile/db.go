@@ -1,0 +1,54 @@
+package samplefile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"probablecause/internal/fingerprint"
+)
+
+// LoadDB reads a PCDB01 fingerprint database from path.
+func LoadDB(path string) (*fingerprint.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("samplefile: opening database: %w", err)
+	}
+	defer f.Close()
+	db, err := fingerprint.ReadDB(f)
+	if err != nil {
+		return nil, fmt.Errorf("samplefile: reading database %s: %w", path, err)
+	}
+	return db, nil
+}
+
+// SaveDB writes the database to path atomically: the bytes land in a
+// temporary file in the same directory, are fsynced, and rename into place —
+// a crash mid-write leaves the previous snapshot intact, never a truncated
+// one. This is the snapshot path pcserved saves through on shutdown.
+func SaveDB(path string, db *fingerprint.DB) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("samplefile: creating snapshot temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = db.WriteTo(tmp); err != nil {
+		return fmt.Errorf("samplefile: writing snapshot: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("samplefile: syncing snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("samplefile: closing snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("samplefile: installing snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package samplefile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/fingerprint"
+)
+
+func snapshotFixture() *fingerprint.DB {
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		fp := bitset.New(512)
+		for j := 0; j < 16; j++ {
+			fp.Set((i*131 + j*29) % 512)
+		}
+		db.Add(name, fp)
+	}
+	return db
+}
+
+// TestSaveLoadDB round-trips a snapshot through disk.
+func TestSaveLoadDB(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.pcdb")
+	want := snapshotFixture()
+	if err := SaveDB(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("loaded %d entries, want %d", got.Len(), want.Len())
+	}
+	for i, e := range want.Entries() {
+		g := got.Entries()[i]
+		if g.Name != e.Name || !g.FP.Equal(e.FP) {
+			t.Fatalf("entry %d: loaded %q, want %q", i, g.Name, e.Name)
+		}
+	}
+	// No temp files left behind.
+	dirents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirents) != 1 {
+		t.Fatalf("snapshot dir has %d entries, want just the snapshot", len(dirents))
+	}
+}
+
+// TestSaveDBAtomic makes a failed save leave the existing snapshot alone.
+func TestSaveDBAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.pcdb")
+	if err := SaveDB(path, snapshotFixture()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saving into a nonexistent directory fails before touching path.
+	if err := SaveDB(filepath.Join(filepath.Dir(path), "missing", "snap.pcdb"), snapshotFixture()); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save disturbed the existing snapshot")
+	}
+}
+
+// TestLoadDBErrors covers the failure messages.
+func TestLoadDBErrors(t *testing.T) {
+	if _, err := LoadDB(filepath.Join(t.TempDir(), "absent.pcdb")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcdb")
+	if err := os.WriteFile(bad, []byte("not a pcdb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDB(bad); err == nil {
+		t.Fatal("loading garbage succeeded")
+	}
+}

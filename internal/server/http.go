@@ -1,0 +1,363 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/faults"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/obs"
+)
+
+// Per-endpoint serving metrics: request counts by outcome class and latency
+// histograms, all on the existing -obs.http debug server.
+var (
+	hIdentifyNanos = obs.H("server.http.identify.nanos")
+	hBatchNanos    = obs.H("server.http.identify_batch.nanos")
+	hCharNanos     = obs.H("server.http.characterize.nanos")
+	hDBNanos       = obs.H("server.http.db.nanos")
+	cRequests      = obs.C("server.http.requests")
+	cShed          = obs.C("server.http.shed_429")
+	cUnavailable   = obs.C("server.http.unavailable_503")
+	cBadRequest    = obs.C("server.http.bad_request_400")
+	cInjected      = obs.C("server.http.faults_injected")
+)
+
+// maxBatchQueries caps queries per identify-batch request, independent of
+// the queue bound — one request must not monopolize the whole queue.
+const maxBatchQueries = 1024
+
+// errStringJSON is the wire form of an error string: the bit-length of the
+// underlying data and the ascending error positions — the same sparse
+// convention as the samplefile format.
+type errStringJSON struct {
+	Len       int      `json:"len"`
+	Positions []uint32 `json:"positions"`
+}
+
+// toSet validates and materializes the error string. Every guard here is
+// load-bearing: Len bounds the allocation, and the position check keeps the
+// distance kernel's equal-length precondition (an out-of-range position
+// would panic bitset.Set).
+func (s *Service) toSet(e errStringJSON) (*bitset.Set, error) {
+	if err := s.checkLen(e.Len); err != nil {
+		return nil, err
+	}
+	if len(e.Positions) > e.Len {
+		return nil, fmt.Errorf("%d positions exceed the declared %d-bit length", len(e.Positions), e.Len)
+	}
+	for _, p := range e.Positions {
+		if int64(p) >= int64(e.Len) {
+			return nil, fmt.Errorf("position %d out of range for len %d", p, e.Len)
+		}
+	}
+	return bitset.FromPositions(e.Len, e.Positions), nil
+}
+
+// verdictJSON is the wire form of a fingerprint.Verdict.
+type verdictJSON struct {
+	Match     bool    `json:"match"`
+	Ambiguous bool    `json:"ambiguous"`
+	Matches   int     `json:"matches"`
+	Name      string  `json:"name"`
+	ID        int     `json:"id"`
+	Distance  float64 `json:"distance"`
+	Cached    bool    `json:"cached"`
+}
+
+func toVerdictJSON(v fingerprint.Verdict, cached bool) verdictJSON {
+	return verdictJSON{
+		Match:     v.OK(),
+		Ambiguous: v.Ambiguous(),
+		Matches:   v.Matches,
+		Name:      v.Name,
+		ID:        v.Index,
+		Distance:  v.Distance,
+		Cached:    cached,
+	}
+}
+
+type batchRequestJSON struct {
+	Queries []errStringJSON `json:"queries"`
+}
+
+type batchResponseJSON struct {
+	Results []verdictJSON `json:"results"`
+}
+
+type characterizeRequestJSON struct {
+	// Name, when non-empty, registers the characterized fingerprint.
+	Name string `json:"name,omitempty"`
+	Len  int    `json:"len"`
+	// Outputs are the error strings of the captured approximate outputs;
+	// the fingerprint is their intersection (Algorithm 1).
+	Outputs [][]uint32 `json:"outputs"`
+}
+
+type characterizeResponseJSON struct {
+	Bits      int      `json:"bits"`
+	Positions []uint32 `json:"positions"`
+	Added     bool     `json:"added"`
+	Entries   int      `json:"entries"`
+}
+
+type addRequestJSON struct {
+	Name      string   `json:"name"`
+	Len       int      `json:"len"`
+	Positions []uint32 `json:"positions"`
+}
+
+type mutateResponseJSON struct {
+	Added   bool   `json:"added,omitempty"`
+	Removed bool   `json:"removed,omitempty"`
+	Name    string `json:"name"`
+	Entries int    `json:"entries"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// writeJSON emits a compact single-line JSON body — the stable encoding the
+// golden tests byte-compare.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(blob, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	switch {
+	case code == http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+		if obs.On() {
+			cShed.Inc()
+		}
+	case code == http.StatusServiceUnavailable:
+		if obs.On() {
+			cUnavailable.Inc()
+		}
+	case code >= 400 && code < 500:
+		if obs.On() {
+			cBadRequest.Inc()
+		}
+	}
+	writeJSON(w, code, errorJSON{Error: msg})
+}
+
+// decode reads one JSON request body through the size cap and, when a fault
+// plan is active, the transient-fault/latency injector. The error is
+// pre-classified into an HTTP status.
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, into any) (int, error) {
+	var rd io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if s.inj != nil {
+		rd = s.inj.Reader(rd)
+	}
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		switch {
+		case faults.IsTransient(err):
+			if obs.On() {
+				cInjected.Inc()
+			}
+			return http.StatusServiceUnavailable, fmt.Errorf("transient ingest fault, retry: %w", err)
+		case errors.As(err, new(*http.MaxBytesError)):
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		default:
+			return http.StatusBadRequest, fmt.Errorf("decoding request: %w", err)
+		}
+	}
+	return 0, nil
+}
+
+// submitStatus maps batcher admission errors to HTTP statuses.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// instrument wraps a handler with the request counter and a latency
+// histogram.
+func instrument(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !obs.On() {
+			fn(w, r)
+			return
+		}
+		cRequests.Inc()
+		t0 := time.Now()
+		fn(w, r)
+		h.Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/identify        one error string → verdict
+//	POST   /v1/identify-batch  many error strings → verdicts, one admission
+//	POST   /v1/characterize    intersect error strings; optionally register
+//	GET    /v1/db              serving stats
+//	POST   /v1/db              register a fingerprint
+//	DELETE /v1/db?name=N       remove a fingerprint
+//	GET    /healthz            liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/identify", instrument(hIdentifyNanos, s.handleIdentify))
+	mux.HandleFunc("POST /v1/identify-batch", instrument(hBatchNanos, s.handleIdentifyBatch))
+	mux.HandleFunc("POST /v1/characterize", instrument(hCharNanos, s.handleCharacterize))
+	mux.HandleFunc("GET /v1/db", instrument(hDBNanos, s.handleDBStats))
+	mux.HandleFunc("POST /v1/db", instrument(hDBNanos, s.handleDBAdd))
+	mux.HandleFunc("DELETE /v1/db", instrument(hDBNanos, s.handleDBRemove))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	var req errStringJSON
+	if code, err := s.decode(w, r, &req); err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	es, err := s.toSet(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	v, cached, err := s.Identify(ctx, es)
+	if err != nil {
+		httpError(w, submitStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toVerdictJSON(v, cached))
+}
+
+func (s *Service) handleIdentifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequestJSON
+	if code, err := s.decode(w, r, &req); err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
+		return
+	}
+	ess := make([]*bitset.Set, len(req.Queries))
+	for i, q := range req.Queries {
+		es, err := s.toSet(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		ess[i] = es
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	verdicts, cached, err := s.IdentifyBatch(ctx, ess)
+	if err != nil {
+		httpError(w, submitStatus(err), err.Error())
+		return
+	}
+	resp := batchResponseJSON{Results: make([]verdictJSON, len(verdicts))}
+	for i, v := range verdicts {
+		resp.Results[i] = toVerdictJSON(v, cached[i])
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	var req characterizeRequestJSON
+	if code, err := s.decode(w, r, &req); err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	if len(req.Outputs) == 0 {
+		httpError(w, http.StatusBadRequest, "characterize needs at least one output")
+		return
+	}
+	ess := make([]*bitset.Set, len(req.Outputs))
+	for i, positions := range req.Outputs {
+		es, err := s.toSet(errStringJSON{Len: req.Len, Positions: positions})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("output %d: %v", i, err))
+			return
+		}
+		ess[i] = es
+	}
+	fp, added, err := s.Characterize(req.Name, ess)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, characterizeResponseJSON{
+		Bits:      fp.Count(),
+		Positions: fp.Positions(),
+		Added:     added,
+		Entries:   s.db.Len(),
+	})
+}
+
+func (s *Service) handleDBStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleDBAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequestJSON
+	if code, err := s.decode(w, r, &req); err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "add needs a name")
+		return
+	}
+	fp, err := s.toSet(errStringJSON{Len: req.Len, Positions: req.Positions})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.Add(req.Name, fp)
+	writeJSON(w, http.StatusOK, mutateResponseJSON{Added: true, Name: req.Name, Entries: s.db.Len()})
+}
+
+func (s *Service) handleDBRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "remove needs ?name=")
+		return
+	}
+	removed := s.Remove(name)
+	code := http.StatusOK
+	if !removed {
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, mutateResponseJSON{Removed: removed, Name: name, Entries: s.db.Len()})
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadShedding saturates the bounded identify queue with real HTTP
+// clients and checks the backpressure contract: admitted requests answer 200,
+// overflow is shed with 429 + Retry-After (never dropped or hung), Close
+// drains cleanly, post-drain requests get 503, and the whole episode leaks no
+// goroutines.
+func TestLoadShedding(t *testing.T) {
+	before := settledGoroutines()
+
+	s, err := New(fixtureDB(8), Config{
+		Shards:      2,
+		Workers:     1,
+		QueueDepth:  4,
+		MaxBatch:    2,
+		BatchWindow: 10 * time.Millisecond, // slow dispatch so the queue actually fills
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+
+	const clients = 40
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(reqFor(testSet(uint64(i)+1, 64)))
+			resp, err := http.Post(srv.URL+"/v1/identify", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("client %d: 429 without Retry-After", i)
+				}
+				shed.Add(1)
+			default:
+				other.Add(1)
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := ok.Load() + shed.Load() + other.Load(); got != clients {
+		t.Fatalf("accounted for %d of %d clients", got, clients)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("every request was shed; the queue admitted nothing")
+	}
+	if shed.Load() == 0 {
+		t.Fatalf("no request was shed (ok=%d): queue depth 4 cannot absorb %d concurrent clients", ok.Load(), clients)
+	}
+	t.Logf("load shed: %d ok, %d shed of %d clients", ok.Load(), shed.Load(), clients)
+
+	// Graceful drain: Close returns only after every admitted query got its
+	// verdict; afterwards the service answers 503, not a hang or a panic.
+	s.Close()
+	body, _ := json.Marshal(reqFor(testSet(0xFF, 64)))
+	resp, err := http.Post(srv.URL+"/v1/identify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: %d, want 503", resp.StatusCode)
+	}
+
+	srv.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// No goroutine may outlive the episode (dispatcher, per-request
+	// timeouts, shed requests included).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after := settledGoroutines()
+		if after <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// settledGoroutines samples the goroutine count after a short settle loop so
+// runtime bookkeeping goroutines don't flake the comparison.
+func settledGoroutines() int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if m := runtime.NumGoroutine(); m < n {
+			n = m
+		}
+	}
+	return n
+}
+
+// TestBatchAdmissionAtomic pins all-or-nothing batch admission: a batch
+// larger than the remaining queue space is shed whole, never half-enqueued.
+func TestBatchAdmissionAtomic(t *testing.T) {
+	s, err := New(fixtureDB(4), Config{
+		Shards:      1,
+		Workers:     1,
+		QueueDepth:  3,
+		MaxBatch:    2,
+		BatchWindow: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	queries := make([]errStringJSON, 8) // 8 > queue depth 3
+	for i := range queries {
+		queries[i] = reqFor(testSet(uint64(i)+1, 64))
+	}
+	code, body := postJSON(t, h, "POST", "/v1/identify-batch", batchRequestJSON{Queries: queries})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("oversized batch: %d (%s), want 429", code, body)
+	}
+
+	// The queue must be untouched: a fitting batch goes straight through.
+	code, body = postJSON(t, h, "POST", "/v1/identify-batch", batchRequestJSON{Queries: queries[:3]})
+	if code != http.StatusOK {
+		t.Fatalf("follow-up batch: %d (%s), want 200", code, body)
+	}
+	var resp batchResponseJSON
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("follow-up batch returned %d results, want 3", len(resp.Results))
+	}
+}
+
+// TestCloseIdempotent guards double-Close (service owner plus t.Cleanup is an
+// easy double call).
+func TestCloseIdempotent(t *testing.T) {
+	s, err := New(fixtureDB(2), Config{Shards: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	if _, _, err := s.Identify(context.Background(), testSet(1, 64)); err == nil {
+		t.Fatal("Identify after Close returned no error")
+	}
+}

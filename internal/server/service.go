@@ -1,0 +1,325 @@
+// Package server is the network face of the identification engine: an
+// HTTP/JSON service over the fingerprint database that answers the paper's
+// attack queries (§5) at fleet scale — which registered device produced this
+// approximate output?
+//
+// The serving path is layered for throughput on top of the PR 3 parallel
+// engine:
+//
+//   - an N-way sharded database (fingerprint.ShardedDB): adds and lookups
+//     take per-shard RW locks, so registration traffic does not serialize
+//     identification traffic;
+//   - a micro-batching dispatcher (batcher): concurrent identify requests
+//     coalesce over a short window into one ParallelDecide batch, amortizing
+//     dispatch overhead;
+//   - an LRU result cache (verdictCache) keyed by the error string's SHA-256
+//     digest and invalidated generationally on every DB mutation;
+//   - production guards: bounded queue with 429 backpressure, per-request
+//     timeouts, a request body cap, and graceful drain on shutdown;
+//   - chaos hooks: an internal/faults plan injects transient ingest faults
+//     and latency so the serving path is testable under the same fault
+//     matrix as the offline pipeline.
+//
+// Determinism contract: batching, sharding, and caching change wall-clock
+// behavior only. Every identify answer equals what a serial
+// fingerprint.DB.Decide scan over the same entries returns (on indexed
+// shards, modulo IndexedDB's documented candidates-only Matches count); the
+// golden and invariance tests in this package hold the service to that.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/faults"
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/obs"
+)
+
+// Service-level metrics (the HTTP layer adds per-endpoint latency).
+var (
+	cTimeouts = obs.C("server.identify.timeouts")
+)
+
+// Config parameterizes a Service. The zero value serves with sane defaults.
+type Config struct {
+	// Threshold is the identification threshold; 0 selects the seed DB's
+	// threshold (or fingerprint.DefaultThreshold with no seed).
+	Threshold float64
+	// Shards is the database shard count; 0 selects fingerprint.DefaultShards.
+	Shards int
+	// Plain disables the per-shard LSH indexes (dense-scan shards).
+	Plain bool
+	// Workers bounds the pool a dispatched batch fans across; 0 means one
+	// worker per CPU.
+	Workers int
+	// BatchWindow is how long the dispatcher waits for concurrent requests
+	// to coalesce once one is pending. 0 dispatches immediately (coalescing
+	// still happens under load — whatever queued during the previous batch
+	// joins the next).
+	BatchWindow time.Duration
+	// MaxBatch caps identify queries per dispatch; 0 selects 64.
+	MaxBatch int
+	// QueueDepth bounds the identify queue; submissions beyond it are shed
+	// with 429. 0 selects 1024.
+	QueueDepth int
+	// CacheSize is the LRU verdict cache capacity; 0 disables caching.
+	CacheSize int
+	// RequestTimeout bounds how long one request waits for its verdict;
+	// 0 selects 5s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxLenBits caps the declared error-string length, bounding the
+	// allocation a single request can demand; 0 selects 1<<26.
+	MaxLenBits int
+	// FaultPlan, when active, wraps request bodies in transient fault and
+	// latency injection (chaos testing the serving path).
+	FaultPlan faults.Plan
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxBatch       = 64
+	DefaultQueueDepth     = 1024
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxBodyBytes   = 8 << 20
+	DefaultMaxLenBits     = 1 << 26
+)
+
+func (c Config) withDefaults(seed *fingerprint.DB) Config {
+	if c.Threshold == 0 {
+		if seed != nil {
+			c.Threshold = seed.Threshold()
+		} else {
+			c.Threshold = fingerprint.DefaultThreshold
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxLenBits <= 0 {
+		c.MaxLenBits = DefaultMaxLenBits
+	}
+	return c
+}
+
+// Service is the identification service: the sharded database plus the
+// batching, caching, and guard layers. Create with New, serve its Handler,
+// and Close to drain.
+type Service struct {
+	cfg   Config
+	db    *fingerprint.ShardedDB
+	cache *verdictCache
+	batch *batcher
+	inj   *faults.Injector // nil when the fault plan is inactive
+
+	// fpLen pins the error-string length (bits) every query and registered
+	// fingerprint must share — Distance is only defined over equal-length
+	// sets, and an unchecked mismatch would panic the distance kernel.
+	// 0 until the first entry fixes it.
+	fpLen atomic.Int64
+}
+
+// New builds a Service over the seed database (nil for an empty start).
+func New(seed *fingerprint.DB, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults(seed)
+	scfg := fingerprint.ShardedConfig{Shards: cfg.Shards, Plain: cfg.Plain}
+	scfg.Index.Workers = cfg.Workers
+	db, err := fingerprint.NewShardedDB(cfg.Threshold, scfg)
+	if err != nil {
+		return nil, err
+	}
+	if seed != nil {
+		for _, e := range seed.Entries() {
+			db.Add(e.Name, e.FP)
+		}
+	}
+	s := &Service{cfg: cfg, db: db, cache: newVerdictCache(cfg.CacheSize)}
+	// Seeding advanced the DB generation; align the cache's accepted
+	// generation so post-startup Puts are not dropped as stale.
+	s.cache.Purge(db.Generation())
+	if seed != nil && seed.Len() > 0 {
+		s.fpLen.Store(int64(seed.Entries()[0].FP.Len()))
+	}
+	if cfg.FaultPlan.Active() {
+		s.inj = faults.NewInjector(cfg.FaultPlan)
+	}
+	s.batch = newBatcher(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(ess []*bitset.Set) []fingerprint.Verdict {
+		return db.ParallelDecide(ess, cfg.Workers)
+	})
+	return s, nil
+}
+
+// DB exposes the sharded database (snapshot export, tests).
+func (s *Service) DB() *fingerprint.ShardedDB { return s.db }
+
+// Config returns the resolved configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Close drains the identify queue and stops the dispatcher. In-flight
+// requests complete; later submissions fail with ErrDraining.
+func (s *Service) Close() { s.batch.close() }
+
+// checkLen validates a declared error-string length against the pinned
+// fingerprint length and the configured ceiling.
+func (s *Service) checkLen(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("len must be positive, got %d", n)
+	}
+	if n > s.cfg.MaxLenBits {
+		return fmt.Errorf("len %d exceeds the %d-bit limit", n, s.cfg.MaxLenBits)
+	}
+	if want := s.fpLen.Load(); want != 0 && int64(n) != want {
+		return fmt.Errorf("len %d does not match the database fingerprint length %d", n, want)
+	}
+	return nil
+}
+
+// Identify answers one identify query through the cache and the batching
+// dispatcher. The bool reports whether the verdict came from the cache.
+func (s *Service) Identify(ctx context.Context, es *bitset.Set) (fingerprint.Verdict, bool, error) {
+	key := keyOf(es)
+	if v, ok := s.cache.Get(key); ok {
+		return v, true, nil
+	}
+	gen := s.db.Generation()
+	ps, err := s.batch.submit([]*bitset.Set{es})
+	if err != nil {
+		return fingerprint.Verdict{}, false, err
+	}
+	select {
+	case v := <-ps[0].out:
+		s.cache.Put(gen, key, v)
+		return v, false, nil
+	case <-ctx.Done():
+		if obs.On() {
+			cTimeouts.Inc()
+		}
+		return fingerprint.Verdict{}, false, ctx.Err()
+	}
+}
+
+// IdentifyBatch answers a batch of queries, consulting the cache per query
+// and submitting the misses as one atomic unit. cached[i] reports per-query
+// cache service.
+func (s *Service) IdentifyBatch(ctx context.Context, ess []*bitset.Set) (verdicts []fingerprint.Verdict, cached []bool, err error) {
+	verdicts = make([]fingerprint.Verdict, len(ess))
+	cached = make([]bool, len(ess))
+	keys := make([]cacheKey, len(ess))
+	var misses []int
+	for i, es := range ess {
+		keys[i] = keyOf(es)
+		if v, ok := s.cache.Get(keys[i]); ok {
+			verdicts[i], cached[i] = v, true
+			continue
+		}
+		misses = append(misses, i)
+	}
+	if len(misses) == 0 {
+		return verdicts, cached, nil
+	}
+	queries := make([]*bitset.Set, len(misses))
+	for j, i := range misses {
+		queries[j] = ess[i]
+	}
+	gen := s.db.Generation()
+	ps, err := s.batch.submit(queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, p := range ps {
+		select {
+		case v := <-p.out:
+			i := misses[j]
+			verdicts[i] = v
+			s.cache.Put(gen, keys[i], v)
+		case <-ctx.Done():
+			if obs.On() {
+				cTimeouts.Inc()
+			}
+			return nil, nil, ctx.Err()
+		}
+	}
+	return verdicts, cached, nil
+}
+
+// Characterize intersects the submitted error strings (Algorithm 1 over
+// pre-extracted error patterns) and, when name is non-empty, registers the
+// resulting fingerprint.
+func (s *Service) Characterize(name string, ess []*bitset.Set) (*bitset.Set, bool, error) {
+	if len(ess) == 0 {
+		return nil, false, fmt.Errorf("characterize needs at least one error string")
+	}
+	fp := ess[0].Clone()
+	for _, es := range ess[1:] {
+		fp.And(es)
+	}
+	added := false
+	if name != "" {
+		s.Add(name, fp)
+		added = true
+	}
+	return fp, added, nil
+}
+
+// Add registers a fingerprint, purging the verdict cache. The first entry
+// pins the service's fingerprint length.
+func (s *Service) Add(name string, fp *bitset.Set) {
+	s.fpLen.CompareAndSwap(0, int64(fp.Len()))
+	s.db.Add(name, fp)
+	s.cache.Purge(s.db.Generation())
+}
+
+// Remove deletes the earliest-added entry under name, purging the verdict
+// cache when something was removed.
+func (s *Service) Remove(name string) bool {
+	if !s.db.Remove(name) {
+		return false
+	}
+	s.cache.Purge(s.db.Generation())
+	return true
+}
+
+// Stats describes the serving state for /v1/db.
+type Stats struct {
+	Entries    int                    `json:"entries"`
+	Threshold  float64                `json:"threshold"`
+	Shards     fingerprint.ShardStats `json:"shards"`
+	Generation int64                  `json:"generation"`
+	QueueCap   int                    `json:"queue_capacity"`
+	Cache      CacheStats             `json:"cache"`
+}
+
+// CacheStats is the verdict-cache corner of Stats.
+type CacheStats struct {
+	Capacity int   `json:"capacity"`
+	Size     int   `json:"size"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// Stats snapshots the service.
+func (s *Service) Stats() Stats {
+	hits, misses := s.cache.Counts()
+	return Stats{
+		Entries:    s.db.Len(),
+		Threshold:  s.cfg.Threshold,
+		Shards:     s.db.Stats(),
+		Generation: s.db.Generation(),
+		QueueCap:   s.cfg.QueueDepth,
+		Cache:      CacheStats{Capacity: s.cfg.CacheSize, Size: s.cache.Len(), Hits: hits, Misses: misses},
+	}
+}
