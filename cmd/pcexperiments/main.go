@@ -11,8 +11,8 @@
 //	              [-out DIR] [-scattered] [-resume] [-timeout DUR]
 //	              [-retries N] [-faults PLAN] [-fault.seed SEED]
 //
-// Experiment names: fig5 fig7 fig8 fig9 fig10 fig11 fig13 table1 table2
-// ddr2 defenses errloc crossmech scramble refreshschemes allocator
+// Experiment names: fig5 fig7 fig8 fig9 fig10 fig11 fig13 fig13stream
+// table1 table2 ddr2 defenses errloc crossmech scramble refreshschemes allocator
 // collisions threshold modelcheck energy apps eccdefense coldboot
 // ablations.
 //
@@ -302,6 +302,19 @@ func specs(scale string, scattered bool, workers int) []runner.Spec {
 			}
 			rc.Section(r.Render())
 			return rc.WriteArtifact("fig13.csv", []byte(r.CSV()))
+		}},
+		{Name: "fig13stream", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultFig13StreamParams()
+			if small {
+				p = experiment.SmallFig13StreamParams()
+			}
+			p.Workers = workers
+			r, err := experiment.RunFig13Streaming(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return rc.WriteArtifact("fig13stream.csv", []byte(r.CSV()))
 		}},
 		{Name: "table1", Run: func(ctx context.Context, rc *runner.RunContext) error {
 			r, err := experiment.RunTable1(experiment.DefaultTable1Params())

@@ -2,7 +2,7 @@
 // HTTP/JSON: load a fingerprint database, answer "which registered device
 // produced this approximate output?" at fleet scale.
 //
-//	pcserved -db DB[,DB...] [-snapshot FILE] [-addr HOST:PORT] [flags]
+//	pcserved -db DB[,DB...] [-snapshot FILE] [-wal.dir DIR] [-addr HOST:PORT] [flags]
 //
 // The serving path layers micro-batching, an N-way sharded database, and an
 // LRU verdict cache over the parallel identification engine; see
@@ -10,15 +10,25 @@
 // and, when -snapshot is set, saves the (possibly mutated) database
 // atomically before exiting — restart with the same -snapshot to resume.
 //
+// With -wal.dir, durable streaming enrollment is enabled: every
+// /v1/enroll observation is appended to a write-ahead log before it is
+// acknowledged, converged fingerprints are promoted into the database,
+// and boot replays the log over the last checkpoint — a kill -9 at any
+// point loses nothing that was acked. Graceful shutdown checkpoints the
+// database with its WAL watermark and compacts the log.
+//
 // API:
 //
-//	POST   /v1/identify        {"len":N,"positions":[...]} → verdict
-//	POST   /v1/identify-batch  {"queries":[...]} → verdicts
-//	POST   /v1/characterize    intersect outputs; optionally register
-//	GET    /v1/db              serving stats
-//	POST   /v1/db              register a fingerprint
-//	DELETE /v1/db?name=N       remove a fingerprint
-//	GET    /healthz            liveness
+//	POST   /v1/identify           {"len":N,"positions":[...]} → verdict
+//	POST   /v1/identify-batch     {"queries":[...]} → verdicts
+//	POST   /v1/characterize       intersect outputs; optionally register
+//	POST   /v1/enroll             durably fold one observation into a session
+//	GET    /v1/enroll/{id}/status enrollment session progress
+//	POST   /v1/snapshot           checkpoint the database + compact the WAL
+//	GET    /v1/db                 serving stats
+//	POST   /v1/db                 register a fingerprint
+//	DELETE /v1/db?name=N         remove a fingerprint
+//	GET    /healthz              liveness
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"probablecause/internal/obs"
 	"probablecause/internal/samplefile"
 	"probablecause/internal/server"
+	"probablecause/internal/wal"
 )
 
 func main() {
@@ -72,6 +83,14 @@ func run(args []string) (err error) {
 	maxBody := fs.Int64("maxbody", 0, fmt.Sprintf("request body cap in bytes (0: %d)", int64(server.DefaultMaxBodyBytes)))
 	faultSpec := fs.String("faults", "", "chaos: fault plan for request ingest, e.g. readerr=0.01,latency=2ms")
 	faultSeed := fs.Uint64("fault.seed", 0xFA17, "fault-injection seed for -faults")
+	walDir := fs.String("wal.dir", "", "durable enrollment directory (WAL segments + checkpoints); enables /v1/enroll")
+	walFsync := fs.String("wal.fsync", "batch", "WAL fsync policy: batch (group commit), always, or off")
+	walSegment := fs.Int64("wal.segment", 0, "WAL segment rotation size in bytes (0: 64 MiB)")
+	walBatch := fs.Duration("wal.batch", 0, "extra group-commit coalescing window (0: natural batching)")
+	enrollMax := fs.Int("enroll.max", 0, fmt.Sprintf("max live enrollment sessions (0: %d)", server.DefaultMaxSessions))
+	enrollMinObs := fs.Int("enroll.minobs", 0, fmt.Sprintf("observations before an enrollment may converge (0: %d)", fingerprint.DefaultMinObservations))
+	enrollPatience := fs.Int("enroll.patience", 0, fmt.Sprintf("unchanged observations that declare convergence (0: %d)", fingerprint.DefaultStablePatience))
+	enrollQuota := fs.Float64("enroll.quota", 0, "per-cell failure-rate quota in (0,1); 0 or 1 is pure intersection")
 	obsOpts := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,7 +115,7 @@ func run(args []string) (err error) {
 		return err
 	}
 
-	svc, err := server.New(seed, server.Config{
+	cfg := server.Config{
 		Threshold:      *threshold,
 		Shards:         *shards,
 		Plain:          *plain,
@@ -108,8 +127,31 @@ func run(args []string) (err error) {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		FaultPlan:      plan,
-	})
-	if err != nil {
+	}
+	var svc *server.Service
+	if *walDir != "" {
+		mode, err := wal.ParseFsyncMode(*walFsync)
+		if err != nil {
+			return err
+		}
+		// The committed checkpoint in -wal.dir (when one exists) overrides
+		// the seed, and the surviving WAL records replay on top: recovery.
+		svc, err = server.BootDurable(seed, cfg, server.EnrollConfig{
+			Dir: *walDir,
+			WAL: wal.Options{SegmentBytes: *walSegment, Fsync: mode, BatchWindow: *walBatch},
+			Accumulator: fingerprint.AccumulatorConfig{
+				Quota:           *enrollQuota,
+				MinObservations: *enrollMinObs,
+				StablePatience:  *enrollPatience,
+			},
+			MaxSessions: *enrollMax,
+		})
+		if err != nil {
+			return err
+		}
+		es := svc.EnrollStats()
+		fmt.Printf("pcserved: recovered WAL to seq %d (%d open sessions)\n", es.AppliedSeq, es.Sessions)
+	} else if svc, err = server.New(seed, cfg); err != nil {
 		return err
 	}
 
@@ -142,6 +184,14 @@ func run(args []string) (err error) {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Checkpoint before Close: compaction needs the WAL still open.
+	if *walDir != "" {
+		meta, err := svc.Checkpoint()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pcserved: checkpointed %d entries at watermark %d\n", meta.Entries, meta.Watermark)
 	}
 	svc.Close()
 

@@ -1,0 +1,72 @@
+package probablecause_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPackageComments is the docs lint: every package under internal/ and
+// cmd/ must carry a package (godoc) comment. The architecture documents
+// lean on those comments being present and current; a package without one
+// is invisible to `go doc` and to the next reader.
+func TestPackageComments(t *testing.T) {
+	roots := []string{"internal", "cmd"}
+	var missing []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+				return err
+			}
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				return err
+			}
+			for name, pkg := range pkgs {
+				documented := false
+				for _, f := range pkg.Files {
+					if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+						documented = true
+						break
+					}
+				}
+				if !documented {
+					missing = append(missing, path+" (package "+name+")")
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("package missing a package comment: %s", m)
+	}
+}
+
+// TestDocsExist keeps the documentation set itself from silently
+// disappearing: these files are cross-linked from the README and from each
+// other, and CI regenerates nothing — a dangling link is a broken doc.
+func TestDocsExist(t *testing.T) {
+	for _, name := range []string{
+		"README.md", "ARCHITECTURE.md", "OPERATIONS.md", "DESIGN.md", "EXPERIMENTS.md",
+	} {
+		st, err := os.Stat(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}

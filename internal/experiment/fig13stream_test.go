@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFig13StreamingConvergence(t *testing.T) {
+	p := SmallFig13StreamParams()
+	p.Workers = 4
+	r, err := RunFig13Streaming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Converged != p.Devices {
+		t.Fatalf("%d/%d devices converged within %d observations", r.Converged, p.Devices, p.MaxObservations)
+	}
+	if r.MedianConverge <= 0 || r.MedianConverge > p.MaxObservations {
+		t.Fatalf("median convergence %d out of range", r.MedianConverge)
+	}
+	// Every converged fingerprint must identify its own fresh output and
+	// nobody else's — the enrollment database is useless otherwise.
+	if r.SelfMatches != r.Converged || r.Misidentified != 0 {
+		t.Fatalf("identification degraded: %d/%d self-matches, %d misidentified",
+			r.SelfMatches, r.Converged, r.Misidentified)
+	}
+	// The cumulative curve is monotone and ends at the converged count.
+	for k := 1; k < len(r.Curve); k++ {
+		if r.Curve[k] < r.Curve[k-1] {
+			t.Fatalf("curve not monotone at %d: %d < %d", k, r.Curve[k], r.Curve[k-1])
+		}
+	}
+	if r.Curve[len(r.Curve)-1] != r.Converged {
+		t.Fatalf("curve ends at %d, converged %d", r.Curve[len(r.Curve)-1], r.Converged)
+	}
+	if !strings.Contains(r.CSV(), "observations,devices_converged") || r.Render() == "" {
+		t.Fatal("CSV/Render output malformed")
+	}
+}
+
+// TestFig13StreamingDeterministic: the curve is a pure function of the
+// parameters, whatever the worker count — the property the enrollment
+// pipeline's crash recovery leans on.
+func TestFig13StreamingDeterministic(t *testing.T) {
+	p := SmallFig13StreamParams()
+	p.Devices = 3
+	a, err := RunFig13Streaming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	b, err := RunFig13Streaming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.ConvergedAt, b.ConvergedAt) || !reflect.DeepEqual(a.Curve, b.Curve) {
+		t.Fatalf("worker count changed the curve: %v vs %v", a.ConvergedAt, b.ConvergedAt)
+	}
+}

@@ -1,0 +1,182 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+
+	"probablecause/internal/bitset"
+)
+
+// Accumulator defaults; see AccumulatorConfig.
+const (
+	DefaultMinObservations = 8
+	DefaultStablePatience  = 5
+)
+
+// AccumulatorConfig parameterizes an Accumulator. The zero value selects
+// the paper-faithful configuration: pure intersection (Algorithm 1) with
+// convergence declared after DefaultStablePatience unchanged
+// observations past DefaultMinObservations total.
+type AccumulatorConfig struct {
+	// Quota is the fraction of observations a cell must have failed in to
+	// belong to the fingerprint. 0 or 1 selects pure intersection — the
+	// cell failed in every observation, exactly Characterize's AND fold.
+	// Values in (0, 1) relax that to per-cell decay-order voting: the
+	// fingerprint is the set of cells whose observed failure rate clears
+	// the quota, which tolerates the per-trial noise band the paper
+	// reports (~2 % unstable bits, §7.2) at the price of a larger working
+	// set (per-cell vote counters).
+	Quota float64
+	// MinObservations is the minimum number of observations before the
+	// accumulator may declare convergence; 0 selects
+	// DefaultMinObservations.
+	MinObservations int
+	// StablePatience is how many consecutive observations must leave the
+	// fingerprint unchanged before it is declared converged; 0 selects
+	// DefaultStablePatience.
+	StablePatience int
+}
+
+func (c AccumulatorConfig) withDefaults() AccumulatorConfig {
+	if c.Quota <= 0 || c.Quota >= 1 {
+		c.Quota = 1
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = DefaultMinObservations
+	}
+	if c.StablePatience <= 0 {
+		c.StablePatience = DefaultStablePatience
+	}
+	return c
+}
+
+// Accumulator incrementally refines a device fingerprint from a stream
+// of approximate-output error strings — the online form of Characterize
+// (Algorithm 1) that the enrollment service folds the write-ahead log
+// through. Feeding the same observation sequence always produces the
+// same fingerprint, weight trajectory, and convergence point; crash
+// recovery depends on this determinism.
+//
+// Convergence is declared the first time the fingerprint has survived
+// StablePatience consecutive observations unchanged with at least
+// MinObservations total — the online analogue of the paper's finding
+// (§5, Fig. 13) that an observer's estimate stabilizes after enough
+// approximate outputs. ConvergedAt records where that happened.
+//
+// An Accumulator is not safe for concurrent use; the enrollment layer
+// serializes observations per session (WAL order).
+type Accumulator struct {
+	cfg     AccumulatorConfig
+	lenBits int
+	obs     int
+	fp      *bitset.Set // current fingerprint estimate; nil before first Add
+	votes   []uint32    // per-cell failure counts; allocated only when Quota < 1
+
+	stableFor   int // consecutive observations with the fingerprint unchanged
+	convergedAt int // observation index (1-based) of first convergence; 0 = not yet
+}
+
+// NewAccumulator returns an empty accumulator over lenBits-bit error
+// strings.
+func NewAccumulator(lenBits int, cfg AccumulatorConfig) (*Accumulator, error) {
+	if lenBits <= 0 {
+		return nil, fmt.Errorf("fingerprint: accumulator length %d", lenBits)
+	}
+	cfg = cfg.withDefaults()
+	a := &Accumulator{cfg: cfg, lenBits: lenBits}
+	if cfg.Quota < 1 {
+		a.votes = make([]uint32, lenBits)
+	}
+	return a, nil
+}
+
+// Len returns the error-string length in bits.
+func (a *Accumulator) Len() int { return a.lenBits }
+
+// Config returns the resolved configuration.
+func (a *Accumulator) Config() AccumulatorConfig { return a.cfg }
+
+// Add folds one observation — the error string of one approximate
+// output — into the fingerprint estimate.
+func (a *Accumulator) Add(es *bitset.Set) error {
+	if es.Len() != a.lenBits {
+		return fmt.Errorf("fingerprint: accumulator length mismatch: observation %d bits, accumulator %d", es.Len(), a.lenBits)
+	}
+	a.obs++
+	changed := false
+	if a.votes == nil {
+		// Intersection fold: the fingerprint only ever loses bits, so
+		// "changed" is a cardinality comparison.
+		if a.fp == nil {
+			a.fp = es.Clone()
+			changed = true
+		} else {
+			before := a.fp.Count()
+			a.fp.And(es)
+			changed = a.fp.Count() != before
+		}
+	} else {
+		es.ForEach(func(i int) bool {
+			a.votes[i]++
+			return true
+		})
+		need := uint32(math.Ceil(a.cfg.Quota * float64(a.obs)))
+		if need < 1 {
+			need = 1
+		}
+		next := bitset.New(a.lenBits)
+		for i, v := range a.votes {
+			if v >= need {
+				next.Set(i)
+			}
+		}
+		changed = a.fp == nil || !next.Equal(a.fp)
+		a.fp = next
+	}
+	if a.obs == 1 || changed {
+		a.stableFor = 0
+	} else {
+		a.stableFor++
+	}
+	if a.convergedAt == 0 && a.obs >= a.cfg.MinObservations && a.stableFor >= a.cfg.StablePatience {
+		a.convergedAt = a.obs
+	}
+	return nil
+}
+
+// Observations returns how many error strings have been folded in.
+func (a *Accumulator) Observations() int { return a.obs }
+
+// Weight returns the current fingerprint's bit count (0 before the
+// first observation).
+func (a *Accumulator) Weight() int {
+	if a.fp == nil {
+		return 0
+	}
+	return a.fp.Count()
+}
+
+// StableFor returns how many consecutive observations have left the
+// fingerprint unchanged.
+func (a *Accumulator) StableFor() int { return a.stableFor }
+
+// Converged reports whether the fingerprint has stabilized: at least
+// MinObservations folded and the last StablePatience of them left the
+// estimate unchanged. Once true it stays true (ConvergedAt keeps the
+// point), even if later observations perturb the estimate.
+func (a *Accumulator) Converged() bool { return a.convergedAt > 0 }
+
+// ConvergedAt returns the 1-based observation index at which convergence
+// was first declared, or 0.
+func (a *Accumulator) ConvergedAt() int { return a.convergedAt }
+
+// Fingerprint returns a copy of the current fingerprint estimate, or nil
+// before the first observation. The copy is what enrollment promotes
+// into the database, so later observations cannot mutate a registered
+// entry.
+func (a *Accumulator) Fingerprint() *bitset.Set {
+	if a.fp == nil {
+		return nil
+	}
+	return a.fp.Clone()
+}

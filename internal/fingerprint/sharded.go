@@ -152,9 +152,11 @@ func (s *ShardedDB) shardFor(sig minhash.Signature) int {
 	return int(h % uint64(len(s.shards)))
 }
 
-// Add registers a fingerprint under a name. Duplicate names are permitted;
-// Get and Remove address the earliest-added live entry under the name.
-func (s *ShardedDB) Add(name string, fp *bitset.Set) {
+// Add registers a fingerprint under a name and returns the entry's
+// stable add-order id (the id Verdict.Index reports). Duplicate names are
+// permitted; Get and Remove address the earliest-added live entry under
+// the name.
+func (s *ShardedDB) Add(name string, fp *bitset.Set) int {
 	sig := s.scheme.Sign(bitset.Sparse(fp.Positions()))
 	si := s.shardFor(sig)
 	s.mu.Lock()
@@ -175,6 +177,7 @@ func (s *ShardedDB) Add(name string, fp *bitset.Set) {
 	if obs.On() {
 		cShardAdds.Inc()
 	}
+	return id
 }
 
 // Get returns the fingerprint stored under name, or ok=false.

@@ -1,0 +1,113 @@
+package samplefile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/fingerprint"
+)
+
+func ckptDB(t *testing.T, names ...string) *fingerprint.DB {
+	t.Helper()
+	db := fingerprint.NewDB(fingerprint.DefaultThreshold)
+	for i, name := range names {
+		fp := bitset.New(256)
+		for j := 0; j < 8; j++ {
+			fp.Set((i*37 + j*11) % 256)
+		}
+		db.Add(name, fp)
+	}
+	return db
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, ok, err := LoadCheckpoint(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	db := ckptDB(t, "a", "b", "c")
+	if err := SaveCheckpoint(dir, db, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, ok, err := LoadCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if meta.Watermark != 42 || meta.Entries != 3 {
+		t.Fatalf("meta %+v", meta)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("entries %d", got.Len())
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		w, _ := db.Get(name)
+		g, ok := got.Get(name)
+		if !ok || !g.Equal(w) {
+			t.Fatalf("entry %s lost or changed", name)
+		}
+	}
+}
+
+// TestCheckpointSupersede: a newer checkpoint replaces the old one
+// atomically and sweeps the stale snapshot file.
+func TestCheckpointSupersede(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveCheckpoint(dir, ckptDB(t, "old"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(dir, ckptDB(t, "new1", "new2"), 99); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, ok, err := LoadCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if meta.Watermark != 99 || got.Len() != 2 {
+		t.Fatalf("loaded stale checkpoint: %+v len %d", meta, got.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint-00000000000000000010.pcdb")); !os.IsNotExist(err) {
+		t.Fatalf("stale snapshot not swept: %v", err)
+	}
+}
+
+// TestCheckpointCrashBeforeCommit: a database file written without its
+// marker rename (crash between the two steps) must be invisible — the
+// previous checkpoint, or none, still rules.
+func TestCheckpointCrashBeforeCommit(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveCheckpoint(dir, ckptDB(t, "committed"), 7); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a newer snapshot file exists, marker untouched.
+	if err := SaveDB(filepath.Join(dir, "checkpoint-00000000000000000050.pcdb"), ckptDB(t, "torn1", "torn2")); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, ok, err := LoadCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if meta.Watermark != 7 || got.Len() != 1 {
+		t.Fatalf("uncommitted checkpoint became visible: %+v", meta)
+	}
+	if _, ok := got.Get("committed"); !ok {
+		t.Fatal("committed entry lost")
+	}
+}
+
+func TestCheckpointRejectsBadMarker(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, CheckpointMarker), []byte(`{"db_file":"../evil.pcdb","wal_watermark":1}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadCheckpoint(dir); err == nil {
+		t.Fatal("path-escaping db_file accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, CheckpointMarker), []byte("not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadCheckpoint(dir); err == nil {
+		t.Fatal("garbage marker accepted")
+	}
+}

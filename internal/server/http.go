@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"probablecause/internal/bitset"
@@ -22,6 +23,7 @@ var (
 	hBatchNanos    = obs.H("server.http.identify_batch.nanos")
 	hCharNanos     = obs.H("server.http.characterize.nanos")
 	hDBNanos       = obs.H("server.http.db.nanos")
+	hEnrollNanos   = obs.H("server.http.enroll.nanos")
 	cRequests      = obs.C("server.http.requests")
 	cShed          = obs.C("server.http.shed_429")
 	cUnavailable   = obs.C("server.http.unavailable_503")
@@ -213,18 +215,24 @@ func instrument(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/identify        one error string → verdict
-//	POST   /v1/identify-batch  many error strings → verdicts, one admission
-//	POST   /v1/characterize    intersect error strings; optionally register
-//	GET    /v1/db              serving stats
-//	POST   /v1/db              register a fingerprint
-//	DELETE /v1/db?name=N       remove a fingerprint
-//	GET    /healthz            liveness
+//	POST   /v1/identify           one error string → verdict
+//	POST   /v1/identify-batch     many error strings → verdicts, one admission
+//	POST   /v1/characterize       intersect error strings; optionally register
+//	POST   /v1/enroll             durably fold one observation into a session
+//	GET    /v1/enroll/{id}/status enrollment session progress
+//	POST   /v1/snapshot           checkpoint the database + compact the WAL
+//	GET    /v1/db                 serving stats
+//	POST   /v1/db                 register a fingerprint
+//	DELETE /v1/db?name=N          remove a fingerprint
+//	GET    /healthz               liveness
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/identify", instrument(hIdentifyNanos, s.handleIdentify))
 	mux.HandleFunc("POST /v1/identify-batch", instrument(hBatchNanos, s.handleIdentifyBatch))
 	mux.HandleFunc("POST /v1/characterize", instrument(hCharNanos, s.handleCharacterize))
+	mux.HandleFunc("POST /v1/enroll", instrument(hEnrollNanos, s.handleEnroll))
+	mux.HandleFunc("GET /v1/enroll/{id}/status", instrument(hEnrollNanos, s.handleEnrollStatus))
+	mux.HandleFunc("POST /v1/snapshot", instrument(hDBNanos, s.handleSnapshot))
 	mux.HandleFunc("GET /v1/db", instrument(hDBNanos, s.handleDBStats))
 	mux.HandleFunc("POST /v1/db", instrument(hDBNanos, s.handleDBAdd))
 	mux.HandleFunc("DELETE /v1/db", instrument(hDBNanos, s.handleDBRemove))
@@ -323,6 +331,76 @@ func (s *Service) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		Added:     added,
 		Entries:   s.db.Len(),
 	})
+}
+
+type enrollRequestJSON struct {
+	Session   string   `json:"session"`
+	Name      string   `json:"name"`
+	Len       int      `json:"len"`
+	Positions []uint32 `json:"positions"`
+}
+
+// enrollStatus maps enrollment errors to HTTP statuses: 503 when the
+// subsystem is off or its log failed, 429 on the session cap, 409 on a
+// session/name conflict, 400 otherwise.
+func enrollStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrEnrollmentDisabled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrSessionLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrSessionName):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "enrollment log"):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	var req enrollRequestJSON
+	if code, err := s.decode(w, r, &req); err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	es, err := s.toSet(errStringJSON{Len: req.Len, Positions: req.Positions})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	st, err := s.Enroll(ctx, req.Session, req.Name, es)
+	if err != nil {
+		httpError(w, enrollStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleEnrollStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok, err := s.EnrollStatus(r.PathValue("id"))
+	if err != nil {
+		httpError(w, enrollStatus(err), err.Error())
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown enrollment session")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	meta, err := s.Checkpoint()
+	if err != nil {
+		httpError(w, enrollStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
 }
 
 func (s *Service) handleDBStats(w http.ResponseWriter, r *http.Request) {

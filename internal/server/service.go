@@ -120,11 +120,12 @@ func (c Config) withDefaults(seed *fingerprint.DB) Config {
 // batching, caching, and guard layers. Create with New, serve its Handler,
 // and Close to drain.
 type Service struct {
-	cfg   Config
-	db    *fingerprint.ShardedDB
-	cache *verdictCache
-	batch *batcher
-	inj   *faults.Injector // nil when the fault plan is inactive
+	cfg    Config
+	db     *fingerprint.ShardedDB
+	cache  *verdictCache
+	batch  *batcher
+	inj    *faults.Injector // nil when the fault plan is inactive
+	enroll *enroller        // nil until EnableEnrollment
 
 	// fpLen pins the error-string length (bits) every query and registered
 	// fingerprint must share — Distance is only defined over equal-length
@@ -169,9 +170,15 @@ func (s *Service) DB() *fingerprint.ShardedDB { return s.db }
 // Config returns the resolved configuration.
 func (s *Service) Config() Config { return s.cfg }
 
-// Close drains the identify queue and stops the dispatcher. In-flight
-// requests complete; later submissions fail with ErrDraining.
-func (s *Service) Close() { s.batch.close() }
+// Close drains the identify queue, stops the dispatcher, and closes the
+// enrollment write-ahead log when one is attached. In-flight requests
+// complete; later submissions fail with ErrDraining.
+func (s *Service) Close() {
+	s.batch.close()
+	if s.enroll != nil {
+		s.enroll.log.Close()
+	}
+}
 
 // checkLen validates a declared error-string length against the pinned
 // fingerprint length and the configured ceiling.
@@ -275,12 +282,14 @@ func (s *Service) Characterize(name string, ess []*bitset.Set) (*bitset.Set, boo
 	return fp, added, nil
 }
 
-// Add registers a fingerprint, purging the verdict cache. The first entry
-// pins the service's fingerprint length.
-func (s *Service) Add(name string, fp *bitset.Set) {
+// Add registers a fingerprint, purging the verdict cache, and returns
+// the entry's stable add-order id. The first entry pins the service's
+// fingerprint length.
+func (s *Service) Add(name string, fp *bitset.Set) int {
 	s.fpLen.CompareAndSwap(0, int64(fp.Len()))
-	s.db.Add(name, fp)
+	id := s.db.Add(name, fp)
 	s.cache.Purge(s.db.Generation())
+	return id
 }
 
 // Remove deletes the earliest-added entry under name, purging the verdict
