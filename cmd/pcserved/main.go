@@ -28,7 +28,10 @@
 //	GET    /v1/db                 serving stats
 //	POST   /v1/db                 register a fingerprint
 //	DELETE /v1/db?name=N         remove a fingerprint
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness (degraded on critical SLO burn)
+//	GET    /metrics              obs metrics (Prometheus; ?format=json)
+//	GET    /slo                  SLO burn-rate report (-slo objectives)
+//	GET    /debug/slowest        span trees of the slowest requests (-slow)
 package main
 
 import (
@@ -91,11 +94,24 @@ func run(args []string) (err error) {
 	enrollMinObs := fs.Int("enroll.minobs", 0, fmt.Sprintf("observations before an enrollment may converge (0: %d)", fingerprint.DefaultMinObservations))
 	enrollPatience := fs.Int("enroll.patience", 0, fmt.Sprintf("unchanged observations that declare convergence (0: %d)", fingerprint.DefaultStablePatience))
 	enrollQuota := fs.Float64("enroll.quota", 0, "per-cell failure-rate quota in (0,1); 0 or 1 is pure intersection")
+	sloSpec := fs.String("slo", "", "SLO objectives for /slo, e.g. identify:p99<50ms,identify:err<1%")
+	slowK := fs.Int("slow", 0, fmt.Sprintf("slow-request retention for /debug/slowest (0: %d, negative: off)", obs.DefaultSlowRing))
 	obsOpts := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Serving runs are usually launched by a harness, not a shell: honor the
+	// OBS_REPORT environment hook (the bench suite's convention) as the
+	// default for -obs.report so a graceful SIGTERM drain always leaves a
+	// metrics artifact.
+	if obsOpts.Report == "" {
+		obsOpts.Report = os.Getenv("OBS_REPORT")
+	}
+	objectives, err := obs.ParseObjectives(*sloSpec)
+	if err != nil {
+		return err
+	}
 	plan, err := faults.ParsePlan(*faultSpec, *faultSeed)
 	if err != nil {
 		return err
@@ -109,6 +125,12 @@ func run(args []string) (err error) {
 			err = ferr
 		}
 	}()
+	// SLO tracking and slow-request retention ride the request-scoped
+	// instrumentation, which is off by default; asking for either is an
+	// explicit observability opt-in.
+	if len(objectives) > 0 || *slowK > 0 {
+		obs.Enable()
+	}
 
 	seed, err := loadSeed(*dbList, *snapshot, *threshold)
 	if err != nil {
@@ -127,6 +149,8 @@ func run(args []string) (err error) {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		FaultPlan:      plan,
+		SLO:            obs.SLOConfig{Objectives: objectives},
+		SlowRequests:   *slowK,
 	}
 	var svc *server.Service
 	if *walDir != "" {
@@ -201,6 +225,11 @@ func run(args []string) (err error) {
 			return err
 		}
 		fmt.Printf("pcserved: saved %d entries to %s\n", db.Len(), *snapshot)
+	}
+	if obsOpts.Report != "" {
+		// The deferred obs finish writes the file; announce it so drain logs
+		// point at the artifact.
+		fmt.Printf("pcserved: writing metrics snapshot to %s\n", obsOpts.Report)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package fingerprint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -270,21 +271,55 @@ func (sh *dbShard) firstMatch(errorString *bitset.Set) (name string, id int, ok 
 	return name, sh.ids[local], true
 }
 
+// mergeVerdict folds one shard's answer into the running cross-shard
+// verdict: match counts accumulate and the (distance, id)-lexicographic
+// minimum wins — the single combination rule Decide and DecideCtx share,
+// so tracing can never change an answer.
+func mergeVerdict(v *Verdict, sv Verdict) {
+	v.Matches += sv.Matches
+	if sv.Index < 0 {
+		return
+	}
+	if sv.Distance < v.Distance || (sv.Distance == v.Distance && (v.Index < 0 || sv.Index < v.Index)) {
+		v.Name, v.Index, v.Distance = sv.Name, sv.Index, sv.Distance
+	}
+}
+
 // Decide runs the full identification decision across all shards: the
 // (distance, id)-lexicographic best entry and the total sub-threshold match
 // count.
 func (s *ShardedDB) Decide(errorString *bitset.Set) Verdict {
 	v := Verdict{Index: -1, Distance: 2}
 	for _, sh := range s.shards {
-		sv := sh.decideRaw(errorString)
-		v.Matches += sv.Matches
-		if sv.Index < 0 {
-			continue
-		}
-		if sv.Distance < v.Distance || (sv.Distance == v.Distance && (v.Index < 0 || sv.Index < v.Index)) {
-			v.Name, v.Index, v.Distance = sv.Name, sv.Index, sv.Distance
-		}
+		mergeVerdict(&v, sh.decideRaw(errorString))
 	}
+	recordVerdict(v)
+	return v
+}
+
+// DecideCtx is Decide with request-scoped tracing: when ctx carries a
+// request span (obs.StartRequest), the shard fan-out records one
+// shard.identify child span per shard and a decide span around the
+// cross-shard combine. The verdict is identical to Decide's — spans
+// observe the scan, they never reorder it.
+func (s *ShardedDB) DecideCtx(ctx context.Context, errorString *bitset.Set) Verdict {
+	parent := obs.SpanFrom(ctx)
+	if parent == nil {
+		return s.Decide(errorString)
+	}
+	svs := make([]Verdict, len(s.shards))
+	for i, sh := range s.shards {
+		sp := parent.Child("shard.identify")
+		sp.SetAttr("shard", i)
+		svs[i] = sh.decideRaw(errorString)
+		sp.End()
+	}
+	dsp := parent.Child("decide")
+	v := Verdict{Index: -1, Distance: 2}
+	for _, sv := range svs {
+		mergeVerdict(&v, sv)
+	}
+	dsp.End()
 	recordVerdict(v)
 	return v
 }
@@ -344,6 +379,22 @@ func (s *ShardedDB) ParallelDecide(errorStrings []*bitset.Set, workers int) []Ve
 	out := make([]Verdict, len(errorStrings))
 	pool.Map(workers, len(errorStrings), func(i int) {
 		out[i] = s.Decide(errorStrings[i])
+	})
+	return out
+}
+
+// ParallelDecideCtx is ParallelDecide with per-query trace contexts: slot i
+// answers errorStrings[i] under ctxs[i] (nil or missing contexts fall back
+// untraced), so a coalesced batch records each originating request's shard
+// fan-out in that request's own span tree.
+func (s *ShardedDB) ParallelDecideCtx(ctxs []context.Context, errorStrings []*bitset.Set, workers int) []Verdict {
+	out := make([]Verdict, len(errorStrings))
+	pool.Map(workers, len(errorStrings), func(i int) {
+		ctx := context.Background()
+		if i < len(ctxs) && ctxs[i] != nil {
+			ctx = ctxs[i]
+		}
+		out[i] = s.DecideCtx(ctx, errorStrings[i])
 	})
 	return out
 }

@@ -23,6 +23,11 @@ func init() {
 	expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
 }
 
+// MetricsHandler returns the Default-registry /metrics handler so other
+// servers (the pcserved API mux) can mount the same endpoint the debug
+// server exposes.
+func MetricsHandler() http.Handler { return http.HandlerFunc(metricsHandler) }
+
 // metricsHandler serves the Default registry snapshot.
 func metricsHandler(w http.ResponseWriter, r *http.Request) {
 	snap := Default.Snapshot()

@@ -1,0 +1,37 @@
+package obs
+
+// RED metrics: the rate / errors / duration triple every serving
+// endpoint registers. One NewRED call per endpoint wires three metrics
+// into a registry under a shared prefix:
+//
+//	<prefix>.requests   counter — every request (the R)
+//	<prefix>.errors     counter — requests that failed server-side (the E)
+//	<prefix>.nanos      histogram — request latency (the D)
+//
+// so /metrics carries a uniform per-endpoint block and the SLO engine,
+// dashboards, and BENCH snapshots all read the same names.
+
+// RED is one endpoint's rate/errors/duration triple.
+type RED struct {
+	Requests *Counter
+	Errors   *Counter
+	Duration *Histogram
+}
+
+// NewRED registers (or reuses) the triple under prefix in r.
+func NewRED(r *Registry, prefix string) *RED {
+	return &RED{
+		Requests: r.Counter(prefix + ".requests"),
+		Errors:   r.Counter(prefix + ".errors"),
+		Duration: r.Histogram(prefix + ".nanos"),
+	}
+}
+
+// Observe records one request.
+func (m *RED) Observe(durNS int64, isErr bool) {
+	m.Requests.Inc()
+	if isErr {
+		m.Errors.Inc()
+	}
+	m.Duration.Observe(durNS)
+}

@@ -1,0 +1,450 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLO engine: rolling-window service-level objectives over the serving
+// endpoints. An objective declares what "good" means for one endpoint —
+// a latency bound ("identify:p99<50ms" reads as "99% of identify
+// requests answer within 50ms") or an error-rate bound
+// ("identify:err<0.1%") — and the engine tracks, per endpoint, a ring of
+// fixed-width time buckets counting total, error, and per-objective good
+// events plus a log-scale latency histogram.
+//
+// From the ring it computes multi-window burn rates, the SRE-handbook
+// measure of how fast an objective is spending its error budget:
+//
+//	burn(w) = badFraction(w) / (1 - target)
+//
+// A burn rate of 1 spends the budget exactly over the objective's
+// period; 14.4 spends a 30-day budget in 2 days. Alerts pair a short and
+// a long window so a burst must both spike AND sustain before paging:
+// the engine reports "critical" when the fast pair (2nd window + longest
+// window) both exceed BurnCritical, and "warn" when the slow pair (3rd
+// window + longest) both exceed BurnWarn.
+
+// Objective is one service-level objective.
+type Objective struct {
+	// Name labels the objective in reports ("identify-p99").
+	Name string `json:"name"`
+	// Endpoint is the RED endpoint the objective watches ("identify").
+	Endpoint string `json:"endpoint"`
+	// Latency, when non-zero, makes this a latency objective: a request
+	// is good when it answers within this bound. Zero means an
+	// availability objective: a request is good when it does not fail.
+	Latency time.Duration `json:"latency_ns,omitempty"`
+	// Target is the required good fraction (0,1), e.g. 0.99.
+	Target float64 `json:"target"`
+}
+
+// Validate checks the objective is computable.
+func (o Objective) Validate() error {
+	if o.Endpoint == "" {
+		return fmt.Errorf("obs: objective %q has no endpoint", o.Name)
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		return fmt.Errorf("obs: objective %q target %v outside (0,1)", o.Name, o.Target)
+	}
+	if o.Latency < 0 {
+		return fmt.Errorf("obs: objective %q negative latency bound", o.Name)
+	}
+	return nil
+}
+
+// ParseObjectives decodes the -slo flag: comma-separated objectives,
+// each "endpoint:pNN<dur" (latency) or "endpoint:err<pct%"
+// (availability). Examples:
+//
+//	identify:p99<50ms          99% of identify requests within 50ms
+//	identify-batch:p95<200ms   95% of batch requests within 200ms
+//	enroll:err<0.1%            99.9% of enroll requests succeed
+//
+// An empty spec returns no objectives.
+func ParseObjectives(spec string) ([]Objective, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var objs []Objective
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ep, rule, ok := strings.Cut(part, ":")
+		if !ok || ep == "" {
+			return nil, fmt.Errorf("obs: SLO %q: want endpoint:rule", part)
+		}
+		kind, bound, ok := strings.Cut(rule, "<")
+		if !ok {
+			return nil, fmt.Errorf("obs: SLO %q: rule %q has no '<'", part, rule)
+		}
+		o := Objective{Endpoint: ep, Name: ep + "-" + kind}
+		switch {
+		case kind == "err":
+			if !strings.HasSuffix(bound, "%") {
+				return nil, fmt.Errorf("obs: SLO %q: error bound %q is not a percentage", part, bound)
+			}
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(bound, "%"), 64)
+			if err != nil || pct <= 0 || pct >= 100 {
+				return nil, fmt.Errorf("obs: SLO %q: error bound %q outside (0%%,100%%)", part, bound)
+			}
+			o.Target = 1 - pct/100
+		case strings.HasPrefix(kind, "p"):
+			q, err := strconv.ParseFloat(kind[1:], 64)
+			if err != nil || q <= 0 || q >= 100 {
+				return nil, fmt.Errorf("obs: SLO %q: percentile %q outside (0,100)", part, kind)
+			}
+			d, err := time.ParseDuration(bound)
+			if err != nil {
+				return nil, fmt.Errorf("obs: SLO %q: latency bound %q: %v", part, bound, err)
+			}
+			o.Target = q / 100
+			o.Latency = d
+		default:
+			return nil, fmt.Errorf("obs: SLO %q: rule kind %q (want pNN or err)", part, kind)
+		}
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		objs = append(objs, o)
+	}
+	return objs, nil
+}
+
+// Burn-rate alert thresholds (error-budget multiples).
+const (
+	BurnCritical = 14.4
+	BurnWarn     = 6.0
+)
+
+// SLOConfig parameterizes an engine. The zero value (plus objectives) is
+// a sane production configuration.
+type SLOConfig struct {
+	// Objectives are the objectives to track; at least one is required.
+	Objectives []Objective
+	// Bucket is the ring bucket width; 0 selects 10s.
+	Bucket time.Duration
+	// Windows are the burn-rate windows, ascending; empty selects
+	// 1m, 5m, 30m, 1h. The largest window fixes the ring capacity.
+	Windows []time.Duration
+	// Now is the clock (test hook); nil selects time.Now.
+	Now func() time.Time
+}
+
+// sloBucket is one time slot of one endpoint's ring.
+type sloBucket struct {
+	epoch  int64 // absolute bucket number; a stale epoch means reuse-and-reset
+	total  int64
+	errors int64
+	good   []int64 // per objective watching this endpoint
+	lat    [histBuckets]uint32
+}
+
+// sloEndpoint is the rolling state of one endpoint.
+type sloEndpoint struct {
+	objs []int // indices into the engine's objective list
+	ring []sloBucket
+}
+
+// SLOEngine tracks objectives over rolling windows. All methods are safe
+// for concurrent use. A nil *SLOEngine is valid: Observe is a no-op and
+// reports are empty.
+type SLOEngine struct {
+	cfg     SLOConfig
+	nbucket int
+
+	mu  sync.Mutex
+	eps map[string]*sloEndpoint
+}
+
+// NewSLOEngine builds an engine for the config's objectives, or nil when
+// there are none.
+func NewSLOEngine(cfg SLOConfig) (*SLOEngine, error) {
+	if len(cfg.Objectives) == 0 {
+		return nil, nil
+	}
+	for _, o := range cfg.Objectives {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = 10 * time.Second
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute, time.Hour}
+	}
+	sort.Slice(cfg.Windows, func(i, j int) bool { return cfg.Windows[i] < cfg.Windows[j] })
+	if cfg.Windows[0] < cfg.Bucket {
+		return nil, fmt.Errorf("obs: SLO window %v below bucket width %v", cfg.Windows[0], cfg.Bucket)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	e := &SLOEngine{
+		cfg:     cfg,
+		nbucket: int(cfg.Windows[len(cfg.Windows)-1]/cfg.Bucket) + 1,
+		eps:     make(map[string]*sloEndpoint),
+	}
+	return e, nil
+}
+
+// Objectives returns the tracked objectives.
+func (e *SLOEngine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.cfg.Objectives
+}
+
+// endpointLocked returns (creating on first use) the endpoint state.
+func (e *SLOEngine) endpointLocked(endpoint string) *sloEndpoint {
+	ep := e.eps[endpoint]
+	if ep == nil {
+		ep = &sloEndpoint{ring: make([]sloBucket, e.nbucket)}
+		for i, o := range e.cfg.Objectives {
+			if o.Endpoint == endpoint {
+				ep.objs = append(ep.objs, i)
+			}
+		}
+		e.eps[endpoint] = ep
+	}
+	return ep
+}
+
+// bucketLocked returns the live bucket for epoch, resetting a reused
+// slot.
+func (e *SLOEngine) bucketLocked(ep *sloEndpoint, epoch int64) *sloBucket {
+	b := &ep.ring[int(epoch%int64(e.nbucket))]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	if b.good == nil {
+		b.good = make([]int64, len(ep.objs))
+	}
+	return b
+}
+
+// Observe records one request against the endpoint's ring. Endpoints
+// without objectives are still tracked, so the report's windowed
+// latency percentiles cover every observed endpoint.
+func (e *SLOEngine) Observe(endpoint string, durNS int64, isErr bool) {
+	if e == nil {
+		return
+	}
+	now := e.cfg.Now()
+	epoch := now.UnixNano() / int64(e.cfg.Bucket)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ep := e.endpointLocked(endpoint)
+	b := e.bucketLocked(ep, epoch)
+	b.total++
+	if isErr {
+		b.errors++
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	b.lat[bucketIndex(durNS)]++
+	for j, oi := range ep.objs {
+		o := e.cfg.Objectives[oi]
+		good := !isErr
+		if o.Latency > 0 {
+			good = durNS <= o.Latency.Nanoseconds()
+		}
+		if good {
+			b.good[j]++
+		}
+	}
+}
+
+// windowAgg is the merged state of one endpoint over one window.
+type windowAgg struct {
+	total, errors int64
+	good          []int64
+	lat           [histBuckets]int64
+}
+
+// aggregateLocked merges the ring buckets inside (epoch-n, epoch].
+func (e *SLOEngine) aggregateLocked(ep *sloEndpoint, epoch int64, w time.Duration) windowAgg {
+	n := int64(w / e.cfg.Bucket)
+	if n < 1 {
+		n = 1
+	}
+	agg := windowAgg{good: make([]int64, len(ep.objs))}
+	for _, b := range ep.ring {
+		if b.epoch <= epoch-n || b.epoch > epoch || b.total == 0 {
+			continue
+		}
+		agg.total += b.total
+		agg.errors += b.errors
+		for j := range b.good {
+			if j < len(agg.good) {
+				agg.good[j] += b.good[j]
+			}
+		}
+		for i, c := range b.lat {
+			agg.lat[i] += int64(c)
+		}
+	}
+	return agg
+}
+
+// SLOWindow is one burn-rate window of one objective's report.
+type SLOWindow struct {
+	Window   string  `json:"window"`
+	Total    int64   `json:"total"`
+	Bad      int64   `json:"bad"`
+	SLI      float64 `json:"sli"`
+	BurnRate float64 `json:"burn_rate"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// SLOObjectiveReport is one objective's multi-window report.
+type SLOObjectiveReport struct {
+	Name     string      `json:"name"`
+	Endpoint string      `json:"endpoint"`
+	Kind     string      `json:"kind"` // "latency" or "availability"
+	Latency  string      `json:"latency,omitempty"`
+	Target   float64     `json:"target"`
+	Status   string      `json:"status"`
+	Windows  []SLOWindow `json:"windows"`
+}
+
+// SLOReport is the /slo payload.
+type SLOReport struct {
+	TakenAt    string               `json:"taken_at"`
+	Status     string               `json:"status"`
+	Objectives []SLOObjectiveReport `json:"objectives"`
+}
+
+// statusRank orders ok < warn < critical.
+func statusRank(s string) int {
+	switch s {
+	case "critical":
+		return 2
+	case "warn":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Report computes the multi-window burn-rate report.
+func (e *SLOEngine) Report() SLOReport {
+	rep := SLOReport{Status: "ok"}
+	if e == nil {
+		return rep
+	}
+	now := e.cfg.Now()
+	rep.TakenAt = now.UTC().Format(time.RFC3339)
+	epoch := now.UnixNano() / int64(e.cfg.Bucket)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for oi, o := range e.cfg.Objectives {
+		or := SLOObjectiveReport{
+			Name:     o.Name,
+			Endpoint: o.Endpoint,
+			Kind:     "availability",
+			Target:   o.Target,
+			Status:   "ok",
+		}
+		if o.Latency > 0 {
+			or.Kind = "latency"
+			or.Latency = o.Latency.String()
+		}
+		ep := e.endpointLocked(o.Endpoint)
+		slot := -1
+		for j, idx := range ep.objs {
+			if idx == oi {
+				slot = j
+			}
+		}
+		burns := make([]float64, len(e.cfg.Windows))
+		for wi, w := range e.cfg.Windows {
+			agg := e.aggregateLocked(ep, epoch, w)
+			win := SLOWindow{Window: w.String(), Total: agg.total, SLI: 1}
+			if agg.total > 0 {
+				good := agg.total - agg.errors
+				if slot >= 0 {
+					good = agg.good[slot]
+				}
+				win.Bad = agg.total - good
+				win.SLI = float64(good) / float64(agg.total)
+				win.BurnRate = (1 - win.SLI) / (1 - o.Target)
+				win.P50MS = float64(quantile(&agg.lat, agg.total, 0.50)) / 1e6
+				win.P99MS = float64(quantile(&agg.lat, agg.total, 0.99)) / 1e6
+			}
+			burns[wi] = win.BurnRate
+			or.Windows = append(or.Windows, win)
+		}
+		or.Status = burnStatus(burns)
+		if statusRank(or.Status) > statusRank(rep.Status) {
+			rep.Status = or.Status
+		}
+		rep.Objectives = append(rep.Objectives, or)
+	}
+	return rep
+}
+
+// burnStatus applies the paired-window alert rule to ascending-window
+// burn rates: critical when a fast window and the longest window both
+// burn above BurnCritical, warn when a slower window and the longest
+// both burn above BurnWarn.
+func burnStatus(burns []float64) string {
+	if len(burns) == 0 {
+		return "ok"
+	}
+	long := burns[len(burns)-1]
+	fast := burns[0]
+	if len(burns) >= 2 {
+		fast = burns[1]
+	}
+	slow := burns[len(burns)-1]
+	if len(burns) >= 3 {
+		slow = burns[len(burns)-2]
+	}
+	switch {
+	case fast > BurnCritical && long > BurnCritical:
+		return "critical"
+	case slow > BurnWarn && long > BurnWarn:
+		return "warn"
+	default:
+		return "ok"
+	}
+}
+
+// Status returns the engine's worst objective status ("ok", "warn", or
+// "critical"). A nil engine is "ok".
+func (e *SLOEngine) Status() string {
+	return e.Report().Status
+}
+
+// WritePrometheus renders the report in the Prometheus text exposition
+// format: per-objective burn rates, SLIs, and windowed percentiles as
+// labeled gauges, plus a numeric status (0 ok, 1 warn, 2 critical).
+func (rep SLOReport) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# TYPE pc_slo_status gauge\n")
+	fmt.Fprintf(&b, "pc_slo_status %d\n", statusRank(rep.Status))
+	b.WriteString("# TYPE pc_slo_objective_status gauge\n# TYPE pc_slo_burn_rate gauge\n# TYPE pc_slo_sli gauge\n# TYPE pc_slo_p99_ms gauge\n")
+	for _, o := range rep.Objectives {
+		fmt.Fprintf(&b, "pc_slo_objective_status{objective=%q} %d\n", o.Name, statusRank(o.Status))
+		for _, win := range o.Windows {
+			fmt.Fprintf(&b, "pc_slo_burn_rate{objective=%q,window=%q} %g\n", o.Name, win.Window, win.BurnRate)
+			fmt.Fprintf(&b, "pc_slo_sli{objective=%q,window=%q} %g\n", o.Name, win.Window, win.SLI)
+			fmt.Fprintf(&b, "pc_slo_p99_ms{objective=%q,window=%q} %g\n", o.Name, win.Window, win.P99MS)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

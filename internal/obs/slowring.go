@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowRing keeps the K slowest completed request traces — a bounded
+// in-memory ring behind /debug/slowest. Offer is O(K) with K small (the
+// default is 16), and entries snapshot their span tree at admission so
+// holding a ring slot never pins a live trace's mutex.
+
+// DefaultSlowRing is the ring capacity a zero configuration selects.
+const DefaultSlowRing = 16
+
+// SlowEntry is one retained slow request.
+type SlowEntry struct {
+	Trace string    `json:"trace"`
+	Name  string    `json:"name"`
+	Start string    `json:"start"`
+	DurNS int64     `json:"dur_ns"`
+	Spans *SpanTree `json:"spans"`
+}
+
+// SlowRing retains the K slowest traces offered to it. A nil *SlowRing
+// is valid and retains nothing.
+type SlowRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowEntry // unordered; min scanned on eviction
+}
+
+// NewSlowRing returns a ring keeping the k slowest traces, or nil
+// (retention off) when k <= 0.
+func NewSlowRing(k int) *SlowRing {
+	if k <= 0 {
+		return nil
+	}
+	return &SlowRing{cap: k}
+}
+
+// Offer considers a completed trace for retention: admitted when the
+// ring has room or the trace outlasts the current fastest entry. The
+// span tree is exported before taking the ring lock (the trace is
+// complete, so the tree is stable), keeping the locked section O(K).
+func (r *SlowRing) Offer(t *ReqTrace) {
+	if r == nil || t == nil {
+		return
+	}
+	dur := t.DurNS()
+	tree := t.Tree()
+	e := SlowEntry{
+		Trace: t.ID(),
+		Start: t.Start().UTC().Format(time.RFC3339Nano),
+		DurNS: dur,
+		Spans: tree,
+	}
+	if tree != nil {
+		e.Name = tree.Name
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, e)
+		return
+	}
+	min := 0
+	for i := 1; i < len(r.entries); i++ {
+		if r.entries[i].DurNS < r.entries[min].DurNS {
+			min = i
+		}
+	}
+	if dur > r.entries[min].DurNS {
+		r.entries[min] = e
+	}
+}
+
+// Snapshot returns the retained entries, slowest first.
+func (r *SlowRing) Snapshot() []SlowEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]SlowEntry, len(r.entries))
+	copy(out, r.entries)
+	r.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DurNS > out[j-1].DurNS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (r *SlowRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

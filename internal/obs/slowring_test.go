@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceWithDur builds a completed single-span trace whose duration is
+// forced to d (the ring orders purely by DurNS, so tests pin it directly).
+func traceWithDur(name string, d time.Duration) *ReqTrace {
+	_, root := StartRequest(context.Background(), name, "")
+	root.End()
+	t := root.Trace()
+	t.mu.Lock()
+	t.spans[0].dur = d
+	t.mu.Unlock()
+	return t
+}
+
+func TestSlowRingKeepsSlowest(t *testing.T) {
+	enableForTest(t)
+	r := NewSlowRing(3)
+	for i := 1; i <= 10; i++ {
+		r.Offer(traceWithDur(fmt.Sprintf("req%d", i), time.Duration(i)*time.Millisecond))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(snap))
+	}
+	// Slowest first: 10ms, 9ms, 8ms.
+	for i, want := range []time.Duration{10 * time.Millisecond, 9 * time.Millisecond, 8 * time.Millisecond} {
+		if got := time.Duration(snap[i].DurNS); got != want {
+			t.Errorf("entry %d: %v, want %v", i, got, want)
+		}
+	}
+	if snap[0].Name != "req10" || snap[0].Spans == nil || snap[0].Trace == "" {
+		t.Errorf("slowest entry = %+v", snap[0])
+	}
+}
+
+func TestSlowRingFastEntriesRejected(t *testing.T) {
+	enableForTest(t)
+	r := NewSlowRing(2)
+	r.Offer(traceWithDur("slow1", 100*time.Millisecond))
+	r.Offer(traceWithDur("slow2", 90*time.Millisecond))
+	r.Offer(traceWithDur("fast", time.Millisecond))
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "slow1" || snap[1].Name != "slow2" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestSlowRingNil(t *testing.T) {
+	enableForTest(t)
+	if r := NewSlowRing(0); r != nil {
+		t.Fatal("k=0 should disable retention")
+	}
+	var r *SlowRing
+	r.Offer(traceWithDur("x", time.Second)) // must not panic
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Error("nil ring should be empty")
+	}
+	r.Offer(nil)
+	NewSlowRing(4).Offer(nil) // nil trace must not panic either
+}
+
+func TestSlowRingConcurrent(t *testing.T) {
+	enableForTest(t)
+	r := NewSlowRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Offer(traceWithDur("req", time.Duration(g*100+i)*time.Microsecond))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(snap))
+	}
+	// The retained set must be the global slowest: all ≥ 792µs (the 8th
+	// largest of g*100+i).
+	for _, e := range snap {
+		if e.DurNS < (792 * time.Microsecond).Nanoseconds() {
+			t.Errorf("retained %v; a slower request was displaced", time.Duration(e.DurNS))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -31,10 +32,13 @@ var ErrDraining = errors.New("server: draining")
 // pending is one enqueued identify query. The result channel is buffered so
 // the dispatcher can always deliver, even when the requester timed out and
 // walked away — nothing leaks, the verdict is simply dropped with the
-// channel.
+// channel. ctx carries the originating request's trace span across the
+// coalescing boundary; qspan times the queue wait (admission → dispatch).
 type pending struct {
-	es  *bitset.Set
-	out chan fingerprint.Verdict
+	ctx   context.Context
+	qspan *obs.RSpan
+	es    *bitset.Set
+	out   chan fingerprint.Verdict
 }
 
 // batcher is the micro-batching dispatcher on the identify path. Requests
@@ -45,7 +49,7 @@ type pending struct {
 // order-independent, so coalescing never changes any verdict — only the
 // wall-clock (see the invariance tests).
 type batcher struct {
-	run      func([]*bitset.Set) []fingerprint.Verdict
+	run      func([]context.Context, []*bitset.Set) []fingerprint.Verdict
 	window   time.Duration
 	maxBatch int
 	capacity int
@@ -58,7 +62,7 @@ type batcher struct {
 }
 
 // newBatcher starts the dispatcher goroutine. close() stops it.
-func newBatcher(capacity, maxBatch int, window time.Duration, run func([]*bitset.Set) []fingerprint.Verdict) *batcher {
+func newBatcher(capacity, maxBatch int, window time.Duration, run func([]context.Context, []*bitset.Set) []fingerprint.Verdict) *batcher {
 	b := &batcher{run: run, window: window, maxBatch: maxBatch, capacity: capacity, done: make(chan struct{})}
 	b.cond = sync.NewCond(&b.mu)
 	go b.loop()
@@ -67,8 +71,10 @@ func newBatcher(capacity, maxBatch int, window time.Duration, run func([]*bitset
 
 // submit enqueues the queries atomically: either every query gets a slot or
 // none does, so a batch request can never be half-admitted. The returned
-// pendings receive their verdicts on their out channels.
-func (b *batcher) submit(queries []*bitset.Set) ([]*pending, error) {
+// pendings receive their verdicts on their out channels. When ctx carries a
+// request span, each query opens a queue.wait child the dispatcher closes
+// at dispatch — the admission-to-dispatch latency, per query.
+func (b *batcher) submit(ctx context.Context, queries []*bitset.Set) ([]*pending, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -77,9 +83,10 @@ func (b *batcher) submit(queries []*bitset.Set) ([]*pending, error) {
 	if len(b.queue)+len(queries) > b.capacity {
 		return nil, ErrOverloaded
 	}
+	span := obs.SpanFrom(ctx)
 	ps := make([]*pending, len(queries))
 	for i, es := range queries {
-		ps[i] = &pending{es: es, out: make(chan fingerprint.Verdict, 1)}
+		ps[i] = &pending{ctx: ctx, qspan: span.Child("queue.wait"), es: es, out: make(chan fingerprint.Verdict, 1)}
 	}
 	b.queue = append(b.queue, ps...)
 	if obs.On() {
@@ -119,12 +126,26 @@ func (b *batcher) loop() {
 		}
 		b.mu.Unlock()
 
+		// Dispatch: close each query's queue.wait span and open its batch
+		// span, re-parenting the query's context under it so the shard
+		// fan-out nests inside — one coalesced execution, N request-scoped
+		// span trees.
 		ess := make([]*bitset.Set, len(batch))
+		ctxs := make([]context.Context, len(batch))
+		bspans := make([]*obs.RSpan, len(batch))
 		for i, p := range batch {
 			ess[i] = p.es
+			ctxs[i] = p.ctx
+			p.qspan.End()
+			if span := obs.SpanFrom(p.ctx); span != nil {
+				bspans[i] = span.Child("batch")
+				bspans[i].SetAttr("batch_size", len(batch))
+				ctxs[i] = obs.ContextWithSpan(p.ctx, bspans[i])
+			}
 		}
-		verdicts := b.run(ess)
+		verdicts := b.run(ctxs, ess)
 		for i, p := range batch {
+			bspans[i].End()
 			p.out <- verdicts[i]
 		}
 		if obs.On() {

@@ -275,18 +275,24 @@ func (s *Service) Enroll(ctx context.Context, session, name string, es *bitset.S
 	if err != nil {
 		return EnrollState{}, fmt.Errorf("server: encoding enrollment record: %w", err)
 	}
-	seq, err := e.log.Append(payload)
+	seq, err := e.log.AppendCtx(ctx, payload)
 	if err != nil {
 		return EnrollState{}, fmt.Errorf("server: enrollment log: %w", err)
 	}
 
 	// The record is durable; fold it in sequence order. The fold is not
-	// cancelable — skipping it would stall every later record's wait.
-	_, span := obs.Start(ctx, "server.enroll.fold")
+	// cancelable — skipping it would stall every later record's wait. The
+	// request span splits the fold into its two costs: fold.wait (the
+	// cond-chain turn for seq-1) and fold.apply (this record's own fold).
+	rspan := obs.SpanFrom(ctx)
+	wspan := rspan.Child("fold.wait")
 	e.mu.Lock()
 	for e.appliedSeq+1 != seq {
 		e.applyCond.Wait()
 	}
+	wspan.End()
+	aspan := rspan.Child("fold.apply")
+	aspan.SetAttr("seq", seq)
 	st := e.applyLocked(s, seq, &rec)
 	e.appliedSeq = seq
 	if obs.On() {
@@ -294,7 +300,7 @@ func (s *Service) Enroll(ctx context.Context, session, name string, es *bitset.S
 	}
 	e.applyCond.Broadcast()
 	e.mu.Unlock()
-	span.End()
+	aspan.End()
 	return st, nil
 }
 

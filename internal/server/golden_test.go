@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"probablecause/internal/fingerprint"
+	"probablecause/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden serving fixtures")
@@ -103,7 +104,24 @@ func TestGoldenServe(t *testing.T) {
 	if *update {
 		writeGoldenFixtures(t)
 	}
+	runGoldenReplay(t)
+}
 
+// TestGoldenServeTraced replays the same transcript with request-scoped
+// instrumentation and span filing fully on: tracing must be invisible on
+// the wire — every response byte-identical to the recorded contract.
+func TestGoldenServeTraced(t *testing.T) {
+	obs.Enable()
+	obs.EnableTracing()
+	defer func() {
+		obs.ResetTracing()
+		obs.Disable()
+	}()
+	runGoldenReplay(t)
+}
+
+func runGoldenReplay(t *testing.T) {
+	t.Helper()
 	raw, err := os.ReadFile(goldenDBPath)
 	if err != nil {
 		t.Fatalf("reading fixture DB (run with -update to regenerate): %v", err)

@@ -16,19 +16,15 @@ import (
 	"probablecause/internal/obs"
 )
 
-// Per-endpoint serving metrics: request counts by outcome class and latency
-// histograms, all on the existing -obs.http debug server.
+// Serving metrics: request counts by outcome class. Per-endpoint RED
+// triples (server.http.<endpoint>.{requests,errors,nanos}) register in
+// route, one per mounted endpoint.
 var (
-	hIdentifyNanos = obs.H("server.http.identify.nanos")
-	hBatchNanos    = obs.H("server.http.identify_batch.nanos")
-	hCharNanos     = obs.H("server.http.characterize.nanos")
-	hDBNanos       = obs.H("server.http.db.nanos")
-	hEnrollNanos   = obs.H("server.http.enroll.nanos")
-	cRequests      = obs.C("server.http.requests")
-	cShed          = obs.C("server.http.shed_429")
-	cUnavailable   = obs.C("server.http.unavailable_503")
-	cBadRequest    = obs.C("server.http.bad_request_400")
-	cInjected      = obs.C("server.http.faults_injected")
+	cRequests    = obs.C("server.http.requests")
+	cShed        = obs.C("server.http.shed_429")
+	cUnavailable = obs.C("server.http.unavailable_503")
+	cBadRequest  = obs.C("server.http.bad_request_400")
+	cInjected    = obs.C("server.http.faults_injected")
 )
 
 // maxBatchQueries caps queries per identify-batch request, independent of
@@ -198,18 +194,65 @@ func submitStatus(err error) int {
 	}
 }
 
-// instrument wraps a handler with the request counter and a latency
-// histogram.
-func instrument(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+// statusWriter captures the response status so the middleware can
+// classify errors (RED, SLO) and log the outcome after the handler runs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// route wraps an endpoint handler with the request-scoped observability
+// stack: a trace rooted at the endpoint name (adopting an inbound
+// X-PC-Trace and echoing the root span back in the response header), the
+// endpoint's RED triple, the SLO engine feed, the structured access log,
+// and slow-request retention. With instrumentation off the request runs
+// bare — one atomic-bool branch of overhead.
+func (s *Service) route(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	red := obs.NewRED(obs.Default, "server.http."+endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !obs.On() {
 			fn(w, r)
 			return
 		}
 		cRequests.Inc()
+		ctx, root := obs.StartRequest(r.Context(), endpoint, r.Header.Get(obs.TraceHeader))
+		if h := root.Header(); h != "" {
+			w.Header().Set(obs.TraceHeader, h)
+		}
+		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
-		fn(w, r)
-		h.Observe(time.Since(t0).Nanoseconds())
+		fn(sw, r.WithContext(ctx))
+		dur := time.Since(t0).Nanoseconds()
+		root.End()
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		isErr := code >= 500
+		red.Observe(dur, isErr)
+		s.slo.Observe(endpoint, dur, isErr)
+		trace := ""
+		if t := root.Trace(); t != nil {
+			trace = t.ID()
+			s.slow.Offer(t)
+		}
+		obs.Infof("http request",
+			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"status", code, "dur", time.Duration(dur), "trace", trace)
 	}
 }
 
@@ -224,22 +267,74 @@ func instrument(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
 //	GET    /v1/db                 serving stats
 //	POST   /v1/db                 register a fingerprint
 //	DELETE /v1/db?name=N          remove a fingerprint
-//	GET    /healthz               liveness
+//	GET    /healthz               liveness (degraded on critical SLO burn)
+//	GET    /metrics               obs registry (Prometheus; ?format=json)
+//	GET    /slo                   SLO burn-rate report (?format=prom)
+//	GET    /debug/slowest         span trees of the K slowest requests
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/identify", instrument(hIdentifyNanos, s.handleIdentify))
-	mux.HandleFunc("POST /v1/identify-batch", instrument(hBatchNanos, s.handleIdentifyBatch))
-	mux.HandleFunc("POST /v1/characterize", instrument(hCharNanos, s.handleCharacterize))
-	mux.HandleFunc("POST /v1/enroll", instrument(hEnrollNanos, s.handleEnroll))
-	mux.HandleFunc("GET /v1/enroll/{id}/status", instrument(hEnrollNanos, s.handleEnrollStatus))
-	mux.HandleFunc("POST /v1/snapshot", instrument(hDBNanos, s.handleSnapshot))
-	mux.HandleFunc("GET /v1/db", instrument(hDBNanos, s.handleDBStats))
-	mux.HandleFunc("POST /v1/db", instrument(hDBNanos, s.handleDBAdd))
-	mux.HandleFunc("DELETE /v1/db", instrument(hDBNanos, s.handleDBRemove))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("POST /v1/identify", s.route("identify", s.handleIdentify))
+	mux.HandleFunc("POST /v1/identify-batch", s.route("identify_batch", s.handleIdentifyBatch))
+	mux.HandleFunc("POST /v1/characterize", s.route("characterize", s.handleCharacterize))
+	mux.HandleFunc("POST /v1/enroll", s.route("enroll", s.handleEnroll))
+	mux.HandleFunc("GET /v1/enroll/{id}/status", s.route("enroll_status", s.handleEnrollStatus))
+	mux.HandleFunc("POST /v1/snapshot", s.route("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/db", s.route("db", s.handleDBStats))
+	mux.HandleFunc("POST /v1/db", s.route("db_add", s.handleDBAdd))
+	mux.HandleFunc("DELETE /v1/db", s.route("db_remove", s.handleDBRemove))
+	mux.Handle("GET /metrics", obs.MetricsHandler())
+	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("GET /debug/slowest", s.handleSlowest)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// healthJSON is the /healthz body. SLO is omitted when no objectives are
+// configured, keeping the body byte-identical to pre-SLO deployments.
+type healthJSON struct {
+	Status string `json:"status"`
+	SLO    string `json:"slo,omitempty"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthJSON{Status: "ok"}
+	if s.slo != nil {
+		h.SLO = s.slo.Status()
+		if h.SLO == "critical" {
+			h.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Service) handleSLO(w http.ResponseWriter, r *http.Request) {
+	rep := s.slo.Report()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rep.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// slowestJSON is the /debug/slowest body.
+type slowestJSON struct {
+	Capacity int             `json:"capacity"`
+	Slowest  []obs.SlowEntry `json:"slowest"`
+}
+
+func (s *Service) handleSlowest(w http.ResponseWriter, r *http.Request) {
+	resp := slowestJSON{Slowest: s.slow.Snapshot()}
+	if resp.Slowest == nil {
+		resp.Slowest = []obs.SlowEntry{}
+	}
+	if s.slow != nil {
+		resp.Capacity = s.cfg.SlowRequests
+		if resp.Capacity <= 0 {
+			resp.Capacity = obs.DefaultSlowRing
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {

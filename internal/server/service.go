@@ -79,6 +79,12 @@ type Config struct {
 	// FaultPlan, when active, wraps request bodies in transient fault and
 	// latency injection (chaos testing the serving path).
 	FaultPlan faults.Plan
+	// SLO configures the rolling-window SLO engine behind /slo and
+	// /healthz degradation. No objectives disables the engine.
+	SLO obs.SLOConfig
+	// SlowRequests caps the /debug/slowest retention ring; 0 selects
+	// obs.DefaultSlowRing, negative disables retention.
+	SlowRequests int
 }
 
 // Defaults for the zero Config.
@@ -126,6 +132,8 @@ type Service struct {
 	batch  *batcher
 	inj    *faults.Injector // nil when the fault plan is inactive
 	enroll *enroller        // nil until EnableEnrollment
+	slo    *obs.SLOEngine   // nil without objectives
+	slow   *obs.SlowRing    // nil when retention is disabled
 
 	// fpLen pins the error-string length (bits) every query and registered
 	// fingerprint must share — Distance is only defined over equal-length
@@ -158,11 +166,26 @@ func New(seed *fingerprint.DB, cfg Config) (*Service, error) {
 	if cfg.FaultPlan.Active() {
 		s.inj = faults.NewInjector(cfg.FaultPlan)
 	}
-	s.batch = newBatcher(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(ess []*bitset.Set) []fingerprint.Verdict {
-		return db.ParallelDecide(ess, cfg.Workers)
+	s.slo, err = obs.NewSLOEngine(cfg.SLO)
+	if err != nil {
+		return nil, err
+	}
+	slowK := cfg.SlowRequests
+	if slowK == 0 {
+		slowK = obs.DefaultSlowRing
+	}
+	s.slow = obs.NewSlowRing(slowK)
+	s.batch = newBatcher(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, func(ctxs []context.Context, ess []*bitset.Set) []fingerprint.Verdict {
+		return db.ParallelDecideCtx(ctxs, ess, cfg.Workers)
 	})
 	return s, nil
 }
+
+// SLO exposes the service's SLO engine (nil without objectives).
+func (s *Service) SLO() *obs.SLOEngine { return s.slo }
+
+// SlowRing exposes the slow-request retention ring (nil when disabled).
+func (s *Service) SlowRing() *obs.SlowRing { return s.slow }
 
 // DB exposes the sharded database (snapshot export, tests).
 func (s *Service) DB() *fingerprint.ShardedDB { return s.db }
@@ -199,11 +222,15 @@ func (s *Service) checkLen(n int) error {
 // dispatcher. The bool reports whether the verdict came from the cache.
 func (s *Service) Identify(ctx context.Context, es *bitset.Set) (fingerprint.Verdict, bool, error) {
 	key := keyOf(es)
-	if v, ok := s.cache.Get(key); ok {
+	csp := obs.SpanFrom(ctx).Child("cache.get")
+	v, ok := s.cache.Get(key)
+	csp.SetAttr("hit", ok)
+	csp.End()
+	if ok {
 		return v, true, nil
 	}
 	gen := s.db.Generation()
-	ps, err := s.batch.submit([]*bitset.Set{es})
+	ps, err := s.batch.submit(ctx, []*bitset.Set{es})
 	if err != nil {
 		return fingerprint.Verdict{}, false, err
 	}
@@ -226,6 +253,7 @@ func (s *Service) IdentifyBatch(ctx context.Context, ess []*bitset.Set) (verdict
 	verdicts = make([]fingerprint.Verdict, len(ess))
 	cached = make([]bool, len(ess))
 	keys := make([]cacheKey, len(ess))
+	csp := obs.SpanFrom(ctx).Child("cache.get")
 	var misses []int
 	for i, es := range ess {
 		keys[i] = keyOf(es)
@@ -235,6 +263,9 @@ func (s *Service) IdentifyBatch(ctx context.Context, ess []*bitset.Set) (verdict
 		}
 		misses = append(misses, i)
 	}
+	csp.SetAttr("queries", len(ess))
+	csp.SetAttr("hits", len(ess)-len(misses))
+	csp.End()
 	if len(misses) == 0 {
 		return verdicts, cached, nil
 	}
@@ -243,7 +274,7 @@ func (s *Service) IdentifyBatch(ctx context.Context, ess []*bitset.Set) (verdict
 		queries[j] = ess[i]
 	}
 	gen := s.db.Generation()
-	ps, err := s.batch.submit(queries)
+	ps, err := s.batch.submit(ctx, queries)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -38,6 +38,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -63,11 +64,13 @@ var (
 	hAppendNanos   = obs.H("wal.append.nanos")
 	cFsyncs        = obs.C("wal.fsyncs")
 	hFsyncNanos    = obs.H("wal.fsync.nanos")
+	hFsyncMS       = obs.H("wal.fsync_ms")
 	hFsyncBatch    = obs.H("wal.fsync.batch_records")
-	cRotations     = obs.C("wal.rotations")
+	cRotations     = obs.C("wal.segment_rotations")
 	cTornTruncated = obs.C("wal.recovery.torn_truncated")
 	cReplayRecords = obs.C("wal.replay.records")
 	gSegments      = obs.G("wal.segments")
+	gAckedSeq      = obs.G("wal.acked_seq")
 )
 
 // ErrCorrupt reports unrecoverable log corruption: a bad record that is
@@ -235,6 +238,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	l.syncedSeq = expect - 1 // everything recovered from disk is durable
 	if obs.On() {
 		gSegments.Set(int64(len(l.segments)))
+		gAckedSeq.Set(int64(l.syncedSeq))
 	}
 	return l, nil
 }
@@ -363,6 +367,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.size += int64(n)
 	l.nextSeq = seq + 1
 	if l.opts.Fsync == FsyncAlways {
+		var s0 time.Time
+		if obs.On() {
+			s0 = time.Now()
+		}
 		serr := l.f.Sync()
 		if serr != nil {
 			l.failed = fmt.Errorf("wal: fsync failed (log disabled): %w", serr)
@@ -373,13 +381,11 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, serr
 		}
 		l.syncMu.Lock()
-		if seq > l.syncedSeq {
-			l.syncedSeq = seq
-		}
+		l.setSyncedLocked(seq)
 		l.syncMu.Unlock()
 		if obs.On() {
 			l.observeAppend(t0, len(buf))
-			cFsyncs.Inc()
+			observeFsync(time.Since(s0), 1)
 		}
 		return seq, nil
 	}
@@ -401,6 +407,43 @@ func (l *Log) observeAppend(t0 time.Time, n int) {
 	hAppendNanos.Observe(time.Since(t0).Nanoseconds())
 }
 
+// AppendCtx is Append with request-scoped tracing: when ctx carries a
+// request span (obs.StartRequest), a wal.append child span times the
+// append — including any group-commit wait — and records the assigned
+// sequence number.
+func (l *Log) AppendCtx(ctx context.Context, payload []byte) (uint64, error) {
+	sp := obs.SpanFrom(ctx).Child("wal.append")
+	seq, err := l.Append(payload)
+	if err == nil {
+		sp.SetAttr("seq", seq)
+	}
+	sp.End()
+	return seq, err
+}
+
+// setSyncedLocked advances the durable watermark (caller holds syncMu)
+// and mirrors it into the wal.acked_seq gauge — the externally visible
+// "everything at or below this sequence survives a crash" line.
+func (l *Log) setSyncedLocked(seq uint64) {
+	if seq > l.syncedSeq {
+		l.syncedSeq = seq
+	}
+	if obs.On() {
+		gAckedSeq.Set(int64(l.syncedSeq))
+	}
+}
+
+// observeFsync records one fsync's latency (both resolutions) and the
+// number of records it newly covered.
+func observeFsync(d time.Duration, newRecords int64) {
+	cFsyncs.Inc()
+	hFsyncNanos.Observe(d.Nanoseconds())
+	hFsyncMS.Observe(d.Milliseconds())
+	if newRecords >= 0 {
+		hFsyncBatch.Observe(newRecords)
+	}
+}
+
 // rotateLocked syncs and retires the active segment and opens a fresh
 // one whose first record will be seq. Caller holds l.mu.
 func (l *Log) rotateLocked(seq uint64) error {
@@ -412,9 +455,7 @@ func (l *Log) rotateLocked(seq uint64) error {
 	}
 	// Everything in the retired segment (seq-1 and below) is now durable.
 	l.syncMu.Lock()
-	if seq-1 > l.syncedSeq {
-		l.syncedSeq = seq - 1
-	}
+	l.setSyncedLocked(seq - 1)
 	l.syncMu.Unlock()
 	if obs.On() {
 		cRotations.Inc()
@@ -470,13 +511,9 @@ func (l *Log) waitDurable(seq uint64) error {
 			l.syncErr = fmt.Errorf("wal: fsync: %w", err)
 		} else {
 			if obs.On() {
-				cFsyncs.Inc()
-				hFsyncNanos.Observe(time.Since(t0).Nanoseconds())
-				hFsyncBatch.Observe(int64(durable - l.syncedSeq))
+				observeFsync(time.Since(t0), int64(durable-l.syncedSeq))
 			}
-			if durable > l.syncedSeq {
-				l.syncedSeq = durable
-			}
+			l.setSyncedLocked(durable)
 		}
 		l.syncCond.Broadcast()
 	}
@@ -494,9 +531,7 @@ func (l *Log) Sync() error {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.syncMu.Lock()
-	if durable > l.syncedSeq {
-		l.syncedSeq = durable
-	}
+	l.setSyncedLocked(durable)
 	l.syncMu.Unlock()
 	return nil
 }

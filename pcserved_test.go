@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -22,11 +23,21 @@ import (
 // returning its base URL and the running command.
 func startPcserved(t *testing.T, args ...string) (string, *exec.Cmd) {
 	t.Helper()
+	return startPcservedEnv(t, nil, args...)
+}
+
+// startPcservedEnv is startPcserved with extra environment entries (e.g.
+// OBS_REPORT) appended to the inherited environment.
+func startPcservedEnv(t *testing.T, env []string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "pcserved")
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pcserved").CombinedOutput(); err != nil {
 		t.Fatalf("building pcserved: %v\n%s", err, out)
 	}
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
