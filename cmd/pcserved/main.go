@@ -3,6 +3,9 @@
 // produced this approximate output?" at fleet scale.
 //
 //	pcserved -db DB[,DB...] [-snapshot FILE] [-wal.dir DIR] [-addr HOST:PORT] [flags]
+//	pcserved -mode=follower -wal.dir DIR -repl.primary URL [flags]
+//	pcserved -mode=router -router.backends URL[,URL...] [flags]
+//	pcserved -wal.verify -wal.dir DIR
 //
 // The serving path layers micro-batching, an N-way sharded database, and an
 // LRU verdict cache over the parallel identification engine; see
@@ -17,6 +20,22 @@
 // point loses nothing that was acked. Graceful shutdown checkpoints the
 // database with its WAL watermark and compacts the log.
 //
+// Cluster modes (see internal/cluster and docs/OPERATIONS.md):
+//
+//   - The default mode serves standalone, or as the replication primary
+//     when -wal.dir is set: followers pull /v1/repl/stream, and with
+//     -repl.min-isr N each enrollment ack waits for N follower acks.
+//   - -mode=follower replays the primary's WAL stream into a local,
+//     byte-identical copy; an empty -wal.dir bootstraps from the
+//     primary's snapshot first. Followers serve reads and refuse
+//     mutations; /readyz stays 503 until caught up.
+//   - -mode=router spreads identify reads across healthy replicas,
+//     forwards mutations to the primary, and promotes the most-caught-up
+//     follower when the primary dies.
+//   - -wal.verify walks the WAL segments offline, validating checksums
+//     and sequence continuity, classifying a torn tail (normal after a
+//     crash) vs interior corruption (exit 1), and exits.
+//
 // API:
 //
 //	POST   /v1/identify           {"len":N,"positions":[...]} → verdict
@@ -28,7 +47,13 @@
 //	GET    /v1/db                 serving stats
 //	POST   /v1/db                 register a fingerprint
 //	DELETE /v1/db?name=N         remove a fingerprint
+//	GET    /v1/repl/status       replication role, positions, quorum view
+//	GET    /v1/repl/stream       WAL records from ?from= (follower pull)
+//	GET    /v1/repl/snapshot     bootstrap image (db + watermark/floor)
+//	POST   /v1/repl/promote      follower → primary (failover)
+//	POST   /v1/repl/follow       re-point this follower at a new primary
 //	GET    /healthz              liveness (degraded on critical SLO burn)
+//	GET    /readyz               readiness (503 until replay/catch-up done)
 //	GET    /metrics              obs metrics (Prometheus; ?format=json)
 //	GET    /slo                  SLO burn-rate report (-slo objectives)
 //	GET    /debug/slowest        span trees of the slowest requests (-slow)
@@ -50,9 +75,11 @@ import (
 	"time"
 
 	"probablecause/internal/bitset"
+	"probablecause/internal/cluster"
 	"probablecause/internal/faults"
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/obs"
+	"probablecause/internal/retry"
 	"probablecause/internal/samplefile"
 	"probablecause/internal/server"
 	"probablecause/internal/wal"
@@ -96,9 +123,40 @@ func run(args []string) (err error) {
 	enrollQuota := fs.Float64("enroll.quota", 0, "per-cell failure-rate quota in (0,1); 0 or 1 is pure intersection")
 	sloSpec := fs.String("slo", "", "SLO objectives for /slo, e.g. identify:p99<50ms,identify:err<1%")
 	slowK := fs.Int("slow", 0, fmt.Sprintf("slow-request retention for /debug/slowest (0: %d, negative: off)", obs.DefaultSlowRing))
+	mode := fs.String("mode", "serve", "process role: serve (standalone or primary), follower, or router")
+	walVerify := fs.Bool("wal.verify", false, "offline: verify WAL segments in -wal.dir, report torn tail vs interior corruption, and exit")
+	clusterID := fs.String("cluster.id", "", "node identity in replication acks and status (default: the listen address)")
+	minISR := fs.Int("repl.min-isr", 0, "follower acks required before an enrollment is acknowledged (0: ack on local durability alone)")
+	replPrimary := fs.String("repl.primary", "", "follower mode: the primary's base URL to pull the WAL stream from")
+	replInterval := fs.Duration("repl.interval", 0, fmt.Sprintf("follower poll pacing when caught up (0: %s)", cluster.DefaultPullInterval))
+	routerBackends := fs.String("router.backends", "", "router mode: comma-separated cluster node base URLs")
+	routerProbe := fs.Duration("router.probe", 0, fmt.Sprintf("router health/role probe interval (0: %s)", cluster.DefaultProbeInterval))
+	routerFailover := fs.Int("router.failover-after", 0, fmt.Sprintf("consecutive failed primary probes that trigger failover (0: %d)", cluster.DefaultFailoverAfter))
+	routerRetries := fs.Int("router.retries", 0, fmt.Sprintf("proxy attempts per read (0: %d)", cluster.DefaultReadAttempts))
 	obsOpts := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *walVerify {
+		if *walDir == "" {
+			return errors.New("-wal.verify needs -wal.dir")
+		}
+		return runWalVerify(*walDir)
+	}
+	if *mode == "router" {
+		return runRouter(*addr, *routerBackends, *routerProbe, *routerFailover, *routerRetries, obsOpts)
+	}
+	if *mode != "serve" && *mode != "follower" {
+		return fmt.Errorf("unknown -mode %q (serve, follower, or router)", *mode)
+	}
+	if *mode == "follower" {
+		if *walDir == "" {
+			return errors.New("follower mode needs -wal.dir")
+		}
+		if *replPrimary == "" {
+			return errors.New("follower mode needs -repl.primary")
+		}
 	}
 
 	// Serving runs are usually launched by a harness, not a shell: honor the
@@ -154,15 +212,35 @@ func run(args []string) (err error) {
 	}
 	var svc *server.Service
 	if *walDir != "" {
-		mode, err := wal.ParseFsyncMode(*walFsync)
+		fsyncMode, err := wal.ParseFsyncMode(*walFsync)
 		if err != nil {
 			return err
+		}
+		// A follower with an empty durable dir seeds itself from the
+		// primary's snapshot: the exported database lands as a local
+		// checkpoint, and the local WAL starts at the snapshot's replay
+		// floor so replicated records keep the primary's sequence numbers.
+		startSeq := uint64(0)
+		if *mode == "follower" {
+			fresh, err := durableDirFresh(*walDir)
+			if err != nil {
+				return err
+			}
+			if fresh {
+				meta, err := cluster.BootstrapFollower(context.Background(), *walDir, *replPrimary, nil)
+				if err != nil {
+					return fmt.Errorf("bootstrapping from %s: %w", *replPrimary, err)
+				}
+				startSeq = meta.Floor
+				fmt.Printf("pcserved: bootstrapped %d entries from %s (watermark %d, floor %d)\n",
+					meta.Entries, *replPrimary, meta.Watermark, meta.Floor)
+			}
 		}
 		// The committed checkpoint in -wal.dir (when one exists) overrides
 		// the seed, and the surviving WAL records replay on top: recovery.
 		svc, err = server.BootDurable(seed, cfg, server.EnrollConfig{
 			Dir: *walDir,
-			WAL: wal.Options{SegmentBytes: *walSegment, Fsync: mode, BatchWindow: *walBatch},
+			WAL: wal.Options{SegmentBytes: *walSegment, Fsync: fsyncMode, BatchWindow: *walBatch, StartSeq: startSeq},
 			Accumulator: fingerprint.AccumulatorConfig{
 				Quota:           *enrollQuota,
 				MinObservations: *enrollMinObs,
@@ -179,6 +257,36 @@ func run(args []string) (err error) {
 		return err
 	}
 
+	// With a WAL the node joins the replication surface: /v1/repl/*
+	// endpoints mount over the service API, and the role machinery
+	// (commit tracker or stream puller) starts per -mode.
+	handler := svc.Handler()
+	var node *cluster.Node
+	if *walDir != "" {
+		id := *clusterID
+		if id == "" {
+			id = *addr
+		}
+		node = cluster.NewNode(svc, cluster.NodeConfig{
+			ID:     id,
+			MinISR: *minISR,
+			Pull: cluster.PullConfig{
+				Interval: *replInterval,
+				Retry:    retry.Policy{BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
+			},
+		})
+		if *mode == "follower" {
+			if err := node.StartFollower(*replPrimary); err != nil {
+				return err
+			}
+			fmt.Printf("pcserved: following %s\n", *replPrimary)
+		} else {
+			node.StartPrimary()
+		}
+		defer node.Close()
+		handler = node.Handler()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -186,7 +294,7 @@ func run(args []string) (err error) {
 	st := svc.DB().Stats()
 	fmt.Printf("pcserved: listening on %s (%d entries, %d shards)\n", ln.Addr(), st.Entries, len(st.PerShard))
 
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -230,6 +338,90 @@ func run(args []string) (err error) {
 		// The deferred obs finish writes the file; announce it so drain logs
 		// point at the artifact.
 		fmt.Printf("pcserved: writing metrics snapshot to %s\n", obsOpts.Report)
+	}
+	return nil
+}
+
+// runWalVerify walks the WAL segments offline and reports their health:
+// exit 0 for a clean log or a torn tail (the expected shape after a
+// crash — recovery truncates it), exit 1 for interior corruption or a
+// sequence gap, which recovery would refuse to replay.
+func runWalVerify(dir string) error {
+	rep, err := wal.Verify(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if rep.Corrupt {
+		return errors.New("interior corruption: this log will not replay; restore from a checkpoint + re-replicate")
+	}
+	return nil
+}
+
+// durableDirFresh reports whether dir holds no durable state yet — no
+// committed checkpoint and no WAL segments — i.e. snapshot bootstrap is
+// required before following.
+func durableDirFresh(dir string) (bool, error) {
+	if _, _, ok, err := samplefile.LoadCheckpoint(dir); err != nil {
+		return false, err
+	} else if ok {
+		return false, nil
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return false, err
+	}
+	return len(segs) == 0, nil
+}
+
+// runRouter serves the routing tier: reads spread across healthy
+// replicas, mutations to the primary, failover on primary death.
+func runRouter(addr, backendList string, probe time.Duration, failoverAfter, retries int, obsOpts *obs.Options) (err error) {
+	if backendList == "" {
+		return errors.New("router mode needs -router.backends")
+	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Backends:      strings.Split(backendList, ","),
+		ProbeInterval: probe,
+		FailoverAfter: failoverAfter,
+		Retry:         retry.Policy{MaxAttempts: retries},
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pcserved: router listening on %s (%d backends)\n", ln.Addr(), len(strings.Split(backendList, ",")))
+	httpSrv := &http.Server{Handler: router.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Printf("pcserved: %s, draining\n", sig)
+	case err := <-serveErr:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	return nil
 }

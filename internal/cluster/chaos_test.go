@@ -1,0 +1,254 @@
+package cluster
+
+// Chaos acceptance tests for replicated mode, run with -race in CI:
+//
+//   - TestClusterFailoverLosesNoAckedEnrollment: 1 primary + 2 followers
+//     (MinISR=1) + router, with the replication transport under a fault
+//     plan (injected RPC failures, dropped and duplicated frames). The
+//     primary is killed mid-traffic; after the router promotes the
+//     most-caught-up follower, every enrollment the cluster ever acked
+//     must be present in the new primary's WAL with the exact payload
+//     the client sent, and the new primary's database must be
+//     byte-identical to a serial single-node oracle folding the same
+//     record sequence — so identify verdicts cannot diverge.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"probablecause/internal/faults"
+	"probablecause/internal/retry"
+	"probablecause/internal/server"
+	"probablecause/internal/wal"
+)
+
+// ackedEnroll is one client-acknowledged observation: the WAL sequence
+// the ack reported and the request that earned it.
+type ackedEnroll struct {
+	seq       uint64
+	session   string
+	name      string
+	length    int
+	positions []uint32
+}
+
+func TestClusterFailoverLosesNoAckedEnrollment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	primary := startPrimary(t, 1)
+	// No deferred close: the primary is killed mid-test.
+
+	// Replication runs over a deliberately hostile transport: injected
+	// RPC failures plus dropped and duplicated frames, deterministic in
+	// the seed.
+	followerPull := func(seed uint64) PullConfig {
+		inj := faults.NewInjector(faults.Plan{Seed: seed, RPC: 0.05, FrameDrop: 0.05, FrameDup: 0.10})
+		return PullConfig{
+			Interval: 2 * time.Millisecond,
+			Client:   &http.Client{Transport: inj.RoundTripper(nil), Timeout: 2 * time.Second},
+			Injector: inj,
+			Retry:    retry.Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		}
+	}
+	f1 := startFollower(t, "f1", primary, followerPull(1))
+	defer f1.close()
+	f2 := startFollower(t, "f2", primary, followerPull(2))
+	defer f2.close()
+
+	router, rurl, stop := startRouter(t, RouterConfig{
+		ProbeInterval:  10 * time.Millisecond,
+		RequestTimeout: time.Second,
+		FailoverAfter:  3,
+		Retry:          retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Budget:         retry.NewBudget(0.5, 50),
+	}, primary, f1, f2)
+	defer stop()
+	waitFor(t, 5*time.Second, "router sees primary", func() bool { return router.Primary() == primary.url() })
+
+	// Concurrent clients enroll device streams through the router,
+	// recording every acked observation. Each observation retries until
+	// acked — at-least-once, like a real client — so the ack set is
+	// exactly what the cluster promised to keep.
+	const clients = 3
+	const devicesPerClient = 4
+	var (
+		mu    sync.Mutex
+		acked []ackedEnroll
+	)
+	var wg sync.WaitGroup
+	killed := make(chan struct{})
+	enrollOne := func(client *http.Client, dev, trial int) {
+		session := fmt.Sprintf("sess-%d", dev)
+		name := fmt.Sprintf("dev-%d", dev)
+		es := deviceObs(obsBits, dev, trial)
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			st, code := enrollHTTP(t, client, rurl, session, name, es)
+			if code == http.StatusOK {
+				mu.Lock()
+				acked = append(acked, ackedEnroll{
+					seq: st.Seq, session: session, name: name,
+					length: es.Len(), positions: es.Positions(),
+				})
+				mu.Unlock()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("dev-%d trial %d never acked", dev, trial)
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 2 * time.Second}
+			for d := 0; d < devicesPerClient; d++ {
+				dev := c*100 + d
+				for trial := 0; trial < 4; trial++ {
+					enrollOne(client, dev, trial)
+				}
+				if d == devicesPerClient/2 {
+					// Half-way through, wait for the kill so every client
+					// drives traffic across the failover.
+					<-killed
+				}
+			}
+		}(c)
+	}
+
+	// Let traffic build, then kill the primary abruptly: connections
+	// die, no checkpoint, no goodbye.
+	time.Sleep(150 * time.Millisecond)
+	preKillAcked := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(acked)
+	}()
+	primary.kill()
+	close(killed)
+
+	waitFor(t, 10*time.Second, "failover to a follower", func() bool {
+		p := router.Primary()
+		return p == f1.url() || p == f2.url()
+	})
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var newPrimary, survivor *testNode
+	if router.Primary() == f1.url() {
+		newPrimary, survivor = f1, f2
+	} else {
+		newPrimary, survivor = f2, f1
+	}
+	t.Logf("acked %d observations before the kill, %d total; promoted %s",
+		preKillAcked, len(acked), newPrimary.id)
+	if preKillAcked == 0 {
+		t.Fatal("no traffic acked before the kill; test proved nothing")
+	}
+
+	// Quiesce: the surviving follower catches up to the new primary.
+	want := newPrimary.svc.AppliedSeq()
+	waitFor(t, 10*time.Second, "survivor catch-up", func() bool {
+		return survivor.svc.AppliedSeq() >= want
+	})
+
+	// (1) Acked ⊆ replayed: every acked observation is in the new
+	// primary's WAL at its acked sequence, payload byte-for-byte what the
+	// client sent.
+	applied := newPrimary.svc.AppliedSeq()
+	walRecords := make(map[uint64][]byte)
+	err := newPrimary.svc.WAL().ReadRange(newPrimary.svc.WAL().FirstSeq(), applied, func(seq uint64, payload []byte) error {
+		walRecords[seq] = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reading new primary WAL: %v", err)
+	}
+	for _, a := range acked {
+		if a.seq > applied {
+			t.Fatalf("acked seq %d (session %s) beyond new primary applied %d — acked enrollment lost",
+				a.seq, a.session, applied)
+		}
+		payload, ok := walRecords[a.seq]
+		if !ok {
+			t.Fatalf("acked seq %d missing from new primary WAL", a.seq)
+		}
+		var rec struct {
+			Session   string   `json:"session"`
+			Name      string   `json:"name"`
+			Len       int      `json:"len"`
+			Positions []uint32 `json:"positions"`
+		}
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			t.Fatalf("acked seq %d payload undecodable: %v", a.seq, err)
+		}
+		if rec.Session != a.session || rec.Name != a.name || rec.Len != a.length ||
+			fmt.Sprint(rec.Positions) != fmt.Sprint(a.positions) {
+			t.Fatalf("acked seq %d holds %+v, client sent %+v", a.seq, rec, a)
+		}
+	}
+
+	// (2) Byte-identical to the serial oracle: a fresh single-node
+	// service folding the same record sequence arrives at the same
+	// database, so identify verdicts cannot diverge.
+	oracle, err := server.BootDurable(nil, server.Config{}, server.EnrollConfig{
+		Dir:         t.TempDir(),
+		Accumulator: fastAcc,
+		WAL:         wal.Options{Fsync: wal.FsyncNone},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	for seq := newPrimary.svc.WAL().FirstSeq(); seq <= applied; seq++ {
+		payload, ok := walRecords[seq]
+		if !ok {
+			t.Fatalf("new primary WAL has a hole at seq %d", seq)
+		}
+		if _, err := oracle.ApplyReplicated(seq, payload); err != nil {
+			t.Fatalf("oracle apply seq %d: %v", seq, err)
+		}
+	}
+	if ob, nb := exportBytes(t, oracle), exportBytes(t, newPrimary.svc); !bytes.Equal(ob, nb) {
+		t.Fatalf("new primary database diverged from serial oracle (%d vs %d bytes)", len(nb), len(ob))
+	}
+	if sb := exportBytes(t, survivor.svc); !bytes.Equal(sb, exportBytes(t, newPrimary.svc)) {
+		t.Fatal("survivor database diverged from new primary")
+	}
+
+	// (3) Verdicts through the router match the oracle's on every
+	// enrolled device.
+	client := &http.Client{Timeout: 5 * time.Second}
+	for c := 0; c < clients; c++ {
+		for d := 0; d < devicesPerClient; d++ {
+			dev := c*100 + d
+			es := deviceObs(obsBits, dev, 9)
+			ov := oracle.DB().Decide(es)
+			code, name := identifyHTTP(t, client, rurl, es)
+			if code != http.StatusOK {
+				t.Fatalf("post-failover identify dev-%d: status %d", dev, code)
+			}
+			if ov.OK() && name != ov.Name {
+				t.Fatalf("dev-%d verdict diverged: router %q, oracle %q", dev, name, ov.Name)
+			}
+		}
+	}
+
+	// (4) The cluster still accepts (gated) enrollments after failover:
+	// the survivor re-pointed to the new primary and acks its stream.
+	st, code := enrollHTTP(t, client, rurl, "post-failover", "dev-post", deviceObs(obsBits, 300, 0))
+	if code != http.StatusOK {
+		t.Fatalf("post-failover enroll: status %d", code)
+	}
+	waitFor(t, 5*time.Second, "survivor applies post-failover enroll", func() bool {
+		return survivor.svc.AppliedSeq() >= st.Seq
+	})
+}

@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probablecause/internal/obs"
+	"probablecause/internal/prng"
+	"probablecause/internal/retry"
+)
+
+// Router metrics: one RED triple for the proxy path plus failover and
+// retry accounting, so chaos tests can bound the client-visible error
+// rate and count failovers from the registry.
+var (
+	redRouter     = obs.NewRED(obs.Default, "cluster.router")
+	cRouterRetry  = obs.C("cluster.router.retries")
+	cRouterNoBack = obs.C("cluster.router.no_backend_503")
+	cFailovers    = obs.C("cluster.router.failovers")
+	cProbes       = obs.C("cluster.router.probes")
+	gHealthy      = obs.G("cluster.router.healthy_backends")
+)
+
+// Router defaults.
+const (
+	DefaultProbeInterval   = 100 * time.Millisecond
+	DefaultRequestTimeout  = 5 * time.Second
+	DefaultFailoverAfter   = 3
+	DefaultMaxForwardBody  = 8 << 20
+	DefaultReadAttempts    = 3
+	DefaultWriteAttempts   = 2
+	defaultBreakerFailures = 5
+	defaultBreakerCooldown = 500 * time.Millisecond
+)
+
+// RouterConfig parameterizes the routing tier.
+type RouterConfig struct {
+	// Backends are the cluster nodes' base URLs (primary + followers).
+	Backends []string
+	// Client issues proxied requests and probes; nil selects
+	// http.DefaultClient. Chaos tests wrap its transport with a
+	// faults.Injector.
+	Client *http.Client
+	// ProbeInterval paces the health/role probe loop.
+	ProbeInterval time.Duration
+	// RequestTimeout bounds each proxied attempt.
+	RequestTimeout time.Duration
+	// Retry shapes backoff between proxy attempts. MaxAttempts defaults
+	// to DefaultReadAttempts for reads, DefaultWriteAttempts for writes.
+	Retry retry.Policy
+	// Budget bounds retry volume across all proxied requests; nil
+	// selects NewBudget(0.2, 20).
+	Budget *retry.Budget
+	// BreakerThreshold/BreakerCooldown shape each backend's circuit
+	// breaker (defaults 5 failures, 500ms cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// FailoverAfter is how many consecutive failed primary probes
+	// trigger promotion of the most-caught-up follower.
+	FailoverAfter int
+	// Seed drives deterministic retry jitter and backend choice.
+	Seed uint64
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.Budget == nil {
+		c.Budget = retry.NewBudget(0.2, 20)
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = defaultBreakerFailures
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = defaultBreakerCooldown
+	}
+	if c.FailoverAfter <= 0 {
+		c.FailoverAfter = DefaultFailoverAfter
+	}
+	return c
+}
+
+// backend is the router's view of one cluster node.
+type backend struct {
+	url     string
+	breaker *retry.Breaker
+
+	mu       sync.Mutex
+	healthy  bool
+	ready    bool
+	role     string
+	applied  uint64
+	downFor  int // consecutive failed probes
+	lastSeen StatusJSON
+}
+
+func (b *backend) snapshot() (healthy, ready bool, role string, applied uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy, b.ready, b.role, b.applied
+}
+
+// Router spreads identify reads across healthy ready replicas, forwards
+// mutations to the primary, and drives failover when the primary dies:
+// after FailoverAfter consecutive failed primary probes it promotes the
+// follower with the highest applied sequence and re-points the rest.
+//
+// Retry discipline: reads retry on transport errors and 5xx responses
+// on a different backend (hedging across replicas); writes retry only
+// on transport errors and not-primary rejections — failures where the
+// request provably did not mutate state — so enrollment stays
+// at-least-once without multiplying observations.
+type Router struct {
+	cfg      RouterConfig
+	backends []*backend
+	rr       atomic.Uint64
+
+	jmu    sync.Mutex
+	jitter *prng.Source
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewRouter builds the router and starts its probe loop.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one backend")
+	}
+	r := &Router{
+		cfg:    cfg,
+		jitter: prng.New(prng.Hash(cfg.Seed, 0x726f75746572)),
+		done:   make(chan struct{}),
+	}
+	for _, u := range cfg.Backends {
+		r.backends = append(r.backends, &backend{
+			url:     strings.TrimRight(u, "/"),
+			breaker: retry.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	go r.probeLoop(ctx)
+	return r, nil
+}
+
+// Close stops the probe loop.
+func (r *Router) Close() {
+	r.cancel()
+	<-r.done
+}
+
+func (r *Router) drawJitter() float64 {
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	return r.jitter.Float64()
+}
+
+// routerJitter adapts drawJitter to the retry policy's jitter source.
+type routerJitter struct{ r *Router }
+
+func (j routerJitter) Float64() float64 { return j.r.drawJitter() }
+
+// ---- probing and failover ----
+
+func (r *Router) probeLoop(ctx context.Context) {
+	defer close(r.done)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		r.probeAll(ctx)
+		r.maybeFailover(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (r *Router) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range r.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			r.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+	if obs.On() {
+		n := 0
+		for _, b := range r.backends {
+			if h, rd, _, _ := b.snapshot(); h && rd {
+				n++
+			}
+		}
+		gHealthy.Set(int64(n))
+	}
+}
+
+func (r *Router) probe(ctx context.Context, b *backend) {
+	if obs.On() {
+		cProbes.Inc()
+	}
+	pctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.url+"/v1/repl/status", nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		b.mu.Lock()
+		b.healthy = false
+		b.downFor++
+		b.mu.Unlock()
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	var st StatusJSON
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st) != nil {
+		b.mu.Lock()
+		b.healthy = false
+		b.downFor++
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	b.healthy = true
+	b.downFor = 0
+	b.ready = st.Ready
+	b.role = st.Role
+	b.applied = st.AppliedSeq
+	b.lastSeen = st
+	b.mu.Unlock()
+}
+
+// maybeFailover promotes the most-caught-up follower when the primary
+// has been unreachable for FailoverAfter consecutive probes and no
+// healthy backend claims the primary role.
+func (r *Router) maybeFailover(ctx context.Context) {
+	var deadPrimary *backend
+	var candidate *backend
+	var candidateApplied uint64
+	for _, b := range r.backends {
+		b.mu.Lock()
+		healthy, role, applied, downFor := b.healthy, b.role, b.applied, b.downFor
+		b.mu.Unlock()
+		if healthy && role == "primary" {
+			return // a live primary exists; nothing to do
+		}
+		if !healthy && role == "primary" && downFor >= r.cfg.FailoverAfter {
+			deadPrimary = b
+		}
+		if healthy && role == "follower" && (candidate == nil || applied > candidateApplied) {
+			candidate = b
+			candidateApplied = applied
+		}
+	}
+	if deadPrimary == nil || candidate == nil {
+		return
+	}
+	obs.Warnf("router failover", "dead", deadPrimary.url, "promoting", candidate.url, "applied", candidateApplied)
+	pctx, cancel := context.WithTimeout(ctx, r.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, candidate.url+"/v1/repl/promote", nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		obs.Errorf("router promote failed", "backend", candidate.url, "err", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		obs.Errorf("router promote refused", "backend", candidate.url, "status", resp.Status)
+		return
+	}
+	if obs.On() {
+		cFailovers.Inc()
+	}
+	// The dead primary's role record is stale now; forget it so a second
+	// failover can trigger if the new primary also dies.
+	deadPrimary.mu.Lock()
+	deadPrimary.role = "dead"
+	deadPrimary.mu.Unlock()
+	candidate.mu.Lock()
+	candidate.role = "primary"
+	candidate.mu.Unlock()
+	// Re-point the surviving followers at the new primary. Best-effort:
+	// a follower that misses this keeps retrying its dead upstream until
+	// the next probe cycle repeats the re-point.
+	body, _ := json.Marshal(followRequestJSON{Primary: candidate.url})
+	for _, b := range r.backends {
+		if b == candidate || b == deadPrimary {
+			continue
+		}
+		if healthy, _, role, _ := b.snapshot(); !healthy || role != "follower" {
+			continue
+		}
+		fctx, fcancel := context.WithTimeout(ctx, r.cfg.RequestTimeout)
+		freq, ferr := http.NewRequestWithContext(fctx, http.MethodPost, b.url+"/v1/repl/follow", bytes.NewReader(body))
+		if ferr == nil {
+			freq.Header.Set("Content-Type", "application/json")
+			if fresp, derr := r.cfg.Client.Do(freq); derr == nil {
+				io.Copy(io.Discard, fresp.Body)
+				fresp.Body.Close()
+			}
+		}
+		fcancel()
+	}
+}
+
+// Primary returns the URL of the backend currently believed primary
+// ("" when none).
+func (r *Router) Primary() string {
+	for _, b := range r.backends {
+		if healthy, _, role, _ := b.snapshot(); healthy && role == "primary" {
+			return b.url
+		}
+	}
+	return ""
+}
+
+// ---- request proxying ----
+
+// isMutation reports whether the request must go to the primary.
+func isMutation(req *http.Request) bool {
+	switch {
+	case req.Method == http.MethodPost && req.URL.Path == "/v1/enroll",
+		req.Method == http.MethodPost && req.URL.Path == "/v1/db",
+		req.Method == http.MethodDelete && req.URL.Path == "/v1/db",
+		req.Method == http.MethodPost && req.URL.Path == "/v1/snapshot",
+		req.Method == http.MethodPost && req.URL.Path == "/v1/characterize":
+		return true
+	}
+	return false
+}
+
+// Handler returns the router's proxy handler: mutations to the primary,
+// reads spread across healthy ready replicas, with budgeted retries and
+// per-backend circuit breaking.
+func (r *Router) Handler() http.Handler {
+	return http.HandlerFunc(r.serve)
+}
+
+func (r *Router) serve(w http.ResponseWriter, req *http.Request) {
+	t0 := time.Now()
+	code := r.proxy(w, req)
+	if obs.On() {
+		redRouter.Observe(time.Since(t0).Nanoseconds(), code >= 500)
+	}
+}
+
+// pickRead returns the next healthy, ready backend whose breaker
+// admits a request, round-robin; the primary serves reads too. Allow is
+// consulted only for backends actually selected — a half-open breaker's
+// single probe admission must not be burned on a backend we skip.
+func (r *Router) pickRead() *backend {
+	n := len(r.backends)
+	start := int(r.rr.Add(1)) % n
+	for i := 0; i < n; i++ {
+		b := r.backends[(start+i)%n]
+		if healthy, ready, _, _ := b.snapshot(); healthy && ready && b.breaker.Allow() {
+			return b
+		}
+	}
+	return nil
+}
+
+func (r *Router) primaryBackend() *backend {
+	for _, b := range r.backends {
+		if healthy, _, role, _ := b.snapshot(); healthy && role == "primary" {
+			return b
+		}
+	}
+	return nil
+}
+
+// proxy forwards the request, retrying per the routing discipline, and
+// returns the status code written to the client.
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request) int {
+	body, err := io.ReadAll(io.LimitReader(req.Body, DefaultMaxForwardBody+1))
+	if err != nil {
+		return fail(w, http.StatusBadRequest, "reading request body: "+err.Error())
+	}
+	if len(body) > DefaultMaxForwardBody {
+		return fail(w, http.StatusRequestEntityTooLarge, "request body too large")
+	}
+	mutation := isMutation(req)
+	maxAttempts := r.cfg.Retry.MaxAttempts
+	if maxAttempts <= 0 {
+		if mutation {
+			maxAttempts = DefaultWriteAttempts
+		} else {
+			maxAttempts = DefaultReadAttempts
+		}
+	}
+	r.cfg.Budget.Observe()
+
+	var lastErr error
+	lastStatus := 0
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if attempt > 1 {
+			if !r.cfg.Budget.Allow() {
+				break
+			}
+			if obs.On() {
+				cRouterRetry.Inc()
+			}
+			delay := r.cfg.Retry.Delay(attempt-1, routerJitter{r})
+			select {
+			case <-req.Context().Done():
+				return fail(w, http.StatusServiceUnavailable, "client gone")
+			case <-time.After(delay):
+			}
+		}
+		var b *backend
+		if mutation {
+			b = r.primaryBackend()
+		} else {
+			b = r.pickRead()
+		}
+		if b == nil {
+			lastErr = fmt.Errorf("no eligible backend")
+			continue
+		}
+		status, hdr, respBody, aerr := r.attempt(req, b, body)
+		switch {
+		case aerr != nil:
+			// Transport error: the request may not have reached the
+			// backend. Reads always retry; mutations retry too — enrollment
+			// is at-least-once safe and everything else is idempotent.
+			b.breaker.Report(false)
+			lastErr = aerr
+			continue
+		case status >= 500:
+			b.breaker.Report(false)
+			lastStatus, lastErr = status, nil
+			// 503 from a follower that lost the primary (not-primary
+			// rejection) or a warming node: try another backend / wait for
+			// failover. Other 5xx retry on reads only.
+			if mutation && status != http.StatusServiceUnavailable {
+				return respond(w, status, hdr, respBody)
+			}
+			continue
+		default:
+			b.breaker.Report(true)
+			return respond(w, status, hdr, respBody)
+		}
+	}
+	if lastStatus != 0 {
+		return fail(w, lastStatus, "all backends failed")
+	}
+	if obs.On() {
+		cRouterNoBack.Inc()
+	}
+	msg := "no backend available"
+	if lastErr != nil {
+		msg = "no backend available: " + lastErr.Error()
+	}
+	return fail(w, http.StatusServiceUnavailable, msg)
+}
+
+// attempt forwards one request to one backend.
+func (r *Router) attempt(req *http.Request, b *backend, body []byte) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
+	defer cancel()
+	out, err := http.NewRequestWithContext(ctx, req.Method, b.url+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	out.Header = req.Header.Clone()
+	resp, err := r.cfg.Client.Do(out)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxForwardBody))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+func respond(w http.ResponseWriter, status int, hdr http.Header, body []byte) int {
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := hdr.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+	return status
+}
+
+func fail(w http.ResponseWriter, status int, msg string) int {
+	blob, _ := json.Marshal(errorJSON{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(blob, '\n'))
+	return status
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"probablecause/internal/bitset"
+	"probablecause/internal/obs"
+	"probablecause/internal/retry"
+)
+
+// identifyHTTP posts one identify query through url, returning the HTTP
+// status and decoded verdict name.
+func identifyHTTP(t *testing.T, client *http.Client, url string, es *bitset.Set) (int, string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"len": es.Len(), "positions": es.Positions()})
+	resp, err := client.Post(url+"/v1/identify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Match bool   `json:"match"`
+		Name  string `json:"name"`
+	}
+	if resp.StatusCode == http.StatusOK {
+		json.NewDecoder(resp.Body).Decode(&v)
+	}
+	return resp.StatusCode, v.Name
+}
+
+// startRouter builds a router over the given nodes and serves it.
+func startRouter(t *testing.T, cfg RouterConfig, nodes ...*testNode) (*Router, string, func()) {
+	t.Helper()
+	for _, n := range nodes {
+		cfg.Backends = append(cfg.Backends, n.url())
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return r, "http://" + ln.Addr().String(), func() {
+		srv.Close()
+		r.Close()
+	}
+}
+
+func TestRouterRoutesAndSpreadsReads(t *testing.T) {
+	primary := startPrimary(t, 1)
+	defer primary.close()
+	f1 := startFollower(t, "f1", primary, PullConfig{Interval: 5 * time.Millisecond})
+	defer f1.close()
+	f2 := startFollower(t, "f2", primary, PullConfig{Interval: 5 * time.Millisecond})
+	defer f2.close()
+
+	router, rurl, stop := startRouter(t, RouterConfig{
+		ProbeInterval:  10 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	}, primary, f1, f2)
+	defer stop()
+
+	waitFor(t, 5*time.Second, "router sees primary", func() bool {
+		return router.Primary() == primary.url()
+	})
+
+	// Mutations route to the primary, whichever backend order.
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < 3; i++ {
+		enrollDevice(t, client, rurl, i)
+	}
+	want := primary.svc.AppliedSeq()
+	for _, f := range []*testNode{f1, f2} {
+		waitFor(t, 5*time.Second, f.id+" catch-up", func() bool { return f.svc.AppliedSeq() >= want })
+	}
+
+	// Reads succeed through the router and spread beyond one backend.
+	for i := 0; i < 30; i++ {
+		code, name := identifyHTTP(t, client, rurl, deviceObs(obsBits, i%3, 9))
+		if code != http.StatusOK || name != fmt.Sprintf("dev-%d", i%3) {
+			t.Fatalf("identify %d via router: code %d name %q", i, code, name)
+		}
+	}
+}
+
+func TestRouterSurvivesFollowerChurn(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	primary := startPrimary(t, 1)
+	defer primary.close()
+	f1 := startFollower(t, "f1", primary, PullConfig{Interval: 5 * time.Millisecond})
+	defer f1.close()
+	f2 := startFollower(t, "f2", primary, PullConfig{Interval: 5 * time.Millisecond})
+	defer f2.close()
+
+	budget := retry.NewBudget(0.5, 50)
+	router, rurl, stop := startRouter(t, RouterConfig{
+		ProbeInterval:  10 * time.Millisecond,
+		RequestTimeout: time.Second,
+		Budget:         budget,
+		Retry:          retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	}, primary, f1, f2)
+	defer stop()
+	waitFor(t, 5*time.Second, "router sees primary", func() bool { return router.Primary() == primary.url() })
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	enrollDevice(t, client, rurl, 0)
+	waitFor(t, 5*time.Second, "followers caught up", func() bool {
+		return f1.svc.AppliedSeq() >= primary.svc.AppliedSeq() && f2.svc.AppliedSeq() >= primary.svc.AppliedSeq()
+	})
+
+	req0 := obs.C("cluster.router.requests").Value()
+	err0 := obs.C("cluster.router.errors").Value()
+
+	// Kill f1 mid-read-traffic, then bring it back on the same address
+	// (the router's backend list is static).
+	addr := f1.srv.Listener.Addr().String()
+	query := deviceObs(obsBits, 0, 9)
+	failures := 0
+	total := 200
+	for i := 0; i < total; i++ {
+		switch i {
+		case 50:
+			f1.kill()
+		case 120:
+			ln, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Fatalf("rebinding follower addr: %v", err)
+			}
+			go http.Serve(ln, f1.node.Handler())
+			defer ln.Close()
+		}
+		code, _ := identifyHTTP(t, client, rurl, query)
+		if code != http.StatusOK {
+			failures++
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The router's RED metrics bound the client-visible error rate: the
+	// probe loop plus hedged retries keep nearly all reads off the dead
+	// backend. Allow a short detection window's worth of failures.
+	reqs := obs.C("cluster.router.requests").Value() - req0
+	errs := obs.C("cluster.router.errors").Value() - err0
+	if reqs < int64(total) {
+		t.Fatalf("router RED counted %d requests, want ≥ %d", reqs, total)
+	}
+	if maxErrs := int64(total / 10); errs > maxErrs {
+		t.Fatalf("router RED errors %d exceed %d (failures seen by client: %d)", errs, maxErrs, failures)
+	}
+	if failures > total/10 {
+		t.Fatalf("client saw %d/%d failures during follower churn", failures, total)
+	}
+	if _, denied := budget.Counts(); denied > 0 && failures > total/10 {
+		t.Fatalf("retry budget denied %d retries and failures breached the bound", denied)
+	}
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"probablecause/internal/obs"
+	"probablecause/internal/server"
+)
+
+var (
+	gCommitSeq  = obs.G("cluster.commit_seq")
+	gFollowers  = obs.G("cluster.followers")
+	cGateWaits  = obs.C("cluster.gate.waits")
+	cGateErrors = obs.C("cluster.gate.errors")
+)
+
+// Tracker is the primary's view of follower replication progress and the
+// source of the commit watermark. Each follower reports the highest WAL
+// sequence it has applied (a contiguous prefix, by the WAL's ack
+// contract); the commit sequence is the MinISR-th highest report, i.e.
+// the largest seq held by at least MinISR followers. Enrollment acks
+// gate on it: a record is committed once enough followers would survive
+// the primary's disk melting.
+//
+// The contiguous-prefix property is what makes failover lossless: the
+// follower with the highest applied seq holds a superset of every other
+// follower's records, so promoting it retains everything any follower —
+// and therefore everything the commit gate — ever acknowledged.
+type Tracker struct {
+	minISR int
+
+	mu      sync.Mutex
+	acked   map[string]uint64 // follower id → highest applied (contiguous) seq
+	commit  uint64
+	waiters map[uint64][]chan struct{} // seq → acks parked until commit ≥ seq
+	closed  bool
+}
+
+// NewTracker builds a tracker requiring minISR follower acknowledgements
+// per record. minISR ≤ 0 means asynchronous replication: the gate never
+// blocks and the commit seq tracks the highest single follower.
+func NewTracker(minISR int) *Tracker {
+	return &Tracker{
+		minISR:  minISR,
+		acked:   make(map[string]uint64),
+		waiters: make(map[uint64][]chan struct{}),
+	}
+}
+
+// MinISR reports the configured acknowledgement quorum.
+func (t *Tracker) MinISR() int { return t.minISR }
+
+// Observe records follower id's progress report and releases any acks
+// the new commit watermark satisfies. Reports are monotonic per
+// follower; a stale (lower) report is ignored.
+func (t *Tracker) Observe(id string, applied uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if applied < t.acked[id] {
+		return
+	}
+	t.acked[id] = applied
+	if obs.On() {
+		gFollowers.Set(int64(len(t.acked)))
+	}
+	k := t.minISR
+	if k <= 0 {
+		k = 1
+	}
+	if len(t.acked) < k {
+		return
+	}
+	seqs := make([]uint64, 0, len(t.acked))
+	for _, s := range t.acked {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	commit := seqs[k-1]
+	if commit <= t.commit {
+		return
+	}
+	t.commit = commit
+	if obs.On() {
+		gCommitSeq.Set(int64(commit))
+	}
+	for seq, chans := range t.waiters {
+		if seq <= commit {
+			for _, ch := range chans {
+				close(ch)
+			}
+			delete(t.waiters, seq)
+		}
+	}
+}
+
+// Forget drops a follower from the quorum (it was decommissioned or
+// re-pointed elsewhere). The commit watermark never regresses — records
+// already committed stay committed.
+func (t *Tracker) Forget(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.acked, id)
+	if obs.On() {
+		gFollowers.Set(int64(len(t.acked)))
+	}
+}
+
+// CommitSeq returns the current commit watermark.
+func (t *Tracker) CommitSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commit
+}
+
+// Progress snapshots every follower's applied seq.
+func (t *Tracker) Progress() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64, len(t.acked))
+	for id, s := range t.acked {
+		out[id] = s
+	}
+	return out
+}
+
+// WaitCommitted blocks until the commit watermark reaches seq, ctx
+// dies, or the tracker closes. With minISR ≤ 0 it returns immediately.
+func (t *Tracker) WaitCommitted(ctx context.Context, seq uint64) error {
+	if t.minISR <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("cluster: tracker closed")
+	}
+	if t.commit >= seq {
+		t.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	t.waiters[seq] = append(t.waiters[seq], ch)
+	t.mu.Unlock()
+	if obs.On() {
+		cGateWaits.Inc()
+	}
+	select {
+	case <-ch:
+		// Close() releases waiters too; distinguish commit from shutdown.
+		t.mu.Lock()
+		committed := t.commit >= seq
+		t.mu.Unlock()
+		if !committed {
+			if obs.On() {
+				cGateErrors.Inc()
+			}
+			return fmt.Errorf("cluster: tracker closed waiting for seq %d", seq)
+		}
+		return nil
+	case <-ctx.Done():
+		if obs.On() {
+			cGateErrors.Inc()
+		}
+		return fmt.Errorf("cluster: waiting for %d follower ack(s) of seq %d: %w", t.minISR, seq, ctx.Err())
+	}
+}
+
+// Gate adapts the tracker into the service's enrollment commit gate.
+func (t *Tracker) Gate() server.CommitGate {
+	return func(ctx context.Context, seq uint64) error {
+		return t.WaitCommitted(ctx, seq)
+	}
+}
+
+// Close releases every parked waiter with an error (the node is
+// shutting down or demoting). Subsequent waits fail fast.
+func (t *Tracker) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, chans := range t.waiters {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+	t.waiters = make(map[uint64][]chan struct{})
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTrackerCommitIsKthHighest(t *testing.T) {
+	tr := NewTracker(2)
+	if got := tr.CommitSeq(); got != 0 {
+		t.Fatalf("fresh tracker commit = %d", got)
+	}
+	tr.Observe("a", 10)
+	if got := tr.CommitSeq(); got != 0 {
+		t.Fatalf("commit with 1/2 followers = %d, want 0", got)
+	}
+	tr.Observe("b", 7)
+	if got := tr.CommitSeq(); got != 7 {
+		t.Fatalf("commit = %d, want 7 (2nd highest of {10,7})", got)
+	}
+	tr.Observe("c", 9)
+	if got := tr.CommitSeq(); got != 9 {
+		t.Fatalf("commit = %d, want 9 (2nd highest of {10,9,7})", got)
+	}
+	// Stale (lower) reports are ignored; commit never regresses.
+	tr.Observe("a", 3)
+	if got := tr.CommitSeq(); got != 9 {
+		t.Fatalf("commit after stale report = %d, want 9", got)
+	}
+}
+
+func TestTrackerWaitCommitted(t *testing.T) {
+	tr := NewTracker(1)
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- tr.WaitCommitted(ctx, 5)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("wait returned %v before any follower ack", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	tr.Observe("f1", 4)
+	select {
+	case err := <-done:
+		t.Fatalf("wait returned %v at commit 4 < 5", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	tr.Observe("f1", 6)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wait at commit 6 ≥ 5: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("wait did not release after commit passed seq")
+	}
+	// Already-committed seqs return immediately.
+	if err := tr.WaitCommitted(context.Background(), 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerWaitCancelAndClose(t *testing.T) {
+	tr := NewTracker(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tr.WaitCommitted(ctx, 1); err == nil {
+		t.Fatal("wait survived a dead context")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- tr.WaitCommitted(context.Background(), 99) }()
+	time.Sleep(10 * time.Millisecond)
+	tr.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("close released waiter with nil error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not release waiter")
+	}
+	if err := tr.WaitCommitted(context.Background(), 1); err == nil {
+		t.Fatal("closed tracker accepted a wait")
+	}
+}
+
+func TestTrackerAsyncModeNeverBlocks(t *testing.T) {
+	tr := NewTracker(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := tr.WaitCommitted(ctx, 1<<40); err != nil {
+		t.Fatalf("async tracker blocked: %v", err)
+	}
+}
+
+func TestTrackerForget(t *testing.T) {
+	tr := NewTracker(1)
+	tr.Observe("a", 10)
+	tr.Forget("a")
+	if got := tr.CommitSeq(); got != 10 {
+		t.Fatalf("commit regressed to %d after forget", got)
+	}
+	if p := tr.Progress(); len(p) != 0 {
+		t.Fatalf("progress after forget: %v", p)
+	}
+}

@@ -42,14 +42,17 @@ import (
 // Fault-injection metrics: one counter per fault kind, so a chaos run can
 // assert from an -obs.report snapshot exactly which faults fired.
 var (
-	cBitFlip  = obs.C("faults.injected.bitflip")
-	cDropPage = obs.C("faults.injected.droppage")
-	cDupPage  = obs.C("faults.injected.duppage")
-	cLine     = obs.C("faults.injected.line")
-	cReadErr  = obs.C("faults.injected.readerr")
-	cWriteErr = obs.C("faults.injected.writeerr")
-	cDRAMErr  = obs.C("faults.injected.dram")
-	cLatency  = obs.C("faults.injected.latency")
+	cBitFlip   = obs.C("faults.injected.bitflip")
+	cDropPage  = obs.C("faults.injected.droppage")
+	cDupPage   = obs.C("faults.injected.duppage")
+	cLine      = obs.C("faults.injected.line")
+	cReadErr   = obs.C("faults.injected.readerr")
+	cWriteErr  = obs.C("faults.injected.writeerr")
+	cDRAMErr   = obs.C("faults.injected.dram")
+	cLatency   = obs.C("faults.injected.latency")
+	cRPCErr    = obs.C("faults.injected.rpc")
+	cFrameDrop = obs.C("faults.injected.framedrop")
+	cFrameDup  = obs.C("faults.injected.framedup")
 )
 
 // ErrInjected is the root cause of every operational fault this package
@@ -113,6 +116,16 @@ type Plan struct {
 	// DRAM is the per-Read probability that a chip fault hook built with
 	// ChipHook fails the read with a transient error.
 	DRAM float64
+	// RPC is the per-call probability that a wrapped HTTP transport
+	// (RoundTripper) fails the request with a transient error before it
+	// reaches the network — a dropped connection, from the caller's view.
+	RPC float64
+	// FrameDrop / FrameDup are per-frame probabilities that a replication
+	// frame batch is dropped (the follower re-requests it) or delivered
+	// twice (the follower must deduplicate by sequence). Consumed by the
+	// cluster replication client via FrameFate.
+	FrameDrop float64
+	FrameDup  float64
 	// Latency is sleep injected into every wrapped I/O call and every DRAM
 	// hook invocation, modelling slow devices. Zero injects none.
 	Latency time.Duration
@@ -130,15 +143,18 @@ var planFields = []struct {
 	{"readerr", func(p *Plan) *float64 { return &p.ReadErr }},
 	{"writeerr", func(p *Plan) *float64 { return &p.WriteErr }},
 	{"dram", func(p *Plan) *float64 { return &p.DRAM }},
+	{"rpc", func(p *Plan) *float64 { return &p.RPC }},
+	{"framedrop", func(p *Plan) *float64 { return &p.FrameDrop }},
+	{"framedup", func(p *Plan) *float64 { return &p.FrameDup }},
 }
 
 // ParsePlan parses a comma-separated fault spec, e.g.
 //
 //	bitflip=0.01,drop=0.005,dup=0.002,line=0.01,readerr=0.001,dram=0.0005,latency=1ms
 //
-// Recognized keys: bitflip, drop, dup, line, readerr, writeerr, dram
-// (rates in [0,1]) and latency (a time.Duration). An empty spec is the zero
-// plan.
+// Recognized keys: bitflip, drop, dup, line, readerr, writeerr, dram, rpc,
+// framedrop, framedup (rates in [0,1]) and latency (a time.Duration). An
+// empty spec is the zero plan.
 func ParsePlan(spec string, seed uint64) (Plan, error) {
 	p := Plan{Seed: seed}
 	if strings.TrimSpace(spec) == "" {

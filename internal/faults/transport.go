@@ -1,0 +1,70 @@
+package faults
+
+import "net/http"
+
+// RoundTripper wraps rt so every request first pays the plan's latency
+// and may fail with a transient injected error at the RPC rate before
+// touching the network — from the caller's perspective, a connection
+// that dropped mid-dial. The cluster router and replication client run
+// their HTTP clients through this wrapper in chaos tests, so retry,
+// hedging, and failover logic is exercised against a deterministic
+// failure stream rather than real network weather.
+func (in *Injector) RoundTripper(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &flakyTransport{rt: rt, in: in}
+}
+
+type flakyTransport struct {
+	rt http.RoundTripper
+	in *Injector
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.in.lag()
+	if f.in.hit(f.in.plan.RPC) {
+		if cOn() {
+			cRPCErr.Inc()
+		}
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, Transient(errInjectedOp("rpc " + req.URL.Path))
+	}
+	return f.rt.RoundTrip(req)
+}
+
+// FrameFate is the fault decision for one replication frame batch.
+type FrameFate int
+
+const (
+	// FrameDeliver: apply the frame once (the no-fault outcome).
+	FrameDeliver FrameFate = iota
+	// FrameDrop: discard the frame; the follower's next pull re-requests
+	// the same range, modelling a lost response.
+	FrameDrop
+	// FrameDup: apply the frame twice; the second application must be
+	// deduplicated by sequence number, modelling a retransmitted response.
+	FrameDup
+)
+
+// FrameFate draws the fate of one replication frame from the plan's
+// FrameDrop/FrameDup rates (drop wins when both fire). Callers apply,
+// skip, or double-apply the frame accordingly; the decision stream is
+// deterministic in (Plan, call order) like every other fault here.
+func (in *Injector) FrameFate() FrameFate {
+	if in.hit(in.plan.FrameDrop) {
+		if cOn() {
+			cFrameDrop.Inc()
+		}
+		return FrameDrop
+	}
+	if in.hit(in.plan.FrameDup) {
+		if cOn() {
+			cFrameDup.Inc()
+		}
+		return FrameDup
+	}
+	return FrameDeliver
+}

@@ -1,0 +1,141 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-backend circuit breaker: Threshold consecutive
+// failures open it, opening refuses traffic for Cooldown, then a single
+// half-open probe decides whether the backend has recovered. The router
+// keeps one Breaker per backend so a dead replica sheds its traffic to
+// healthy ones instead of burning a timeout per request.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	opens    int64
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures (<=0 selects 5) and re-probes after cooldown
+// (<=0 selects 1s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's clock (tests).
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// Allow reports whether a request may proceed. In the open state it
+// flips to half-open once the cooldown has elapsed and admits exactly
+// one probe; concurrent callers are refused until the probe reports.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Report records the outcome of an admitted request. A success closes
+// the breaker and clears the failure count; a failure in half-open
+// re-opens immediately, and the Threshold-th consecutive closed-state
+// failure opens it.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	case BreakerOpen:
+		// Late failure from a request admitted before opening; nothing to do.
+	}
+}
+
+// open transitions to the open state. Caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the breaker's current position (refreshing open →
+// half-open eligibility is left to Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has opened.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

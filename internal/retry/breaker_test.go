@@ -1,0 +1,99 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	c := &fakeClock{t: time.Unix(0, 0)}
+	b.SetClock(c.now)
+	return b, c
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Report(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened before the threshold")
+	}
+	b.Allow()
+	b.Report(false) // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker state %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		b.Report(false)
+		b.Allow()
+		b.Report(true) // success clears the streak
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("alternating failures opened the breaker despite successes between them")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v during probe, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic after recovery")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Report(false)
+	clk.advance(2 * time.Second)
+	b.Allow()       // probe
+	b.Report(false) // probe fails
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted traffic before a fresh cooldown")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens = %d, want 2", b.Opens())
+	}
+}

@@ -1,0 +1,277 @@
+// Package retry defines the repository's one retry policy: exponential
+// backoff with deterministic jitter, an error classifier that decides
+// what is worth retrying, and a token budget that bounds how much retry
+// traffic a component may add on top of its first attempts.
+//
+// The policy/classifier/budget split mirrors how production retry layers
+// are tuned independently:
+//
+//   - Policy is per-operation shape: how many attempts, how the delay
+//     grows, how much jitter decorrelates concurrent retriers. Jitter is
+//     driven by a caller-owned prng.Source, so chaos runs reproduce their
+//     exact retry schedule from a seed.
+//   - Classifier is per-failure-domain semantics: transient faults
+//     (faults.IsTransient) are retryable, context cancellation and logic
+//     errors never are. Callers compose their own classifiers for their
+//     transport (an HTTP 503 is retryable, a 400 is not).
+//   - Budget is per-component safety: every first attempt earns a
+//     fraction of a retry token, every retry spends one. When upstream is
+//     down and every request fails, retries are capped at roughly
+//     Ratio × offered load instead of multiplying it — the difference
+//     between a brownout and a retry storm.
+//
+// The experiment runner (internal/runner), the replication puller, and
+// the cluster router (internal/cluster) all consume this package, so
+// "how does this system retry" has exactly one answer.
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"probablecause/internal/faults"
+	"probablecause/internal/obs"
+)
+
+// Retry metrics: attempts vs retries actually performed, and budget
+// decisions, so a chaos run can assert retries stayed inside the budget.
+var (
+	cAttempts     = obs.C("retry.attempts")
+	cRetries      = obs.C("retry.retries")
+	cBudgetDenied = obs.C("retry.budget_denied")
+)
+
+// ErrBudgetExhausted reports that a retry was warranted by the
+// classifier but denied by the budget; the last operation error is
+// wrapped alongside it.
+var ErrBudgetExhausted = errors.New("retry: budget exhausted")
+
+// Policy is the shape of one operation's retry schedule. The zero value
+// performs a single attempt (no retries); withDefaults fills delay
+// parameters when MaxAttempts allows retrying.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, first try included.
+	// 0 and 1 both mean "no retries".
+	MaxAttempts int
+	// BaseDelay is the delay before the first retry; each further retry
+	// doubles it (geometrically by Multiplier), capped at MaxDelay.
+	// Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay. Default 5s.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries. Default 2.
+	Multiplier float64
+	// JitterFrac adds up to this fraction of the grown delay as
+	// deterministic jitter (0.5 adds up to +50%). Negative disables
+	// jitter; 0 selects the 0.5 default.
+	JitterFrac float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.5
+	} else if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	}
+	return p
+}
+
+// jitterSource is the slice of prng.Source the policy needs; taking the
+// interface keeps jitter deterministic and caller-seeded without binding
+// the signature to one generator type.
+type jitterSource interface{ Float64() float64 }
+
+// Delay returns the backoff before retry number attempt (attempt 1 is
+// the first retry, i.e. before the second overall try): BaseDelay grown
+// geometrically, capped at MaxDelay, plus up to JitterFrac of itself in
+// deterministic jitter drawn from src. A nil src skips jitter.
+func (p Policy) Delay(attempt int, src jitterSource) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d = time.Duration(float64(d) * p.Multiplier)
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if src != nil && p.JitterFrac > 0 {
+		d += time.Duration(src.Float64() * p.JitterFrac * float64(d))
+	}
+	return d
+}
+
+// Classifier decides whether an error is worth retrying. Classifiers
+// must return false for nil.
+type Classifier func(error) bool
+
+// Transient is the default classifier: retry exactly the failures the
+// fault layer marked transient (injected chaos, flaky I/O, busy
+// devices), and never a cancelled or deadline-exceeded context — the
+// caller has already given up, retrying would outlive the request.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return faults.IsTransient(err)
+}
+
+// Budget bounds retry volume: each first attempt earns Ratio of a retry
+// token (up to Burst), each retry spends a whole one. With Ratio 0.1 a
+// component in steady failure adds at most ~10% retry traffic on top of
+// its offered load, instead of multiplying the outage by MaxAttempts.
+// A nil *Budget allows every retry (unbounded).
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+
+	allowed int64
+	denied  int64
+}
+
+// NewBudget returns a budget earning ratio tokens per first attempt,
+// holding at most burst. It starts full, so short failure bursts retry
+// freely; only sustained failure hits the cap. ratio<=0 selects 0.1,
+// burst<=0 selects 10.
+func NewBudget(ratio float64, burst int) *Budget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &Budget{tokens: float64(burst), ratio: ratio, burst: float64(burst)}
+}
+
+// Observe credits the budget for one first attempt.
+func (b *Budget) Observe() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Allow consumes one retry token, reporting whether the retry may
+// proceed. A denied retry consumes nothing.
+func (b *Budget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.allowed++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+// Counts returns how many retries the budget allowed and denied.
+func (b *Budget) Counts() (allowed, denied int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.allowed, b.denied
+}
+
+// Options bundles the cross-cutting retry dependencies for Do.
+type Options struct {
+	// Classify decides retryability; nil selects Transient.
+	Classify Classifier
+	// Budget bounds retry volume; nil is unbounded.
+	Budget *Budget
+	// Jitter drives deterministic backoff jitter; nil skips jitter.
+	Jitter jitterSource
+	// Sleep replaces the context-aware backoff sleep (tests). nil selects
+	// a timer-based sleep that aborts on ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when non-nil, observes every retry decision before its
+	// backoff sleep (logging, metrics).
+	OnRetry func(attempt int, delay time.Duration, err error)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op under the policy: first attempt plus classifier-approved,
+// budget-funded retries with backoff. It returns nil on the first
+// success, the last error when attempts or classification run out, and
+// wraps ErrBudgetExhausted alongside the last error when the budget —
+// not the policy — stopped the retrying. ctx cancellation stops retries
+// immediately (the in-flight attempt sees ctx itself).
+func Do(ctx context.Context, p Policy, opts Options, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	classify := opts.Classify
+	if classify == nil {
+		classify = Transient
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	opts.Budget.Observe()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if obs.On() {
+			cAttempts.Inc()
+		}
+		err = op(ctx)
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.MaxAttempts || !classify(err) || ctx.Err() != nil {
+			return err
+		}
+		if !opts.Budget.Allow() {
+			if obs.On() {
+				cBudgetDenied.Inc()
+			}
+			return errors.Join(ErrBudgetExhausted, err)
+		}
+		delay := p.Delay(attempt, opts.Jitter)
+		if opts.OnRetry != nil {
+			opts.OnRetry(attempt, delay, err)
+		}
+		if obs.On() {
+			cRetries.Inc()
+		}
+		if sleep(ctx, delay) != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"probablecause/internal/faults"
+	"probablecause/internal/prng"
+)
+
+func TestPolicyDelayGrowth(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, JitterFrac: -1}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i+1, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestPolicyDelayMatchesRunnerBackoff pins the extracted policy to the
+// runner's original inline backoff formula: base·2^(attempt-1) capped,
+// plus jitter·0.5·delay — the same deterministic schedule for the same
+// seed.
+func TestPolicyDelayMatchesRunnerBackoff(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	orig := func(attempt int, j *prng.Source) time.Duration {
+		d := base
+		for i := 1; i < attempt && d < max; i++ {
+			d *= 2
+		}
+		if d > max {
+			d = max
+		}
+		return d + time.Duration(j.Float64()*0.5*float64(d))
+	}
+	p := Policy{BaseDelay: base, MaxDelay: max}
+	for seed := uint64(1); seed <= 3; seed++ {
+		j1 := prng.New(seed)
+		j2 := prng.New(seed)
+		for attempt := 1; attempt <= 10; attempt++ {
+			want := orig(attempt, j1)
+			got := p.Delay(attempt, j2)
+			if got != want {
+				t.Fatalf("seed %d attempt %d: Delay=%v, original backoff=%v", seed, attempt, got, want)
+			}
+		}
+	}
+}
+
+func TestPolicyDelayDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}
+	a := prng.New(42)
+	b := prng.New(42)
+	for i := 1; i <= 8; i++ {
+		if da, db := p.Delay(i, a), p.Delay(i, b); da != db {
+			t.Fatalf("attempt %d: same seed gave %v and %v", i, da, db)
+		}
+	}
+}
+
+func TestTransientClassifier(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{faults.Transient(errors.New("flaky")), true},
+		{fmt.Errorf("wrapped: %w", faults.Transient(errors.New("flaky"))), true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{faults.Transient(context.DeadlineExceeded), false}, // deadline wins
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBudgetEarnsAndSpends(t *testing.T) {
+	b := NewBudget(0.5, 4) // starts with 4 tokens
+	for i := 0; i < 4; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	// Two first attempts earn one token at ratio 0.5.
+	b.Observe()
+	b.Observe()
+	if !b.Allow() {
+		t.Fatal("earned token denied")
+	}
+	if b.Allow() {
+		t.Fatal("budget over-credited")
+	}
+	allowed, denied := b.Counts()
+	if allowed != 5 || denied != 2 {
+		t.Fatalf("Counts = (%d, %d), want (5, 2)", allowed, denied)
+	}
+}
+
+func TestBudgetBurstCap(t *testing.T) {
+	b := NewBudget(1, 2)
+	for i := 0; i < 100; i++ {
+		b.Observe() // earns 1 per observe, capped at 2
+	}
+	got := 0
+	for b.Allow() {
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("burst cap leaked: %d tokens, want 2", got)
+	}
+}
+
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestDoRetriesTransient(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 4}, Options{Sleep: noSleep}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return faults.Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5}, Options{Sleep: noSleep}, func(context.Context) error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want the permanent error after 1", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	flaky := faults.Transient(errors.New("flaky"))
+	err := Do(context.Background(), Policy{MaxAttempts: 3}, Options{Sleep: noSleep}, func(context.Context) error {
+		calls++
+		return flaky
+	})
+	if !errors.Is(err, flaky) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want the transient error after 3", err, calls)
+	}
+}
+
+func TestDoHonoursBudget(t *testing.T) {
+	b := NewBudget(0.1, 1) // one retry token, then dry
+	flaky := faults.Transient(errors.New("flaky"))
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 10}, Options{Budget: b, Sleep: noSleep}, func(context.Context) error {
+		calls++
+		return flaky
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Do = %v, want ErrBudgetExhausted", err)
+	}
+	if !errors.Is(err, flaky) {
+		t.Fatalf("budget error %v does not carry the last attempt error", err)
+	}
+	if calls != 2 { // first attempt + the one budgeted retry
+		t.Fatalf("made %d calls, want 2", calls)
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	flaky := faults.Transient(errors.New("flaky"))
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 10}, Options{Sleep: noSleep}, func(context.Context) error {
+		calls++
+		cancel()
+		return flaky
+	})
+	if !errors.Is(err, flaky) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want no retries after cancellation", err, calls)
+	}
+}
+
+func TestDoObservesRetries(t *testing.T) {
+	var seen []int
+	flaky := faults.Transient(errors.New("flaky"))
+	Do(context.Background(), Policy{MaxAttempts: 3}, Options{
+		Sleep:   noSleep,
+		OnRetry: func(attempt int, d time.Duration, err error) { seen = append(seen, attempt) },
+	}, func(context.Context) error { return flaky })
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("OnRetry saw attempts %v, want [1 2]", seen)
+	}
+}

@@ -8,8 +8,9 @@
 //     per-experiment timeout;
 //   - a panic inside an experiment is recovered and converted into that
 //     experiment's error — the suite, and the process, keep going;
-//   - failures classified transient (faults.IsTransient) are retried with
-//     exponential backoff plus deterministic jitter;
+//   - failures classified transient (retry.Transient) are retried with
+//     the shared internal/retry policy: exponential backoff plus
+//     deterministic jitter;
 //   - after every experiment the runner checkpoints a manifest into the
 //     output directory, and with Resume set it skips experiments the
 //     manifest already records as done — an interrupted suite reruns only
@@ -37,9 +38,9 @@ import (
 	"sync"
 	"time"
 
-	"probablecause/internal/faults"
 	"probablecause/internal/obs"
 	"probablecause/internal/prng"
+	"probablecause/internal/retry"
 )
 
 // Runner metrics: the retry/panic/timeout counters are the chaos suite's
@@ -76,10 +77,11 @@ type Config struct {
 	// experiment doubles the damage instead of fixing it).
 	Timeout time.Duration
 	// Retries is the number of additional attempts allowed when an attempt
-	// fails with a transient error (faults.IsTransient).
+	// fails with a transient error (retry.Transient).
 	Retries int
 	// BackoffBase is the first retry delay; each further retry doubles it,
-	// capped at BackoffMax. Defaults: 100ms base, 5s cap.
+	// capped at BackoffMax, per the shared internal/retry policy.
+	// Defaults: 100ms base, 5s cap.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	// Resume loads the manifest from OutDir and skips experiments it
@@ -304,10 +306,8 @@ func runExperiment(ctx context.Context, cfg Config, spec Spec, jitter *prng.Sour
 			}
 			return res
 		}
-		retryable := faults.IsTransient(err) && !errors.Is(err, context.DeadlineExceeded) &&
-			!errors.Is(err, context.Canceled)
-		if retryable && attempt <= cfg.Retries && ctx.Err() == nil {
-			delay := backoff(cfg.BackoffBase, cfg.BackoffMax, attempt, jitter)
+		if retry.Transient(err) && attempt <= cfg.Retries && ctx.Err() == nil {
+			delay := cfg.retryPolicy().Delay(attempt, jitter)
 			if obs.On() {
 				cRetries.Inc()
 			}
@@ -332,17 +332,16 @@ func runExperiment(ctx context.Context, cfg Config, spec Spec, jitter *prng.Sour
 	}
 }
 
-// backoff returns the exponential delay for the given attempt with up to
-// 50% deterministic jitter on top.
-func backoff(base, max time.Duration, attempt int, jitter *prng.Source) time.Duration {
-	d := base
-	for i := 1; i < attempt && d < max; i++ {
-		d *= 2
+// retryPolicy maps the suite configuration onto the shared retry policy:
+// doubling backoff from BackoffBase to BackoffMax with up to 50%
+// deterministic jitter — byte-identical delays to the runner's original
+// inline backoff, now defined once in internal/retry.
+func (c Config) retryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: c.Retries + 1,
+		BaseDelay:   c.BackoffBase,
+		MaxDelay:    c.BackoffMax,
 	}
-	if d > max {
-		d = max
-	}
-	return d + time.Duration(jitter.Float64()*0.5*float64(d))
 }
 
 // runOnce executes one attempt in its own goroutine so a hung experiment

@@ -149,9 +149,9 @@ type enroller struct {
 	cfg EnrollConfig
 	log *wal.Log
 
-	mu        sync.Mutex // guards sessions and the fold chain
-	applyCond *sync.Cond // signals appliedSeq advances
-	sessions  map[string]*enrollSession
+	mu         sync.Mutex // guards sessions and the fold chain
+	applyCond  *sync.Cond // signals appliedSeq advances
+	sessions   map[string]*enrollSession
 	appliedSeq uint64 // highest WAL seq folded into the database
 	watermark  uint64 // checkpoint watermark; promotions below it are replay-suppressed
 }
@@ -242,6 +242,9 @@ func (s *Service) Enroll(ctx context.Context, session, name string, es *bitset.S
 	if e == nil {
 		return EnrollState{}, ErrEnrollmentDisabled
 	}
+	if !s.IsPrimary() {
+		return EnrollState{}, ErrNotPrimary
+	}
 	if session == "" {
 		return EnrollState{}, fmt.Errorf("server: enroll needs a session id")
 	}
@@ -301,6 +304,13 @@ func (s *Service) Enroll(ctx context.Context, session, name string, es *bitset.S
 	e.applyCond.Broadcast()
 	e.mu.Unlock()
 	aspan.End()
+	// Cluster commit gate: hold the ack until the record is replicated to
+	// the configured number of followers. The record is already durable
+	// and folded locally, so a gate failure is retry-safe at-least-once —
+	// the retried append is a new record that folds to the same state.
+	if err := s.gateCommit(ctx, seq); err != nil {
+		return st, fmt.Errorf("server: enrollment replication: %w", err)
+	}
 	return st, nil
 }
 

@@ -268,6 +268,7 @@ func (s *Service) route(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 //	POST   /v1/db                 register a fingerprint
 //	DELETE /v1/db?name=N          remove a fingerprint
 //	GET    /healthz               liveness (degraded on critical SLO burn)
+//	GET    /readyz                readiness (503 until replay/bootstrap done)
 //	GET    /metrics               obs registry (Prometheus; ?format=json)
 //	GET    /slo                   SLO burn-rate report (?format=prom)
 //	GET    /debug/slowest         span trees of the K slowest requests
@@ -286,6 +287,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("GET /debug/slowest", s.handleSlowest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -305,6 +307,29 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// readyJSON is the /readyz body. Unlike /healthz (liveness: "is the
+// process up"), readiness answers "should a router send traffic here" —
+// false while a node is replaying its WAL or bootstrapping from a
+// snapshot, so orchestrators stop routing to warming nodes.
+type readyJSON struct {
+	Ready      bool   `json:"ready"`
+	Role       string `json:"role"`
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	role := "primary"
+	if !s.IsPrimary() {
+		role = "follower"
+	}
+	body := readyJSON{Ready: s.Ready(), Role: role, AppliedSeq: s.AppliedSeq()}
+	code := http.StatusOK
+	if !body.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Service) handleSLO(w http.ResponseWriter, r *http.Request) {
@@ -406,6 +431,11 @@ func (s *Service) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "characterize needs at least one output")
 		return
 	}
+	if req.Name != "" && !s.IsPrimary() {
+		// Pure characterization is a read; registration is a mutation.
+		httpError(w, http.StatusServiceUnavailable, ErrNotPrimary.Error())
+		return
+	}
 	ess := make([]*bitset.Set, len(req.Outputs))
 	for i, positions := range req.Outputs {
 		es, err := s.toSet(errStringJSON{Len: req.Len, Positions: positions})
@@ -440,7 +470,7 @@ type enrollRequestJSON struct {
 // session/name conflict, 400 otherwise.
 func enrollStatus(err error) int {
 	switch {
-	case errors.Is(err, ErrEnrollmentDisabled):
+	case errors.Is(err, ErrEnrollmentDisabled), errors.Is(err, ErrNotPrimary):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrSessionLimit):
 		return http.StatusTooManyRequests
@@ -448,7 +478,8 @@ func enrollStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
-	case strings.Contains(err.Error(), "enrollment log"):
+	case strings.Contains(err.Error(), "enrollment log"),
+		strings.Contains(err.Error(), "enrollment replication"):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
@@ -512,6 +543,10 @@ func (s *Service) handleDBAdd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "add needs a name")
 		return
 	}
+	if !s.IsPrimary() {
+		httpError(w, http.StatusServiceUnavailable, ErrNotPrimary.Error())
+		return
+	}
 	fp, err := s.toSet(errStringJSON{Len: req.Len, Positions: req.Positions})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -525,6 +560,10 @@ func (s *Service) handleDBRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		httpError(w, http.StatusBadRequest, "remove needs ?name=")
+		return
+	}
+	if !s.IsPrimary() {
+		httpError(w, http.StatusServiceUnavailable, ErrNotPrimary.Error())
 		return
 	}
 	removed := s.Remove(name)

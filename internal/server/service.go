@@ -140,6 +140,12 @@ type Service struct {
 	// sets, and an unchecked mismatch would panic the distance kernel.
 	// 0 until the first entry fixes it.
 	fpLen atomic.Int64
+
+	// Cluster-role state (repl.go): both false — primary and ready — for a
+	// standalone service, so single-node behavior is unchanged.
+	notPrimary atomic.Bool
+	notReady   atomic.Bool
+	commitGate atomic.Pointer[commitGateBox]
 }
 
 // New builds a Service over the seed database (nil for an empty start).

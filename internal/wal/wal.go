@@ -127,6 +127,13 @@ type Options struct {
 	// latency injection (crash testing). A failed injected write fails the
 	// log exactly like a real one.
 	FaultPlan faults.Plan
+	// StartSeq is the sequence number the first record of a brand-new log
+	// takes; 0 selects 1. Replication bootstrap uses it: a follower that
+	// seeded its database from a primary snapshot opens its local log at
+	// the snapshot's replay floor, so locally appended replicated records
+	// carry the primary's sequence numbers. Ignored when segments already
+	// exist on disk.
+	StartSeq uint64
 }
 
 const (
@@ -194,10 +201,15 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.inj = faults.NewInjector(opts.FaultPlan)
 	}
 	if len(segs) == 0 {
-		if err := l.openSegmentLocked(1); err != nil {
+		first := opts.StartSeq
+		if first == 0 {
+			first = 1
+		}
+		l.nextSeq = first
+		if err := l.openSegmentLocked(first); err != nil {
 			return nil, err
 		}
-		l.syncedSeq = 0
+		l.syncedSeq = first - 1
 		return l, nil
 	}
 	// Verify every segment; only the last may carry a torn tail.

@@ -1,0 +1,217 @@
+package probablecause_test
+
+// Process-level cluster chaos: a primary, two followers, and a router —
+// four real pcserved processes on real sockets. The primary dies by
+// SIGKILL mid-enrollment; the router must promote the most-caught-up
+// follower, and every enrollment acked before the kill must be present
+// on the new primary. The dead primary's WAL then goes through
+// -wal.verify, which must classify it clean or torn-tail — never
+// interior-corrupt — and an interior flip must be called out as such.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// clusterEnrollState mirrors the enroll ack fields the test needs.
+type clusterEnrollState struct {
+	Seq      uint64 `json:"seq"`
+	Promoted bool   `json:"promoted"`
+}
+
+type replStatus struct {
+	ID         string `json:"id"`
+	Role       string `json:"role"`
+	Ready      bool   `json:"ready"`
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+func getReplStatus(client *http.Client, base string) (replStatus, error) {
+	var st replStatus
+	resp, err := client.Get(base + "/v1/repl/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func TestPcservedClusterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dirs := map[string]string{
+		"primary": t.TempDir(),
+		"f1":      t.TempDir(),
+		"f2":      t.TempDir(),
+	}
+	enrollFlags := []string{"-enroll.minobs", "3", "-enroll.patience", "2", "-wal.segment", "256"}
+
+	primaryURL, primaryCmd := startPcserved(t, append([]string{
+		"-wal.dir", dirs["primary"], "-repl.min-isr", "1", "-cluster.id", "primary",
+	}, enrollFlags...)...)
+	f1URL, _ := startPcserved(t, append([]string{
+		"-mode", "follower", "-wal.dir", dirs["f1"], "-repl.primary", primaryURL,
+		"-repl.interval", "5ms", "-cluster.id", "f1",
+	}, enrollFlags...)...)
+	f2URL, _ := startPcserved(t, append([]string{
+		"-mode", "follower", "-wal.dir", dirs["f2"], "-repl.primary", primaryURL,
+		"-repl.interval", "5ms", "-cluster.id", "f2",
+	}, enrollFlags...)...)
+	routerURL, _ := startPcserved(t,
+		"-mode", "router", "-router.backends", strings.Join([]string{primaryURL, f1URL, f2URL}, ","),
+		"-router.probe", "20ms")
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	const nbits = 2048
+	devObs := func(dev, trial int) []uint32 {
+		var pos []uint32
+		for j := 0; j < 6; j++ {
+			pos = append(pos, uint32(10*dev+j))
+		}
+		pos = append(pos, uint32(1000+(dev*31+trial*7)%(nbits-1001)))
+		return pos
+	}
+	enroll := func(dev, trial int) (clusterEnrollState, int) {
+		blob, _ := json.Marshal(map[string]any{
+			"session": fmt.Sprintf("sess-%d", dev), "name": fmt.Sprintf("dev-%d", dev),
+			"len": nbits, "positions": devObs(dev, trial),
+		})
+		resp, err := client.Post(routerURL+"/v1/enroll", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return clusterEnrollState{}, 0
+		}
+		defer resp.Body.Close()
+		var st clusterEnrollState
+		if resp.StatusCode == http.StatusOK {
+			json.NewDecoder(resp.Body).Decode(&st)
+		}
+		return st, resp.StatusCode
+	}
+	enrollUntilAcked := func(dev, trial int) clusterEnrollState {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if st, code := enroll(dev, trial); code == http.StatusOK {
+				return st
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("dev-%d trial %d never acked through the router", dev, trial)
+		return clusterEnrollState{}
+	}
+
+	// Phase 1: enroll three devices to convergence through the router.
+	var maxAcked uint64
+	for dev := 0; dev < 3; dev++ {
+		var last clusterEnrollState
+		for trial := 0; trial < 4; trial++ {
+			last = enrollUntilAcked(dev, trial)
+			if last.Seq > maxAcked {
+				maxAcked = last.Seq
+			}
+		}
+		if !last.Promoted {
+			t.Fatalf("dev-%d not promoted after 4 observations", dev)
+		}
+	}
+
+	// Phase 2: SIGKILL the primary mid-life, keep enrolling; the acks
+	// must resume once the router promotes a follower.
+	if err := primaryCmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primaryCmd.Wait()
+	post := enrollUntilAcked(3, 0)
+	if post.Seq == 0 {
+		t.Fatal("post-failover ack carried seq 0")
+	}
+
+	// The new primary is one of the followers, and it must hold every
+	// acked sequence.
+	var newPrimary replStatus
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, u := range []string{f1URL, f2URL} {
+			if st, err := getReplStatus(client, u); err == nil && st.Role == "primary" {
+				newPrimary = st
+			}
+		}
+		if newPrimary.Role == "primary" {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if newPrimary.Role != "primary" {
+		t.Fatal("no follower took over as primary")
+	}
+	if newPrimary.AppliedSeq < maxAcked {
+		t.Fatalf("new primary %s applied %d < max acked %d — acked enrollment lost",
+			newPrimary.ID, newPrimary.AppliedSeq, maxAcked)
+	}
+
+	// Identify every pre-kill device through the router.
+	for dev := 0; dev < 3; dev++ {
+		blob, _ := json.Marshal(map[string]any{"len": nbits, "positions": devObs(dev, 9)})
+		resp, err := client.Post(routerURL+"/v1/identify", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Match bool   `json:"match"`
+			Name  string `json:"name"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || !v.Match || v.Name != fmt.Sprintf("dev-%d", dev) {
+			t.Fatalf("post-failover identify dev-%d: status %d verdict %+v err %v", dev, resp.StatusCode, v, err)
+		}
+	}
+
+	// Phase 3: the SIGKILLed primary's WAL passes offline verification —
+	// at worst a torn tail, never interior corruption.
+	bin := filepath.Join(t.TempDir(), "pcserved")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pcserved").CombinedOutput(); err != nil {
+		t.Fatalf("building pcserved: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-wal.verify", "-wal.dir", dirs["primary"]).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wal.verify on killed primary's log failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("records")) {
+		t.Fatalf("wal.verify output unrecognizable:\n%s", out)
+	}
+
+	// An interior flip in the first of several segments must be reported
+	// as corruption with a non-zero exit.
+	segs, err := filepath.Glob(filepath.Join(dirs["primary"], "*.wal"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("expected multiple WAL segments, got %v (err %v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[18] ^= 0xFF // inside the first record's body
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-wal.verify", "-wal.dir", dirs["primary"]).CombinedOutput()
+	if err == nil {
+		t.Fatalf("wal.verify exited 0 on interior corruption:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("CORRUPT")) {
+		t.Fatalf("wal.verify did not flag corruption:\n%s", out)
+	}
+}
