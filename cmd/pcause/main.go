@@ -195,6 +195,7 @@ func cmdIdentify(args []string) (err error) {
 	dbList := fs.String("db", "", "comma-separated fingerprint files")
 	threshold := fs.Float64("threshold", fingerprint.DefaultThreshold, "match threshold")
 	indexed := fs.Bool("indexed", false, "use the LSH-indexed lookup (sublinear in database size; identical results)")
+	sliced := fs.Bool("sliced", false, "use the bit-sliced lookup (block kernel + pruned fallback; identical results)")
 	asJSON := fs.Bool("json", false, "emit the verdict as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -248,7 +249,14 @@ func cmdIdentify(args []string) (err error) {
 		db.Add(filepath.Base(name), &fp)
 	}
 	var ident fingerprint.Identifier = db
-	if *indexed {
+	switch {
+	case *sliced:
+		sx, err := fingerprint.SliceDB(db, fingerprint.SlicedConfig{})
+		if err != nil {
+			return err
+		}
+		ident = sx
+	case *indexed:
 		ix, err := fingerprint.IndexDB(db, fingerprint.IndexedConfig{})
 		if err != nil {
 			return err

@@ -477,6 +477,19 @@ func specs(scale string, scattered bool, workers int) []runner.Spec {
 			rc.Section(r.Render())
 			return nil
 		}},
+		{Name: "scale", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultScaleParams()
+			if small {
+				p = experiment.SmallScaleParams()
+			}
+			p.Workers = workers
+			r, err := experiment.RunScale(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return rc.WriteArtifact("scale_verdicts.csv", r.CSV())
+		}},
 		{Name: "ablations", Run: func(ctx context.Context, rc *runner.RunContext) error {
 			r1, err := experiment.RunAblationHamming(10, 32768, 0xAB1)
 			if err != nil {

@@ -104,6 +104,8 @@ func run(args []string) (err error) {
 	threshold := fs.Float64("threshold", 0, "match threshold (0: take it from the seed database)")
 	shards := fs.Int("shards", 0, fmt.Sprintf("database shard count (0: %d)", fingerprint.DefaultShards))
 	plain := fs.Bool("plain", false, "disable the per-shard LSH indexes (dense-scan shards)")
+	sliced := fs.Bool("sliced", false, "bit-sliced per-shard verification (block kernel + pruned fallback scans)")
+	probes := fs.Bool("probes", false, "multi-probe LSH candidate expansion (near-miss buckets)")
 	workers := fs.Int("workers", 0, "identification worker pool size (0: one per CPU)")
 	batchWindow := fs.Duration("batch.window", 500*time.Microsecond, "micro-batching coalescing window (0: dispatch immediately)")
 	maxBatch := fs.Int("batch.max", 0, fmt.Sprintf("max identify queries per dispatch (0: %d)", server.DefaultMaxBatch))
@@ -199,6 +201,8 @@ func run(args []string) (err error) {
 		Threshold:      *threshold,
 		Shards:         *shards,
 		Plain:          *plain,
+		Sliced:         *sliced,
+		Probes:         *probes,
 		Workers:        *workers,
 		BatchWindow:    *batchWindow,
 		MaxBatch:       *maxBatch,

@@ -91,6 +91,68 @@ func FuzzCachedCard(f *testing.F) {
 	})
 }
 
+// FuzzSlicedKernel: the bit-sliced block kernel must return byte-identical
+// (minCard, maxCard, diff) triples to the scalar MinCardAndNotCount on
+// random shapes. The fuzz input encodes the geometry and the bit content:
+// byte 0 picks the bit length, byte 1 the block width, byte 2 the query
+// density knob, and the rest seeds entry/query bits, so the corpus explores
+// partial tail blocks, non-word-aligned lengths, empty sets, and both
+// cardinality orientations.
+func FuzzSlicedKernel(f *testing.F) {
+	f.Add([]byte{100, 3, 8, 1, 2, 3})
+	f.Add([]byte{255, 64, 0})
+	f.Add([]byte{1, 1, 255, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		nbits := int(data[0])%700 + 1
+		width := int(data[1])%9 + 1
+		qmod := int(data[2])%7 + 2
+		arena := NewSlicedArena(nbits, width)
+		var sets []*Set
+		// Derive entries from the remaining bytes: byte k drives the stride
+		// pattern of entry k, so shapes vary from empty to near-full.
+		for k, b := range data[3:] {
+			if k >= 2*width+1 {
+				break
+			}
+			s := New(nbits)
+			if stride := int(b) % 17; stride > 0 {
+				for i := k % stride; i < nbits; i += stride {
+					s.Set(i)
+				}
+			}
+			sets = append(sets, s)
+			arena.Add(s)
+		}
+		if len(sets) == 0 {
+			return
+		}
+		q := New(nbits)
+		for i := 0; i < nbits; i += qmod {
+			q.Set(i)
+		}
+		var dst []KernelResult
+		for bi := 0; bi < arena.NumBlocks(); bi++ {
+			blk := arena.Block(bi)
+			dst = blk.MinCardAndNotCounts(q, dst)
+			bound := blk.UnionAndCount(q)
+			for j, r := range dst {
+				g := bi*width + j
+				minC, maxC, diff := MinCardAndNotCount(sets[g], q)
+				if r.MinCard != minC || r.MaxCard != maxC || r.Diff != diff {
+					t.Fatalf("entry %d: kernel (%d,%d,%d) != scalar (%d,%d,%d)",
+						g, r.MinCard, r.MaxCard, r.Diff, minC, maxC, diff)
+				}
+				if inter := sets[g].AndCount(q); inter > bound {
+					t.Fatalf("entry %d: intersection %d exceeds union bound %d", g, inter, bound)
+				}
+			}
+		}
+	})
+}
+
 // FuzzUnmarshalSparse: same contract for the sparse decoder, which must
 // also enforce strictly increasing positions.
 func FuzzUnmarshalSparse(f *testing.F) {

@@ -1,0 +1,133 @@
+package bitset
+
+import (
+	"testing"
+
+	"probablecause/internal/prng"
+)
+
+// randomSet builds a set of n bits with roughly density*n bits set, as a pure
+// function of seed.
+func randomSet(n int, density float64, seed uint64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if prng.Uniform01(prng.Hash(seed, uint64(i))) < density {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// TestSlicedKernelMatchesScalar: the block kernel must return exactly the
+// triple the scalar fused kernel returns, per entry, across densities that
+// exercise both orientations (entry smaller and entry larger than the query).
+func TestSlicedKernelMatchesScalar(t *testing.T) {
+	const n = 1000 // deliberately not word-aligned
+	for _, width := range []int{1, 3, DefaultSlicedEntries} {
+		arena := NewSlicedArena(n, width)
+		var sets []*Set
+		densities := []float64{0, 0.001, 0.01, 0.2, 0.9, 1}
+		for i := 0; i < 2*width+3; i++ {
+			s := randomSet(n, densities[i%len(densities)], 0xB10C+uint64(i))
+			sets = append(sets, s)
+			arena.Add(s)
+		}
+		queries := []*Set{
+			New(n), // empty
+			randomSet(n, 0.01, 0x51),
+			randomSet(n, 0.5, 0x52),
+			sets[0].Clone(), // exact duplicate of an entry
+		}
+		var dst []KernelResult
+		for qi, q := range queries {
+			for bi := 0; bi < arena.NumBlocks(); bi++ {
+				blk := arena.Block(bi)
+				dst = blk.MinCardAndNotCounts(q, dst)
+				for j, r := range dst {
+					g := bi*width + j
+					minC, maxC, diff := MinCardAndNotCount(sets[g], q)
+					if r.MinCard != minC || r.MaxCard != maxC || r.Diff != diff {
+						t.Fatalf("width=%d query=%d entry=%d: kernel (%d,%d,%d) != scalar (%d,%d,%d)",
+							width, qi, g, r.MinCard, r.MaxCard, r.Diff, minC, maxC, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSlicedUnionBound: the block union intersection must upper-bound every
+// member's intersection with the query — the inequality the prune rests on.
+func TestSlicedUnionBound(t *testing.T) {
+	const n = 512
+	arena := NewSlicedArena(n, 8)
+	var sets []*Set
+	for i := 0; i < 20; i++ {
+		s := randomSet(n, 0.05, 0xDEAD+uint64(i))
+		sets = append(sets, s)
+		arena.Add(s)
+	}
+	q := randomSet(n, 0.1, 0xF00D)
+	for bi := 0; bi < arena.NumBlocks(); bi++ {
+		blk := arena.Block(bi)
+		bound := blk.UnionAndCount(q)
+		for j := 0; j < blk.Len(); j++ {
+			g := bi*8 + j
+			if inter := sets[g].AndCount(q); inter > bound {
+				t.Fatalf("entry %d: |q∩e| = %d exceeds union bound %d", g, inter, bound)
+			}
+		}
+	}
+}
+
+// TestSlicedArenaBookkeeping: indices, block shapes, and cached cards.
+func TestSlicedArenaBookkeeping(t *testing.T) {
+	arena := NewSlicedArena(0, 4) // length pinned by first Add
+	for i := 0; i < 10; i++ {
+		s := randomSet(256, 0.1, uint64(i))
+		if got := arena.Add(s); got != i {
+			t.Fatalf("Add returned %d, want %d", got, i)
+		}
+		bi, j := i/4, i%4
+		blk := arena.Block(bi)
+		if blk.Card(j) != s.Count() {
+			t.Fatalf("entry %d: cached card %d != %d", i, blk.Card(j), s.Count())
+		}
+	}
+	if arena.Len() != 10 || arena.NumBlocks() != 3 {
+		t.Fatalf("arena holds %d entries in %d blocks, want 10 in 3", arena.Len(), arena.NumBlocks())
+	}
+	if last := arena.Block(2); last.Len() != 2 || last.Cap() != 4 {
+		t.Fatalf("tail block len=%d cap=%d, want 2,4", last.Len(), last.Cap())
+	}
+	min := arena.Block(0).Card(0)
+	for j := 1; j < 4; j++ {
+		if c := arena.Block(0).Card(j); c < min {
+			min = c
+		}
+	}
+	if arena.Block(0).MinCard() != min {
+		t.Fatalf("block min card %d, want %d", arena.Block(0).MinCard(), min)
+	}
+}
+
+// TestSlicedShapePanics: mismatched lengths and overfull blocks must panic
+// exactly like the dense Set's sameShape discipline.
+func TestSlicedShapePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	blk := newSlicedBlock(128, 2)
+	blk.Add(New(128))
+	expectPanic("length-mismatched Add", func() { blk.Add(New(64)) })
+	expectPanic("length-mismatched kernel", func() { blk.MinCardAndNotCounts(New(64), nil) })
+	expectPanic("length-mismatched union", func() { blk.UnionAndCount(New(64)) })
+	blk.Add(New(128))
+	expectPanic("overfull Add", func() { blk.Add(New(128)) })
+}

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScaleAgreesAndIsDeterministic: the small-scale run must report zero
+// cross-path mismatches, classify hits and misses as constructed, and emit a
+// byte-identical CSV artifact on a rerun.
+func TestScaleAgreesAndIsDeterministic(t *testing.T) {
+	p := SmallScaleParams()
+	r1, err := RunScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Mismatches != 0 {
+		t.Fatalf("mismatches = %d", r1.Mismatches)
+	}
+	if r1.Hits != p.HitQueries || r1.Misses != p.MissQueries {
+		t.Fatalf("hits/misses = %d/%d, want %d/%d", r1.Hits, r1.Misses, p.HitQueries, p.MissQueries)
+	}
+	// Workers must not change any verdict — only the build wall-clock.
+	p.Workers = 4
+	r2, err := RunScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.CSV(), r2.CSV()) {
+		t.Fatal("CSV artifact not deterministic across runs/worker counts")
+	}
+	if !strings.Contains(r1.Render(), "verdict agreement") {
+		t.Fatal("render missing agreement line")
+	}
+}
+
+func TestScaleRejectsBadParams(t *testing.T) {
+	p := SmallScaleParams()
+	p.MaxCard = p.MinCard - 1
+	if _, err := RunScale(p); err == nil {
+		t.Fatal("inverted card bounds accepted")
+	}
+}

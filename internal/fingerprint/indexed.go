@@ -2,6 +2,7 @@ package fingerprint
 
 import (
 	"fmt"
+	"slices"
 
 	"probablecause/internal/bitset"
 	"probablecause/internal/minhash"
@@ -11,10 +12,12 @@ import (
 
 // Indexed-identify metrics: how many candidate entries the LSH index sends
 // to verification per query (the work sublinear lookup saves versus the
-// O(N) scan), and how often the verified fallback scan runs.
+// O(N) scan), how often the verified fallback scan runs, and how many
+// queries went through the multi-probe expanded key set.
 var (
 	cIndexCandidates = obs.C("fingerprint.identify.candidates")
 	cIndexFallbacks  = obs.C("fingerprint.identify.fallback_scans")
+	cIdentifyProbes  = obs.C("fingerprint.identify.probes")
 )
 
 // IndexedConfig parameterizes an IndexedDB.
@@ -32,6 +35,13 @@ type IndexedConfig struct {
 	// Workers bounds the worker pool used to sign entries during bulk index
 	// construction (IndexDB). 0 or 1 signs serially.
 	Workers int
+	// Probes enables multi-probe candidate expansion: signatures are indexed
+	// and looked up under the leave-one-out key set as well as the full band
+	// keys, so entries whose signature disagrees with the query in a single
+	// row of a band still become candidates. Recall then holds as bands grow
+	// more selective at 100k+ entries, at ×(1+Rows) index size. Requires
+	// Scheme.Rows ≥ 2.
+	Probes bool
 }
 
 // IndexedDB wraps a DB with a MinHash/LSH index over its fingerprints so
@@ -60,7 +70,13 @@ func IndexDB(db *DB, cfg IndexedConfig) (*IndexedDB, error) {
 	if cfg.Scheme == (minhash.Scheme{}) {
 		cfg.Scheme = minhash.DefaultScheme
 	}
-	ix, err := minhash.NewIndex[int](cfg.Scheme)
+	var ix *minhash.Index[int]
+	var err error
+	if cfg.Probes {
+		ix, err = minhash.NewMultiProbeIndex[int](cfg.Scheme)
+	} else {
+		ix, err = minhash.NewIndex[int](cfg.Scheme)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -95,13 +111,17 @@ func (x *IndexedDB) Len() int { return x.db.Len() }
 func (x *IndexedDB) DB() *DB { return x.db }
 
 // candidates returns the entry indices colliding with the error string in at
-// least one band, in ascending order so verification visits entries exactly
-// as Algorithm 2's scan would.
+// least one band (or probe bucket), in ascending order so verification visits
+// entries exactly as Algorithm 2's scan would. The index deduplicates the
+// merged probe buckets before returning, so no entry is verified twice.
 func (x *IndexedDB) candidates(errorString *bitset.Set) []int {
 	out := x.index.Candidates(x.sign(errorString))
 	sortInts(out)
 	if obs.On() {
 		cIndexCandidates.Add(int64(len(out)))
+		if x.index.MultiProbe() {
+			cIdentifyProbes.Inc()
+		}
 	}
 	return out
 }
@@ -194,10 +214,19 @@ func (db *DB) ParallelIdentify(errorStrings []*bitset.Set, workers int) []Match 
 	return out
 }
 
-// sortInts is an insertion sort tuned for the short candidate lists the LSH
-// index returns (typically 0–2 entries; pathological inputs stay correct,
-// just slower).
+// sortIntsCutoff is the length above which sortInts switches from insertion
+// sort to slices.Sort. Exact-index candidate lists run 0–2 entries, where
+// insertion sort is branch-cheap; multi-probe expansion at 100k entries makes
+// lists of dozens routine, where the O(n²) tail would dominate verification.
+const sortIntsCutoff = 32
+
+// sortInts sorts a candidate list: insertion sort for the short lists the
+// exact index returns, slices.Sort beyond the cutoff.
 func sortInts(s []int) {
+	if len(s) > sortIntsCutoff {
+		slices.Sort(s)
+		return
+	}
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
 			s[j], s[j-1] = s[j-1], s[j]

@@ -39,6 +39,15 @@ type ShardedConfig struct {
 	// scan. The ablation configuration, and the strictest correctness
 	// baseline (no index-recall caveats at all).
 	Plain bool
+	// Sliced puts the bit-sliced verification backend on every shard: the
+	// per-shard fallback scan runs over a band-major SlicedArena with block
+	// pruning instead of the entry slice (see SlicedDB). Verdicts are
+	// unchanged; only the miss path gets faster. Mutually exclusive with
+	// Plain.
+	Sliced bool
+	// BlockEntries is the sliced block width B when Sliced is set; 0 selects
+	// bitset.DefaultSlicedEntries.
+	BlockEntries int
 }
 
 // ShardedDB distributes a fingerprint database over N shards, each an
@@ -71,13 +80,37 @@ type ShardedDB struct {
 	gen    atomic.Int64
 }
 
-// dbShard is one shard: a plain DB, its optional LSH-indexed view, and the
-// local-index → add-order-id mapping.
+// dbShard is one shard: a plain DB, its optional LSH-indexed view, the
+// optional bit-sliced view over the same index, and the local-index →
+// add-order-id mapping.
 type dbShard struct {
 	mu  sync.RWMutex
 	db  *DB
-	ix  *IndexedDB // nil when ShardedConfig.Plain
+	ix  *IndexedDB // nil when ShardedConfig.Plain; sx.x when ShardedConfig.Sliced
+	sx  *SlicedDB  // nil unless ShardedConfig.Sliced
 	ids []int
+}
+
+// build constructs the shard's indexed (and sliced) views over its DB,
+// used at construction and after a Remove rebuild.
+func (sh *dbShard) build(cfg ShardedConfig) error {
+	if cfg.Plain {
+		return nil
+	}
+	if cfg.Sliced {
+		sx, err := SliceDB(sh.db, SlicedConfig{Index: cfg.Index, BlockEntries: cfg.BlockEntries})
+		if err != nil {
+			return err
+		}
+		sh.sx, sh.ix = sx, sx.x
+		return nil
+	}
+	ix, err := IndexDB(sh.db, cfg.Index)
+	if err != nil {
+		return err
+	}
+	sh.ix = ix
+	return nil
 }
 
 // NewShardedDB returns an empty sharded database using the given
@@ -95,6 +128,9 @@ func NewShardedDB(threshold float64, cfg ShardedConfig) (*ShardedDB, error) {
 	if err := cfg.Index.Scheme.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Plain && cfg.Sliced {
+		return nil, fmt.Errorf("fingerprint: Plain and Sliced are mutually exclusive")
+	}
 	s := &ShardedDB{
 		threshold: threshold,
 		cfg:       cfg,
@@ -104,12 +140,8 @@ func NewShardedDB(threshold float64, cfg ShardedConfig) (*ShardedDB, error) {
 	}
 	for i := range s.shards {
 		sh := &dbShard{db: NewDB(threshold)}
-		if !cfg.Plain {
-			ix, err := IndexDB(sh.db, cfg.Index)
-			if err != nil {
-				return nil, err
-			}
-			sh.ix = ix
+		if err := sh.build(cfg); err != nil {
+			return nil, err
 		}
 		s.shards[i] = sh
 	}
@@ -170,6 +202,9 @@ func (s *ShardedDB) Add(name string, fp *bitset.Set) int {
 		sh.ix.index.Add(sig, len(sh.db.entries))
 	}
 	sh.db.Add(name, fp)
+	if sh.sx != nil {
+		sh.sx.arena.Add(fp)
+	}
 	sh.ids = append(sh.ids, id)
 	sh.mu.Unlock()
 	s.count.Add(1)
@@ -219,14 +254,13 @@ func (s *ShardedDB) Remove(name string) bool {
 	sh.ids = append(sh.ids[:local], sh.ids[local+1:]...)
 	if sh.ix != nil {
 		// The LSH index maps signatures to local indices, all shifted by the
-		// removal; rebuild it over the shard (O(shard size), the price Adds
-		// and lookups avoid). The scheme was validated at construction, so
-		// IndexDB cannot fail here.
-		ix, err := IndexDB(sh.db, s.cfg.Index)
-		if err != nil {
+		// removal (and the sliced arena packs entries in local order); rebuild
+		// them over the shard (O(shard size), the price Adds and lookups
+		// avoid). The scheme was validated at construction, so the build
+		// cannot fail here.
+		if err := sh.build(s.cfg); err != nil {
 			panic("fingerprint: sharded index rebuild: " + err.Error())
 		}
-		sh.ix = ix
 	}
 	sh.mu.Unlock()
 	s.count.Add(-1)
@@ -243,9 +277,12 @@ func (sh *dbShard) decideRaw(errorString *bitset.Set) Verdict {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var v Verdict
-	if sh.ix != nil {
+	switch {
+	case sh.sx != nil:
+		v = sh.sx.decideRaw(errorString)
+	case sh.ix != nil:
 		v = sh.ix.decideRaw(errorString)
-	} else {
+	default:
 		v = sh.db.decideRaw(errorString)
 	}
 	if v.Index >= 0 {
@@ -260,9 +297,12 @@ func (sh *dbShard) firstMatch(errorString *bitset.Set) (name string, id int, ok 
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var local int
-	if sh.ix != nil {
+	switch {
+	case sh.sx != nil:
+		name, local, ok = sh.sx.firstMatch(errorString)
+	case sh.ix != nil:
 		name, local, ok = sh.ix.firstMatch(errorString)
-	} else {
+	default:
 		name, local, ok = sh.db.firstMatch(errorString)
 	}
 	if !ok {
@@ -447,6 +487,6 @@ func (s *ShardedDB) Export() *DB {
 
 // String renders a small summary for logs.
 func (s *ShardedDB) String() string {
-	return fmt.Sprintf("shardeddb(entries=%d, shards=%d, indexed=%v)",
-		s.Len(), len(s.shards), !s.cfg.Plain)
+	return fmt.Sprintf("shardeddb(entries=%d, shards=%d, indexed=%v, sliced=%v)",
+		s.Len(), len(s.shards), !s.cfg.Plain, s.cfg.Sliced)
 }

@@ -53,9 +53,14 @@ func buildEquivalent(t *testing.T, n int, cfg ShardedConfig) (*DB, *ShardedDB) {
 func TestShardedMatchesPlainDB(t *testing.T) {
 	const entries = 60
 	for _, shards := range []int{1, 2, 7, 16} {
-		for _, plain := range []bool{false, true} {
-			t.Run(fmt.Sprintf("shards=%d_plain=%v", shards, plain), func(t *testing.T) {
-				db, sh := buildEquivalent(t, entries, ShardedConfig{Shards: shards, Plain: plain})
+		for _, mode := range []string{"indexed", "plain", "sliced"} {
+			t.Run(fmt.Sprintf("shards=%d_%s", shards, mode), func(t *testing.T) {
+				cfg := ShardedConfig{Shards: shards, Plain: mode == "plain"}
+				if mode == "sliced" {
+					cfg.Sliced = true
+					cfg.BlockEntries = 8 // force multiple blocks with partial tails
+				}
+				db, sh := buildEquivalent(t, entries, cfg)
 				if sh.Len() != db.Len() {
 					t.Fatalf("Len: sharded %d, plain %d", sh.Len(), db.Len())
 				}
@@ -236,5 +241,43 @@ func TestShardedConcurrentMutation(t *testing.T) {
 	}
 	if exp := sh.Export(); exp.Len() != want {
 		t.Fatalf("export Len = %d, want %d", exp.Len(), want)
+	}
+}
+
+// TestShardedSlicedRemoveRebuild: a Remove on a sliced shard rebuilds both
+// the LSH index and the sliced arena; post-remove answers must track the
+// surviving entries and the removed fingerprint must stop matching.
+func TestShardedSlicedRemoveRebuild(t *testing.T) {
+	sh, err := NewShardedDB(DefaultThreshold, ShardedConfig{Shards: 2, Sliced: true, BlockEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	fps := make([]*bitset.Set, n)
+	for i := range fps {
+		fps[i] = testSet(uint64(i)+0x5E, 2048, 40)
+		sh.Add(fmt.Sprintf("dev%02d", i), fps[i])
+	}
+	if !sh.Remove("dev07") {
+		t.Fatal("Remove(dev07) found nothing")
+	}
+	if v := sh.Decide(noisyQuery(fps[7], 1, 60)); v.OK() {
+		t.Fatalf("removed entry still matches: %+v", v)
+	}
+	for i := 0; i < n; i++ {
+		if i == 7 {
+			continue
+		}
+		v := sh.Decide(noisyQuery(fps[i], uint64(i), 60))
+		if !v.OK() || v.Name != fmt.Sprintf("dev%02d", i) || v.Index != i {
+			t.Fatalf("survivor %d: Decide = %+v", i, v)
+		}
+	}
+}
+
+// TestShardedRejectsPlainSliced: the two backends are mutually exclusive.
+func TestShardedRejectsPlainSliced(t *testing.T) {
+	if _, err := NewShardedDB(DefaultThreshold, ShardedConfig{Plain: true, Sliced: true}); err == nil {
+		t.Fatal("Plain+Sliced config accepted")
 	}
 }

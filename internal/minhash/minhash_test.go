@@ -185,3 +185,118 @@ func TestBandKeysSelfCollision(t *testing.T) {
 		}
 	}
 }
+
+// TestProbeKeysOneRowTolerance: the leave-one-out expansion must collide two
+// signatures that disagree in exactly one row of a band, and the key spaces
+// (full vs probe, different bands, different omitted rows) must not alias.
+func TestProbeKeysOneRowTolerance(t *testing.T) {
+	scheme := Scheme{Bands: 2, Rows: 4, Seed: 9}
+	sig := make(Signature, scheme.Size())
+	for i := range sig {
+		sig[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	perturbed := append(Signature(nil), sig...)
+	perturbed[2] = ^perturbed[2] // band 0, row 2 disagrees
+
+	full := scheme.BandKeys(sig)
+	a, b := scheme.ProbeKeys(sig), scheme.ProbeKeys(perturbed)
+	if len(a) != scheme.Bands*(1+scheme.Rows) {
+		t.Fatalf("probe key count %d, want %d", len(a), scheme.Bands*(1+scheme.Rows))
+	}
+	// The probe sets must share the leave-one-out key of (band 0, row 2) and
+	// every key of the untouched band 1.
+	shared := 0
+	inA := make(map[uint64]bool, len(a))
+	for _, k := range a {
+		inA[k] = true
+	}
+	for _, k := range b {
+		if inA[k] {
+			shared++
+		}
+	}
+	// band 1 contributes 1 full + 4 probe keys; band 0 contributes exactly
+	// its (0, 2) leave-one-out key.
+	if shared != 6 {
+		t.Fatalf("one-row perturbation shares %d keys, want 6", shared)
+	}
+	// Full band keys must be a prefix of the probe expansion.
+	for b, k := range full {
+		if a[b] != k {
+			t.Fatalf("band %d: full key not preserved by expansion", b)
+		}
+	}
+	// No aliasing within one signature's expanded key set.
+	uniq := make(map[uint64]struct{}, len(a))
+	for _, k := range a {
+		uniq[k] = struct{}{}
+	}
+	if len(uniq) != len(a) {
+		t.Fatalf("expanded keys alias: %d unique of %d", len(uniq), len(a))
+	}
+}
+
+// TestMultiProbeIndexRecall: under a deliberately selective scheme (one band
+// of many rows), an exact index loses near-duplicates that the multi-probe
+// index still surfaces; on clearly different sets both stay quiet.
+func TestMultiProbeIndexRecall(t *testing.T) {
+	scheme := Scheme{Bands: 2, Rows: 16, Seed: 3}
+	exact, err := NewIndex[int](scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := NewMultiProbeIndex[int](scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probed.MultiProbe() || exact.MultiProbe() {
+		t.Fatal("probe mode flags wrong")
+	}
+	const universe = 1 << 20
+	exactMisses, probeHits := 0, 0
+	for i := 0; i < 40; i++ {
+		s := randomSet(uint64(i)+100, 400, universe)
+		sig := scheme.Sign(s)
+		exact.Add(sig, i)
+		probed.Add(sig, i)
+		// A ~97% twin: with 16-row bands a single bad row per band is the
+		// common failure, exactly what the leave-one-out probes recover.
+		twin := scheme.Sign(overlapSet(uint64(i)+9000, s, 0.97, universe))
+		if !hasRef(exact.Candidates(twin), i) {
+			exactMisses++
+			if hasRef(probed.Candidates(twin), i) {
+				probeHits++
+			}
+		} else if !hasRef(probed.Candidates(twin), i) {
+			t.Fatalf("twin %d: exact hit but multi-probe miss", i)
+		}
+	}
+	if exactMisses == 0 {
+		t.Skip("selective scheme produced no exact misses at this seed; probe recovery not exercised")
+	}
+	if probeHits == 0 {
+		t.Fatalf("multi-probe recovered 0 of %d exact misses", exactMisses)
+	}
+	// Different sets must stay non-candidates even with probing.
+	foreign := scheme.Sign(randomSet(0xF0E1, 400, universe))
+	if got := probed.Candidates(foreign); len(got) > 2 {
+		t.Fatalf("foreign set collided with %d entries under multi-probe", len(got))
+	}
+}
+
+func hasRef(refs []int, want int) bool {
+	for _, r := range refs {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMultiProbeRejectsSingleRow: Rows=1 would collide everything when the
+// single row is omitted, so construction must refuse it.
+func TestMultiProbeRejectsSingleRow(t *testing.T) {
+	if _, err := NewMultiProbeIndex[int](Scheme{Bands: 8, Rows: 1, Seed: 1}); err == nil {
+		t.Fatal("Rows=1 multi-probe index accepted")
+	}
+}

@@ -64,6 +64,8 @@ func TestServeInvariance(t *testing.T) {
 		window time.Duration
 		cache  int
 		plain  bool
+		sliced bool
+		probes bool
 	}
 	combos := []combo{
 		{shards: 1, window: 0, cache: 0, plain: false},
@@ -71,10 +73,12 @@ func TestServeInvariance(t *testing.T) {
 		{shards: 8, window: 2 * time.Millisecond, cache: 0, plain: true},
 		{shards: 5, window: 1 * time.Millisecond, cache: 64, plain: true},
 		{shards: 2, window: 500 * time.Microsecond, cache: 16, plain: false},
+		{shards: 3, window: 0, cache: 0, sliced: true},
+		{shards: 2, window: 1 * time.Millisecond, cache: 32, sliced: true, probes: true},
 	}
 	for ci, cb := range combos {
 		cb := cb
-		t.Run(fmt.Sprintf("shards=%d_window=%s_cache=%d_plain=%v", cb.shards, cb.window, cb.cache, cb.plain), func(t *testing.T) {
+		t.Run(fmt.Sprintf("shards=%d_window=%s_cache=%d_plain=%v_sliced=%v", cb.shards, cb.window, cb.cache, cb.plain, cb.sliced), func(t *testing.T) {
 			t.Parallel()
 			seed := uint64(0x5EED0 + ci)
 			db := fixtureDB(24)
@@ -87,6 +91,8 @@ func TestServeInvariance(t *testing.T) {
 			s, err := New(db, Config{
 				Shards:      cb.shards,
 				Plain:       cb.plain,
+				Sliced:      cb.sliced,
+				Probes:      cb.probes,
 				Workers:     2,
 				BatchWindow: cb.window,
 				MaxBatch:    7, // forces multi-dispatch splits

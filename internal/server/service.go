@@ -53,6 +53,13 @@ type Config struct {
 	Shards int
 	// Plain disables the per-shard LSH indexes (dense-scan shards).
 	Plain bool
+	// Sliced puts the bit-sliced verification backend on every shard
+	// (band-major block kernel with cardinality-bound pruning on the
+	// fallback scan); mutually exclusive with Plain.
+	Sliced bool
+	// Probes enables multi-probe LSH candidate expansion on the per-shard
+	// indexes (leave-one-out near-miss buckets).
+	Probes bool
 	// Workers bounds the pool a dispatched batch fans across; 0 means one
 	// worker per CPU.
 	Workers int
@@ -151,8 +158,9 @@ type Service struct {
 // New builds a Service over the seed database (nil for an empty start).
 func New(seed *fingerprint.DB, cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults(seed)
-	scfg := fingerprint.ShardedConfig{Shards: cfg.Shards, Plain: cfg.Plain}
+	scfg := fingerprint.ShardedConfig{Shards: cfg.Shards, Plain: cfg.Plain, Sliced: cfg.Sliced}
 	scfg.Index.Workers = cfg.Workers
+	scfg.Index.Probes = cfg.Probes
 	db, err := fingerprint.NewShardedDB(cfg.Threshold, scfg)
 	if err != nil {
 		return nil, err
