@@ -490,6 +490,19 @@ func specs(scale string, scattered bool, workers int) []runner.Spec {
 			rc.Section(r.Render())
 			return rc.WriteArtifact("scale_verdicts.csv", r.CSV())
 		}},
+		{Name: "scale1m", Run: func(ctx context.Context, rc *runner.RunContext) error {
+			p := experiment.DefaultScale1MParams()
+			if small {
+				p = experiment.SmallScale1MParams()
+			}
+			p.Workers = workers
+			r, err := experiment.RunScale1M(p)
+			if err != nil {
+				return err
+			}
+			rc.Section(r.Render())
+			return nil
+		}},
 		{Name: "ablations", Run: func(ctx context.Context, rc *runner.RunContext) error {
 			r1, err := experiment.RunAblationHamming(10, 32768, 0xAB1)
 			if err != nil {

@@ -36,6 +36,16 @@
 //     and sequence continuity, classifying a torn tail (normal after a
 //     crash) vs interior corruption (exit 1), and exits.
 //
+// Tiered storage (-store.backend=tiered, see docs/OPERATIONS.md): the
+// database moves behind mmap'd immutable segment files in -store.dir
+// (default <wal.dir>/store). Enrollments land in an in-RAM memtable that
+// flushes to a new segment once it crosses -store.flush-entries (and at
+// every checkpoint); segments compact once more than
+// -store.compact-segments accumulate. Identify queries stream straight
+// off the mappings, so resident memory stays bounded by the memtable,
+// not the corpus. -store.verify deep-checks every committed segment
+// offline and exits — the triage mode for corruption refusals at boot.
+//
 // API:
 //
 //	POST   /v1/identify           {"len":N,"positions":[...]} → verdict
@@ -82,6 +92,7 @@ import (
 	"probablecause/internal/retry"
 	"probablecause/internal/samplefile"
 	"probablecause/internal/server"
+	"probablecause/internal/store"
 	"probablecause/internal/wal"
 )
 
@@ -127,6 +138,11 @@ func run(args []string) (err error) {
 	slowK := fs.Int("slow", 0, fmt.Sprintf("slow-request retention for /debug/slowest (0: %d, negative: off)", obs.DefaultSlowRing))
 	mode := fs.String("mode", "serve", "process role: serve (standalone or primary), follower, or router")
 	walVerify := fs.Bool("wal.verify", false, "offline: verify WAL segments in -wal.dir, report torn tail vs interior corruption, and exit")
+	storeBackend := fs.String("store.backend", "", fmt.Sprintf("storage backend: %q (default) or %q (mmap'd segment files)", store.BackendMemory, store.BackendTiered))
+	storeDir := fs.String("store.dir", "", "tiered store directory (default: <wal.dir>/store)")
+	storeFlush := fs.Int("store.flush-entries", 0, fmt.Sprintf("memtable entries that trigger a segment flush (0: %d)", store.DefaultFlushEntries))
+	storeCompact := fs.Int("store.compact-segments", 0, fmt.Sprintf("segment count above which checkpoints compact (0: %d)", store.DefaultCompactSegments))
+	storeVerify := fs.Bool("store.verify", false, "offline: deep-verify every committed segment in -store.dir, and exit")
 	clusterID := fs.String("cluster.id", "", "node identity in replication acks and status (default: the listen address)")
 	minISR := fs.Int("repl.min-isr", 0, "follower acks required before an enrollment is acknowledged (0: ack on local durability alone)")
 	replPrimary := fs.String("repl.primary", "", "follower mode: the primary's base URL to pull the WAL stream from")
@@ -145,6 +161,22 @@ func run(args []string) (err error) {
 			return errors.New("-wal.verify needs -wal.dir")
 		}
 		return runWalVerify(*walDir)
+	}
+	if *storeDir == "" && *walDir != "" {
+		*storeDir = filepath.Join(*walDir, "store")
+	}
+	if *storeVerify {
+		if *storeDir == "" {
+			return errors.New("-store.verify needs -store.dir (or -wal.dir)")
+		}
+		return runStoreVerify(*storeDir)
+	}
+	if *storeBackend == store.BackendTiered {
+		if *walDir == "" {
+			return errors.New("-store.backend=tiered needs -wal.dir (the WAL is the memtable's durability)")
+		}
+	} else if *storeBackend != "" && *storeBackend != store.BackendMemory {
+		return fmt.Errorf("unknown -store.backend %q (want %q or %q)", *storeBackend, store.BackendMemory, store.BackendTiered)
 	}
 	if *mode == "router" {
 		return runRouter(*addr, *routerBackends, *routerProbe, *routerFailover, *routerRetries, obsOpts)
@@ -213,6 +245,15 @@ func run(args []string) (err error) {
 		FaultPlan:      plan,
 		SLO:            obs.SLOConfig{Objectives: objectives},
 		SlowRequests:   *slowK,
+		Store: store.Config{
+			Backend:         *storeBackend,
+			Dir:             *storeDir,
+			FlushEntries:    *storeFlush,
+			CompactSegments: *storeCompact,
+			// Storage chaos hook: the crash-recovery matrix sets PCSTORE_CRASH
+			// to a flush/compaction step name and the engine hard-exits there.
+			CrashPoint: os.Getenv("PCSTORE_CRASH"),
+		},
 	}
 	var svc *server.Service
 	if *walDir != "" {
@@ -226,11 +267,22 @@ func run(args []string) (err error) {
 		// floor so replicated records keep the primary's sequence numbers.
 		startSeq := uint64(0)
 		if *mode == "follower" {
-			fresh, err := durableDirFresh(*walDir)
+			fresh, err := durableDirFresh(*walDir, *storeDir)
 			if err != nil {
 				return err
 			}
-			if fresh {
+			if fresh && *storeBackend == store.BackendTiered {
+				// Tiered followers bootstrap by shipping the primary's
+				// immutable segment files — no monolithic export on either
+				// side; BootDurable then recovers from the landed manifest.
+				meta, err := cluster.BootstrapFollowerSegments(context.Background(), *storeDir, *replPrimary, nil)
+				if err != nil {
+					return fmt.Errorf("bootstrapping segments from %s: %w", *replPrimary, err)
+				}
+				startSeq = meta.Floor
+				fmt.Printf("pcserved: bootstrapped segments from %s (watermark %d, floor %d)\n",
+					*replPrimary, meta.Watermark, meta.Floor)
+			} else if fresh {
 				meta, err := cluster.BootstrapFollower(context.Background(), *walDir, *replPrimary, nil)
 				if err != nil {
 					return fmt.Errorf("bootstrapping from %s: %w", *replPrimary, err)
@@ -362,20 +414,40 @@ func runWalVerify(dir string) error {
 	return nil
 }
 
-// durableDirFresh reports whether dir holds no durable state yet — no
-// committed checkpoint and no WAL segments — i.e. snapshot bootstrap is
-// required before following.
-func durableDirFresh(dir string) (bool, error) {
+// durableDirFresh reports whether the durable directories hold no state yet
+// — no committed checkpoint, no WAL segments, and no tiered-store manifest —
+// i.e. snapshot bootstrap is required before following.
+func durableDirFresh(dir, storeDir string) (bool, error) {
 	if _, _, ok, err := samplefile.LoadCheckpoint(dir); err != nil {
 		return false, err
 	} else if ok {
 		return false, nil
+	}
+	if storeDir != "" {
+		if _, err := os.Stat(filepath.Join(storeDir, store.ManifestFile)); err == nil {
+			return false, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return false, err
+		}
 	}
 	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
 	if err != nil {
 		return false, err
 	}
 	return len(segs) == 0, nil
+}
+
+// runStoreVerify deep-checks every committed segment in a tiered store
+// directory offline: manifest parse, structural and checksum validation, and
+// the log-vs-columnar cross-check. Exit 0 means the store will load; exit 1
+// names every failing segment — restore those files from a replica (the
+// segment-shipping bootstrap) or re-flush from the WAL.
+func runStoreVerify(dir string) error {
+	if err := store.VerifyDir(dir); err != nil {
+		return err
+	}
+	fmt.Printf("pcserved: store %s verified clean\n", dir)
+	return nil
 }
 
 // runRouter serves the routing tier: reads spread across healthy

@@ -56,6 +56,19 @@ func FromPositions(n int, positions []uint32) *Set {
 	return s
 }
 
+// FromWords returns a Set of length n backed by a copy of the given words
+// (the storage layer materializes entries from mmap'd word arrays this way).
+// Bits at and beyond n must be zero; the cardinality is recounted once.
+func FromWords(n int, words []uint64) *Set {
+	if n < 0 || len(words) != (n+wordBits-1)/wordBits {
+		panic(fmt.Sprintf("bitset: %d words for %d bits", len(words), n))
+	}
+	s := &Set{words: make([]uint64, len(words)), n: n}
+	copy(s.words, words)
+	s.recount()
+	return s
+}
+
 // Len returns the number of bits the set holds (set or unset).
 func (s *Set) Len() int { return s.n }
 

@@ -65,6 +65,36 @@ type SlicedBlock struct {
 	minCard int      // min of cards[0:n]; 0 when empty
 }
 
+// NewSlicedBlock returns an empty block of width b for nbits-bit entries.
+// External packers (the segment writer in internal/store) use it to build
+// the interleaved layout once, then persist Words/Union verbatim.
+func NewSlicedBlock(nbits, b int) *SlicedBlock { return newSlicedBlock(nbits, b) }
+
+// ViewSlicedBlock wraps externally owned storage — typically sections of an
+// mmap'd segment file — as a read-only SlicedBlock: words is the
+// word-interleaved array (words[w*b + j], len wordsPerEntry*b), union the
+// OR-union words (len wordsPerEntry), cards the n per-entry cardinalities.
+// The slices are aliased, not copied, so the block reads straight from the
+// mapping; Add on a view panics by way of the full-block check when n == b,
+// and must not be called otherwise.
+func ViewSlicedBlock(nbits, b, n int, words, union []uint64, cards []int) *SlicedBlock {
+	if nbits < 0 || b <= 0 || n < 0 || n > b {
+		panic(fmt.Sprintf("bitset: sliced view shape nbits=%d B=%d n=%d", nbits, b, n))
+	}
+	wpw := (nbits + wordBits - 1) / wordBits
+	if len(words) != wpw*b || len(union) != wpw || len(cards) != n {
+		panic(fmt.Sprintf("bitset: sliced view lengths words=%d union=%d cards=%d (want %d, %d, %d)",
+			len(words), len(union), len(cards), wpw*b, wpw, n))
+	}
+	blk := &SlicedBlock{b: b, n: n, nbits: nbits, wordsPW: wpw, words: words, union: union, cards: cards}
+	for j, c := range cards {
+		if j == 0 || c < blk.minCard {
+			blk.minCard = c
+		}
+	}
+	return blk
+}
+
 func newSlicedBlock(nbits, b int) *SlicedBlock {
 	if nbits < 0 || b <= 0 {
 		panic(fmt.Sprintf("bitset: sliced block shape nbits=%d B=%d", nbits, b))
@@ -162,6 +192,36 @@ func (blk *SlicedBlock) MinCardAndNotCounts(q *Set, dst []KernelResult) []Kernel
 	}
 	return dst
 }
+
+// MinCardAndNotCountOne runs the fused kernel for the single packed entry j —
+// the triple MinCardAndNotCount(entry_j, q) returns — reading only entry j's
+// column of the interleaved words. Candidate verification over an mmap'd
+// segment uses it: LSH candidates are few and scattered, so sweeping the
+// whole block for one entry would waste the layout's bandwidth.
+func (blk *SlicedBlock) MinCardAndNotCountOne(q *Set, j int) KernelResult {
+	blk.checkQuery(q)
+	if j < 0 || j >= blk.n {
+		panic(fmt.Sprintf("bitset: sliced entry %d out of range [0,%d)", j, blk.n))
+	}
+	inter := 0
+	for w := 0; w < blk.wordsPW; w++ {
+		if qw := q.words[w]; qw != 0 {
+			inter += bits.OnesCount64(blk.words[w*blk.b+j] & qw)
+		}
+	}
+	ec, qc := blk.cards[j], q.card
+	if ec <= qc {
+		return KernelResult{MinCard: ec, MaxCard: qc, Diff: ec - inter}
+	}
+	return KernelResult{MinCard: qc, MaxCard: ec, Diff: qc - inter}
+}
+
+// Words returns the word-interleaved backing array (shared, not copied):
+// words[w*Cap() + j] is word w of entry j. Segment writers persist it.
+func (blk *SlicedBlock) Words() []uint64 { return blk.words }
+
+// Union returns the OR-union words (shared, not copied).
+func (blk *SlicedBlock) Union() []uint64 { return blk.union }
 
 func (blk *SlicedBlock) checkQuery(q *Set) {
 	if q.n != blk.nbits {

@@ -20,12 +20,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 
 	"probablecause/internal/obs"
 	"probablecause/internal/server"
+	"probablecause/internal/store"
 	"probablecause/internal/wal"
 )
 
@@ -187,6 +191,7 @@ func (n *Node) Close() {
 //	GET  /v1/repl/status    role, readiness, WAL positions, quorum view
 //	GET  /v1/repl/stream    WAL records from ?from= (follower pull + ack)
 //	GET  /v1/repl/snapshot  bootstrap image: db export + watermark/floor
+//	GET  /v1/repl/segments  bootstrap image: tiered segment files + manifest
 //	POST /v1/repl/promote   follower → primary (failover)
 //	POST /v1/repl/follow    re-point this follower at a new primary
 func (n *Node) Handler() http.Handler {
@@ -194,6 +199,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/repl/status", n.handleStatus)
 	mux.HandleFunc("GET /v1/repl/stream", n.handleStream)
 	mux.HandleFunc("GET /v1/repl/snapshot", n.handleSnapshot)
+	mux.HandleFunc("GET /v1/repl/segments", n.handleSegments)
 	mux.HandleFunc("POST /v1/repl/promote", n.handlePromote)
 	mux.HandleFunc("POST /v1/repl/follow", n.handleFollow)
 	mux.Handle("/", n.svc.Handler())
@@ -329,6 +335,62 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if _, err := db.WriteTo(w); err != nil {
 		obs.Errorf("repl snapshot write", "err", err)
 	}
+}
+
+// segmentFrame is the header line preceding each raw file on the
+// /v1/repl/segments stream. Files arrive immutable-segments-first and
+// manifest-last, so a torn download can never leave a manifest referencing
+// files that were not fully received.
+type segmentFrame struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// handleSegments streams a tiered primary's committed segment files plus the
+// manifest naming them — the segment-shipping bootstrap path. The primary
+// checkpoints first (draining its memtable into a segment), so the shipped
+// files hold the complete fold prefix at the watermark header; neither side
+// ever materializes the database in heap.
+func (n *Node) handleSegments(w http.ResponseWriter, r *http.Request) {
+	manifest, paths, watermark, floor, release, err := n.svc.StoreSnapshot()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
+		return
+	}
+	defer release()
+	if obs.On() {
+		cSnapshots.Inc()
+	}
+	w.Header().Set(hdrWatermark, strconv.FormatUint(watermark, 10))
+	w.Header().Set(hdrFloor, strconv.FormatUint(floor, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	enc := json.NewEncoder(w)
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			obs.Errorf("repl segments open", "path", p, "err", err)
+			return // torn body; the follower retries
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			obs.Errorf("repl segments stat", "path", p, "err", err)
+			return
+		}
+		if err := enc.Encode(segmentFrame{Name: filepath.Base(p), Size: st.Size()}); err != nil {
+			f.Close()
+			return
+		}
+		if _, err := io.Copy(w, f); err != nil {
+			f.Close()
+			return
+		}
+		f.Close()
+	}
+	if err := enc.Encode(segmentFrame{Name: store.ManifestFile, Size: int64(len(manifest))}); err != nil {
+		return
+	}
+	w.Write(manifest)
 }
 
 func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {

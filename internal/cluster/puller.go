@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"probablecause/internal/retry"
 	"probablecause/internal/samplefile"
 	"probablecause/internal/server"
+	"probablecause/internal/store"
 )
 
 // hashString folds a follower id into a prng seed.
@@ -313,4 +316,93 @@ func BootstrapFollower(ctx context.Context, dir, primary string, client *http.Cl
 		return BootstrapMeta{}, err
 	}
 	return BootstrapMeta{Watermark: watermark, Floor: floor, Entries: db.Len()}, nil
+}
+
+// BootstrapFollowerSegments seeds storeDir with the primary's committed
+// segment files fetched from /v1/repl/segments — the tiered-store bootstrap
+// that never materializes the database in heap on either side. Files land
+// under temporary names and the manifest (sent last) is committed by atomic
+// rename only after every segment is fully on disk and fsynced, so a torn
+// download leaves nothing a later BootDurable would trust. Call only on an
+// empty store directory; an established follower recovers from its own
+// manifest and WAL instead.
+func BootstrapFollowerSegments(ctx context.Context, storeDir, primary string, client *http.Client) (BootstrapMeta, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/v1/repl/segments", nil)
+	if err != nil {
+		return BootstrapMeta{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return BootstrapMeta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return BootstrapMeta{}, fmt.Errorf("cluster: segment snapshot returned %s", resp.Status)
+	}
+	watermark, err := strconv.ParseUint(resp.Header.Get(hdrWatermark), 10, 64)
+	if err != nil {
+		return BootstrapMeta{}, fmt.Errorf("cluster: segment snapshot missing %s header", hdrWatermark)
+	}
+	floor, err := strconv.ParseUint(resp.Header.Get(hdrFloor), 10, 64)
+	if err != nil {
+		return BootstrapMeta{}, fmt.Errorf("cluster: segment snapshot missing %s header", hdrFloor)
+	}
+	if err := os.MkdirAll(storeDir, 0o777); err != nil {
+		return BootstrapMeta{}, err
+	}
+	br := bufio.NewReader(resp.Body)
+	var manifest []byte
+	for {
+		// Each frame is one newline-terminated JSON header followed by
+		// exactly Size raw bytes; a clean EOF before a header ends the
+		// stream. Reading the header line directly (rather than through a
+		// json.Decoder) keeps the reader positioned at the blob's first byte.
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(line) == 0 {
+				break
+			}
+			return BootstrapMeta{}, fmt.Errorf("cluster: segment stream frame: %w", err)
+		}
+		var fr segmentFrame
+		if err := json.Unmarshal(line, &fr); err != nil {
+			return BootstrapMeta{}, fmt.Errorf("cluster: segment stream frame: %w", err)
+		}
+		if fr.Size < 0 {
+			return BootstrapMeta{}, fmt.Errorf("cluster: segment stream frame for %s has negative size", fr.Name)
+		}
+		blob := make([]byte, fr.Size)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return BootstrapMeta{}, fmt.Errorf("cluster: segment stream body of %s: %w", fr.Name, err)
+		}
+		if fr.Name == store.ManifestFile {
+			manifest = blob
+			continue
+		}
+		if fr.Name != filepath.Base(fr.Name) || fr.Name == "" {
+			return BootstrapMeta{}, fmt.Errorf("cluster: segment stream names invalid file %q", fr.Name)
+		}
+		if err := samplefile.WriteFileAtomic(filepath.Join(storeDir, fr.Name), blob); err != nil {
+			return BootstrapMeta{}, err
+		}
+	}
+	if manifest == nil {
+		return BootstrapMeta{}, fmt.Errorf("cluster: segment stream ended without a manifest (torn download)")
+	}
+	if err := samplefile.WriteFileAtomic(filepath.Join(storeDir, store.ManifestFile), manifest); err != nil {
+		return BootstrapMeta{}, err
+	}
+	if err := samplefile.SyncDir(storeDir); err != nil {
+		return BootstrapMeta{}, err
+	}
+	// Count the shipped entries by reopening what landed — cheap (headers
+	// only would suffice, but VerifyDir-grade load also catches transit
+	// corruption before the follower trusts the files).
+	if err := store.VerifyDir(storeDir); err != nil {
+		return BootstrapMeta{}, fmt.Errorf("cluster: shipped segments failed verification: %w", err)
+	}
+	return BootstrapMeta{Watermark: watermark, Floor: floor}, nil
 }

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScale1MSmall: the CI-sized tiered run must place the corpus in
+// segments (several of them, memtable drained), keep resident heap below the
+// corpus size, classify every even query as a correct hit, and produce
+// populated latency quantiles.
+func TestScale1MSmall(t *testing.T) {
+	p := SmallScale1MParams()
+	p.Dir = t.TempDir()
+	r, err := RunScale1M(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Segments < 2 {
+		t.Fatalf("segments = %d; corpus did not tier out of the memtable", r.Segments)
+	}
+	if r.WrongHits != 0 {
+		t.Fatalf("wrong hits = %d", r.WrongHits)
+	}
+	if r.Hits != (p.Queries+1)/2 {
+		t.Fatalf("hits = %d, want %d (every perturbed query must identify)", r.Hits, (p.Queries+1)/2)
+	}
+	if r.HeapFrac >= 1.0 {
+		t.Fatalf("heap fraction %.2f not below corpus size", r.HeapFrac)
+	}
+	if r.P99 <= 0 || r.P99 < r.P50 {
+		t.Fatalf("degenerate quantiles p50=%v p99=%v", r.P50, r.P99)
+	}
+	if !strings.Contains(r.Render(), "resident heap") {
+		t.Fatal("render missing heap line")
+	}
+}
+
+func TestScale1MRejectsBadParams(t *testing.T) {
+	p := SmallScale1MParams()
+	p.FlushEntries = 0
+	if _, err := RunScale1M(p); err == nil {
+		t.Fatal("zero flush threshold accepted")
+	}
+}

@@ -171,8 +171,16 @@ type Entry struct {
 // large-population experiments register and evict.
 type DB struct {
 	entries   []Entry
-	byName    map[string]int // name → index of its FIRST entry
+	byName    map[string]int // name → index of its FIRST live entry
 	threshold float64
+
+	// Tombstones (ShardedDB's deferred-rebuild Remove): dead[i] marks entry i
+	// removed without compacting the slice, so indices — and every derived
+	// index structure — stay valid until a threshold-triggered rebuild. nil
+	// until the first kill; every scan path guards on deadCount so databases
+	// without tombstones pay one integer compare.
+	dead      []bool
+	deadCount int
 }
 
 // NewDB returns an empty database using the given identification threshold;
@@ -188,10 +196,41 @@ func (db *DB) Add(name string, fp *bitset.Set) {
 		db.byName[name] = len(db.entries)
 	}
 	db.entries = append(db.entries, Entry{Name: name, FP: fp})
+	if db.dead != nil {
+		db.dead = append(db.dead, false)
+	}
 }
 
-// Len returns the number of fingerprints in the database.
-func (db *DB) Len() int { return len(db.entries) }
+// Len returns the number of live fingerprints in the database.
+func (db *DB) Len() int { return len(db.entries) - db.deadCount }
+
+// alive reports whether entry i is not tombstoned.
+func (db *DB) alive(i int) bool { return db.deadCount == 0 || !db.dead[i] }
+
+// kill tombstones entry i in place: the entry slice keeps its shape (so
+// every index structure built over it stays valid) and the name index moves
+// to the next live entry under the same name. Reports whether i was live.
+func (db *DB) kill(i int) bool {
+	if i < 0 || i >= len(db.entries) || !db.alive(i) {
+		return false
+	}
+	if db.dead == nil {
+		db.dead = make([]bool, len(db.entries))
+	}
+	db.dead[i] = true
+	db.deadCount++
+	name := db.entries[i].Name
+	if db.byName[name] == i {
+		delete(db.byName, name)
+		for j := i + 1; j < len(db.entries); j++ {
+			if db.entries[j].Name == name && !db.dead[j] {
+				db.byName[name] = j
+				break
+			}
+		}
+	}
+	return true
+}
 
 // Get returns the fingerprint stored under name, or ok=false.
 func (db *DB) Get(name string) (*bitset.Set, bool) {
@@ -211,9 +250,12 @@ func (db *DB) Remove(name string) bool {
 		return false
 	}
 	db.entries = append(db.entries[:i], db.entries[i+1:]...)
+	if db.dead != nil {
+		db.dead = append(db.dead[:i], db.dead[i+1:]...)
+	}
 	db.byName = make(map[string]int, len(db.entries))
 	for j, e := range db.entries {
-		if _, dup := db.byName[e.Name]; !dup {
+		if _, dup := db.byName[e.Name]; !dup && db.alive(j) {
 			db.byName[e.Name] = j
 		}
 	}
@@ -228,6 +270,9 @@ func (db *DB) Entries() []Entry { return db.entries }
 // fingerprint matches ("return failed").
 func (db *DB) Identify(errorString *bitset.Set) (name string, index int, ok bool) {
 	for i, e := range db.entries {
+		if !db.alive(i) {
+			continue
+		}
 		if Distance(errorString, e.FP) < db.threshold {
 			if obs.On() {
 				cIdentifyHit.Inc()
@@ -264,6 +309,9 @@ func (db *DB) ambiguousAfter(errorString *bitset.Set, i int) bool {
 		stride = (len(rest) + ambiguityProbes - 1) / ambiguityProbes
 	}
 	for j := 0; j < len(rest); j += stride {
+		if !db.alive(i+1+j) {
+			continue
+		}
 		if Distance(errorString, rest[j].FP) < db.threshold {
 			return true
 		}

@@ -133,6 +133,9 @@ func (x *IndexedDB) candidates(errorString *bitset.Set) []int {
 func (x *IndexedDB) Identify(errorString *bitset.Set) (name string, index int, ok bool) {
 	cands := x.candidates(errorString)
 	for k, i := range cands {
+		if !x.db.alive(i) {
+			continue
+		}
 		e := x.db.entries[i]
 		if Distance(errorString, e.FP) < x.db.threshold {
 			if obs.On() {
@@ -161,6 +164,9 @@ func (x *IndexedDB) Identify(errorString *bitset.Set) (name string, index int, o
 // the only entries that could plausibly sit under the threshold.
 func (x *IndexedDB) ambiguousAmong(errorString *bitset.Set, rest []int) bool {
 	for _, i := range rest {
+		if !x.db.alive(i) {
+			continue
+		}
 		if Distance(errorString, x.db.entries[i].FP) < x.db.threshold {
 			return true
 		}

@@ -48,7 +48,19 @@ type ShardedConfig struct {
 	// BlockEntries is the sliced block width B when Sliced is set; 0 selects
 	// bitset.DefaultSlicedEntries.
 	BlockEntries int
+	// RebuildMinDead is the per-shard tombstone count at which Remove
+	// physically compacts the shard (drops dead entries and rebuilds the LSH
+	// index and sliced arena). Below it, Remove only tombstones — O(1) instead
+	// of O(shard size) — and lookups skip the dead entries. 0 selects
+	// DefaultRebuildMinDead; 1 restores the eager rebuild-per-Remove behavior.
+	RebuildMinDead int
 }
+
+// DefaultRebuildMinDead is the tombstone threshold a zero RebuildMinDead
+// selects: large enough that bursty churn amortizes the O(shard) rebuild over
+// many Removes, small enough that dead entries never dominate a shard's scan
+// or memory footprint.
+const DefaultRebuildMinDead = 64
 
 // ShardedDB distributes a fingerprint database over N shards, each an
 // independently locked (Indexed)DB, so concurrent adds and lookups scale
@@ -73,11 +85,12 @@ type ShardedDB struct {
 	scheme    minhash.Scheme
 	shards    []*dbShard
 
-	mu     sync.Mutex       // serializes mutations and the name bookkeeping
-	names  map[string][]int // name → owning shard of each live entry, in add order
-	nextID int
-	count  atomic.Int64
-	gen    atomic.Int64
+	mu       sync.Mutex       // serializes mutations and the name bookkeeping
+	names    map[string][]int // name → owning shard of each live entry, in add order
+	nextID   int
+	count    atomic.Int64
+	gen      atomic.Int64
+	rebuilds atomic.Int64 // physical shard compactions triggered by Remove
 }
 
 // dbShard is one shard: a plain DB, its optional LSH-indexed view, the
@@ -130,6 +143,12 @@ func NewShardedDB(threshold float64, cfg ShardedConfig) (*ShardedDB, error) {
 	}
 	if cfg.Plain && cfg.Sliced {
 		return nil, fmt.Errorf("fingerprint: Plain and Sliced are mutually exclusive")
+	}
+	if cfg.RebuildMinDead == 0 {
+		cfg.RebuildMinDead = DefaultRebuildMinDead
+	}
+	if cfg.RebuildMinDead < 0 {
+		return nil, fmt.Errorf("fingerprint: rebuild threshold %d", cfg.RebuildMinDead)
 	}
 	s := &ShardedDB{
 		threshold: threshold,
@@ -232,7 +251,11 @@ func (s *ShardedDB) Get(name string) (*bitset.Set, bool) {
 }
 
 // Remove deletes the earliest-added live entry under name and reports
-// whether one existed. Only the owning shard is write-locked and rebuilt;
+// whether one existed. The entry is tombstoned — O(1), verdicts exclude it
+// immediately — and the owning shard is physically compacted (dead entries
+// dropped, LSH index and sliced arena rebuilt) only once its tombstone count
+// reaches ShardedConfig.RebuildMinDead, so removal churn no longer pays an
+// O(shard size) rebuild per call. Only the owning shard is ever write-locked;
 // the other shards keep serving.
 func (s *ShardedDB) Remove(name string) bool {
 	s.mu.Lock()
@@ -250,17 +273,10 @@ func (s *ShardedDB) Remove(name string) bool {
 	sh := s.shards[si]
 	sh.mu.Lock()
 	local := sh.db.byName[name]
-	sh.db.Remove(name)
-	sh.ids = append(sh.ids[:local], sh.ids[local+1:]...)
-	if sh.ix != nil {
-		// The LSH index maps signatures to local indices, all shifted by the
-		// removal (and the sliced arena packs entries in local order); rebuild
-		// them over the shard (O(shard size), the price Adds and lookups
-		// avoid). The scheme was validated at construction, so the build
-		// cannot fail here.
-		if err := sh.build(s.cfg); err != nil {
-			panic("fingerprint: sharded index rebuild: " + err.Error())
-		}
+	sh.db.kill(local)
+	if sh.db.deadCount >= s.cfg.RebuildMinDead {
+		sh.compact(s.cfg, s.threshold)
+		s.rebuilds.Add(1)
 	}
 	sh.mu.Unlock()
 	s.count.Add(-1)
@@ -270,6 +286,32 @@ func (s *ShardedDB) Remove(name string) bool {
 	}
 	return true
 }
+
+// compact drops the shard's tombstoned entries: live entries move to a fresh
+// DB in local order, the add-order id mapping is remapped alongside, and the
+// LSH index and sliced arena are rebuilt over the survivors (O(shard size),
+// amortized over RebuildMinDead tombstone-only Removes). Caller holds sh.mu.
+func (sh *dbShard) compact(cfg ShardedConfig, threshold float64) {
+	ndb := NewDB(threshold)
+	nids := make([]int, 0, len(sh.ids)-sh.db.deadCount)
+	for i, e := range sh.db.entries {
+		if !sh.db.alive(i) {
+			continue
+		}
+		ndb.Add(e.Name, e.FP)
+		nids = append(nids, sh.ids[i])
+	}
+	sh.db, sh.ids, sh.ix, sh.sx = ndb, nids, nil, nil
+	// The scheme was validated at construction, so the build cannot fail here.
+	if err := sh.build(cfg); err != nil {
+		panic("fingerprint: sharded index rebuild: " + err.Error())
+	}
+}
+
+// Rebuilds returns the number of physical shard compactions Remove has
+// triggered — the regression hook proving tombstoning defers the O(shard)
+// rebuild until RebuildMinDead removals accumulate.
+func (s *ShardedDB) Rebuilds() int64 { return s.rebuilds.Load() }
 
 // decideRaw answers over one shard without obs verdict counters, mapping the
 // local best index to its add-order id.
@@ -311,11 +353,12 @@ func (sh *dbShard) firstMatch(errorString *bitset.Set) (name string, id int, ok 
 	return name, sh.ids[local], true
 }
 
-// mergeVerdict folds one shard's answer into the running cross-shard
+// MergeVerdict folds one component's answer into the running cross-component
 // verdict: match counts accumulate and the (distance, id)-lexicographic
-// minimum wins — the single combination rule Decide and DecideCtx share,
-// so tracing can never change an answer.
-func mergeVerdict(v *Verdict, sv Verdict) {
+// minimum wins — the single combination rule Decide, DecideCtx, and the
+// tiered storage engine's memtable+segment combine share, so neither tracing
+// nor flush timing can ever change an answer.
+func MergeVerdict(v *Verdict, sv Verdict) {
 	v.Matches += sv.Matches
 	if sv.Index < 0 {
 		return
@@ -331,10 +374,35 @@ func mergeVerdict(v *Verdict, sv Verdict) {
 func (s *ShardedDB) Decide(errorString *bitset.Set) Verdict {
 	v := Verdict{Index: -1, Distance: 2}
 	for _, sh := range s.shards {
-		mergeVerdict(&v, sh.decideRaw(errorString))
+		MergeVerdict(&v, sh.decideRaw(errorString))
 	}
 	recordVerdict(v)
 	return v
+}
+
+// DecideRaw is Decide without the obs verdict counters, for callers (the
+// tiered storage engine) that merge this database's answer with other
+// components' before recording one decision.
+func (s *ShardedDB) DecideRaw(errorString *bitset.Set) Verdict {
+	v := Verdict{Index: -1, Distance: 2}
+	for _, sh := range s.shards {
+		MergeVerdict(&v, sh.decideRaw(errorString))
+	}
+	return v
+}
+
+// FirstMatch is Identify without the obs counters: the minimum add-order id
+// under the threshold, for callers that merge first-match answers across
+// components.
+func (s *ShardedDB) FirstMatch(errorString *bitset.Set) (name string, index int, ok bool) {
+	index = -1
+	for _, sh := range s.shards {
+		n, id, hit := sh.firstMatch(errorString)
+		if hit && (index < 0 || id < index) {
+			name, index = n, id
+		}
+	}
+	return name, index, index >= 0
 }
 
 // DecideCtx is Decide with request-scoped tracing: when ctx carries a
@@ -357,7 +425,7 @@ func (s *ShardedDB) DecideCtx(ctx context.Context, errorString *bitset.Set) Verd
 	dsp := parent.Child("decide")
 	v := Verdict{Index: -1, Distance: 2}
 	for _, sv := range svs {
-		mergeVerdict(&v, sv)
+		MergeVerdict(&v, sv)
 	}
 	dsp.End()
 	recordVerdict(v)
@@ -462,27 +530,40 @@ func (s *ShardedDB) Stats() ShardStats {
 // the snapshot pcserved writes on shutdown. Fingerprints are shared, not
 // copied; mutations are blocked for the duration.
 func (s *ShardedDB) Export() *DB {
+	db := NewDB(s.threshold)
+	for _, t := range s.ExportIDs() {
+		db.Add(t.Name, t.FP)
+	}
+	return db
+}
+
+// IDEntry is one exported entry with its stable add-order id — the triple a
+// storage backend persists so segment files can answer with the same ids the
+// in-memory database reports.
+type IDEntry struct {
+	ID   int
+	Name string
+	FP   *bitset.Set
+}
+
+// ExportIDs returns the live entries sorted by add-order id. Fingerprints are
+// shared, not copied; mutations are blocked for the duration.
+func (s *ShardedDB) ExportIDs() []IDEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	type tagged struct {
-		id   int
-		name string
-		fp   *bitset.Set
-	}
-	all := make([]tagged, 0, s.count.Load())
+	all := make([]IDEntry, 0, s.count.Load())
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for i, e := range sh.db.entries {
-			all = append(all, tagged{id: sh.ids[i], name: e.Name, fp: e.FP})
+			if !sh.db.alive(i) {
+				continue
+			}
+			all = append(all, IDEntry{ID: sh.ids[i], Name: e.Name, FP: e.FP})
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
-	db := NewDB(s.threshold)
-	for _, t := range all {
-		db.Add(t.name, t.fp)
-	}
-	return db
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
 }
 
 // String renders a small summary for logs.

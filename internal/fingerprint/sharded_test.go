@@ -281,3 +281,77 @@ func TestShardedRejectsPlainSliced(t *testing.T) {
 		t.Fatal("Plain+Sliced config accepted")
 	}
 }
+
+// TestShardedRemoveTombstone: Remove must exclude the entry from every
+// verdict path immediately while deferring the O(shard) physical rebuild
+// until RebuildMinDead tombstones accumulate — the PR 8 regression where
+// each Remove rebuilt the whole SlicedArena.
+func TestShardedRemoveTombstone(t *testing.T) {
+	for _, cfg := range []ShardedConfig{
+		{Shards: 1, Plain: true, RebuildMinDead: 4},
+		{Shards: 1, RebuildMinDead: 4},
+		{Shards: 1, Sliced: true, BlockEntries: 4, RebuildMinDead: 4},
+	} {
+		sh, err := NewShardedDB(DefaultThreshold, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 12
+		fps := make([]*bitset.Set, n)
+		for i := range fps {
+			fps[i] = testSet(uint64(i)+0x91, 2048, 40)
+			sh.Add(fmt.Sprintf("dev%02d", i), fps[i])
+		}
+		// Three tombstone-only removes: verdicts exclude the ids at once, no
+		// physical compaction yet.
+		for k, victim := range []int{3, 5, 9} {
+			if !sh.Remove(fmt.Sprintf("dev%02d", victim)) {
+				t.Fatalf("cfg %+v: Remove(dev%02d) found nothing", cfg, victim)
+			}
+			if got := sh.Rebuilds(); got != 0 {
+				t.Fatalf("cfg %+v: %d rebuilds after %d removes, want deferred", cfg, got, k+1)
+			}
+			q := noisyQuery(fps[victim], uint64(victim), 60)
+			if v := sh.Decide(q); v.OK() {
+				t.Fatalf("cfg %+v: tombstoned dev%02d still matches Decide: %+v", cfg, victim, v)
+			}
+			if name, _, ok := sh.Identify(q); ok {
+				t.Fatalf("cfg %+v: tombstoned dev%02d still matches Identify: %s", cfg, victim, name)
+			}
+		}
+		if got := sh.Len(); got != n-3 {
+			t.Fatalf("cfg %+v: Len = %d, want %d", cfg, got, n-3)
+		}
+		// The fourth remove crosses RebuildMinDead and compacts the shard.
+		if !sh.Remove("dev00") {
+			t.Fatalf("cfg %+v: Remove(dev00) found nothing", cfg)
+		}
+		if got := sh.Rebuilds(); got != 1 {
+			t.Fatalf("cfg %+v: %d rebuilds after crossing threshold, want 1", cfg, got)
+		}
+		// Survivors keep their stable add-order ids across the compaction,
+		// and exports carry only live entries.
+		for i := 0; i < n; i++ {
+			v := sh.Decide(noisyQuery(fps[i], uint64(i), 60))
+			removed := i == 0 || i == 3 || i == 5 || i == 9
+			if removed {
+				if v.OK() {
+					t.Fatalf("cfg %+v: removed dev%02d matches after compaction: %+v", cfg, i, v)
+				}
+				continue
+			}
+			if !v.OK() || v.Name != fmt.Sprintf("dev%02d", i) || v.Index != i {
+				t.Fatalf("cfg %+v: survivor %d: Decide = %+v", cfg, i, v)
+			}
+		}
+		ids := sh.ExportIDs()
+		if len(ids) != n-4 {
+			t.Fatalf("cfg %+v: ExportIDs len = %d, want %d", cfg, len(ids), n-4)
+		}
+		for k := 1; k < len(ids); k++ {
+			if ids[k-1].ID >= ids[k].ID {
+				t.Fatalf("cfg %+v: ExportIDs not id-sorted at %d", cfg, k)
+			}
+		}
+	}
+}

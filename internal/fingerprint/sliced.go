@@ -105,6 +105,12 @@ func kernelDistance(r bitset.KernelResult) float64 {
 	return float64(r.Diff) / float64(r.MinCard)
 }
 
+// KernelDistance is kernelDistance for external verification backends (the
+// tiered store's mmap'd segments): the same integers, the same division,
+// bit-identical float64 — the contract that keeps segment verdicts equal to
+// in-memory ones.
+func KernelDistance(r bitset.KernelResult) float64 { return kernelDistance(r) }
+
 // pruned reports whether no entry of the block can sit under the threshold,
 // from the block's cached cardinalities and one sweep over its OR-union
 // (1/B of the words a full kernel pass reads).
@@ -141,6 +147,9 @@ func (s *SlicedDB) pruned(blk *bitset.SlicedBlock, q *bitset.Set, qc int) bool {
 func (s *SlicedDB) Identify(errorString *bitset.Set) (name string, index int, ok bool) {
 	cands := s.x.candidates(errorString)
 	for k, i := range cands {
+		if !s.x.db.alive(i) {
+			continue
+		}
 		e := s.x.db.entries[i]
 		if Distance(errorString, e.FP) < s.x.db.threshold {
 			if obs.On() {
@@ -185,8 +194,11 @@ func (s *SlicedDB) prunedFirstMatch(q *bitset.Set) (name string, index int, ok b
 			hBlockBatch.Observe(int64(blk.Len()))
 		}
 		for j, r := range dst {
+			i := bi*per + j
+			if !db.alive(i) {
+				continue
+			}
 			if kernelDistance(r) < db.threshold {
-				i := bi*per + j
 				if obs.On() {
 					cIdentifyHit.Inc()
 					if db.ambiguousAfter(q, i) {
@@ -223,6 +235,9 @@ func (s *SlicedDB) Decide(errorString *bitset.Set) Verdict {
 func (s *SlicedDB) decideRaw(errorString *bitset.Set) Verdict {
 	v := Verdict{Index: -1, Distance: 2}
 	for _, i := range s.x.candidates(errorString) {
+		if !s.x.db.alive(i) {
+			continue
+		}
 		e := s.x.db.entries[i]
 		d := Distance(errorString, e.FP)
 		if d < s.x.db.threshold {
@@ -256,12 +271,15 @@ func (s *SlicedDB) sweepDecide(q *bitset.Set) Verdict {
 			hBlockBatch.Observe(int64(blk.Len()))
 		}
 		for j, r := range dst {
+			i := bi*per + j
+			if !db.alive(i) {
+				continue
+			}
 			d := kernelDistance(r)
 			if d < db.threshold {
 				v.Matches++
 			}
 			if d < v.Distance {
-				i := bi*per + j
 				v.Name, v.Index, v.Distance = db.entries[i].Name, i, d
 			}
 		}
@@ -273,6 +291,9 @@ func (s *SlicedDB) sweepDecide(q *bitset.Set) Verdict {
 // that aggregate decisions without obs counters.
 func (s *SlicedDB) firstMatch(errorString *bitset.Set) (name string, index int, ok bool) {
 	for _, i := range s.x.candidates(errorString) {
+		if !s.x.db.alive(i) {
+			continue
+		}
 		e := s.x.db.entries[i]
 		if Distance(errorString, e.FP) < s.x.db.threshold {
 			return e.Name, i, true
@@ -295,8 +316,11 @@ func (s *SlicedDB) firstMatch(errorString *bitset.Set) (name string, index int, 
 			}
 			dst = blk.MinCardAndNotCounts(errorString, dst)
 			for j, r := range dst {
+				i := bi*per + j
+				if !s.x.db.alive(i) {
+					continue
+				}
 				if kernelDistance(r) < s.x.db.threshold {
-					i := bi*per + j
 					return s.x.db.entries[i].Name, i, true
 				}
 			}

@@ -65,6 +65,9 @@ func (db *DB) Decide(errorString *bitset.Set) Verdict {
 func (db *DB) decideRaw(errorString *bitset.Set) Verdict {
 	v := Verdict{Index: -1, Distance: 2} // above any possible distance
 	for i, e := range db.entries {
+		if !db.alive(i) {
+			continue
+		}
 		d := Distance(errorString, e.FP)
 		if d < db.threshold {
 			v.Matches++
@@ -80,6 +83,9 @@ func (db *DB) decideRaw(errorString *bitset.Set) Verdict {
 // entry under the threshold in add order.
 func (db *DB) firstMatch(errorString *bitset.Set) (name string, index int, ok bool) {
 	for i, e := range db.entries {
+		if !db.alive(i) {
+			continue
+		}
 		if Distance(errorString, e.FP) < db.threshold {
 			return e.Name, i, true
 		}
@@ -103,6 +109,9 @@ func (x *IndexedDB) Decide(errorString *bitset.Set) Verdict {
 func (x *IndexedDB) decideRaw(errorString *bitset.Set) Verdict {
 	v := Verdict{Index: -1, Distance: 2}
 	for _, i := range x.candidates(errorString) {
+		if !x.db.alive(i) {
+			continue
+		}
 		e := x.db.entries[i]
 		d := Distance(errorString, e.FP)
 		if d < x.db.threshold {
@@ -125,6 +134,9 @@ func (x *IndexedDB) decideRaw(errorString *bitset.Set) Verdict {
 // the threshold, with the verified fallback scan when no candidate matches.
 func (x *IndexedDB) firstMatch(errorString *bitset.Set) (name string, index int, ok bool) {
 	for _, i := range x.candidates(errorString) {
+		if !x.db.alive(i) {
+			continue
+		}
 		e := x.db.entries[i]
 		if Distance(errorString, e.FP) < x.db.threshold {
 			return e.Name, i, true

@@ -53,29 +53,10 @@ func SaveCheckpoint(dir string, db *fingerprint.DB, watermark uint64) (err error
 	if err != nil {
 		return fmt.Errorf("samplefile: encoding checkpoint meta: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, CheckpointMarker+".tmp*")
-	if err != nil {
-		return fmt.Errorf("samplefile: creating checkpoint marker: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if _, err = tmp.Write(append(blob, '\n')); err != nil {
-		return fmt.Errorf("samplefile: writing checkpoint marker: %w", err)
-	}
-	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("samplefile: syncing checkpoint marker: %w", err)
-	}
-	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("samplefile: closing checkpoint marker: %w", err)
-	}
-	if err = os.Rename(tmp.Name(), filepath.Join(dir, CheckpointMarker)); err != nil {
+	if err = WriteFileAtomic(filepath.Join(dir, CheckpointMarker), append(blob, '\n')); err != nil {
 		return fmt.Errorf("samplefile: committing checkpoint: %w", err)
 	}
-	if err = syncDir(dir); err != nil {
+	if err = SyncDir(dir); err != nil {
 		return err
 	}
 	sweepStaleCheckpoints(dir, meta.DBFile)
@@ -123,15 +104,3 @@ func sweepStaleCheckpoints(dir, live string) {
 	}
 }
 
-// syncDir fsyncs a directory so renames within it survive a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("samplefile: opening directory for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("samplefile: syncing directory: %w", err)
-	}
-	return nil
-}

@@ -2,8 +2,8 @@ package samplefile
 
 import (
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 
 	"probablecause/internal/fingerprint"
 )
@@ -22,33 +22,15 @@ func LoadDB(path string) (*fingerprint.DB, error) {
 	return db, nil
 }
 
-// SaveDB writes the database to path atomically: the bytes land in a
-// temporary file in the same directory, are fsynced, and rename into place —
-// a crash mid-write leaves the previous snapshot intact, never a truncated
-// one. This is the snapshot path pcserved saves through on shutdown.
-func SaveDB(path string, db *fingerprint.DB) (err error) {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("samplefile: creating snapshot temp file: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+// SaveDB writes the database to path atomically (WriteAtomic's
+// temp-fsync-rename discipline) — a crash mid-write leaves the previous
+// snapshot intact, never a truncated one. This is the snapshot path pcserved
+// saves through on shutdown.
+func SaveDB(path string, db *fingerprint.DB) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		if _, err := db.WriteTo(w); err != nil {
+			return fmt.Errorf("samplefile: writing snapshot: %w", err)
 		}
-	}()
-	if _, err = db.WriteTo(tmp); err != nil {
-		return fmt.Errorf("samplefile: writing snapshot: %w", err)
-	}
-	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("samplefile: syncing snapshot: %w", err)
-	}
-	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("samplefile: closing snapshot: %w", err)
-	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("samplefile: installing snapshot: %w", err)
-	}
-	return nil
+		return nil
+	})
 }

@@ -38,6 +38,7 @@ import (
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/obs"
 	"probablecause/internal/samplefile"
+	"probablecause/internal/store"
 	"probablecause/internal/wal"
 )
 
@@ -207,12 +208,57 @@ func (s *Service) EnableEnrollment(cfg EnrollConfig, watermark uint64) error {
 	return nil
 }
 
-// BootDurable builds a durably-enrolled service: the committed
-// checkpoint in ecfg.Dir (when one exists) overrides seed and sets the
-// replay watermark, then the WAL replays on top. The result is the
-// deterministic fold of every acked enrollment, whatever mix of
-// snapshots and crashes preceded it.
+// BootDurable builds a durably-enrolled service: the committed checkpoint
+// overrides seed and sets the replay watermark, then the WAL replays on top.
+// The result is the deterministic fold of every acked enrollment, whatever
+// mix of snapshots and crashes preceded it.
+//
+// On the memory backend the checkpoint is the monolithic samplefile snapshot
+// in ecfg.Dir, as before. On the tiered backend the store's own manifest is
+// the checkpoint — segments recover mmap'd and the manifest watermark wins.
+// An EMPTY tiered store falls back to a monolithic checkpoint in ecfg.Dir
+// when one exists (a follower bootstrapped by snapshot, or a migration from
+// the memory backend): its entries are ingested and flushed to segments at
+// the checkpoint's watermark before replay, so the fold timeline is
+// preserved exactly.
 func BootDurable(seed *fingerprint.DB, cfg Config, ecfg EnrollConfig) (*Service, error) {
+	if cfg.Store.Backend == store.BackendTiered {
+		s, err := New(nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		d := s.db.(store.DurableBackend)
+		watermark := d.Watermark()
+		if seed != nil && (watermark != 0 || s.db.Len() != 0) {
+			s.Close()
+			return nil, fmt.Errorf("server: tiered store %s already holds committed state; refusing to also seed", cfg.Store.Dir)
+		}
+		if watermark == 0 && s.db.Len() == 0 {
+			db, meta, ok, err := samplefile.LoadCheckpoint(ecfg.Dir)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			if ok {
+				seed = db
+				watermark = meta.Watermark
+			}
+			if seed != nil {
+				for _, e := range seed.Entries() {
+					s.Add(e.Name, e.FP)
+				}
+				if err := d.Checkpoint(watermark); err != nil {
+					s.Close()
+					return nil, err
+				}
+			}
+		}
+		if err := s.EnableEnrollment(ecfg, watermark); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s, nil
+	}
 	db, meta, ok, err := samplefile.LoadCheckpoint(ecfg.Dir)
 	if err != nil {
 		return nil, err
@@ -311,6 +357,9 @@ func (s *Service) Enroll(ctx context.Context, session, name string, es *bitset.S
 	if err := s.gateCommit(ctx, seq); err != nil {
 		return st, fmt.Errorf("server: enrollment replication: %w", err)
 	}
+	// Tiered backend: once the memtable crosses the flush threshold, one
+	// background checkpoint drains it to a segment and compacts the WAL.
+	s.maybeAutoFlush()
 	return st, nil
 }
 
@@ -399,10 +448,14 @@ func (s *Service) EnrollStatus(session string) (EnrollState, bool, error) {
 	return sess.state(session), true, nil
 }
 
-// Checkpoint atomically snapshots the database with its WAL watermark
-// into the enrollment directory, then compacts WAL segments no live
-// session depends on. Identify and enroll traffic may continue; the
-// snapshot captures a consistent fold prefix.
+// Checkpoint persists the database at its WAL watermark, then compacts WAL
+// segments no live session depends on. On the memory backend this is the
+// monolithic samplefile snapshot, written outside the fold lock. On the
+// tiered backend it is the store's own Checkpoint — memtable flush to a new
+// segment plus manifest commit — which runs UNDER the fold lock so the
+// flushed state and the watermark agree exactly (the flush cost is one
+// memtable, not the whole database, so the stall is bounded by the flush
+// threshold). Identify traffic continues either way.
 func (s *Service) Checkpoint() (samplefile.CheckpointMeta, error) {
 	e := s.enroll
 	if e == nil {
@@ -412,7 +465,6 @@ func (s *Service) Checkpoint() (samplefile.CheckpointMeta, error) {
 	defer span.End()
 	e.mu.Lock()
 	watermark := e.appliedSeq + 1
-	db := s.db.Export()
 	// Compaction floor: records below the watermark are reflected in the
 	// snapshot, but an unconverged session still needs its history to
 	// rebuild its accumulator on replay.
@@ -422,6 +474,19 @@ func (s *Service) Checkpoint() (samplefile.CheckpointMeta, error) {
 			keep = sess.firstSeq
 		}
 	}
+	if d, ok := s.db.(store.DurableBackend); ok {
+		err := d.Checkpoint(watermark)
+		entries := s.db.Len()
+		e.mu.Unlock()
+		if err != nil {
+			return samplefile.CheckpointMeta{}, err
+		}
+		if _, err := e.log.TruncateBelow(keep); err != nil {
+			return samplefile.CheckpointMeta{}, err
+		}
+		return samplefile.CheckpointMeta{Watermark: watermark, Entries: entries}, nil
+	}
+	db := s.db.Export()
 	e.mu.Unlock()
 	if err := samplefile.SaveCheckpoint(e.cfg.Dir, db, watermark); err != nil {
 		return samplefile.CheckpointMeta{}, err
@@ -434,6 +499,23 @@ func (s *Service) Checkpoint() (samplefile.CheckpointMeta, error) {
 		Watermark: watermark,
 		Entries:   db.Len(),
 	}, nil
+}
+
+// maybeAutoFlush schedules a background Checkpoint when the tiered
+// memtable has crossed its flush threshold. The TryStartFlush CAS admits
+// exactly one scheduler; the flush itself serializes with enrollment on
+// e.mu inside Checkpoint.
+func (s *Service) maybeAutoFlush() {
+	d, ok := s.db.(store.DurableBackend)
+	if !ok || s.enroll == nil || !d.NeedsFlush() || !d.TryStartFlush() {
+		return
+	}
+	go func() {
+		defer d.EndFlush()
+		if _, err := s.Checkpoint(); err != nil {
+			obs.Errorf("store auto-flush", "err", err)
+		}
+	}()
 }
 
 // EnrollStats summarizes enrollment for /v1/db consumers and tests.

@@ -16,6 +16,7 @@ import (
 
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/obs"
+	"probablecause/internal/store"
 	"probablecause/internal/wal"
 )
 
@@ -173,4 +174,41 @@ func (s *Service) ReplicationSnapshot() (db *fingerprint.DB, watermark, floor ui
 		floor = first
 	}
 	return db, watermark, floor, nil
+}
+
+// StoreSnapshot captures a segment-shipping bootstrap image from a tiered
+// primary: a checkpoint first drains the memtable so the committed segments
+// plus manifest hold the complete fold prefix, then the files are refcount
+// pinned for streaming — no monolithic database export on either side. The
+// returned manifest bytes name exactly the returned paths; watermark and
+// floor carry the same meaning as ReplicationSnapshot's. Callers must call
+// release when streaming completes.
+func (s *Service) StoreSnapshot() (manifest []byte, paths []string, watermark, floor uint64, release func(), err error) {
+	e := s.enroll
+	if e == nil {
+		return nil, nil, 0, 0, nil, ErrEnrollmentDisabled
+	}
+	snap, ok := s.db.(store.SegmentSnapshotter)
+	if !ok {
+		return nil, nil, 0, 0, nil, fmt.Errorf("server: %q backend has no segments; bootstrap from /v1/repl/snapshot", s.cfg.Store.Backend)
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		return nil, nil, 0, 0, nil, err
+	}
+	manifest, paths, watermark, release, err = snap.SnapshotFiles()
+	if err != nil {
+		return nil, nil, 0, 0, nil, err
+	}
+	e.mu.Lock()
+	floor = watermark
+	for _, sess := range e.sessions {
+		if !sess.promoted && sess.firstSeq < floor {
+			floor = sess.firstSeq
+		}
+	}
+	e.mu.Unlock()
+	if first := e.log.FirstSeq(); floor < first {
+		floor = first
+	}
+	return manifest, paths, watermark, floor, release, nil
 }

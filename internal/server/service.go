@@ -37,6 +37,7 @@ import (
 	"probablecause/internal/faults"
 	"probablecause/internal/fingerprint"
 	"probablecause/internal/obs"
+	"probablecause/internal/store"
 )
 
 // Service-level metrics (the HTTP layer adds per-endpoint latency).
@@ -92,6 +93,13 @@ type Config struct {
 	// SlowRequests caps the /debug/slowest retention ring; 0 selects
 	// obs.DefaultSlowRing, negative disables retention.
 	SlowRequests int
+	// Store selects and parameterizes the storage backend: the zero value is
+	// the in-memory ShardedDB (the pre-tiering behavior); "tiered" puts the
+	// database behind mmap'd immutable segment files in Store.Dir.
+	Store store.Config
+	// BlockEntries sizes the bit-sliced blocks on sliced shards and in tiered
+	// segment files; 0 selects the fingerprint package default.
+	BlockEntries int
 }
 
 // Defaults for the zero Config.
@@ -134,7 +142,7 @@ func (c Config) withDefaults(seed *fingerprint.DB) Config {
 // and Close to drain.
 type Service struct {
 	cfg    Config
-	db     *fingerprint.ShardedDB
+	db     store.Backend
 	cache  *verdictCache
 	batch  *batcher
 	inj    *faults.Injector // nil when the fault plan is inactive
@@ -155,17 +163,24 @@ type Service struct {
 	commitGate atomic.Pointer[commitGateBox]
 }
 
-// New builds a Service over the seed database (nil for an empty start).
+// New builds a Service over the seed database (nil for an empty start). With
+// a tiered store backend the on-disk state recovers first; a seed is then
+// only accepted into an empty store (BootDurable manages the combination).
 func New(seed *fingerprint.DB, cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults(seed)
-	scfg := fingerprint.ShardedConfig{Shards: cfg.Shards, Plain: cfg.Plain, Sliced: cfg.Sliced}
-	scfg.Index.Workers = cfg.Workers
-	scfg.Index.Probes = cfg.Probes
-	db, err := fingerprint.NewShardedDB(cfg.Threshold, scfg)
+	db, err := store.Open(cfg.Store, store.DBConfig{
+		Threshold: cfg.Threshold, Shards: cfg.Shards,
+		Plain: cfg.Plain, Sliced: cfg.Sliced, Probes: cfg.Probes,
+		Workers: cfg.Workers, BlockEntries: cfg.BlockEntries,
+	})
 	if err != nil {
 		return nil, err
 	}
 	if seed != nil {
+		if db.Len() > 0 {
+			db.Close()
+			return nil, fmt.Errorf("server: tiered store %s recovered %d entries; refusing to also seed (boot without a seed, or empty the store)", cfg.Store.Dir, db.Len())
+		}
 		for _, e := range seed.Entries() {
 			db.Add(e.Name, e.FP)
 		}
@@ -176,6 +191,10 @@ func New(seed *fingerprint.DB, cfg Config) (*Service, error) {
 	s.cache.Purge(db.Generation())
 	if seed != nil && seed.Len() > 0 {
 		s.fpLen.Store(int64(seed.Entries()[0].FP.Len()))
+	} else if b, ok := db.(interface{ FPBits() int }); ok {
+		// A recovered tiered store pins the query-length check without
+		// materializing any entry.
+		s.fpLen.Store(int64(b.FPBits()))
 	}
 	if cfg.FaultPlan.Active() {
 		s.inj = faults.NewInjector(cfg.FaultPlan)
@@ -201,20 +220,23 @@ func (s *Service) SLO() *obs.SLOEngine { return s.slo }
 // SlowRing exposes the slow-request retention ring (nil when disabled).
 func (s *Service) SlowRing() *obs.SlowRing { return s.slow }
 
-// DB exposes the sharded database (snapshot export, tests).
-func (s *Service) DB() *fingerprint.ShardedDB { return s.db }
+// DB exposes the storage backend (snapshot export, tests).
+func (s *Service) DB() store.Backend { return s.db }
 
 // Config returns the resolved configuration.
 func (s *Service) Config() Config { return s.cfg }
 
-// Close drains the identify queue, stops the dispatcher, and closes the
-// enrollment write-ahead log when one is attached. In-flight requests
-// complete; later submissions fail with ErrDraining.
+// Close drains the identify queue, stops the dispatcher, closes the
+// enrollment write-ahead log when one is attached, and releases the storage
+// backend (segment mappings). In-flight requests complete; later submissions
+// fail with ErrDraining. Close does not flush — pcserved checkpoints
+// explicitly on drain; an unflushed memtable is recovered from the WAL.
 func (s *Service) Close() {
 	s.batch.close()
 	if s.enroll != nil {
 		s.enroll.log.Close()
 	}
+	s.db.Close()
 }
 
 // checkLen validates a declared error-string length against the pinned
@@ -355,6 +377,15 @@ type Stats struct {
 	Generation int64                  `json:"generation"`
 	QueueCap   int                    `json:"queue_capacity"`
 	Cache      CacheStats             `json:"cache"`
+	// Store describes the tiered backend; zero-valued on the memory backend.
+	Store StoreStats `json:"store"`
+}
+
+// StoreStats is the tiered-backend corner of Stats.
+type StoreStats struct {
+	Backend   string `json:"backend"`
+	Segments  int    `json:"segments"`
+	Watermark uint64 `json:"watermark"`
 }
 
 // CacheStats is the verdict-cache corner of Stats.
@@ -368,12 +399,20 @@ type CacheStats struct {
 // Stats snapshots the service.
 func (s *Service) Stats() Stats {
 	hits, misses := s.cache.Counts()
-	return Stats{
+	st := Stats{
 		Entries:    s.db.Len(),
 		Threshold:  s.cfg.Threshold,
 		Shards:     s.db.Stats(),
 		Generation: s.db.Generation(),
 		QueueCap:   s.cfg.QueueDepth,
 		Cache:      CacheStats{Capacity: s.cfg.CacheSize, Size: s.cache.Len(), Hits: hits, Misses: misses},
+		Store:      StoreStats{Backend: store.BackendMemory},
 	}
+	if d, ok := s.db.(store.DurableBackend); ok {
+		st.Store = StoreStats{Backend: s.cfg.Store.Backend, Watermark: d.Watermark()}
+		if sc, ok := s.db.(interface{ SegmentCount() int }); ok {
+			st.Store.Segments = sc.SegmentCount()
+		}
+	}
+	return st
 }

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"probablecause/internal/samplefile"
+)
+
+// ManifestFile is the tiered engine's commit point: a JSON document listing
+// the committed segment files (in ascending id order), the persisted
+// tombstones, the WAL watermark the flushed state reflects, and the next
+// add-order id. It is rewritten atomically (temp-fsync-rename + directory
+// sync) on every flush and compaction; a crash on either side of the rename
+// leaves a fully consistent previous state, with any freshly written but
+// uncommitted segment file swept as an orphan on the next open.
+const ManifestFile = "MANIFEST"
+
+type manifest struct {
+	Version int `json:"version"`
+	// Watermark is the WAL sequence of the first record NOT reflected in the
+	// flushed segments — replay resumes there.
+	Watermark uint64 `json:"wal_watermark"`
+	// NextID is the add-order id the next enrollment receives (the memtable
+	// base after recovery).
+	NextID int `json:"next_id"`
+	// Segments lists committed segment filenames in ascending id order.
+	Segments []string `json:"segments"`
+	// Tombstones lists add-order ids removed from flushed segments.
+	Tombstones []int `json:"tombstones"`
+}
+
+const manifestVersion = 1
+
+func loadManifest(dir string) (manifest, bool, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{Version: manifestVersion}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("store: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("store: manifest version %d unsupported", m.Version)
+	}
+	for _, name := range m.Segments {
+		if name == "" || name != filepath.Base(name) {
+			return manifest{}, false, fmt.Errorf("store: manifest names invalid segment file %q", name)
+		}
+	}
+	return m, true, nil
+}
+
+func commitManifest(dir string, m manifest) error {
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	if err := samplefile.WriteFileAtomic(filepath.Join(dir, ManifestFile), append(blob, '\n')); err != nil {
+		return fmt.Errorf("store: committing manifest: %w", err)
+	}
+	return samplefile.SyncDir(dir)
+}

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapping is the non-unix fallback: the whole file read into memory. Same
+// surface as the real mmap in mmap_unix.go, without the demand paging — the
+// tiered engine stays correct, just not RAM-bounded, on platforms without
+// syscall.Mmap.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+func mapFile(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) Close() error {
+	m.data = nil
+	return nil
+}

@@ -1,0 +1,51 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only view of a whole file. On unix it is a real
+// private mmap, so the kernel pages segment bytes in on demand and the Go
+// heap never holds the flushed fingerprints; mmap_other.go substitutes a
+// read-into-memory fallback with the same surface.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapFile maps path read-only. Empty files yield an empty, unmapped view
+// (mmap of length 0 is an error on most unixes).
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return &mapping{}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return &mapping{data: data, mapped: true}, nil
+}
+
+// Close releases the mapping. The data slice must not be used afterwards.
+func (m *mapping) Close() error {
+	if !m.mapped || m.data == nil {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data, m.mapped = nil, false
+	return syscall.Munmap(data)
+}
