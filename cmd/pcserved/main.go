@@ -32,6 +32,13 @@
 //   - -mode=router spreads identify reads across healthy replicas,
 //     forwards mutations to the primary, and promotes the most-caught-up
 //     follower when the primary dies.
+//   - -mode=router with -partitions runs the scatter-gather coordinator
+//     for a partitioned cluster (see CLUSTER.md): identify fans out to
+//     every partition and the verdicts merge back byte-identically to a
+//     single-node scan; enrollment routes to the partition owning the
+//     device name. Serving nodes in a partitioned cluster take the same
+//     -partitions spec plus -partition.self=NAME so they refuse
+//     misdirected mutations (421) and report globally-unique entry ids.
 //   - -wal.verify walks the WAL segments offline, validating checksums
 //     and sequence continuity, classifying a torn tail (normal after a
 //     crash) vs interior corruption (exit 1), and exits.
@@ -57,6 +64,7 @@
 //	GET    /v1/db                 serving stats
 //	POST   /v1/db                 register a fingerprint
 //	DELETE /v1/db?name=N         remove a fingerprint
+//	GET    /v1/cluster/topology  partition map + per-backend view (scatter router)
 //	GET    /v1/repl/status       replication role, positions, quorum view
 //	GET    /v1/repl/stream       WAL records from ?from= (follower pull)
 //	GET    /v1/repl/snapshot     bootstrap image (db + watermark/floor)
@@ -151,6 +159,8 @@ func run(args []string) (err error) {
 	routerProbe := fs.Duration("router.probe", 0, fmt.Sprintf("router health/role probe interval (0: %s)", cluster.DefaultProbeInterval))
 	routerFailover := fs.Int("router.failover-after", 0, fmt.Sprintf("consecutive failed primary probes that trigger failover (0: %d)", cluster.DefaultFailoverAfter))
 	routerRetries := fs.Int("router.retries", 0, fmt.Sprintf("proxy attempts per read (0: %d)", cluster.DefaultReadAttempts))
+	partitions := fs.String("partitions", "", "partition map spec p0=url|url,p1=url|url — scatter-gather router mode, or (with -partition.self) a partition-scoped serving node")
+	partitionSelf := fs.String("partition.self", "", "the partition in the -partitions map this serving node belongs to")
 	obsOpts := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,10 +189,34 @@ func run(args []string) (err error) {
 		return fmt.Errorf("unknown -store.backend %q (want %q or %q)", *storeBackend, store.BackendMemory, store.BackendTiered)
 	}
 	if *mode == "router" {
+		if *partitions != "" {
+			return runScatterRouter(*addr, *partitions, *routerProbe, *routerFailover, *routerRetries, obsOpts)
+		}
 		return runRouter(*addr, *routerBackends, *routerProbe, *routerFailover, *routerRetries, obsOpts)
 	}
 	if *mode != "serve" && *mode != "follower" {
 		return fmt.Errorf("unknown -mode %q (serve, follower, or router)", *mode)
+	}
+	// A serving node in a partitioned cluster derives its ownership
+	// predicate and global id namespace from the shared partition map.
+	var partCfg server.PartitionConfig
+	if *partitions != "" || *partitionSelf != "" {
+		if *partitions == "" || *partitionSelf == "" {
+			return errors.New("partitioned serving needs both -partitions and -partition.self")
+		}
+		pmap, err := cluster.ParsePartitions(*partitions)
+		if err != nil {
+			return err
+		}
+		ord := pmap.Ordinal(*partitionSelf)
+		if ord < 0 {
+			return fmt.Errorf("-partition.self %q is not in the -partitions map", *partitionSelf)
+		}
+		partCfg = server.PartitionConfig{
+			Name: *partitionSelf,
+			NS:   pmap.Namespace(ord),
+			Owns: pmap.OwnsFunc(ord),
+		}
 	}
 	if *mode == "follower" {
 		if *walDir == "" {
@@ -254,6 +288,7 @@ func run(args []string) (err error) {
 			// to a flush/compaction step name and the engine hard-exits there.
 			CrashPoint: os.Getenv("PCSTORE_CRASH"),
 		},
+		Partition: partCfg,
 	}
 	var svc *server.Service
 	if *walDir != "" {
@@ -481,6 +516,62 @@ func runRouter(addr, backendList string, probe time.Duration, failoverAfter, ret
 	}
 	fmt.Printf("pcserved: router listening on %s (%d backends)\n", ln.Addr(), len(strings.Split(backendList, ",")))
 	httpSrv := &http.Server{Handler: router.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Printf("pcserved: %s, draining\n", sig)
+	case err := <-serveErr:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runScatterRouter serves the partitioned cluster's front door: identify
+// fans out to every partition and merges, keyed mutations route to the
+// owning partition, /v1/cluster/topology exposes the whole shape.
+func runScatterRouter(addr, spec string, probe time.Duration, failoverAfter, retries int, obsOpts *obs.Options) (err error) {
+	pmap, err := cluster.ParsePartitions(spec)
+	if err != nil {
+		return err
+	}
+	finish, err := obsOpts.Activate()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
+	sr, err := cluster.NewScatterRouter(cluster.ScatterConfig{
+		Map: pmap,
+		Router: cluster.RouterConfig{
+			ProbeInterval: probe,
+			FailoverAfter: failoverAfter,
+			Retry:         retry.Policy{MaxAttempts: retries},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pcserved: scatter router listening on %s (%d partitions)\n", ln.Addr(), pmap.Len())
+	httpSrv := &http.Server{Handler: sr.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	stop := make(chan os.Signal, 1)

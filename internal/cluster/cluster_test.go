@@ -51,11 +51,18 @@ type nodeOptions struct {
 	minISR   int
 	pull     PullConfig
 	walStart uint64 // WAL StartSeq for bootstrapped followers
+	// cfg, when non-nil, adjusts the server config before boot (partition
+	// scoping, plain shards, worker counts).
+	cfg func(*server.Config)
 }
 
 func startNode(t *testing.T, id, dir string, opts nodeOptions) *testNode {
 	t.Helper()
-	svc, err := server.BootDurable(nil, server.Config{}, server.EnrollConfig{
+	scfg := server.Config{}
+	if opts.cfg != nil {
+		opts.cfg(&scfg)
+	}
+	svc, err := server.BootDurable(nil, scfg, server.EnrollConfig{
 		Dir:         dir,
 		Accumulator: fastAcc,
 		// Tiny segments so checkpoints actually drop whole segment files.

@@ -218,6 +218,9 @@ type StatusJSON struct {
 	CommitSeq  uint64            `json:"commit_seq,omitempty"`
 	MinISR     int               `json:"min_isr,omitempty"`
 	Followers  map[string]uint64 `json:"followers,omitempty"`
+	// Partition is the partition this node serves (empty when
+	// unpartitioned) — the scatter router's topology handshake input.
+	Partition string `json:"partition,omitempty"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -226,6 +229,7 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Role:       "follower",
 		Ready:      n.svc.Ready(),
 		AppliedSeq: n.svc.AppliedSeq(),
+		Partition:  n.svc.Config().Partition.Name,
 	}
 	if n.svc.IsPrimary() {
 		st.Role = "primary"

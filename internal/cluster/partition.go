@@ -1,0 +1,177 @@
+// partition.go: the static partition map for scale-out cluster mode — a
+// consistent-hash ring assigning the device-name key space to N primary
+// shards, the partition-spec parser behind pcserved's -partitions flag,
+// and the per-partition id namespaces that keep merged verdicts in one
+// global id space. CLUSTER.md documents the operator-facing contract.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/prng"
+)
+
+// vnodesPerPartition is the virtual-node count each partition contributes
+// to the ring. 64 points per partition keeps the expected key imbalance
+// between partitions under a few percent while the ring stays tiny.
+const vnodesPerPartition = 64
+
+// PartitionSpec names one partition and its replicated group's backends
+// (primary + followers, in any order — roles are probed, not declared).
+type PartitionSpec struct {
+	Name     string
+	Backends []string
+}
+
+// PartitionMap is the cluster's static partition assignment: an ordered
+// list of partitions plus the consistent-hash ring over their names. Every
+// router and every partitioned node is configured from the same spec
+// string, so all of them derive identical ownership and id namespaces.
+//
+// The ring hashes partition *names* only — backends are routing detail.
+// Renaming or reordering partitions changes ownership; adding a partition
+// moves only the keys whose ring arcs the new partition's virtual nodes
+// capture (≈ 1/N of the space), which is the property that makes
+// partition addition an incremental migration rather than a full
+// reshuffle (OPERATIONS.md covers the procedure).
+type PartitionMap struct {
+	parts []PartitionSpec
+	ring  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	part int // ordinal into parts
+}
+
+// NewPartitionMap builds the ring. Partition names must be non-empty,
+// unique, and free of the spec separators; each partition needs at least
+// one backend.
+func NewPartitionMap(parts []PartitionSpec) (*PartitionMap, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("cluster: partition map needs at least one partition")
+	}
+	seen := make(map[string]bool, len(parts))
+	m := &PartitionMap{parts: parts}
+	for i, p := range parts {
+		if p.Name == "" {
+			return nil, fmt.Errorf("cluster: partition %d has no name", i)
+		}
+		if strings.ContainsAny(p.Name, "=,|") {
+			return nil, fmt.Errorf("cluster: partition name %q contains a spec separator", p.Name)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("cluster: duplicate partition name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Backends) == 0 {
+			return nil, fmt.Errorf("cluster: partition %q has no backends", p.Name)
+		}
+		for v := 0; v < vnodesPerPartition; v++ {
+			m.ring = append(m.ring, ringPoint{hash: keyHash(fmt.Sprintf("%s#%d", p.Name, v)), part: i})
+		}
+	}
+	sort.Slice(m.ring, func(a, b int) bool {
+		if m.ring[a].hash != m.ring[b].hash {
+			return m.ring[a].hash < m.ring[b].hash
+		}
+		// Hash ties (vanishingly rare) break by ordinal so every map built
+		// from the same spec agrees.
+		return m.ring[a].part < m.ring[b].part
+	})
+	return m, nil
+}
+
+// keyHash is FNV-1a 64 finalized through a SplitMix64 round — the
+// partition-key hash. Stable across builds and architectures by
+// construction; CLUSTER.md documents it as part of the cluster contract
+// (a router and a node disagreeing on this hash would silently split
+// ownership). The finalizer matters: bare FNV-1a has weak avalanche on
+// trailing-byte differences, so sibling names ("deviceA".."deviceZ",
+// "host-1".."host-9") land within ~2^44 of each other on the 2^64 ring
+// and all fall into one vnode gap — a hot partition. Mix64 diffuses the
+// last byte across the whole ring.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return prng.Mix64(h.Sum64())
+}
+
+// Owner returns the ordinal of the partition owning a device name: the
+// first ring point clockwise of the key's hash.
+func (m *PartitionMap) Owner(name string) int {
+	h := keyHash(name)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0 // wrap: the lowest point owns the arc above the highest
+	}
+	return m.ring[i].part
+}
+
+// Len returns the partition count.
+func (m *PartitionMap) Len() int { return len(m.parts) }
+
+// Partition returns the spec at ordinal i.
+func (m *PartitionMap) Partition(i int) PartitionSpec { return m.parts[i] }
+
+// Namespace returns partition i's id namespace: global id =
+// local·count + ordinal. Strictly monotone per partition, disjoint across
+// partitions — the property DESIGN.md §14's merge argument rests on.
+func (m *PartitionMap) Namespace(i int) fingerprint.IDNamespace {
+	return fingerprint.IDNamespace{Base: i, Stride: len(m.parts)}
+}
+
+// OwnsFunc returns the ownership predicate for partition i — the
+// server.PartitionConfig.Owns hook.
+func (m *PartitionMap) OwnsFunc(i int) func(string) bool {
+	return func(name string) bool { return m.Owner(name) == i }
+}
+
+// Ordinal returns the ordinal of the named partition, or -1.
+func (m *PartitionMap) Ordinal(name string) int {
+	for i, p := range m.parts {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ParsePartitions parses pcserved's -partitions spec:
+//
+//	p0=http://h1:8080|http://h2:8080,p1=http://h3:8080|http://h4:8080
+//
+// Comma separates partitions, '=' binds a partition name to its backend
+// list, '|' separates the backends of one replicated group. Ordinal
+// order is spec order; every process in the cluster must be handed the
+// same spec string.
+func ParsePartitions(spec string) (*PartitionMap, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty -partitions spec")
+	}
+	var parts []PartitionSpec
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("cluster: empty partition entry in %q", spec)
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: partition entry %q is not name=url|url", entry)
+		}
+		p := PartitionSpec{Name: strings.TrimSpace(name)}
+		for _, u := range strings.Split(rest, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				return nil, fmt.Errorf("cluster: partition %q has an empty backend URL", p.Name)
+			}
+			p.Backends = append(p.Backends, strings.TrimRight(u, "/"))
+		}
+		parts = append(parts, p)
+	}
+	return NewPartitionMap(parts)
+}

@@ -1,0 +1,156 @@
+package cluster
+
+// Partition-map unit tests: spec parsing, deterministic ownership,
+// coverage/balance over the ring, and the minimal-movement property that
+// makes adding a partition an incremental migration.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mapFromSpec(t *testing.T, spec string) *PartitionMap {
+	t.Helper()
+	m, err := ParsePartitions(spec)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", spec, err)
+	}
+	return m
+}
+
+func TestParsePartitions(t *testing.T) {
+	m := mapFromSpec(t, "p0=http://a:1|http://b:2, p1=http://c:3")
+	if m.Len() != 2 {
+		t.Fatalf("got %d partitions, want 2", m.Len())
+	}
+	if got := m.Partition(0); got.Name != "p0" || len(got.Backends) != 2 || got.Backends[1] != "http://b:2" {
+		t.Fatalf("partition 0 = %+v", got)
+	}
+	if got := m.Partition(1); got.Name != "p1" || len(got.Backends) != 1 {
+		t.Fatalf("partition 1 = %+v", got)
+	}
+	if m.Ordinal("p1") != 1 || m.Ordinal("nope") != -1 {
+		t.Fatal("Ordinal lookup wrong")
+	}
+}
+
+func TestParsePartitionsErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"p0",                          // no '='
+		"p0=",                         // empty backend
+		"=http://a:1",                 // empty name
+		"p0=http://a:1,",              // trailing empty entry
+		"p0=http://a:1,p0=http://b:2", // duplicate name
+		"p0=http://a:1||http://b:2",   // empty backend between pipes
+	}
+	for _, spec := range bad {
+		if _, err := ParsePartitions(spec); err == nil {
+			t.Errorf("ParsePartitions(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestPartitionMapDeterministicOwnership(t *testing.T) {
+	a := mapFromSpec(t, "p0=http://a:1,p1=http://b:2,p2=http://c:3")
+	b := mapFromSpec(t, "p0=http://x:9,p1=http://y:8,p2=http://z:7")
+	// Ownership depends on partition names only, never on backends — a
+	// router and a serving node configured with different URLs for the
+	// same partitions must agree on every key.
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("dev-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestPartitionMapCoverageAndBalance(t *testing.T) {
+	m := mapFromSpec(t, "p0=http://a:1,p1=http://b:2,p2=http://c:3,p3=http://d:4")
+	counts := make([]int, m.Len())
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		p := m.Owner(fmt.Sprintf("dev-%d", i))
+		if p < 0 || p >= m.Len() {
+			t.Fatalf("key %d owned by out-of-range partition %d", i, p)
+		}
+		counts[p]++
+	}
+	// With 64 vnodes per partition the imbalance stays modest; the bound
+	// here is loose on purpose (it guards against a broken ring, not
+	// statistical drift).
+	for p, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("partition %d owns %.1f%% of keys: %v", p, 100*frac, counts)
+		}
+	}
+}
+
+// TestPartitionMapSiblingNameDispersion pins the hash finalizer: device
+// names differing only in a trailing character must still spread across
+// partitions. Bare FNV-1a fails this — its weak trailing-byte avalanche
+// parks whole "device-1".."device-N" families in a single vnode gap,
+// which in production is a hot partition the balance test's random-ish
+// dev-%d keys never notice.
+func TestPartitionMapSiblingNameDispersion(t *testing.T) {
+	m := mapFromSpec(t, "p0=http://a:1,p1=http://b:2")
+	for _, family := range []string{"device%c", "host-%c", "fleet.node.%c"} {
+		counts := make([]int, m.Len())
+		for c := 'a'; c <= 'z'; c++ {
+			counts[m.Owner(fmt.Sprintf(family, c))]++
+		}
+		// 26 two-sided coin flips: each side owning at least 4 is a loose
+		// bound (p < 1e-3 per side under fair hashing), but bare FNV puts
+		// all 26 on one side — the failure mode this test exists for.
+		for p, n := range counts {
+			if n < 4 {
+				t.Fatalf("family %q: partition %d owns only %d of 26 sibling names: %v",
+					family, p, n, counts)
+			}
+		}
+	}
+}
+
+// TestPartitionMapMinimalMovement: growing the cluster from 3 to 4
+// partitions must move roughly 1/4 of the keys (the new partition's
+// share) — never reshuffle keys between the surviving partitions.
+func TestPartitionMapMinimalMovement(t *testing.T) {
+	old := mapFromSpec(t, "p0=http://a:1,p1=http://b:2,p2=http://c:3")
+	grown := mapFromSpec(t, "p0=http://a:1,p1=http://b:2,p2=http://c:3,p3=http://d:4")
+	const keys = 20000
+	moved, movedElsewhere := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("dev-%d", i)
+		was, now := old.Owner(key), grown.Owner(key)
+		if was != now {
+			moved++
+			if grown.Partition(now).Name != "p3" {
+				movedElsewhere++
+			}
+		}
+	}
+	if movedElsewhere > 0 {
+		t.Fatalf("%d keys moved between surviving partitions (consistent hashing broken)", movedElsewhere)
+	}
+	frac := float64(moved) / keys
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("adding a partition moved %.1f%% of keys, expected ≈25%%", 100*frac)
+	}
+}
+
+func TestPartitionMapNamespaces(t *testing.T) {
+	m := mapFromSpec(t, "p0=http://a:1,p1=http://b:2")
+	ns0, ns1 := m.Namespace(0), m.Namespace(1)
+	if ns0.Base != 0 || ns0.Stride != 2 || ns1.Base != 1 || ns1.Stride != 2 {
+		t.Fatalf("namespaces %+v %+v", ns0, ns1)
+	}
+	owns0, owns1 := m.OwnsFunc(0), m.OwnsFunc(1)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("dev-%d", i)
+		if owns0(key) == owns1(key) {
+			t.Fatalf("key %q owned by both or neither partition", key)
+		}
+	}
+}

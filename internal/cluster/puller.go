@@ -1,3 +1,6 @@
+// puller.go: the follower side of WAL shipping — the incremental pull
+// loop with retry/backoff and frame dedup, and the snapshot re-bootstrap
+// path for followers whose position the primary compacted away.
 package cluster
 
 import (

@@ -1,3 +1,7 @@
+// router.go: the replicated group's front door — health/role probing
+// with the partition handshake, primary failover, budgeted retries over
+// per-backend circuit breakers, and the Forward primitive the
+// scatter-gather coordinator (scatter.go) builds on.
 package cluster
 
 import (
@@ -68,6 +72,11 @@ type RouterConfig struct {
 	FailoverAfter int
 	// Seed drives deterministic retry jitter and backend choice.
 	Seed uint64
+	// Partition, when non-empty, is the topology handshake: a backend
+	// whose /v1/repl/status claims a different partition is treated as
+	// unhealthy (a misconfigured node must never serve or absorb this
+	// partition's traffic).
+	Partition string
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -245,6 +254,15 @@ func (r *Router) probe(ctx context.Context, b *backend) {
 		b.mu.Unlock()
 		return
 	}
+	if r.cfg.Partition != "" && st.Partition != r.cfg.Partition {
+		obs.Warnf("router partition mismatch", "backend", b.url, "want", r.cfg.Partition, "got", st.Partition)
+		b.mu.Lock()
+		b.healthy = false
+		b.downFor++
+		b.lastSeen = st
+		b.mu.Unlock()
+		return
+	}
 	b.mu.Lock()
 	b.healthy = true
 	b.downFor = 0
@@ -333,6 +351,35 @@ func (r *Router) maybeFailover(ctx context.Context) {
 	}
 }
 
+// BackendStatus is the router's current view of one backend, exported
+// for /v1/cluster/topology.
+type BackendStatus struct {
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	Ready      bool   `json:"ready"`
+	Role       string `json:"role,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Breaker    string `json:"breaker"`
+	BreakerOps int64  `json:"breaker_opens"`
+}
+
+// Status snapshots every backend's probed state.
+func (r *Router) Status() []BackendStatus {
+	out := make([]BackendStatus, 0, len(r.backends))
+	for _, b := range r.backends {
+		b.mu.Lock()
+		s := BackendStatus{
+			URL: b.url, Healthy: b.healthy, Ready: b.ready,
+			Role: b.role, AppliedSeq: b.applied,
+		}
+		b.mu.Unlock()
+		s.Breaker = b.breaker.State().String()
+		s.BreakerOps = b.breaker.Opens()
+		out = append(out, s)
+	}
+	return out
+}
+
 // Primary returns the URL of the backend currently believed primary
 // ("" when none).
 func (r *Router) Primary() string {
@@ -409,7 +456,40 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) int {
 	if len(body) > DefaultMaxForwardBody {
 		return fail(w, http.StatusRequestEntityTooLarge, "request body too large")
 	}
-	mutation := isMutation(req)
+	res, err := r.forward(req.Context(), req.Method, req.URL.RequestURI(), req.Header, body, isMutation(req))
+	if err != nil {
+		if res.Status != 0 {
+			return fail(w, res.Status, "all backends failed")
+		}
+		if obs.On() {
+			cRouterNoBack.Inc()
+		}
+		return fail(w, http.StatusServiceUnavailable, err.Error())
+	}
+	return respond(w, res.Status, res.Header, res.Body)
+}
+
+// ForwardResult is one definitive backend response relayed by Forward.
+type ForwardResult struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// Forward sends one request through the router's full routing discipline
+// — backend selection, budgeted retries, per-backend breakers — without
+// an http.ResponseWriter, so a scatter-gather coordinator can fan the
+// same request across many partition routers and merge the bodies.
+//
+// A nil error means some backend produced a definitive response (any
+// status, including 4xx/5xx relayed to the client). A non-nil error
+// means no backend did: Status carries the last retryable 5xx seen
+// (0 when every attempt failed in transport or no backend was eligible).
+func (r *Router) Forward(ctx context.Context, method, uri string, header http.Header, body []byte, mutation bool) (ForwardResult, error) {
+	return r.forward(ctx, method, uri, header, body, mutation)
+}
+
+func (r *Router) forward(ctx context.Context, method, uri string, header http.Header, body []byte, mutation bool) (ForwardResult, error) {
 	maxAttempts := r.cfg.Retry.MaxAttempts
 	if maxAttempts <= 0 {
 		if mutation {
@@ -432,8 +512,8 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) int {
 			}
 			delay := r.cfg.Retry.Delay(attempt-1, routerJitter{r})
 			select {
-			case <-req.Context().Done():
-				return fail(w, http.StatusServiceUnavailable, "client gone")
+			case <-ctx.Done():
+				return ForwardResult{}, fmt.Errorf("client gone")
 			case <-time.After(delay):
 			}
 		}
@@ -447,7 +527,7 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) int {
 			lastErr = fmt.Errorf("no eligible backend")
 			continue
 		}
-		status, hdr, respBody, aerr := r.attempt(req, b, body)
+		status, hdr, respBody, aerr := r.attempt(ctx, method, uri, header, b, body)
 		switch {
 		case aerr != nil:
 			// Transport error: the request may not have reached the
@@ -463,36 +543,33 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) int {
 			// rejection) or a warming node: try another backend / wait for
 			// failover. Other 5xx retry on reads only.
 			if mutation && status != http.StatusServiceUnavailable {
-				return respond(w, status, hdr, respBody)
+				return ForwardResult{Status: status, Header: hdr, Body: respBody}, nil
 			}
 			continue
 		default:
 			b.breaker.Report(true)
-			return respond(w, status, hdr, respBody)
+			return ForwardResult{Status: status, Header: hdr, Body: respBody}, nil
 		}
 	}
 	if lastStatus != 0 {
-		return fail(w, lastStatus, "all backends failed")
-	}
-	if obs.On() {
-		cRouterNoBack.Inc()
+		return ForwardResult{Status: lastStatus}, fmt.Errorf("all backends failed (last status %d)", lastStatus)
 	}
 	msg := "no backend available"
 	if lastErr != nil {
 		msg = "no backend available: " + lastErr.Error()
 	}
-	return fail(w, http.StatusServiceUnavailable, msg)
+	return ForwardResult{}, fmt.Errorf("%s", msg)
 }
 
 // attempt forwards one request to one backend.
-func (r *Router) attempt(req *http.Request, b *backend, body []byte) (int, http.Header, []byte, error) {
-	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
+func (r *Router) attempt(ctx context.Context, method, uri string, header http.Header, b *backend, body []byte) (int, http.Header, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, r.cfg.RequestTimeout)
 	defer cancel()
-	out, err := http.NewRequestWithContext(ctx, req.Method, b.url+req.URL.RequestURI(), bytes.NewReader(body))
+	out, err := http.NewRequestWithContext(actx, method, b.url+uri, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	out.Header = req.Header.Clone()
+	out.Header = header.Clone()
 	resp, err := r.cfg.Client.Do(out)
 	if err != nil {
 		return 0, nil, nil, err

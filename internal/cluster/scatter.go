@@ -1,0 +1,575 @@
+// scatter.go: the scatter-gather coordinator for partitioned cluster
+// mode. One ScatterRouter fronts N partitions (each a replicated group
+// behind its own Router): identify traffic fans out to every partition
+// and the per-partition verdicts merge back into one — byte-identical to
+// a single node scanning the union database — while keyed mutations
+// (enroll, add, remove) route to the one partition that owns the device
+// name. DESIGN.md §14 carries the merge-correctness argument, CLUSTER.md
+// the operator contract.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"probablecause/internal/fingerprint"
+	"probablecause/internal/obs"
+	"probablecause/internal/prng"
+	"probablecause/internal/server"
+)
+
+// Scatter metrics: the coordinator's RED triple, fan-out accounting, and
+// the straggler histogram (slowest minus fastest partition per fan-out —
+// the tail a scatter layer adds over a single node).
+var (
+	redScatter      = obs.NewRED(obs.Default, "cluster.scatter")
+	cScatterFans    = obs.C("cluster.scatter.fanouts")
+	cScatterRefused = obs.C("cluster.scatter.partial_refusals")
+	cScatterKeyed   = obs.C("cluster.scatter.keyed_routes")
+	hStraggler      = obs.H("cluster.scatter.straggler_nanos")
+)
+
+// ScatterConfig parameterizes the scatter-gather coordinator.
+type ScatterConfig struct {
+	// Map is the cluster's static partition assignment (every process
+	// must be built from the same spec string).
+	Map *PartitionMap
+	// Router is the template each per-partition Router is stamped from:
+	// Backends and Partition are overwritten per partition, the Seed is
+	// decorrelated per partition, everything else (client, probe pacing,
+	// timeouts, retry shape, breaker tuning) applies to all of them. A
+	// nil Budget gives every partition its own default budget, so one
+	// flapping partition cannot exhaust the others' retry allowance.
+	Router RouterConfig
+}
+
+// ScatterRouter is the partitioned cluster's front door. It composes one
+// Router per partition — reusing the probe loop, failover driver,
+// per-backend breakers, and budgeted retries unchanged — and adds the
+// fan-out/merge layer on top.
+type ScatterRouter struct {
+	m       *PartitionMap
+	routers []*Router
+	hParts  []*obs.Histogram // per-partition fan-out latency
+}
+
+// NewScatterRouter builds the per-partition routers and starts their
+// probe loops.
+func NewScatterRouter(cfg ScatterConfig) (*ScatterRouter, error) {
+	if cfg.Map == nil || cfg.Map.Len() == 0 {
+		return nil, fmt.Errorf("cluster: scatter router needs a partition map")
+	}
+	s := &ScatterRouter{m: cfg.Map}
+	for i := 0; i < cfg.Map.Len(); i++ {
+		p := cfg.Map.Partition(i)
+		rc := cfg.Router
+		rc.Backends = p.Backends
+		rc.Partition = p.Name
+		rc.Seed = prng.Hash(cfg.Router.Seed, uint64(i), 0x73636174746572)
+		r, err := NewRouter(rc)
+		if err != nil {
+			for _, started := range s.routers {
+				started.Close()
+			}
+			return nil, fmt.Errorf("cluster: partition %s: %w", p.Name, err)
+		}
+		s.routers = append(s.routers, r)
+		s.hParts = append(s.hParts, obs.H("cluster.scatter.partition."+p.Name+".nanos"))
+	}
+	return s, nil
+}
+
+// Close stops every partition router's probe loop.
+func (s *ScatterRouter) Close() {
+	for _, r := range s.routers {
+		r.Close()
+	}
+}
+
+// Map returns the partition map the coordinator routes by.
+func (s *ScatterRouter) Map() *PartitionMap { return s.m }
+
+// PartitionRouter returns partition i's Router (tests, topology).
+func (s *ScatterRouter) PartitionRouter(i int) *Router { return s.routers[i] }
+
+// route wraps a handler with the coordinator's observability: a request
+// trace rooted at the endpoint (fan-out legs file as child spans) and
+// the scatter RED triple.
+func (s *ScatterRouter) route(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !obs.On() {
+			fn(w, r)
+			return
+		}
+		ctx, root := obs.StartRequest(r.Context(), "scatter."+endpoint, r.Header.Get(obs.TraceHeader))
+		if h := root.Header(); h != "" {
+			w.Header().Set(obs.TraceHeader, h)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		fn(sw, r.WithContext(ctx))
+		root.End()
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		redScatter.Observe(time.Since(t0).Nanoseconds(), code >= 500)
+	}
+}
+
+// statusWriter mirrors the server package's response-status capture.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Handler returns the coordinator's HTTP surface:
+//
+//	POST   /v1/identify           fan to all partitions, merge verdicts
+//	POST   /v1/identify-batch     fan once, merge per query
+//	POST   /v1/enroll             route to the name's owning partition
+//	GET    /v1/enroll/{id}/status scatter; first partition that knows wins
+//	POST   /v1/db                 route to the name's owning partition
+//	DELETE /v1/db?name=N          route to the name's owning partition
+//	POST   /v1/characterize       keyed when registering, else partition 0
+//	POST   /v1/snapshot           fan to all partitions (checkpoint each)
+//	GET    /v1/db                 aggregated stats across partitions
+//	GET    /v1/cluster/topology   partition map + per-backend router view
+//	GET    /healthz               coordinator liveness
+//	GET    /readyz                503 until every partition is servable
+//	GET    /metrics               obs registry
+func (s *ScatterRouter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/identify", s.route("identify", s.handleIdentify))
+	mux.HandleFunc("POST /v1/identify-batch", s.route("identify_batch", s.handleIdentifyBatch))
+	mux.HandleFunc("POST /v1/enroll", s.route("enroll", s.keyedFromBody("name")))
+	mux.HandleFunc("GET /v1/enroll/{id}/status", s.route("enroll_status", s.handleEnrollStatus))
+	mux.HandleFunc("POST /v1/db", s.route("db_add", s.keyedFromBody("name")))
+	mux.HandleFunc("DELETE /v1/db", s.route("db_remove", s.handleRemove))
+	mux.HandleFunc("POST /v1/characterize", s.route("characterize", s.keyedFromBody("name")))
+	mux.HandleFunc("POST /v1/snapshot", s.route("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/db", s.route("db", s.handleStats))
+	mux.HandleFunc("GET /v1/cluster/topology", s.route("topology", s.handleTopology))
+	mux.Handle("GET /metrics", obs.MetricsHandler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// ---- fan-out plumbing ----
+
+// partResult is one partition's leg of a fan-out.
+type partResult struct {
+	res ForwardResult
+	err error
+	dur time.Duration
+}
+
+// fan sends the same request to every partition concurrently and waits
+// for all legs. Each leg runs under the partition router's own retry
+// budget and breakers; the straggler histogram records the spread.
+func (s *ScatterRouter) fan(ctx context.Context, method, uri string, header http.Header, body []byte) []partResult {
+	if obs.On() {
+		cScatterFans.Inc()
+	}
+	out := make([]partResult, len(s.routers))
+	var wg sync.WaitGroup
+	for i := range s.routers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := obs.SpanFrom(ctx).Child("scatter." + s.m.Partition(i).Name)
+			t0 := time.Now()
+			res, err := s.routers[i].Forward(ctx, method, uri, header, body, false)
+			out[i].dur = time.Since(t0)
+			out[i].res, out[i].err = res, err
+			if obs.On() {
+				s.hParts[i].Observe(out[i].dur.Nanoseconds())
+				sp.SetAttr("status", res.Status)
+				if err != nil {
+					sp.SetAttr("err", err.Error())
+				}
+			}
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	if obs.On() && len(out) > 1 {
+		min, max := out[0].dur, out[0].dur
+		for _, p := range out[1:] {
+			if p.dur < min {
+				min = p.dur
+			}
+			if p.dur > max {
+				max = p.dur
+			}
+		}
+		hStraggler.Observe((max - min).Nanoseconds())
+	}
+	return out
+}
+
+// gatherError turns a fan-out's failures into the client response: the
+// coordinator never serves a partial verdict. A leg that produced no
+// definitive response, or answered with a retryable server error, makes
+// the whole query 503 naming the partition (the client retries; the
+// partition router already spent its budget). A definitive 4xx from any
+// partition relays as-is — every partition validates identically, so the
+// first refusal speaks for all. Returns ok=false after writing.
+func (s *ScatterRouter) gatherError(w http.ResponseWriter, results []partResult) bool {
+	for i, p := range results {
+		if p.err != nil || p.res.Status >= 500 {
+			if obs.On() {
+				cScatterRefused.Inc()
+			}
+			detail := ""
+			if p.err != nil {
+				detail = ": " + p.err.Error()
+			} else {
+				detail = fmt.Sprintf(": status %d", p.res.Status)
+			}
+			fail(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("partition %s unavailable%s", s.m.Partition(i).Name, detail))
+			return false
+		}
+	}
+	for _, p := range results {
+		if p.res.Status != http.StatusOK {
+			respond(w, p.res.Status, p.res.Header, p.res.Body)
+			return false
+		}
+	}
+	return true
+}
+
+// mergeWire folds per-partition wire verdicts into the global verdict,
+// in partition-ordinal order. Entry ids are already namespaced into the
+// disjoint global id space by each backend, so (distance, id) ordering
+// across partitions is exactly the single-node tie-break; Matches sums
+// because partitions hold disjoint entries. Cached only when every
+// partition answered from its cache — a merged verdict is only as warm
+// as its coldest leg.
+func mergeWire(parts []server.VerdictJSON) server.VerdictJSON {
+	merged := fingerprint.Verdict{Index: -1, Distance: 2}
+	cached := true
+	for _, p := range parts {
+		fingerprint.MergeVerdict(&merged, p.Verdict())
+		cached = cached && p.Cached
+	}
+	return server.WireVerdict(merged, cached)
+}
+
+// readBody slurps and bounds the request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, DefaultMaxForwardBody+1))
+	if err != nil {
+		fail(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return nil, false
+	}
+	if int64(len(body)) > DefaultMaxForwardBody {
+		fail(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return nil, false
+	}
+	return body, true
+}
+
+// ---- scatter reads ----
+
+func (s *ScatterRouter) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	results := s.fan(r.Context(), http.MethodPost, "/v1/identify", r.Header, body)
+	if !s.gatherError(w, results) {
+		return
+	}
+	parts := make([]server.VerdictJSON, len(results))
+	for i, p := range results {
+		if err := json.Unmarshal(p.res.Body, &parts[i]); err != nil {
+			fail(w, http.StatusBadGateway,
+				fmt.Sprintf("partition %s returned an undecodable verdict: %v", s.m.Partition(i).Name, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, mergeWire(parts))
+}
+
+func (s *ScatterRouter) handleIdentifyBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	results := s.fan(r.Context(), http.MethodPost, "/v1/identify-batch", r.Header, body)
+	if !s.gatherError(w, results) {
+		return
+	}
+	batches := make([]server.BatchResponseJSON, len(results))
+	n := -1
+	for i, p := range results {
+		if err := json.Unmarshal(p.res.Body, &batches[i]); err != nil {
+			fail(w, http.StatusBadGateway,
+				fmt.Sprintf("partition %s returned an undecodable batch: %v", s.m.Partition(i).Name, err))
+			return
+		}
+		if n == -1 {
+			n = len(batches[i].Results)
+		} else if len(batches[i].Results) != n {
+			fail(w, http.StatusBadGateway,
+				fmt.Sprintf("partition %s answered %d results, expected %d", s.m.Partition(i).Name, len(batches[i].Results), n))
+			return
+		}
+	}
+	resp := server.BatchResponseJSON{Results: make([]server.VerdictJSON, n)}
+	row := make([]server.VerdictJSON, len(batches))
+	for q := 0; q < n; q++ {
+		for i := range batches {
+			row[i] = batches[i].Results[q]
+		}
+		resp.Results[q] = mergeWire(row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEnrollStatus scatters the session lookup: sessions live on the
+// partition owning the enrolled name, but the session id alone does not
+// reveal the name, so ask everyone and relay the first partition that
+// knows it (ordinal order for determinism). All-404 means unknown.
+func (s *ScatterRouter) handleEnrollStatus(w http.ResponseWriter, r *http.Request) {
+	results := s.fan(r.Context(), http.MethodGet, r.URL.RequestURI(), r.Header, nil)
+	for i, p := range results {
+		if p.err != nil || p.res.Status >= 500 {
+			if obs.On() {
+				cScatterRefused.Inc()
+			}
+			fail(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("partition %s unavailable", s.m.Partition(i).Name))
+			return
+		}
+	}
+	for _, p := range results {
+		if p.res.Status == http.StatusOK {
+			respond(w, p.res.Status, p.res.Header, p.res.Body)
+			return
+		}
+	}
+	respond(w, results[0].res.Status, results[0].res.Header, results[0].res.Body)
+}
+
+// ---- keyed mutations ----
+
+// keyedFromBody routes a JSON mutation by the partition key in its body
+// field (the device name). An absent key falls back to partition 0 —
+// that only happens for characterize-without-registration, which touches
+// no partition state.
+func (s *ScatterRouter) keyedFromBody(field string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(body, &probe); err != nil {
+			fail(w, http.StatusBadRequest, "decoding request: "+err.Error())
+			return
+		}
+		name := ""
+		if raw, ok := probe[field]; ok {
+			if err := json.Unmarshal(raw, &name); err != nil {
+				fail(w, http.StatusBadRequest, fmt.Sprintf("field %q must be a string", field))
+				return
+			}
+		}
+		s.forwardKeyed(w, r, name, r.Method, r.URL.RequestURI(), body)
+	}
+}
+
+// handleRemove routes DELETE /v1/db?name=N by its query-string key.
+func (s *ScatterRouter) handleRemove(w http.ResponseWriter, r *http.Request) {
+	s.forwardKeyed(w, r, r.URL.Query().Get("name"), r.Method, r.URL.RequestURI(), nil)
+}
+
+// forwardKeyed sends one mutation to the owning partition's primary.
+func (s *ScatterRouter) forwardKeyed(w http.ResponseWriter, r *http.Request, name, method, uri string, body []byte) {
+	p := 0
+	if name != "" {
+		p = s.m.Owner(name)
+	}
+	if obs.On() {
+		cScatterKeyed.Inc()
+		obs.SpanFrom(r.Context()).SetAttr("partition", s.m.Partition(p).Name)
+	}
+	res, err := s.routers[p].Forward(r.Context(), method, uri, r.Header, body, true)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		fail(w, status, fmt.Sprintf("partition %s: %s", s.m.Partition(p).Name, err.Error()))
+		return
+	}
+	respond(w, res.Status, res.Header, res.Body)
+}
+
+// ---- cluster-wide control and introspection ----
+
+// snapshotResultJSON is one partition's leg of POST /v1/snapshot.
+type snapshotResultJSON struct {
+	Partition string          `json:"partition"`
+	Status    int             `json:"status"`
+	Body      json.RawMessage `json:"body,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// handleSnapshot checkpoints every partition's primary. Legs are
+// mutations (each goes to its partition's primary) issued sequentially —
+// checkpoints are heavyweight and an operator-triggered action, so
+// predictable ordering beats latency here.
+func (s *ScatterRouter) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	out := make([]snapshotResultJSON, len(s.routers))
+	code := http.StatusOK
+	for i := range s.routers {
+		out[i].Partition = s.m.Partition(i).Name
+		res, err := s.routers[i].Forward(r.Context(), http.MethodPost, "/v1/snapshot", r.Header, nil, true)
+		if err != nil {
+			out[i].Error = err.Error()
+			code = http.StatusServiceUnavailable
+			continue
+		}
+		out[i].Status = res.Status
+		out[i].Body = json.RawMessage(res.Body)
+		if res.Status != http.StatusOK {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, out)
+}
+
+// clusterStatsJSON is the scatter router's GET /v1/db body: the summed
+// entry count plus each partition's own stats verbatim.
+type clusterStatsJSON struct {
+	Entries    int                  `json:"entries"`
+	Partitions []partitionStatsJSON `json:"partitions"`
+}
+
+type partitionStatsJSON struct {
+	Name    string          `json:"name"`
+	Entries int             `json:"entries"`
+	Stats   json.RawMessage `json:"stats,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+func (s *ScatterRouter) handleStats(w http.ResponseWriter, r *http.Request) {
+	results := s.fan(r.Context(), http.MethodGet, "/v1/db", r.Header, nil)
+	resp := clusterStatsJSON{Partitions: make([]partitionStatsJSON, len(results))}
+	code := http.StatusOK
+	for i, p := range results {
+		resp.Partitions[i].Name = s.m.Partition(i).Name
+		if p.err != nil || p.res.Status != http.StatusOK {
+			resp.Partitions[i].Error = "unavailable"
+			code = http.StatusServiceUnavailable
+			continue
+		}
+		var st struct {
+			Entries int `json:"entries"`
+		}
+		if json.Unmarshal(p.res.Body, &st) == nil {
+			resp.Partitions[i].Entries = st.Entries
+			resp.Entries += st.Entries
+		}
+		resp.Partitions[i].Stats = json.RawMessage(p.res.Body)
+	}
+	writeJSON(w, code, resp)
+}
+
+// topologyJSON is the GET /v1/cluster/topology body — the one place the
+// whole cluster shape is visible: the partition map (names, ordinals, id
+// namespaces, key-hash contract) and each partition router's live view
+// of its backends (role, health, applied sequence, breaker state).
+type topologyJSON struct {
+	KeyHash    string                  `json:"key_hash"`
+	VNodes     int                     `json:"vnodes_per_partition"`
+	Partitions []partitionTopologyJSON `json:"partitions"`
+}
+
+type partitionTopologyJSON struct {
+	Name     string          `json:"name"`
+	Ordinal  int             `json:"ordinal"`
+	IDBase   int             `json:"id_base"`
+	IDStride int             `json:"id_stride"`
+	Primary  string          `json:"primary,omitempty"`
+	Backends []BackendStatus `json:"backends"`
+}
+
+func (s *ScatterRouter) handleTopology(w http.ResponseWriter, r *http.Request) {
+	resp := topologyJSON{
+		KeyHash:    "mix64(fnv1a-64(name))",
+		VNodes:     vnodesPerPartition,
+		Partitions: make([]partitionTopologyJSON, len(s.routers)),
+	}
+	for i, pr := range s.routers {
+		ns := s.m.Namespace(i)
+		resp.Partitions[i] = partitionTopologyJSON{
+			Name:     s.m.Partition(i).Name,
+			Ordinal:  i,
+			IDBase:   ns.Base,
+			IDStride: ns.Stride,
+			Primary:  pr.Primary(),
+			Backends: pr.Status(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ScatterRouter) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// handleReadyz reports whether every partition is servable: at least one
+// healthy, ready backend per partition. Identify fans to all partitions
+// and refuses partial results, so one unservable partition makes the
+// whole coordinator unready.
+func (s *ScatterRouter) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type partReady struct {
+		Name  string `json:"name"`
+		Ready bool   `json:"ready"`
+	}
+	body := struct {
+		Ready      bool        `json:"ready"`
+		Partitions []partReady `json:"partitions"`
+	}{Ready: true}
+	for i, pr := range s.routers {
+		ok := false
+		for _, b := range pr.Status() {
+			if b.Healthy && b.Ready {
+				ok = true
+				break
+			}
+		}
+		body.Ready = body.Ready && ok
+		body.Partitions = append(body.Partitions, partReady{Name: s.m.Partition(i).Name, Ready: ok})
+	}
+	code := http.StatusOK
+	if !body.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}

@@ -1,0 +1,277 @@
+package cluster
+
+// Chaos acceptance test for partitioned mode, run with -race in CI:
+//
+//   - TestScatterClusterFailoverLosesNoAckedEnrollment: 2 partitions ×
+//     (primary + follower) behind a scatter-gather coordinator, with
+//     every partition's replication transport under a fault plan
+//     (injected RPC failures, dropped and duplicated frames). Both
+//     primaries are SIGKILLed mid-traffic, staggered; after each
+//     partition router promotes its follower, every enrollment the
+//     coordinator ever acked must be present in its owner partition's
+//     surviving WAL with the exact payload the client sent, each
+//     surviving database must be byte-identical to a serial single-node
+//     oracle folding that partition's record sequence, and scattered
+//     identify plus keyed enrollment must work over the all-promoted
+//     topology.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"probablecause/internal/faults"
+	"probablecause/internal/retry"
+	"probablecause/internal/server"
+	"probablecause/internal/wal"
+)
+
+func TestScatterClusterFailoverLosesNoAckedEnrollment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	pmap := mapFromSpec(t, "p0=http://placeholder,p1=http://placeholder")
+
+	faultedPull := func(seed uint64) PullConfig {
+		inj := faults.NewInjector(faults.Plan{Seed: seed, RPC: 0.05, FrameDrop: 0.05, FrameDup: 0.10})
+		return PullConfig{
+			Interval: 2 * time.Millisecond,
+			Client:   &http.Client{Transport: inj.RoundTripper(nil), Timeout: 2 * time.Second},
+			Injector: inj,
+			Retry:    retry.Policy{BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		}
+	}
+
+	// Each partition: a scoped primary (MinISR=1, so acks really mean
+	// replicated) and a scoped follower pulling over the hostile
+	// transport. Primaries get no deferred close — they die mid-test.
+	primaries := make([]*testNode, pmap.Len())
+	followers := make([]*testNode, pmap.Len())
+	specs := make([]PartitionSpec, pmap.Len())
+	for ord := 0; ord < pmap.Len(); ord++ {
+		primaries[ord] = startPartitionPrimary(t, pmap, ord, 1)
+		f := startNode(t, fmt.Sprintf("p%d-follower", ord), t.TempDir(), nodeOptions{
+			pull: faultedPull(uint64(ord) + 1),
+			cfg:  partitionScoped(pmap, ord),
+		})
+		if err := f.node.StartFollower(primaries[ord].url()); err != nil {
+			t.Fatal(err)
+		}
+		defer f.close()
+		followers[ord] = f
+		specs[ord] = PartitionSpec{
+			Name:     pmap.Partition(ord).Name,
+			Backends: []string{primaries[ord].url(), f.url()},
+		}
+	}
+
+	sr, surl, stop := startScatter(t, RouterConfig{
+		ProbeInterval:  10 * time.Millisecond,
+		RequestTimeout: time.Second,
+		FailoverAfter:  3,
+		Retry:          retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	}, specs)
+	defer stop()
+	client0 := &http.Client{Timeout: 5 * time.Second}
+	waitScatterReady(t, client0, surl)
+
+	// Concurrent clients enroll device streams through the coordinator,
+	// at-least-once, recording every ack with its owning partition. The
+	// device list interleaves names owned by each partition so the kill
+	// matrix exercises both keyed paths.
+	const clients = 3
+	const devicesPerClient = 4
+	half := clients * devicesPerClient / 2
+	owned0, owned1 := devicesOwnedBy(pmap, 0, half), devicesOwnedBy(pmap, 1, half)
+	deviceIDs := make([]int, 0, 2*half)
+	for i := 0; i < half; i++ {
+		deviceIDs = append(deviceIDs, owned0[i], owned1[i])
+	}
+	type scatterAck struct {
+		ackedEnroll
+		partition int
+	}
+	var (
+		mu    sync.Mutex
+		acked []scatterAck
+	)
+	var wg sync.WaitGroup
+	killed := make(chan struct{})
+	enrollOne := func(client *http.Client, dev, trial int) {
+		session := fmt.Sprintf("sess-%d", dev)
+		name := fmt.Sprintf("dev-%d", dev)
+		es := deviceObs(obsBits, dev, trial)
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			st, code := enrollHTTP(t, client, surl, session, name, es)
+			if code == http.StatusOK {
+				mu.Lock()
+				acked = append(acked, scatterAck{
+					ackedEnroll: ackedEnroll{
+						seq: st.Seq, session: session, name: name,
+						length: es.Len(), positions: es.Positions(),
+					},
+					partition: pmap.Owner(name),
+				})
+				mu.Unlock()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("dev-%d trial %d never acked", dev, trial)
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 2 * time.Second}
+			for d := 0; d < devicesPerClient; d++ {
+				dev := deviceIDs[c*devicesPerClient+d]
+				for trial := 0; trial < 4; trial++ {
+					enrollOne(client, dev, trial)
+				}
+				if d == devicesPerClient/2 {
+					<-killed
+				}
+			}
+		}(c)
+	}
+
+	// Kill both primaries, staggered, so the failovers overlap live
+	// traffic differently per partition.
+	time.Sleep(150 * time.Millisecond)
+	primaries[0].kill()
+	time.Sleep(100 * time.Millisecond)
+	primaries[1].kill()
+	preKillAcked := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(acked)
+	}()
+	close(killed)
+
+	for ord := 0; ord < pmap.Len(); ord++ {
+		ord := ord
+		waitFor(t, 15*time.Second, fmt.Sprintf("p%d failover to follower", ord), func() bool {
+			return sr.PartitionRouter(ord).Primary() == followers[ord].url()
+		})
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if preKillAcked == 0 {
+		t.Fatal("no traffic acked before the kills; test proved nothing")
+	}
+	perPart := make([]int, pmap.Len())
+	for _, a := range acked {
+		perPart[a.partition]++
+	}
+	t.Logf("acked %d observations before the kills, %d total (split %v)", preKillAcked, len(acked), perPart)
+	for ord, n := range perPart {
+		if n == 0 {
+			t.Fatalf("partition %d received no acked traffic; the matrix needs both", ord)
+		}
+	}
+
+	// Per partition: acked ⊆ surviving WAL with exact payloads, and the
+	// promoted follower's database matches a serial oracle of its WAL.
+	oracles := make([]*server.Service, pmap.Len())
+	for ord := 0; ord < pmap.Len(); ord++ {
+		np := followers[ord]
+		applied := np.svc.AppliedSeq()
+		walRecords := make(map[uint64][]byte)
+		err := np.svc.WAL().ReadRange(np.svc.WAL().FirstSeq(), applied, func(seq uint64, payload []byte) error {
+			walRecords[seq] = append([]byte(nil), payload...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("reading p%d surviving WAL: %v", ord, err)
+		}
+		for _, a := range acked {
+			if a.partition != ord {
+				continue
+			}
+			if a.seq > applied {
+				t.Fatalf("p%d acked seq %d (session %s) beyond applied %d — acked enrollment lost",
+					ord, a.seq, a.session, applied)
+			}
+			payload, ok := walRecords[a.seq]
+			if !ok {
+				t.Fatalf("p%d acked seq %d missing from surviving WAL", ord, a.seq)
+			}
+			var rec struct {
+				Session   string   `json:"session"`
+				Name      string   `json:"name"`
+				Len       int      `json:"len"`
+				Positions []uint32 `json:"positions"`
+			}
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				t.Fatalf("p%d acked seq %d payload undecodable: %v", ord, a.seq, err)
+			}
+			if rec.Session != a.session || rec.Name != a.name || rec.Len != a.length ||
+				fmt.Sprint(rec.Positions) != fmt.Sprint(a.positions) {
+				t.Fatalf("p%d acked seq %d holds %+v, client sent %+v", ord, a.seq, rec, a)
+			}
+		}
+
+		oracle, err := server.BootDurable(nil, server.Config{}, server.EnrollConfig{
+			Dir:         t.TempDir(),
+			Accumulator: fastAcc,
+			WAL:         wal.Options{Fsync: wal.FsyncNone},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer oracle.Close()
+		for seq := np.svc.WAL().FirstSeq(); seq <= applied; seq++ {
+			payload, ok := walRecords[seq]
+			if !ok {
+				t.Fatalf("p%d surviving WAL has a hole at seq %d", ord, seq)
+			}
+			if _, err := oracle.ApplyReplicated(seq, payload); err != nil {
+				t.Fatalf("p%d oracle apply seq %d: %v", ord, seq, err)
+			}
+		}
+		if ob, nb := exportBytes(t, oracle), exportBytes(t, np.svc); !bytes.Equal(ob, nb) {
+			t.Fatalf("p%d surviving database diverged from serial oracle (%d vs %d bytes)", ord, len(nb), len(ob))
+		}
+		oracles[ord] = oracle
+	}
+
+	// Scattered identify over the all-promoted topology matches the
+	// owner partition's oracle on every enrolled device.
+	{
+		for _, dev := range deviceIDs {
+			es := deviceObs(obsBits, dev, 9)
+			ov := oracles[pmap.Owner(fmt.Sprintf("dev-%d", dev))].DB().Decide(es)
+			code, name := identifyHTTP(t, client0, surl, es)
+			if code != http.StatusOK {
+				t.Fatalf("post-failover scattered identify dev-%d: status %d", dev, code)
+			}
+			if ov.OK() && name != ov.Name {
+				t.Fatalf("dev-%d verdict diverged: scatter %q, oracle %q", dev, name, ov.Name)
+			}
+		}
+	}
+
+	// Keyed enrollment still flows to each promoted primary.
+	for ord := 0; ord < pmap.Len(); ord++ {
+		dev := 0
+		for i := 400; ; i++ {
+			if pmap.Owner(fmt.Sprintf("dev-%d", i)) == ord {
+				dev = i
+				break
+			}
+		}
+		_, code := enrollHTTP(t, client0, surl, fmt.Sprintf("post-failover-%d", ord),
+			fmt.Sprintf("dev-%d", dev), deviceObs(obsBits, dev%300, 0))
+		if code != http.StatusOK {
+			t.Fatalf("post-failover enroll to p%d: status %d", ord, code)
+		}
+	}
+}

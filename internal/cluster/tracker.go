@@ -1,3 +1,5 @@
+// tracker.go: the primary's follower-progress tracker and the MinISR
+// commit watermark that gates enrollment acks on real replication.
 package cluster
 
 import (

@@ -1,0 +1,62 @@
+package fingerprint
+
+// IDNamespace maps a partition's local, dense, add-order entry ids into a
+// cluster-wide global id space. Partition p of P strides its local ids:
+// global = local*Stride + Base (Base = p, Stride = P). The mapping is
+// strictly monotone in the local id, which is what makes scatter-gather
+// verdict merging sound: within a partition the (distance, local id)
+// tie-break picks the same winner as (distance, global id), so a node can
+// run its normal Decide and the router can renumber the result after the
+// fact. See DESIGN.md §14 for the full argument.
+//
+// The zero value is the identity namespace (Base 0, Stride 0 or 1), so
+// single-node deployments pay nothing and report raw local ids.
+type IDNamespace struct {
+	Base   int // partition ordinal: the offset added after striding
+	Stride int // partition count: the multiplier applied to local ids
+}
+
+// Identity reports whether the namespace leaves ids unchanged.
+func (n IDNamespace) Identity() bool {
+	return n.Stride <= 1 && n.Base == 0
+}
+
+// Global maps a local id into the global id space. Negative ids (the
+// "no match" sentinel -1) pass through unchanged.
+func (n IDNamespace) Global(local int) int {
+	if local < 0 || n.Identity() {
+		return local
+	}
+	stride := n.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	return local*stride + n.Base
+}
+
+// Local inverts Global. ok is false when the global id does not belong to
+// this namespace (wrong residue modulo Stride).
+func (n IDNamespace) Local(global int) (int, bool) {
+	if global < 0 {
+		return global, true
+	}
+	if n.Identity() {
+		return global, true
+	}
+	stride := n.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	if global%stride != n.Base%stride {
+		return 0, false
+	}
+	return (global - n.Base) / stride, true
+}
+
+// Renumber returns v with its Index mapped into the global id space.
+// Distance, Matches, and Name are untouched: the namespace changes how an
+// entry is labelled, never what matched.
+func (n IDNamespace) Renumber(v Verdict) Verdict {
+	v.Index = n.Global(v.Index)
+	return v
+}

@@ -235,6 +235,40 @@ func (s *ShardedDB) Add(name string, fp *bitset.Set) int {
 	return id
 }
 
+// AddWithID registers a fingerprint under an explicit, caller-chosen id
+// instead of the next dense add-order id. It exists for oracle
+// construction: a single-node database rebuilt from a partitioned
+// cluster's enrollments must carry each entry under the same global id
+// the cluster reported (see IDNamespace), or verdict byte-comparison is
+// meaningless. nextID advances past the explicit id so later plain Adds
+// never collide. The caller owns id uniqueness.
+func (s *ShardedDB) AddWithID(id int, name string, fp *bitset.Set) {
+	sig := s.scheme.Sign(bitset.Sparse(fp.Positions()))
+	si := s.shardFor(sig)
+	s.mu.Lock()
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	s.names[name] = append(s.names[name], si)
+	sh := s.shards[si]
+	sh.mu.Lock()
+	if sh.ix != nil {
+		sh.ix.index.Add(sig, len(sh.db.entries))
+	}
+	sh.db.Add(name, fp)
+	if sh.sx != nil {
+		sh.sx.arena.Add(fp)
+	}
+	sh.ids = append(sh.ids, id)
+	sh.mu.Unlock()
+	s.count.Add(1)
+	s.gen.Add(1)
+	s.mu.Unlock()
+	if obs.On() {
+		cShardAdds.Inc()
+	}
+}
+
 // Get returns the fingerprint stored under name, or ok=false.
 func (s *ShardedDB) Get(name string) (*bitset.Set, bool) {
 	s.mu.Lock()

@@ -165,8 +165,8 @@ func runGoldenReplay(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := toVerdictJSON(seed.Decide(es), false)
-			var got verdictJSON
+			want := WireVerdict(seed.Decide(es), false)
+			var got VerdictJSON
 			if err := json.Unmarshal(body, &got); err != nil {
 				t.Fatal(err)
 			}

@@ -58,8 +58,11 @@ func (s *Service) toSet(e errStringJSON) (*bitset.Set, error) {
 	return bitset.FromPositions(e.Len, e.Positions), nil
 }
 
-// verdictJSON is the wire form of a fingerprint.Verdict.
-type verdictJSON struct {
+// VerdictJSON is the wire form of a fingerprint.Verdict. Exported so the
+// cluster's scatter-gather router can decode per-partition verdicts and
+// re-encode the merged verdict byte-identically to a single node's
+// response (the field order here is the contract the golden tests pin).
+type VerdictJSON struct {
 	Match     bool    `json:"match"`
 	Ambiguous bool    `json:"ambiguous"`
 	Matches   int     `json:"matches"`
@@ -69,8 +72,11 @@ type verdictJSON struct {
 	Cached    bool    `json:"cached"`
 }
 
-func toVerdictJSON(v fingerprint.Verdict, cached bool) verdictJSON {
-	return verdictJSON{
+// WireVerdict converts a verdict to its wire form. Match and Ambiguous
+// derive from Matches, so a verdict reassembled with Verdict() and
+// re-wired round-trips exactly.
+func WireVerdict(v fingerprint.Verdict, cached bool) VerdictJSON {
+	return VerdictJSON{
 		Match:     v.OK(),
 		Ambiguous: v.Ambiguous(),
 		Matches:   v.Matches,
@@ -81,12 +87,27 @@ func toVerdictJSON(v fingerprint.Verdict, cached bool) verdictJSON {
 	}
 }
 
+// Verdict reassembles the fingerprint.Verdict a wire verdict encodes —
+// the decode half of the scatter-gather merge (ID carries the global,
+// namespace-mapped index; fingerprint.MergeVerdict orders on it).
+func (j VerdictJSON) Verdict() fingerprint.Verdict {
+	return fingerprint.Verdict{Name: j.Name, Index: j.ID, Distance: j.Distance, Matches: j.Matches}
+}
+
+// wireVerdict is WireVerdict through this service's partition namespace:
+// entry ids leave the process already mapped into the global id space.
+func (s *Service) wireVerdict(v fingerprint.Verdict, cached bool) VerdictJSON {
+	return WireVerdict(s.cfg.Partition.NS.Renumber(v), cached)
+}
+
 type batchRequestJSON struct {
 	Queries []errStringJSON `json:"queries"`
 }
 
-type batchResponseJSON struct {
-	Results []verdictJSON `json:"results"`
+// BatchResponseJSON is the wire form of /v1/identify-batch responses,
+// exported for the same scatter-gather reason as VerdictJSON.
+type BatchResponseJSON struct {
+	Results []VerdictJSON `json:"results"`
 }
 
 type characterizeRequestJSON struct {
@@ -380,7 +401,7 @@ func (s *Service) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, submitStatus(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, toVerdictJSON(v, cached))
+	writeJSON(w, http.StatusOK, s.wireVerdict(v, cached))
 }
 
 func (s *Service) handleIdentifyBatch(w http.ResponseWriter, r *http.Request) {
@@ -414,9 +435,9 @@ func (s *Service) handleIdentifyBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, submitStatus(err), err.Error())
 		return
 	}
-	resp := batchResponseJSON{Results: make([]verdictJSON, len(verdicts))}
+	resp := BatchResponseJSON{Results: make([]VerdictJSON, len(verdicts))}
 	for i, v := range verdicts {
-		resp.Results[i] = toVerdictJSON(v, cached[i])
+		resp.Results[i] = s.wireVerdict(v, cached[i])
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -434,6 +455,9 @@ func (s *Service) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if req.Name != "" && !s.IsPrimary() {
 		// Pure characterization is a read; registration is a mutation.
 		httpError(w, http.StatusServiceUnavailable, ErrNotPrimary.Error())
+		return
+	}
+	if req.Name != "" && !s.checkPartition(w, req.Name) {
 		return
 	}
 	ess := make([]*bitset.Set, len(req.Outputs))
@@ -497,6 +521,9 @@ func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if !s.checkPartition(w, req.Name) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	st, err := s.Enroll(ctx, req.Session, req.Name, es)
@@ -504,7 +531,7 @@ func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		httpError(w, enrollStatus(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, s.renumberEnroll(st))
 }
 
 func (s *Service) handleEnrollStatus(w http.ResponseWriter, r *http.Request) {
@@ -517,7 +544,7 @@ func (s *Service) handleEnrollStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown enrollment session")
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, s.renumberEnroll(st))
 }
 
 func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -547,6 +574,9 @@ func (s *Service) handleDBAdd(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, ErrNotPrimary.Error())
 		return
 	}
+	if !s.checkPartition(w, req.Name) {
+		return
+	}
 	fp, err := s.toSet(errStringJSON{Len: req.Len, Positions: req.Positions})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -564,6 +594,9 @@ func (s *Service) handleDBRemove(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.IsPrimary() {
 		httpError(w, http.StatusServiceUnavailable, ErrNotPrimary.Error())
+		return
+	}
+	if !s.checkPartition(w, name) {
 		return
 	}
 	removed := s.Remove(name)

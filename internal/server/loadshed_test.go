@@ -152,7 +152,7 @@ func TestBatchAdmissionAtomic(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("follow-up batch: %d (%s), want 200", code, body)
 	}
-	var resp batchResponseJSON
+	var resp BatchResponseJSON
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"probablecause/internal/fingerprint"
+)
+
+// PartitionConfig scopes a service to one partition of a partitioned
+// cluster (CLUSTER.md). The zero value means unpartitioned: the service
+// owns every name and reports raw local ids, preserving single-node
+// behavior byte-for-byte.
+type PartitionConfig struct {
+	// Name labels the partition (e.g. "p0") in /v1/repl/status — the
+	// router's topology handshake refuses a backend whose claimed
+	// partition does not match the partition map.
+	Name string
+	// NS maps this partition's local, dense entry ids into the
+	// cluster-wide global id space (partition ordinal and count; see
+	// fingerprint.IDNamespace). Applied only at the reporting boundary —
+	// verdict JSON and enrollment EntryIDs — never to stored state, so
+	// WAL records, segments, and replication stay partition-local.
+	NS fingerprint.IDNamespace
+	// Owns reports whether a device name belongs to this partition
+	// (derived from the shared partition map). nil owns everything.
+	Owns func(name string) bool
+}
+
+// ErrWrongPartition rejects a mutation for a name this partition does not
+// own. Mapped to HTTP 421 (Misdirected Request): the client — normally
+// the scatter router — addressed the wrong backend, and retrying here
+// can never succeed.
+var ErrWrongPartition = errors.New("server: name not owned by this partition")
+
+// partitionOwns reports whether this service may mutate entries under name.
+func (s *Service) partitionOwns(name string) bool {
+	if s.cfg.Partition.Owns == nil {
+		return true
+	}
+	return s.cfg.Partition.Owns(name)
+}
+
+// checkPartition writes the 421 refusal when name is misdirected and
+// reports whether the handler may proceed.
+func (s *Service) checkPartition(w http.ResponseWriter, name string) bool {
+	if s.partitionOwns(name) {
+		return true
+	}
+	httpError(w, http.StatusMisdirectedRequest,
+		ErrWrongPartition.Error()+": "+name+" (partition "+s.cfg.Partition.Name+")")
+	return false
+}
+
+// renumberEnroll maps an EnrollState's entry id into the global id space
+// at the reporting boundary. The stored session state keeps local ids.
+func (s *Service) renumberEnroll(st EnrollState) EnrollState {
+	st.EntryID = s.cfg.Partition.NS.Global(st.EntryID)
+	return st
+}

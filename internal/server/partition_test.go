@@ -1,0 +1,158 @@
+package server
+
+// Partition-scoping tests: a partition-configured service refuses
+// mutations for names it does not own with 421 Misdirected Request, and
+// renumbers entry ids into the cluster-global namespace at the HTTP
+// boundary while keeping local ids internally.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"probablecause/internal/fingerprint"
+)
+
+// partitionService boots a durable primary scoped to a fake partition
+// "p1" of 2 that owns only names carrying an "owned-" prefix.
+func partitionService(t *testing.T) *Service {
+	t.Helper()
+	s, err := BootDurable(nil, Config{
+		Partition: PartitionConfig{
+			Name: "p1",
+			NS:   fingerprint.IDNamespace{Base: 1, Stride: 2},
+			Owns: func(name string) bool { return strings.HasPrefix(name, "owned-") },
+		},
+	}, EnrollConfig{Dir: t.TempDir(), Accumulator: fastAcc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPartitionRefusesForeignNames(t *testing.T) {
+	s := partitionService(t)
+	h := s.Handler()
+	es := deviceObs(512, 1, 0)
+
+	checks := []struct {
+		what, method, path string
+		body               any
+	}{
+		{"enroll", "POST", "/v1/enroll", map[string]any{
+			"session": "s1", "name": "foreign-dev", "len": es.Len(), "positions": es.Positions(),
+		}},
+		{"db add", "POST", "/v1/db", map[string]any{
+			"name": "foreign-dev", "len": es.Len(), "positions": es.Positions(),
+		}},
+		{"db remove", "DELETE", "/v1/db?name=foreign-dev", nil},
+		{"characterize", "POST", "/v1/characterize", map[string]any{
+			"name": "foreign-dev", "len": es.Len(),
+			"outputs": [][]uint32{es.Positions(), es.Positions()},
+		}},
+	}
+	for _, c := range checks {
+		code, body := postJSON(t, h, c.method, c.path, c.body)
+		if code != http.StatusMisdirectedRequest {
+			t.Errorf("%s with foreign name: status %d body %s, want 421", c.what, code, body)
+		}
+		var e errorJSON
+		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "p1") {
+			t.Errorf("%s 421 body should name the partition: %s", c.what, body)
+		}
+	}
+
+	// Anonymous characterize (no name) is a read and must stay open.
+	code, body := postJSON(t, h, "POST", "/v1/characterize", map[string]any{
+		"len": es.Len(), "outputs": [][]uint32{es.Positions(), es.Positions()},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("anonymous characterize: %d %s", code, body)
+	}
+}
+
+func TestPartitionRenumbersIDs(t *testing.T) {
+	s := partitionService(t)
+	h := s.Handler()
+	ns := fingerprint.IDNamespace{Base: 1, Stride: 2}
+
+	// Enroll two owned devices to promotion; the acked EntryID must be in
+	// the global namespace (odd ids for partition 1 of 2).
+	for i := 0; i < 2; i++ {
+		var last EnrollState
+		for trial := 0; trial < 4; trial++ {
+			es := deviceObs(512, i, trial)
+			code, body := postJSON(t, h, "POST", "/v1/enroll", map[string]any{
+				"session": fmt.Sprintf("sess-%d", i), "name": fmt.Sprintf("owned-%d", i),
+				"len": es.Len(), "positions": es.Positions(),
+			})
+			if code != http.StatusOK {
+				t.Fatalf("enroll owned-%d trial %d: %d %s", i, trial, code, body)
+			}
+			if err := json.Unmarshal(body, &last); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !last.Promoted {
+			t.Fatalf("owned-%d not promoted: %+v", i, last)
+		}
+		if want := ns.Global(i); last.EntryID != want {
+			t.Fatalf("owned-%d acked EntryID %d, want global %d", i, last.EntryID, want)
+		}
+
+		// The status endpoint renumbers the same way.
+		code, body := postJSON(t, h, "GET", fmt.Sprintf("/v1/enroll/sess-%d/status", i), nil)
+		if code != http.StatusOK {
+			t.Fatalf("enroll status: %d %s", code, body)
+		}
+		var st EnrollState
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.EntryID != ns.Global(i) {
+			t.Fatalf("status EntryID %d, want %d", st.EntryID, ns.Global(i))
+		}
+	}
+
+	// Identify returns the renumbered id but the untouched name/distance.
+	es := deviceObs(512, 1, 9)
+	code, body := postJSON(t, h, "POST", "/v1/identify", map[string]any{
+		"len": es.Len(), "positions": es.Positions(),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("identify: %d %s", code, body)
+	}
+	var v VerdictJSON
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	local := s.DB().Decide(es)
+	if !v.Match || v.Name != "owned-1" || v.ID != ns.Global(local.Index) || v.Distance != local.Distance {
+		t.Fatalf("identify verdict %+v (local %+v)", v, local)
+	}
+
+	// A miss still carries the nearest entry, renumbered like a hit — the
+	// id stays inside this partition's (odd) namespace.
+	miss := deviceObs(512, 40, 0)
+	_, body = postJSON(t, h, "POST", "/v1/identify", map[string]any{
+		"len": miss.Len(), "positions": miss.Positions(),
+	})
+	var mv VerdictJSON
+	if err := json.Unmarshal(body, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Match {
+		t.Fatalf("miss verdict %+v, want no match", mv)
+	}
+	if _, ok := ns.Local(mv.ID); !ok {
+		t.Fatalf("miss verdict id %d outside partition namespace", mv.ID)
+	}
+
+	// Stats reports the partition name for the topology handshake.
+	if st := s.Stats(); st.Partition != "p1" {
+		t.Fatalf("Stats().Partition = %q, want p1", st.Partition)
+	}
+}

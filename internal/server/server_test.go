@@ -101,7 +101,7 @@ func TestServeIdentify(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("identify: %d %s", code, body)
 	}
-	var got verdictJSON
+	var got VerdictJSON
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestServeIdentify(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("cached identify: %d %s", code, body)
 	}
-	var cached verdictJSON
+	var cached VerdictJSON
 	if err := json.Unmarshal(body, &cached); err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestServeIdentify(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("miss identify: %d %s", code, body)
 	}
-	var mv verdictJSON
+	var mv VerdictJSON
 	if err := json.Unmarshal(body, &mv); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestServeDBEndpoints(t *testing.T) {
 
 	// Unknown before registration.
 	code, body := postJSON(t, h, "POST", "/v1/identify", reqFor(q))
-	var v verdictJSON
+	var v VerdictJSON
 	if err := json.Unmarshal(body, &v); err != nil || code != 200 {
 		t.Fatalf("pre-add identify: %d %s (%v)", code, body, err)
 	}
@@ -266,7 +266,7 @@ func TestServeChaosFaults(t *testing.T) {
 		switch code {
 		case http.StatusOK:
 			ok++
-			var v verdictJSON
+			var v VerdictJSON
 			if err := json.Unmarshal(body, &v); err != nil {
 				t.Fatal(err)
 			}

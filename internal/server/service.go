@@ -100,6 +100,9 @@ type Config struct {
 	// BlockEntries sizes the bit-sliced blocks on sliced shards and in tiered
 	// segment files; 0 selects the fingerprint package default.
 	BlockEntries int
+	// Partition scopes the service to one partition of a partitioned
+	// cluster (partition.go); the zero value is unpartitioned.
+	Partition PartitionConfig
 }
 
 // Defaults for the zero Config.
@@ -379,6 +382,10 @@ type Stats struct {
 	Cache      CacheStats             `json:"cache"`
 	// Store describes the tiered backend; zero-valued on the memory backend.
 	Store StoreStats `json:"store"`
+	// Partition names the partition this node serves; omitted when
+	// unpartitioned, keeping the body byte-identical to pre-cluster
+	// deployments.
+	Partition string `json:"partition,omitempty"`
 }
 
 // StoreStats is the tiered-backend corner of Stats.
@@ -407,6 +414,7 @@ func (s *Service) Stats() Stats {
 		QueueCap:   s.cfg.QueueDepth,
 		Cache:      CacheStats{Capacity: s.cfg.CacheSize, Size: s.cache.Len(), Hits: hits, Misses: misses},
 		Store:      StoreStats{Backend: store.BackendMemory},
+		Partition:  s.cfg.Partition.Name,
 	}
 	if d, ok := s.db.(store.DurableBackend); ok {
 		st.Store = StoreStats{Backend: s.cfg.Store.Backend, Watermark: d.Watermark()}

@@ -1,3 +1,6 @@
+// manifest.go: the tiered engine's commit point — the atomically
+// rewritten JSON manifest naming the committed segments, tombstones, WAL
+// watermark, and next add-order id.
 package store
 
 import (

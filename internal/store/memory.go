@@ -1,3 +1,5 @@
+// memory.go: the in-RAM storage backend — the fingerprint.ShardedDB the
+// serving layer has always used, satisfying Backend with a no-op Close.
 package store
 
 import "probablecause/internal/fingerprint"

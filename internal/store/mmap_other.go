@@ -1,5 +1,7 @@
 //go:build !unix
 
+// mmap_other.go: the non-unix mapping fallback — the file read into
+// memory behind the same surface, correct but not RAM-bounded.
 package store
 
 import "os"

@@ -1,5 +1,7 @@
 //go:build unix
 
+// mmap_unix.go: read-only whole-file views as real private mmaps, so
+// segment bytes page in on demand and stay off the Go heap.
 package store
 
 import (

@@ -1,3 +1,5 @@
+// segment.go: the immutable PCSEG01 segment file — columnar encoding,
+// CRC-rooted load-time verification, and the per-segment query kernels.
 package store
 
 import (

@@ -1,3 +1,6 @@
+// tiered.go: the LSM-shaped durable backend — an in-RAM memtable over
+// mmap'd immutable segments, with manifest-committed checkpoints and
+// threshold-triggered compaction.
 package store
 
 import (

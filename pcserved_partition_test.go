@@ -1,0 +1,197 @@
+package probablecause_test
+
+// Process-level partitioned cluster: two partition-scoped primaries and
+// a scatter-gather router — three real pcserved processes on real
+// sockets. Keyed enrollment routes to the owning partition, scattered
+// identify merges globally-namespaced verdicts, and the topology
+// endpoint exposes the partition map the processes were launched with.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"probablecause/internal/cluster"
+)
+
+func TestPcservedPartitionedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	enrollFlags := []string{"-enroll.minobs", "3", "-enroll.patience", "2"}
+	// Serving nodes only need the partition names from the spec (key
+	// ownership and id namespacing); the router needs the real URLs.
+	placeholderSpec := "p0=http://placeholder,p1=http://placeholder"
+	p0URL, _ := startPcserved(t, append([]string{
+		"-wal.dir", t.TempDir(), "-cluster.id", "p0-primary",
+		"-partitions", placeholderSpec, "-partition.self", "p0",
+	}, enrollFlags...)...)
+	p1URL, _ := startPcserved(t, append([]string{
+		"-wal.dir", t.TempDir(), "-cluster.id", "p1-primary",
+		"-partitions", placeholderSpec, "-partition.self", "p1",
+	}, enrollFlags...)...)
+	routerURL, _ := startPcserved(t,
+		"-mode", "router",
+		"-partitions", fmt.Sprintf("p0=%s,p1=%s", p0URL, p1URL),
+		"-router.probe", "20ms")
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitReady := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := client.Get(routerURL + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatal("scatter router never became ready")
+	}
+	waitReady()
+
+	const nbits = 2048
+	devObs := func(dev, trial int) []uint32 {
+		var pos []uint32
+		for j := 0; j < 6; j++ {
+			pos = append(pos, uint32(10*dev+j))
+		}
+		pos = append(pos, uint32(1000+(dev*31+trial*7)%(nbits-1001)))
+		return pos
+	}
+	type enrollAck struct {
+		Promoted bool `json:"promoted"`
+		EntryID  int  `json:"entry_id"`
+	}
+	enroll := func(dev, trial int) (enrollAck, int) {
+		blob, _ := json.Marshal(map[string]any{
+			"session": fmt.Sprintf("sess-%d", dev), "name": fmt.Sprintf("dev-%d", dev),
+			"len": nbits, "positions": devObs(dev, trial),
+		})
+		resp, err := client.Post(routerURL+"/v1/enroll", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return enrollAck{}, 0
+		}
+		defer resp.Body.Close()
+		var st enrollAck
+		if resp.StatusCode == http.StatusOK {
+			json.NewDecoder(resp.Body).Decode(&st)
+		}
+		return st, resp.StatusCode
+	}
+
+	// Pick three device names per partition using the same map the
+	// processes derive ownership from.
+	pmap, err := cluster.ParsePartitions(placeholderSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devices []int
+	for want := 0; want < 2; want++ {
+		for i, found := 0, 0; found < 3 && i < nbits/10-1; i++ {
+			if pmap.Owner(fmt.Sprintf("dev-%d", i)) == want {
+				devices = append(devices, i)
+				found++
+			}
+		}
+	}
+	if len(devices) != 6 {
+		t.Fatalf("could not find 3 device names per partition: %v", devices)
+	}
+
+	entryOwner := map[int]int{} // dev → partition ordinal inferred from EntryID parity
+	for _, dev := range devices {
+		var last enrollAck
+		for trial := 0; trial < 4; trial++ {
+			st, code := enroll(dev, trial)
+			if code != http.StatusOK {
+				t.Fatalf("enroll dev-%d trial %d: status %d", dev, trial, code)
+			}
+			last = st
+		}
+		if !last.Promoted {
+			t.Fatalf("dev-%d not promoted: %+v", dev, last)
+		}
+		entryOwner[dev] = last.EntryID % 2
+		// The process's ownership agrees with the locally-derived map.
+		if want := pmap.Owner(fmt.Sprintf("dev-%d", dev)); entryOwner[dev] != want {
+			t.Fatalf("dev-%d enrolled into partition %d, map owner %d", dev, entryOwner[dev], want)
+		}
+	}
+
+	// Scattered identify resolves devices from both partitions with ids
+	// in the owner's namespace.
+	for _, dev := range devices {
+		blob, _ := json.Marshal(map[string]any{"len": nbits, "positions": devObs(dev, 9)})
+		resp, err := client.Post(routerURL+"/v1/identify", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Match bool   `json:"match"`
+			Name  string `json:"name"`
+			ID    int    `json:"id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !v.Match || v.Name != fmt.Sprintf("dev-%d", dev) {
+			t.Fatalf("identify dev-%d: %d %+v", dev, resp.StatusCode, v)
+		}
+		if v.ID%2 != entryOwner[dev] {
+			t.Fatalf("dev-%d merged id %d not in partition %d's namespace", dev, v.ID, entryOwner[dev])
+		}
+	}
+
+	// The topology endpoint reflects the launched map.
+	resp, err := client.Get(routerURL + "/v1/cluster/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var topo struct {
+		KeyHash    string `json:"key_hash"`
+		Partitions []struct {
+			Name     string `json:"name"`
+			IDStride int    `json:"id_stride"`
+			Primary  string `json:"primary"`
+		} `json:"partitions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo.KeyHash == "" || len(topo.Partitions) != 2 {
+		t.Fatalf("topology %+v", topo)
+	}
+	wantPrimary := map[string]string{"p0": p0URL, "p1": p1URL}
+	for _, p := range topo.Partitions {
+		if p.IDStride != 2 || p.Primary != wantPrimary[p.Name] {
+			t.Fatalf("topology partition %+v, want primary %s", p, wantPrimary[p.Name])
+		}
+	}
+
+	// A partition-scoped node refuses a misdirected mutation outright.
+	foreignDev := -1
+	for _, dev := range devices {
+		if entryOwner[dev] == 1 {
+			foreignDev = dev
+			break
+		}
+	}
+	blob, _ := json.Marshal(map[string]any{
+		"session": "misdirected", "name": fmt.Sprintf("dev-%d", foreignDev),
+		"len": nbits, "positions": devObs(foreignDev, 0),
+	})
+	dresp, err := client.Post(p0URL+"/v1/enroll", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("p0 accepted a p1-owned enroll with status %d, want 421", dresp.StatusCode)
+	}
+}
